@@ -1,0 +1,268 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each iteration regenerates the full experiment from
+// scratch (fresh machines, fresh VMs, real transplants on the virtual
+// clock), so the benchmarks double as end-to-end exercises and report the
+// wall-clock cost of reproducing each result.
+//
+//	go test -bench=. -benchmem
+package hypertp_test
+
+import (
+	"testing"
+	"time"
+
+	"hypertp"
+	"hypertp/internal/experiments"
+)
+
+func BenchmarkTable1VulnStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		db, tab := experiments.Table1()
+		if db == nil || len(tab.Rows) != 8 {
+			b.Fatal("table 1 wrong")
+		}
+		stats, _ := experiments.Section22Windows()
+		if stats.Tracked != 24 {
+			b.Fatal("window stats wrong")
+		}
+	}
+}
+
+func BenchmarkTable2StateMapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table2().Rows) != 7 {
+			b.Fatal("table 2 wrong")
+		}
+	}
+}
+
+func BenchmarkFigure6Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d := rows[0].Report.Downtime; d < time.Second || d > 2*time.Second {
+			b.Fatalf("M1 downtime %v", d)
+		}
+	}
+}
+
+func BenchmarkFigure7Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweeps, _, err := experiments.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sweeps) != 6 {
+			b.Fatal("sweep count")
+		}
+	}
+}
+
+func BenchmarkFigure8Downtime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweeps, _, err := experiments.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sweeps) != 3 {
+			b.Fatal("sweep count")
+		}
+	}
+}
+
+func BenchmarkFigure9MigrationTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweeps, _, err := experiments.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sweeps) != 3 {
+			b.Fatal("sweep count")
+		}
+	}
+}
+
+func BenchmarkFigure10KVMToXen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweeps, _, err := experiments.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sweeps) != 6 {
+			b.Fatal("sweep count")
+		}
+	}
+}
+
+func BenchmarkTable4Migration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TPDowntime >= res.XenDowntime {
+			b.Fatal("downtime ordering wrong")
+		}
+	}
+}
+
+func BenchmarkFigure11Redis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tl, _, err := experiments.Figure11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tl.ObservedGapSec < 7 || tl.ObservedGapSec > 12 {
+			b.Fatalf("gap %.1f", tl.ObservedGapSec)
+		}
+	}
+}
+
+func BenchmarkFigure12MySQL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tl, _, err := experiments.Figure12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tl.MigQPSDropFrac < 0.5 {
+			b.Fatalf("drop %.2f", tl.MigQPSDropFrac)
+		}
+	}
+}
+
+func BenchmarkTable5SPEC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		inplace, migr, _, err := experiments.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(inplace) != 23 || len(migr) != 23 {
+			b.Fatal("row count")
+		}
+	}
+}
+
+func BenchmarkTable6Darknet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, _, err := experiments.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if runs["inplacetp"].Longest() < 4 {
+			b.Fatal("inplace peak wrong")
+		}
+	}
+}
+
+func BenchmarkFigure13Cluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, _, err := experiments.Figure13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if points[0].Migrations <= 100 {
+			b.Fatal("no cascade")
+		}
+	}
+}
+
+func BenchmarkFigure14Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, _, err := experiments.Figure14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fig.VMs[len(fig.VMs)-1].PRAMBytes != 148<<10 {
+			b.Fatal("PRAM anchor wrong")
+		}
+	}
+}
+
+func BenchmarkAblationOptimizations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Ablation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatal("row count")
+		}
+	}
+}
+
+// BenchmarkInPlaceTransplant measures the public-API single-transplant
+// path: the cost of one full InPlaceTP including machine setup.
+func BenchmarkInPlaceTransplant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := hypertp.NewSimulation()
+		host, err := sim.NewHost(hypertp.M1(), hypertp.KindXen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := host.CreateVM(hypertp.VMConfig{
+			Name: "bench", VCPUs: 1, MemBytes: 1 << 30, HugePages: true, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := host.Transplant(hypertp.KindKVM, hypertp.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMigrationTP measures the public-API migration path.
+func BenchmarkMigrationTP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := hypertp.NewSimulation()
+		src, err := sim.NewHost(hypertp.M1(), hypertp.KindXen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst, err := sim.NewHost(hypertp.M1(), hypertp.KindKVM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		link := sim.NewLink("pair", hypertp.Gbps(1), 100*time.Microsecond)
+		vm, err := src.CreateVM(hypertp.VMConfig{
+			Name: "bench", VCPUs: 1, MemBytes: 1 << 30, HugePages: true, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := src.MigrateVM(vm, link, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVENOMEscape measures the three-pool escape scenario: Xen →
+// microhypervisor and back, with guest verification.
+func BenchmarkVENOMEscape(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := hypertp.NewSimulation()
+		host, err := sim.NewHost(hypertp.M1(), hypertp.KindXen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vm, err := host.CreateVM(hypertp.VMConfig{
+			Name: "bench", VCPUs: 1, MemBytes: 1 << 30, HugePages: true, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vm.Guest.WriteWorkingSet(0, 64)
+		if _, err := host.Transplant(hypertp.KindNOVA, hypertp.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := host.Transplant(hypertp.KindXen, hypertp.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+		for _, vm := range host.VMs() {
+			if err := vm.Guest.Verify(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Command benchfig regenerates every table and figure of the paper's
+// evaluation in one run, printing the rendered tables and plots plus the
+// headline comparisons recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchfig           # everything
+//	benchfig -only fig6,table4,fig13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hypertp/internal/experiments"
+	"hypertp/internal/metrics"
+)
+
+// sections maps selector names to the drivers.
+var sections = []struct {
+	name string
+	run  func() error
+}{
+	{"table1", func() error {
+		_, tab := experiments.Table1()
+		fmt.Println(tab.Render())
+		_, win := experiments.Section22Windows()
+		fmt.Println(win.Render())
+		return nil
+	}},
+	{"table2", func() error {
+		fmt.Println(experiments.Table2().Render())
+		return nil
+	}},
+	{"fig6", func() error {
+		_, tab, err := experiments.Figure6()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		return nil
+	}},
+	{"fig7", func() error {
+		_, tabs, err := experiments.Figure7()
+		return printTabs(tabs, err)
+	}},
+	{"fig8", func() error {
+		_, tabs, err := experiments.Figure8()
+		return printTabs(tabs, err)
+	}},
+	{"fig9", func() error {
+		_, tabs, err := experiments.Figure9()
+		return printTabs(tabs, err)
+	}},
+	{"fig10", func() error {
+		_, tabs, err := experiments.Figure10()
+		return printTabs(tabs, err)
+	}},
+	{"table4", func() error {
+		_, tab, err := experiments.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		return nil
+	}},
+	{"fig11", func() error {
+		_, render, err := experiments.Figure11()
+		if err != nil {
+			return err
+		}
+		fmt.Println(render)
+		return nil
+	}},
+	{"fig12", func() error {
+		_, render, err := experiments.Figure12()
+		if err != nil {
+			return err
+		}
+		fmt.Println(render)
+		return nil
+	}},
+	{"table5", func() error {
+		_, _, tab, err := experiments.Table5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		return nil
+	}},
+	{"table6", func() error {
+		_, tab, err := experiments.Table6()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		return nil
+	}},
+	{"fig13", func() error {
+		_, tab, err := experiments.Figure13()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		return nil
+	}},
+	{"fig14", func() error {
+		_, tabs, err := experiments.Figure14()
+		return printTabs(tabs, err)
+	}},
+	{"directions", func() error {
+		_, tab, err := experiments.DirectionsMatrix()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		return nil
+	}},
+	{"decisions", func() error {
+		fmt.Println("Transplant decision policy (Xen datacenter):")
+		for _, d := range experiments.Decisions() {
+			target := d.Target
+			if target == "" {
+				target = "-"
+			}
+			fmt.Printf("  %-15s pool=%d transplant=%-5v target=%s\n",
+				d.CVE, d.Pool, d.Transplant, target)
+		}
+		fmt.Println()
+		return nil
+	}},
+	{"groupsize", func() error {
+		_, tab, err := experiments.GroupSizeSweep()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		return nil
+	}},
+	{"ablation", func() error {
+		_, tab, err := experiments.Ablation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		return nil
+	}},
+	{"tcb", func() error {
+		fmt.Println(experiments.TCB().Render())
+		return nil
+	}},
+}
+
+func printTabs(tabs []*metrics.Table, err error) error {
+	if err != nil {
+		return err
+	}
+	for _, tab := range tabs {
+		fmt.Println(tab.Render())
+	}
+	return nil
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset (e.g. fig6,table4); empty = all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+	for _, sec := range sections {
+		if len(want) > 0 && !want[sec.name] {
+			continue
+		}
+		fmt.Printf("==== %s ====\n\n", sec.name)
+		if err := sec.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", sec.name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command clustersim runs the §5.4 cluster upgrade experiment: a
+// BtrPlace-style rolling upgrade of a simulated cluster while varying the
+// fraction of InPlaceTP-compatible VMs (Fig. 13).
+//
+// Usage:
+//
+//	clustersim -hosts 10 -vms-per-host 10 -group 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hypertp/internal/cluster"
+	"hypertp/internal/metrics"
+)
+
+func main() {
+	var (
+		hosts      = flag.Int("hosts", 10, "number of physical hosts")
+		vmsPerHost = flag.Int("vms-per-host", 10, "VMs per host (1 vCPU / 4 GiB each)")
+		group      = flag.Int("group", 1, "hosts taken offline per upgrade group")
+	)
+	flag.Parse()
+	if err := run(*hosts, *vmsPerHost, *group); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(hosts, vmsPerHost, group int) error {
+	model := cluster.DefaultExecutionModel()
+	runOnce := func(frac float64) (cluster.Result, error) {
+		c, err := cluster.New(cluster.Config{
+			Hosts: hosts, VMsPerHost: vmsPerHost, StreamFrac: 0.3, CPUFrac: 0.3,
+		})
+		if err != nil {
+			return cluster.Result{}, err
+		}
+		c.SetInPlaceCompatibleFraction(frac, 42)
+		plan, err := c.PlanUpgrade(group)
+		if err != nil {
+			return cluster.Result{}, err
+		}
+		if err := c.Validate(); err != nil {
+			return cluster.Result{}, err
+		}
+		return plan.Execute(model), nil
+	}
+
+	base, err := runOnce(0)
+	if err != nil {
+		return err
+	}
+	tab := &metrics.Table{
+		Title: fmt.Sprintf("Cluster upgrade: %d hosts x %d VMs, offline groups of %d (Fig. 13)",
+			hosts, vmsPerHost, group),
+		Headers: []string{"InPlaceTP-compatible %", "# migrations", "Migration time",
+			"Total time", "Time gain %"},
+	}
+	for _, pct := range []int{0, 20, 40, 60, 80, 100} {
+		if pct == 100 && group > 1 {
+			continue
+		}
+		res, err := runOnce(float64(pct) / 100)
+		if err != nil {
+			return err
+		}
+		gain := (1 - float64(res.TotalTime)/float64(base.TotalTime)) * 100
+		tab.AddRow(fmt.Sprint(pct), fmt.Sprint(res.Migrations),
+			res.MigrationTime.Round(time.Second).String(),
+			res.TotalTime.Round(time.Second).String(),
+			fmt.Sprintf("%.0f", gain))
+	}
+	fmt.Println(tab.Render())
+	return nil
+}

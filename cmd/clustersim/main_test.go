@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(10, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallCluster(t *testing.T) {
+	if err := run(4, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadShape(t *testing.T) {
+	if err := run(1, 10, 1); err == nil {
+		t.Fatal("single-host cluster accepted")
+	}
+	if err := run(10, 10, 10); err == nil {
+		t.Fatal("group size = cluster accepted")
+	}
+}

@@ -1,0 +1,186 @@
+// Command tpctl runs one hypervisor transplant on a simulated host and
+// prints the phase breakdown — the operator's view of a single InPlaceTP
+// or MigrationTP operation.
+//
+// Usage:
+//
+//	tpctl -mode inplace  -from xen -to kvm -machine M1 -vms 1 -vcpus 1 -mem-gib 1
+//	tpctl -mode migration -from xen -to kvm -vms 2 -mem-gib 1
+//	tpctl -mode inplace -from xen -to kvm -cve CVE-2016-6258   # policy check first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hypertp/internal/core"
+	"hypertp/internal/hv"
+	"hypertp/internal/hw"
+	"hypertp/internal/metrics"
+	"hypertp/internal/migration"
+	"hypertp/internal/simnet"
+	"hypertp/internal/simtime"
+	"hypertp/internal/trace"
+	"hypertp/internal/vulndb"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "inplace", "transplant mode: inplace or migration")
+		from    = flag.String("from", "xen", "current hypervisor: xen or kvm")
+		to      = flag.String("to", "kvm", "target hypervisor: xen or kvm")
+		machine = flag.String("machine", "M1", "machine profile: M1 or M2")
+		vms     = flag.Int("vms", 1, "number of VMs on the host")
+		vcpus   = flag.Int("vcpus", 1, "vCPUs per VM")
+		memGiB  = flag.Int("mem-gib", 1, "memory per VM in GiB")
+		cve     = flag.String("cve", "", "check the transplant decision policy for this CVE first")
+		noPrep  = flag.Bool("no-prepare", false, "disable pre-pause preparation (ablation)")
+		noPar   = flag.Bool("no-parallel", false, "disable parallel translation (ablation)")
+		noHuge  = flag.Bool("no-hugepages", false, "disable huge-page PRAM entries (ablation)")
+		noEarly = flag.Bool("no-early-restore", false, "disable early restoration (ablation)")
+		verbose = flag.Bool("v", false, "print the Fig. 3 workflow trace")
+	)
+	flag.Parse()
+	if err := run(*mode, *from, *to, *machine, *vms, *vcpus, *memGiB, *cve,
+		core.Options{
+			PrepareBeforePause: !*noPrep,
+			Parallel:           !*noPar,
+			HugePages:          !*noHuge,
+			EarlyRestoration:   !*noEarly,
+		}, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "tpctl:", err)
+		os.Exit(1)
+	}
+}
+
+func parseKind(s string) (hv.Kind, error) {
+	switch s {
+	case "xen":
+		return hv.KindXen, nil
+	case "kvm":
+		return hv.KindKVM, nil
+	default:
+		return 0, fmt.Errorf("unknown hypervisor %q (want xen or kvm)", s)
+	}
+}
+
+func parseProfile(s string) (*hw.Profile, error) {
+	switch s {
+	case "M1", "m1":
+		return hw.M1(), nil
+	case "M2", "m2":
+		return hw.M2(), nil
+	default:
+		return nil, fmt.Errorf("unknown machine %q (want M1 or M2)", s)
+	}
+}
+
+func run(mode, from, to, machine string, vms, vcpus, memGiB int, cve string, opts core.Options, verbose bool) error {
+	fromKind, err := parseKind(from)
+	if err != nil {
+		return err
+	}
+	toKind, err := parseKind(to)
+	if err != nil {
+		return err
+	}
+	profile, err := parseProfile(machine)
+	if err != nil {
+		return err
+	}
+
+	if cve != "" {
+		db := vulndb.Load()
+		rec, ok := db.Lookup(cve)
+		if !ok {
+			return fmt.Errorf("unknown CVE %q", cve)
+		}
+		fmt.Printf("policy check: %s (CVSS %.1f, %s, affects %v)\n",
+			rec.ID, rec.CVSS, rec.Severity(), rec.Affects)
+		worthwhile, target := db.TransplantWorthwhile(cve, from, []string{"xen", "kvm"})
+		if !worthwhile {
+			return fmt.Errorf("policy: transplant not indicated for %s on %s", cve, from)
+		}
+		fmt.Printf("policy: transplant %s → %s indicated\n\n", from, target)
+	}
+
+	clock := simtime.NewClock()
+	srcMachine := hw.NewMachine(clock, profile)
+	engine := core.NewEngine(clock, srcMachine)
+	if verbose {
+		engine.Trace = trace.New(clock)
+	}
+	src, err := engine.BootHypervisor(fromKind)
+	if err != nil {
+		return err
+	}
+	var vmIDs []hv.VMID
+	for i := 0; i < vms; i++ {
+		vm, err := src.CreateVM(hv.Config{
+			Name:  fmt.Sprintf("vm-%02d", i),
+			VCPUs: vcpus, MemBytes: uint64(memGiB) << 30, HugePages: true,
+			Seed: uint64(100 + i), InPlaceCompatible: true,
+		})
+		if err != nil {
+			return err
+		}
+		vmIDs = append(vmIDs, vm.ID)
+	}
+	fmt.Printf("host: %s running %s with %d VM(s) of %d vCPU / %d GiB\n\n",
+		profile.Name, src.Name(), vms, vcpus, memGiB)
+
+	switch mode {
+	case "inplace":
+		_, rep, err := engine.InPlace(src, toKind, opts)
+		if err != nil {
+			return err
+		}
+		tab := &metrics.Table{
+			Title:   fmt.Sprintf("InPlaceTP %s → %s on %s", from, to, profile.Name),
+			Headers: []string{"Phase", "Duration"},
+		}
+		tab.AddRow("PRAM construction (pre-pause)", rep.PRAM.String())
+		tab.AddRow("UISR translation", rep.Translation.String())
+		tab.AddRow("micro-reboot", rep.Reboot.String())
+		tab.AddRow("restoration", rep.Restoration.String())
+		tab.AddRow("NIC reinitialization (overlapped)", rep.Network.String())
+		tab.AddRow("downtime", rep.Downtime.String())
+		tab.AddRow("network downtime", rep.NetworkDowntime.String())
+		tab.AddRow("total", rep.Total.String())
+		fmt.Println(tab.Render())
+		fmt.Printf("overheads: PRAM %d B, UISR %d B, wiped %d frames\n",
+			rep.PRAMMetadataBytes, rep.UISRBytes, rep.WipedFrames)
+		if verbose {
+			fmt.Printf("\nworkflow trace:\n%s", engine.Trace.Render())
+		}
+	case "migration":
+		dstMachine := hw.NewMachine(clock, profile)
+		dstEngine := core.NewEngine(clock, dstMachine)
+		dst, err := dstEngine.BootHypervisor(toKind)
+		if err != nil {
+			return err
+		}
+		link := simnet.NewLink(clock, "pair", simnet.Gbps1, 100*time.Microsecond)
+		recv := migration.NewReceiver(clock, dst, 1)
+		tab := &metrics.Table{
+			Title:   fmt.Sprintf("MigrationTP %s → %s over 1 Gbps", from, to),
+			Headers: []string{"VM", "Rounds", "Bytes sent", "Downtime", "Total"},
+		}
+		for _, id := range vmIDs {
+			rep, err := core.MigrationTP(clock, core.MigrationTPParams{
+				Link: link, Source: src, Dest: recv, VMID: id,
+			})
+			if err != nil {
+				return err
+			}
+			tab.AddRow(rep.VMName, fmt.Sprint(rep.Rounds), fmt.Sprint(rep.BytesSent),
+				rep.Downtime.String(), rep.TotalTime.String())
+		}
+		fmt.Println(tab.Render())
+	default:
+		return fmt.Errorf("unknown mode %q (want inplace or migration)", mode)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"testing"
+
+	"hypertp/internal/core"
+	"hypertp/internal/hv"
+)
+
+func defaultOpts() core.Options { return core.DefaultOptions() }
+
+func TestParseKind(t *testing.T) {
+	if k, err := parseKind("xen"); err != nil || k != hv.KindXen {
+		t.Fatal("xen parse failed")
+	}
+	if k, err := parseKind("kvm"); err != nil || k != hv.KindKVM {
+		t.Fatal("kvm parse failed")
+	}
+	if _, err := parseKind("vmware"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	for _, s := range []string{"M1", "m1", "M2", "m2"} {
+		if _, err := parseProfile(s); err != nil {
+			t.Fatalf("%s rejected", s)
+		}
+	}
+	if _, err := parseProfile("M3"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestRunInPlace(t *testing.T) {
+	if err := run("inplace", "xen", "kvm", "M1", 1, 1, 1, "", defaultOpts(), false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMigration(t *testing.T) {
+	if err := run("migration", "xen", "kvm", "M1", 2, 1, 1, "", defaultOpts(), false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithPolicyCheck(t *testing.T) {
+	if err := run("inplace", "xen", "kvm", "M1", 1, 1, 1, "CVE-2016-6258", defaultOpts(), false); err != nil {
+		t.Fatal(err)
+	}
+	// Medium flaw: the policy refuses.
+	if err := run("inplace", "xen", "kvm", "M1", 1, 1, 1, "CVE-2015-8104", defaultOpts(), false); err == nil {
+		t.Fatal("medium CVE accepted")
+	}
+	if err := run("inplace", "xen", "kvm", "M1", 1, 1, 1, "CVE-0000-0000", defaultOpts(), false); err == nil {
+		t.Fatal("unknown CVE accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("teleport", "xen", "kvm", "M1", 1, 1, 1, "", defaultOpts(), false); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run("inplace", "qnx", "kvm", "M1", 1, 1, 1, "", defaultOpts(), false); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if err := run("inplace", "xen", "qnx", "M1", 1, 1, 1, "", defaultOpts(), false); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if err := run("inplace", "xen", "kvm", "M9", 1, 1, 1, "", defaultOpts(), false); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}

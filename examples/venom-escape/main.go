@@ -1,0 +1,82 @@
+// VENOM escape: the hardest case for hypervisor transplant. CVE-2015-3456
+// (VENOM, the QEMU floppy-controller overflow) was the studied period's
+// only *common* critical vulnerability — it hit Xen and KVM at once,
+// because both embed QEMU. With a two-member pool the decision policy
+// must refuse; with a microhypervisor in the repertoire (no QEMU, tiny
+// TCB) there is an escape hatch, and the fleet can ride out the
+// vulnerability window there before returning.
+//
+//	go run ./examples/venom-escape
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypertp"
+)
+
+func main() {
+	db := hypertp.LoadVulnDB()
+	const venom = "CVE-2015-3456"
+
+	// The policy view.
+	if _, err := db.SelectTarget("xen", []string{venom}, []string{"xen", "kvm"}); err != nil {
+		fmt.Println("pool {xen, kvm}:      ", err)
+	}
+	target, err := db.SelectTarget("xen", []string{venom}, hypertp.DefaultPool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pool {xen, kvm, nova}: escape to %q\n\n", target)
+
+	// Execute it: a Xen host with running guests.
+	sim := hypertp.NewSimulation()
+	host, err := sim.NewHost(hypertp.M1(), hypertp.KindXen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		vm, err := host.CreateVM(hypertp.VMConfig{
+			Name: fmt.Sprintf("tenant-%d", i), VCPUs: 1, MemBytes: 1 << 30,
+			HugePages: true, Seed: uint64(i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		vm.Guest.WriteWorkingSet(0, 256)
+	}
+
+	// Day 0: escape to the microhypervisor.
+	kind, err := host.SelectTransplantTarget(db, venom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := host.Transplant(kind, hypertp.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 0:  %s → %s in %v downtime (microhypervisor boots in %v)\n",
+		rep.Source, rep.Target, rep.Downtime, rep.Reboot)
+	for _, vm := range host.VMs() {
+		if err := vm.Guest.Verify(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("        all guests verified on %s\n", host.HypervisorName())
+
+	// Weeks later: QEMU is patched everywhere; come home.
+	rep, err = host.Transplant(hypertp.KindXen, hypertp.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 28: %s → %s in %v downtime (two-kernel Xen boot dominates)\n",
+		rep.Source, rep.Target, rep.Downtime)
+	for _, vm := range host.VMs() {
+		if err := vm.Guest.Verify(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("        all guests verified back on %s\n", host.HypervisorName())
+	fmt.Println("\nthe vulnerability window was spent on a hypervisor the flaw cannot reach")
+}

@@ -1,0 +1,3 @@
+module hypertp
+
+go 1.22

@@ -1,0 +1,155 @@
+package hypertp_test
+
+import (
+	"testing"
+	"time"
+
+	"hypertp"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	sim := hypertp.NewSimulation()
+	host, err := sim.NewHost(hypertp.M1(), hypertp.KindXen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.Kind() != hypertp.KindXen || host.HypervisorName() == "" {
+		t.Fatal("host identity wrong")
+	}
+	vm, err := host.CreateVM(hypertp.VMConfig{
+		Name: "web", VCPUs: 1, MemBytes: 1 << 30, HugePages: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Guest.WriteWorkingSet(0, 64); err != nil {
+		t.Fatal(err)
+	}
+	report, err := host.Transplant(hypertp.KindKVM, hypertp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.Kind() != hypertp.KindKVM {
+		t.Fatal("host not on KVM")
+	}
+	if report.Downtime < time.Second || report.Downtime > 2*time.Second {
+		t.Fatalf("downtime = %v, want ~1.7s", report.Downtime)
+	}
+	for _, vm := range host.VMs() {
+		if err := vm.Guest.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sim.Now() == 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestFacadeMigration(t *testing.T) {
+	sim := hypertp.NewSimulation()
+	src, err := sim.NewHost(hypertp.M1(), hypertp.KindXen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := sim.NewHost(hypertp.M1(), hypertp.KindKVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := sim.NewLink("pair", hypertp.Gbps(1), 100*time.Microsecond)
+	vm, err := src.CreateVM(hypertp.VMConfig{
+		Name: "db", VCPUs: 2, MemBytes: 1 << 30, HugePages: true, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := src.MigrateVM(vm, link, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Heterogeneous {
+		t.Fatal("Xen→KVM migration not heterogeneous")
+	}
+	if rep.TotalTime < 8*time.Second || rep.TotalTime > 11*time.Second {
+		t.Fatalf("migration time = %v", rep.TotalTime)
+	}
+	if len(dst.VMs()) != 1 || len(src.VMs()) != 0 {
+		t.Fatal("VM did not move")
+	}
+}
+
+func TestFacadeVulnPolicy(t *testing.T) {
+	sim := hypertp.NewSimulation()
+	host, _ := sim.NewHost(hypertp.M1(), hypertp.KindXen)
+	db := hypertp.LoadVulnDB()
+	target, err := host.SelectTransplantTarget(db, "CVE-2016-6258")
+	if err != nil || target != hypertp.KindKVM {
+		t.Fatalf("target = %v, %v", target, err)
+	}
+	// VENOM hits both mainstream hypervisors; the default pool's
+	// microhypervisor is the escape.
+	target, err = host.SelectTransplantTarget(db, "CVE-2015-3456")
+	if err != nil || target != hypertp.KindNOVA {
+		t.Fatalf("VENOM target = %v, %v; want NOVA", target, err)
+	}
+}
+
+func TestFacadeCluster(t *testing.T) {
+	c, err := hypertp.NewCluster(hypertp.ClusterConfig{
+		Hosts: 4, VMsPerHost: 5, StreamFrac: 0.3, CPUFrac: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.VMCount() != 20 {
+		t.Fatal("cluster shape wrong")
+	}
+}
+
+func TestGbps(t *testing.T) {
+	if hypertp.Gbps(1) != 125000000 {
+		t.Fatalf("Gbps(1) = %d", hypertp.Gbps(1))
+	}
+}
+
+func TestFacadeCheckpointCycle(t *testing.T) {
+	sim := hypertp.NewSimulation()
+	src, err := sim.NewHost(hypertp.M1(), hypertp.KindXen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := src.CreateVM(hypertp.VMConfig{
+		Name: "frozen", VCPUs: 1, MemBytes: 1 << 30, HugePages: true, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.Guest.WriteWorkingSet(0, 128)
+	g := vm.Guest
+	data, err := src.Checkpoint(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src.VMs()) != 0 {
+		t.Fatal("source VM survived checkpoint")
+	}
+	// Resume on a different host running a different hypervisor.
+	dst, err := sim.NewHost(hypertp.M1(), hypertp.KindNOVA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := dst.RestoreCheckpoint(data, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Paused() {
+		t.Fatal("restored VM not running")
+	}
+	if err := g.Verify(); err != nil {
+		t.Fatalf("state lost across checkpoint: %v", err)
+	}
+	// Corrupt image refused.
+	data[len(data)/2] ^= 0xff
+	if _, err := dst.RestoreCheckpoint(data, nil); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Package checkpoint implements the §4.5.2 "guest state saving" and
+// "guest state restoring" driver operations as a durable format: a
+// suspended VM is serialized — UISR platform state plus every touched
+// guest page — into a self-validating byte image that can be stored, then
+// restored later on *any* HyperTP-compliant hypervisor. It is the cold
+// path complementing InPlaceTP (same host, live) and MigrationTP (other
+// host, live): other host, offline, no shared link required.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+
+	"hypertp/internal/hv"
+	"hypertp/internal/hw"
+	"hypertp/internal/uisr"
+)
+
+// Format constants.
+const (
+	magic   = 0x54504b43 // "CKPT"
+	version = 1
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Image is a captured VM checkpoint.
+type Image struct {
+	// State is the VM's UISR platform state (no memory map — frame
+	// placement is meaningless off-host).
+	State *uisr.VMState
+	// Pages holds the touched guest pages; untouched pages are zero by
+	// contract and omitted.
+	Pages []PageRecord
+	// InPlaceCompatible carries the scheduling property across.
+	InPlaceCompatible bool
+}
+
+// PageRecord is one guest page's contents.
+type PageRecord struct {
+	GFN  hw.GFN
+	Data []byte // always hw.PageSize4K long
+}
+
+// Save captures a paused VM into an image. The VM itself is left
+// untouched (still paused, still resident); destroying it is the
+// caller's decision, as with Nova's suspend.
+func Save(h hv.Hypervisor, id hv.VMID) (*Image, error) {
+	vm, ok := h.LookupVM(id)
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: no VM %d", id)
+	}
+	if !vm.Paused() {
+		return nil, fmt.Errorf("checkpoint: VM %q must be paused", vm.Config.Name)
+	}
+	st, err := h.SaveUISR(id)
+	if err != nil {
+		return nil, err
+	}
+	st.MemMap = nil
+	img := &Image{State: st, InPlaceCompatible: vm.Config.InPlaceCompatible}
+
+	// Capture touched pages through the address space.
+	mem := h.Machine().Mem
+	for _, e := range vm.Space.Extents() {
+		for p := uint64(0); p < e.Pages(); p++ {
+			mfn := hw.MFN(e.MFN + p)
+			if !mem.Touched(mfn) {
+				continue
+			}
+			data, err := mem.Read(mfn, 0, hw.PageSize4K)
+			if err != nil {
+				return nil, err
+			}
+			img.Pages = append(img.Pages, PageRecord{GFN: hw.GFN(e.GFN + p), Data: data})
+		}
+	}
+	return img, nil
+}
+
+// Restore instantiates the image on the destination hypervisor. The VM
+// comes back paused with fresh memory filled from the recorded pages;
+// the caller attaches a guest stack (if it kept one) and resumes.
+func Restore(h hv.Hypervisor, img *Image) (*hv.VM, error) {
+	if img == nil || img.State == nil {
+		return nil, fmt.Errorf("checkpoint: empty image")
+	}
+	vm, err := h.RestoreUISR(img.State, hv.RestoreOptions{
+		Mode:              hv.RestoreAllocate,
+		InPlaceCompatible: img.InPlaceCompatible,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pr := range img.Pages {
+		if err := vm.Space.WritePage(pr.GFN, 0, pr.Data); err != nil {
+			return nil, fmt.Errorf("checkpoint: replay page %d: %w", pr.GFN, err)
+		}
+	}
+	return vm, nil
+}
+
+// Serialize encodes the image into the durable on-disk format:
+//
+//	magic u32 | version u16 | flags u16 | uisrLen u32 | uisr bytes
+//	| pageCount u32 | { gfn u64 | 4096 bytes }* | crc64 u64
+//
+// The trailing checksum covers everything before it.
+func Serialize(img *Image) ([]byte, error) {
+	blob, err := uisr.Encode(img.State)
+	if err != nil {
+		return nil, err
+	}
+	size := 12 + len(blob) + 4 + len(img.Pages)*(8+hw.PageSize4K) + 8
+	out := make([]byte, 0, size)
+	le := binary.LittleEndian
+
+	var hdr [12]byte
+	le.PutUint32(hdr[0:], magic)
+	le.PutUint16(hdr[4:], version)
+	flags := uint16(0)
+	if img.InPlaceCompatible {
+		flags |= 1
+	}
+	le.PutUint16(hdr[6:], flags)
+	le.PutUint32(hdr[8:], uint32(len(blob)))
+	out = append(out, hdr[:]...)
+	out = append(out, blob...)
+
+	var cnt [4]byte
+	le.PutUint32(cnt[:], uint32(len(img.Pages)))
+	out = append(out, cnt[:]...)
+	for _, pr := range img.Pages {
+		if len(pr.Data) != hw.PageSize4K {
+			return nil, fmt.Errorf("checkpoint: page %d has %d bytes", pr.GFN, len(pr.Data))
+		}
+		var g [8]byte
+		le.PutUint64(g[:], uint64(pr.GFN))
+		out = append(out, g[:]...)
+		out = append(out, pr.Data...)
+	}
+	var sum [8]byte
+	le.PutUint64(sum[:], crc64.Checksum(out, crcTable))
+	return append(out, sum[:]...), nil
+}
+
+// Deserialize parses and validates a serialized image. Any corruption —
+// framing or checksum — is an error; a transplant system must never
+// resume a guest from a damaged image.
+func Deserialize(data []byte) (*Image, error) {
+	le := binary.LittleEndian
+	if len(data) < 12+4+8 {
+		return nil, fmt.Errorf("checkpoint: image too short (%d bytes)", len(data))
+	}
+	body, sumBytes := data[:len(data)-8], data[len(data)-8:]
+	if crc64.Checksum(body, crcTable) != le.Uint64(sumBytes) {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch — image corrupt")
+	}
+	if le.Uint32(body[0:]) != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %#x", le.Uint32(body[0:]))
+	}
+	if v := le.Uint16(body[4:]); v != version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", v)
+	}
+	flags := le.Uint16(body[6:])
+	uisrLen := int(le.Uint32(body[8:]))
+	off := 12
+	if off+uisrLen+4 > len(body) {
+		return nil, fmt.Errorf("checkpoint: truncated UISR section")
+	}
+	st, err := uisr.Decode(body[off : off+uisrLen])
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	off += uisrLen
+	n := int(le.Uint32(body[off:]))
+	off += 4
+	if off+n*(8+hw.PageSize4K) != len(body) {
+		return nil, fmt.Errorf("checkpoint: page section size mismatch")
+	}
+	img := &Image{State: st, InPlaceCompatible: flags&1 != 0}
+	for i := 0; i < n; i++ {
+		gfn := hw.GFN(le.Uint64(body[off:]))
+		off += 8
+		page := make([]byte, hw.PageSize4K)
+		copy(page, body[off:off+hw.PageSize4K])
+		off += hw.PageSize4K
+		img.Pages = append(img.Pages, PageRecord{GFN: gfn, Data: page})
+	}
+	return img, nil
+}
+
+// Bytes returns the image's serialized size without materializing it.
+func (img *Image) Bytes() (int, error) {
+	n, err := uisr.EncodedSize(img.State)
+	if err != nil {
+		return 0, err
+	}
+	return 12 + n + 4 + len(img.Pages)*(8+hw.PageSize4K) + 8, nil
+}

@@ -1,0 +1,55 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"hypertp/internal/hv"
+	"hypertp/internal/hv/xen"
+	"hypertp/internal/hw"
+	"hypertp/internal/simtime"
+)
+
+// FuzzDeserialize: the checkpoint parser must never panic and never
+// accept a corrupted image (the trailing CRC covers the whole body, so
+// any mutation must be rejected).
+func FuzzDeserialize(f *testing.F) {
+	clock := simtime.NewClock()
+	x, err := xen.Boot(hw.NewMachine(clock, hw.M1()))
+	if err != nil {
+		f.Fatal(err)
+	}
+	vm, err := x.CreateVM(hv.Config{
+		Name: "seed", VCPUs: 1, MemBytes: 32 << 20, HugePages: true, Seed: 3,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	vm.Guest.WriteWorkingSet(0, 8)
+	x.Pause(vm.ID)
+	img, err := Save(x, vm.ID)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := Serialize(img)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:24])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Deserialize(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must round trip.
+		re, err := Serialize(got)
+		if err != nil {
+			t.Fatalf("accepted image does not re-serialize: %v", err)
+		}
+		if _, err := Deserialize(re); err != nil {
+			t.Fatalf("re-serialized image rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,358 @@
+// Package cluster models the §5.4 datacenter experiment: a BtrPlace-like
+// VM scheduler that plans a rolling hypervisor upgrade of a cluster by
+// taking host groups offline in sequence, migrating away the VMs that
+// cannot tolerate InPlaceTP, and upgrading each host in place.
+//
+// The Fig. 13 result — migration count dropping from ~154 to ~25 and
+// total upgrade time falling ~80% as the InPlaceTP-compatible fraction
+// grows — emerges from the replanning mechanics: evacuated VMs that land
+// on not-yet-upgraded hosts must migrate again when their new host's
+// group goes offline.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hypertp/internal/hw"
+	"hypertp/internal/simtime"
+)
+
+// WorkloadClass labels the §5.4 VM mix: 30% video streaming, 30% CPU- and
+// memory-intensive, 40% idle.
+type WorkloadClass string
+
+// The §5.4 workload classes.
+const (
+	WorkStream WorkloadClass = "video-stream"
+	WorkCPU    WorkloadClass = "cpu-mem"
+	WorkIdle   WorkloadClass = "idle"
+)
+
+// VM is one cluster virtual machine (1 vCPU / 4 GB in the paper's setup).
+type VM struct {
+	ID                int
+	Name              string
+	VCPUs             int
+	MemBytes          uint64
+	Class             WorkloadClass
+	InPlaceCompatible bool
+	Host              int // current host id
+	// Migrations counts how many times the VM moved during the upgrade.
+	Migrations int
+}
+
+// Host is one physical server.
+type Host struct {
+	ID       int
+	Name     string
+	CapVCPUs int
+	CapMem   uint64
+	Upgraded bool
+	vms      map[int]*VM
+}
+
+// VMs returns the host's VM ids, sorted.
+func (h *Host) VMs() []int {
+	out := make([]int, 0, len(h.vms))
+	for id := range h.vms {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Load returns the host's committed vCPUs and memory.
+func (h *Host) Load() (vcpus int, mem uint64) {
+	for _, vm := range h.vms {
+		vcpus += vm.VCPUs
+		mem += vm.MemBytes
+	}
+	return
+}
+
+// fits reports whether the host can accept the VM.
+func (h *Host) fits(vm *VM) bool {
+	v, m := h.Load()
+	return v+vm.VCPUs <= h.CapVCPUs && m+vm.MemBytes <= h.CapMem
+}
+
+// Cluster is the modeled datacenter.
+type Cluster struct {
+	hosts []*Host
+	vms   map[int]*VM
+}
+
+// Config describes the cluster to build. The zero VMRam/VMVCPUs default
+// to the paper's 4 GB / 1 vCPU.
+type Config struct {
+	Hosts      int
+	VMsPerHost int
+	VMRam      uint64
+	VMVCPUs    int
+	// StreamFrac / CPUFrac: the rest is idle (paper: 0.3 / 0.3).
+	StreamFrac, CPUFrac float64
+}
+
+// New builds a cluster with the §5.4 shape: each host gets VMsPerHost VMs
+// with the configured workload mix.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Hosts <= 1 || cfg.VMsPerHost <= 0 {
+		return nil, fmt.Errorf("cluster: need >1 hosts and >0 VMs per host")
+	}
+	if cfg.VMRam == 0 {
+		cfg.VMRam = 4 << 30
+	}
+	if cfg.VMVCPUs == 0 {
+		cfg.VMVCPUs = 1
+	}
+	node := hw.ClusterNode()
+	c := &Cluster{vms: make(map[int]*VM)}
+	vmID := 0
+	for hID := 0; hID < cfg.Hosts; hID++ {
+		h := &Host{
+			ID:       hID,
+			Name:     fmt.Sprintf("host-%02d", hID),
+			CapVCPUs: node.Threads - node.ReservedCPUs,
+			CapMem:   node.RAMBytes - 8<<30, // host OS reservation
+			vms:      make(map[int]*VM),
+		}
+		c.hosts = append(c.hosts, h)
+		for v := 0; v < cfg.VMsPerHost; v++ {
+			class := WorkIdle
+			frac := float64(v) / float64(cfg.VMsPerHost)
+			switch {
+			case frac < cfg.StreamFrac:
+				class = WorkStream
+			case frac < cfg.StreamFrac+cfg.CPUFrac:
+				class = WorkCPU
+			}
+			vm := &VM{
+				ID: vmID, Name: fmt.Sprintf("vm-%03d", vmID),
+				VCPUs: cfg.VMVCPUs, MemBytes: cfg.VMRam,
+				Class: class, Host: hID,
+			}
+			if !h.fits(vm) {
+				return nil, fmt.Errorf("cluster: host %d over capacity at build time", hID)
+			}
+			h.vms[vm.ID] = vm
+			c.vms[vm.ID] = vm
+			vmID++
+		}
+	}
+	return c, nil
+}
+
+// Hosts returns the hosts in id order.
+func (c *Cluster) Hosts() []*Host { return c.hosts }
+
+// VMCount returns the total VM population.
+func (c *Cluster) VMCount() int { return len(c.vms) }
+
+// VM returns a VM by id.
+func (c *Cluster) VM(id int) (*VM, bool) {
+	vm, ok := c.vms[id]
+	return vm, ok
+}
+
+// SetInPlaceCompatibleFraction marks the given fraction of VMs as
+// InPlaceTP compatible, deterministically under seed.
+func (c *Cluster) SetInPlaceCompatibleFraction(frac float64, seed uint64) {
+	rng := simtime.NewRand(seed)
+	ids := make([]int, 0, len(c.vms))
+	for id := range c.vms {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	// Fisher-Yates then take the prefix.
+	for i := len(ids) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	n := int(frac*float64(len(ids)) + 0.5)
+	for i, id := range ids {
+		c.vms[id].InPlaceCompatible = i < n
+	}
+}
+
+// Migration is one planned VM move.
+type Migration struct {
+	VMID     int
+	From, To int
+	Bytes    uint64
+}
+
+// GroupPlan is the per-group slice of the upgrade.
+type GroupPlan struct {
+	Hosts      []int
+	Migrations []Migration
+	// InPlaceVMs counts VMs transplanted in place on the group's hosts.
+	InPlaceVMs int
+}
+
+// Plan is a full rolling-upgrade plan.
+type Plan struct {
+	Groups []GroupPlan
+}
+
+// TotalMigrations counts all planned moves.
+func (p *Plan) TotalMigrations() int {
+	n := 0
+	for _, g := range p.Groups {
+		n += len(g.Migrations)
+	}
+	return n
+}
+
+// PlanUpgrade computes and applies a rolling upgrade: hosts are processed
+// in groups of groupSize; each group goes offline, its
+// migration-requiring VMs are re-placed on online hosts (balanced
+// least-loaded, BtrPlace's spread behaviour), its InPlaceTP-compatible
+// VMs stay put for the in-place transplant, and the group comes back
+// upgraded. The cluster state reflects the executed plan afterwards.
+func (c *Cluster) PlanUpgrade(groupSize int) (*Plan, error) {
+	if groupSize < 1 || groupSize >= len(c.hosts) {
+		return nil, fmt.Errorf("cluster: group size %d out of range", groupSize)
+	}
+	plan := &Plan{}
+	for lo := 0; lo < len(c.hosts); lo += groupSize {
+		hi := lo + groupSize
+		if hi > len(c.hosts) {
+			hi = len(c.hosts)
+		}
+		group := c.hosts[lo:hi]
+		gp := GroupPlan{}
+		offline := map[int]bool{}
+		for _, h := range group {
+			gp.Hosts = append(gp.Hosts, h.ID)
+			offline[h.ID] = true
+		}
+		// Evacuate migration-requiring VMs from the group, spreading
+		// them across all online hosts in rotation — BtrPlace's
+		// load-balancing placement. Some land on hosts whose group is
+		// still pending and will migrate again: that cascade is what
+		// pushes the §5.4 plan to ~154 migrations for 100 VMs.
+		cursor := 0
+		for _, h := range group {
+			for _, vmID := range h.VMs() {
+				vm := h.vms[vmID]
+				if vm.InPlaceCompatible {
+					gp.InPlaceVMs++
+					continue
+				}
+				dest := c.nextOnline(offline, vm, &cursor)
+				if dest == nil {
+					return nil, fmt.Errorf("cluster: no capacity to evacuate VM %d", vm.ID)
+				}
+				delete(h.vms, vm.ID)
+				dest.vms[vm.ID] = vm
+				vm.Host = dest.ID
+				vm.Migrations++
+				gp.Migrations = append(gp.Migrations, Migration{
+					VMID: vm.ID, From: h.ID, To: dest.ID, Bytes: vm.MemBytes,
+				})
+			}
+		}
+		for _, h := range group {
+			h.Upgraded = true
+		}
+		plan.Groups = append(plan.Groups, gp)
+	}
+	return plan, nil
+}
+
+// nextOnline picks the next online host in rotation that fits the VM,
+// starting from *cursor. It falls back to the least-loaded fitting host
+// when the rotation target is full.
+func (c *Cluster) nextOnline(offline map[int]bool, vm *VM, cursor *int) *Host {
+	n := len(c.hosts)
+	for tries := 0; tries < n; tries++ {
+		h := c.hosts[(*cursor+tries)%n]
+		if offline[h.ID] || !h.fits(vm) {
+			continue
+		}
+		*cursor = (*cursor + tries + 1) % n
+		return h
+	}
+	return nil
+}
+
+// ExecutionModel times a plan: migrations execute sequentially per group
+// over the shared fabric (BtrPlace serializes its reconfiguration
+// actions), in-place transplants run in parallel across a group's hosts.
+type ExecutionModel struct {
+	// LinkByteRate is the fabric rate available to one migration
+	// stream.
+	LinkByteRate int64
+	// PerMigrationOverhead covers setup, pre-copy iterations and
+	// stop-and-copy beyond the raw memory transfer.
+	PerMigrationOverhead time.Duration
+	// InPlaceHostTime is one host's InPlaceTP duration (seconds-scale;
+	// from the core engine's cluster-node calibration).
+	InPlaceHostTime time.Duration
+}
+
+// DefaultExecutionModel matches the §5.4 testbed: 10 Gbps fabric, ~4 s of
+// per-migration overhead (which yields the paper's ~7.4 s per 4 GB
+// migration), ~8 s per in-place host upgrade.
+func DefaultExecutionModel() ExecutionModel {
+	return ExecutionModel{
+		LinkByteRate:         10_000_000_000 / 8,
+		PerMigrationOverhead: 4 * time.Second,
+		InPlaceHostTime:      8 * time.Second,
+	}
+}
+
+// Result summarizes an executed upgrade.
+type Result struct {
+	Migrations    int
+	MigrationTime time.Duration
+	InPlaceTime   time.Duration
+	TotalTime     time.Duration
+}
+
+// Execute times the plan under the model.
+func (p *Plan) Execute(m ExecutionModel) Result {
+	var res Result
+	for _, g := range p.Groups {
+		var groupMig time.Duration
+		for _, mig := range g.Migrations {
+			transfer := time.Duration(float64(mig.Bytes) / float64(m.LinkByteRate) * float64(time.Second))
+			groupMig += transfer + m.PerMigrationOverhead
+		}
+		res.Migrations += len(g.Migrations)
+		res.MigrationTime += groupMig
+		inplace := time.Duration(0)
+		if g.InPlaceVMs > 0 || len(g.Migrations) > 0 {
+			inplace = m.InPlaceHostTime // hosts in a group upgrade in parallel
+		}
+		res.InPlaceTime += inplace
+		res.TotalTime += groupMig + inplace
+	}
+	return res
+}
+
+// Validate checks cluster invariants: every VM placed exactly once, no
+// host over capacity.
+func (c *Cluster) Validate() error {
+	seen := map[int]int{}
+	for _, h := range c.hosts {
+		v, mem := h.Load()
+		if v > h.CapVCPUs || mem > h.CapMem {
+			return fmt.Errorf("cluster: host %d over capacity (%d vCPUs, %d bytes)", h.ID, v, mem)
+		}
+		for id, vm := range h.vms {
+			if vm.Host != h.ID {
+				return fmt.Errorf("cluster: VM %d host field %d != %d", id, vm.Host, h.ID)
+			}
+			seen[id]++
+		}
+	}
+	for id := range c.vms {
+		if seen[id] != 1 {
+			return fmt.Errorf("cluster: VM %d placed %d times", id, seen[id])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func paperCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(Config{Hosts: 10, VMsPerHost: 10, StreamFrac: 0.3, CPUFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterShape(t *testing.T) {
+	c := paperCluster(t)
+	if len(c.Hosts()) != 10 || c.VMCount() != 100 {
+		t.Fatalf("cluster shape %d hosts / %d VMs", len(c.Hosts()), c.VMCount())
+	}
+	classes := map[WorkloadClass]int{}
+	for id := 0; id < c.VMCount(); id++ {
+		vm, ok := c.VM(id)
+		if !ok {
+			t.Fatalf("VM %d missing", id)
+		}
+		classes[vm.Class]++
+		if vm.MemBytes != 4<<30 || vm.VCPUs != 1 {
+			t.Fatal("VM size not 1 vCPU / 4 GB")
+		}
+	}
+	if classes[WorkStream] != 30 || classes[WorkCPU] != 30 || classes[WorkIdle] != 40 {
+		t.Fatalf("workload mix = %v, want 30/30/40", classes)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewClusterErrors(t *testing.T) {
+	if _, err := New(Config{Hosts: 1, VMsPerHost: 10}); err == nil {
+		t.Fatal("single-host cluster accepted")
+	}
+	if _, err := New(Config{Hosts: 10, VMsPerHost: 0}); err == nil {
+		t.Fatal("empty hosts accepted")
+	}
+	// Overloaded host.
+	if _, err := New(Config{Hosts: 2, VMsPerHost: 50, VMRam: 4 << 30, VMVCPUs: 1}); err == nil {
+		t.Fatal("over-capacity build accepted")
+	}
+}
+
+func TestSetInPlaceCompatibleFraction(t *testing.T) {
+	c := paperCluster(t)
+	c.SetInPlaceCompatibleFraction(0.8, 1)
+	n := 0
+	for id := 0; id < c.VMCount(); id++ {
+		vm, _ := c.VM(id)
+		if vm.InPlaceCompatible {
+			n++
+		}
+	}
+	if n != 80 {
+		t.Fatalf("compatible VMs = %d, want 80", n)
+	}
+}
+
+// Fig. 13 anchor: the all-migration plan needs ~154 migrations (>100: the
+// re-migration cascade), and rising InPlaceTP fractions shrink both the
+// count and the time, by ~80% at 80% compatibility.
+func TestFig13Shape(t *testing.T) {
+	run := func(frac float64) Result {
+		c := paperCluster(t)
+		c.SetInPlaceCompatibleFraction(frac, 42)
+		plan, err := c.PlanUpgrade(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return plan.Execute(DefaultExecutionModel())
+	}
+	base := run(0)
+	if base.Migrations < 120 || base.Migrations > 185 {
+		t.Fatalf("0%% compatible migrations = %d, want ~154", base.Migrations)
+	}
+	// Every VM migrated at least once; the excess is the cascade.
+	if base.Migrations <= 100 {
+		t.Fatal("no re-migration cascade")
+	}
+	// Paper: total pure-migration upgrade takes up to ~19 min.
+	if base.TotalTime < 12*time.Minute || base.TotalTime > 26*time.Minute {
+		t.Fatalf("0%% total time = %v, want ~19min", base.TotalTime)
+	}
+
+	r20 := run(0.2)
+	r60 := run(0.6)
+	r80 := run(0.8)
+	if !(r20.Migrations < base.Migrations && r60.Migrations < r20.Migrations && r80.Migrations < r60.Migrations) {
+		t.Fatalf("migration counts not decreasing: %d %d %d %d",
+			base.Migrations, r20.Migrations, r60.Migrations, r80.Migrations)
+	}
+	if r80.Migrations < 15 || r80.Migrations > 40 {
+		t.Fatalf("80%% compatible migrations = %d, want ~25", r80.Migrations)
+	}
+	gain := func(r Result) float64 {
+		return 1 - float64(r.TotalTime)/float64(base.TotalTime)
+	}
+	if g := gain(r20); g < 0.08 || g > 0.30 {
+		t.Fatalf("20%% time gain = %.2f, want ~0.17", g)
+	}
+	if g := gain(r60); g < 0.50 || g > 0.80 {
+		t.Fatalf("60%% time gain = %.2f, want ~0.68", g)
+	}
+	if g := gain(r80); g < 0.70 || g > 0.92 {
+		t.Fatalf("80%% time gain = %.2f, want ~0.80", g)
+	}
+	// Paper headline: 80% compatible upgrade ≈ 3 min 54 s.
+	if r80.TotalTime < 2*time.Minute || r80.TotalTime > 6*time.Minute {
+		t.Fatalf("80%% total time = %v, want ~3m54s", r80.TotalTime)
+	}
+}
+
+func TestPlanUpgradeGroupSizes(t *testing.T) {
+	for _, gs := range []int{1, 2, 5} {
+		c := paperCluster(t)
+		plan, err := c.PlanUpgrade(gs)
+		if err != nil {
+			t.Fatalf("group size %d: %v", gs, err)
+		}
+		wantGroups := (10 + gs - 1) / gs
+		if len(plan.Groups) != wantGroups {
+			t.Fatalf("group size %d: %d groups, want %d", gs, len(plan.Groups), wantGroups)
+		}
+		for _, h := range c.Hosts() {
+			if !h.Upgraded {
+				t.Fatalf("host %d not upgraded", h.ID)
+			}
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPlanUpgradeBadGroupSize(t *testing.T) {
+	c := paperCluster(t)
+	if _, err := c.PlanUpgrade(0); err == nil {
+		t.Fatal("group size 0 accepted")
+	}
+	if _, err := c.PlanUpgrade(10); err == nil {
+		t.Fatal("group size = cluster accepted")
+	}
+}
+
+func TestInPlaceCompatibleVMsNeverMigrate(t *testing.T) {
+	c := paperCluster(t)
+	c.SetInPlaceCompatibleFraction(0.5, 7)
+	if _, err := c.PlanUpgrade(1); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < c.VMCount(); id++ {
+		vm, _ := c.VM(id)
+		if vm.InPlaceCompatible && vm.Migrations != 0 {
+			t.Fatalf("compatible VM %d migrated %d times", id, vm.Migrations)
+		}
+	}
+}
+
+func TestOfflineGroupsEndEmptyOfMigratableVMs(t *testing.T) {
+	c := paperCluster(t)
+	plan, err := c.PlanUpgrade(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 0% compatible, every group's hosts must be empty right after
+	// their group is processed — since later groups only add VMs to
+	// online hosts, we check migrations never target offline hosts.
+	for _, g := range plan.Groups {
+		inGroup := map[int]bool{}
+		for _, h := range g.Hosts {
+			inGroup[h] = true
+		}
+		for _, m := range g.Migrations {
+			if inGroup[m.To] {
+				t.Fatalf("migration into offline host %d", m.To)
+			}
+			if !inGroup[m.From] {
+				t.Fatalf("migration from host %d outside the offline group", m.From)
+			}
+		}
+	}
+}
+
+func TestExecuteModelAccounting(t *testing.T) {
+	p := &Plan{Groups: []GroupPlan{
+		{Migrations: []Migration{{Bytes: 4 << 30}}, InPlaceVMs: 0},
+		{InPlaceVMs: 3},
+	}}
+	m := DefaultExecutionModel()
+	res := p.Execute(m)
+	if res.Migrations != 1 {
+		t.Fatalf("migrations = %d", res.Migrations)
+	}
+	wantMig := time.Duration(float64(4<<30)/float64(m.LinkByteRate)*float64(time.Second)) + m.PerMigrationOverhead
+	if res.MigrationTime != wantMig {
+		t.Fatalf("migration time = %v, want %v", res.MigrationTime, wantMig)
+	}
+	if res.InPlaceTime != 2*m.InPlaceHostTime {
+		t.Fatalf("inplace time = %v", res.InPlaceTime)
+	}
+	if res.TotalTime != res.MigrationTime+res.InPlaceTime {
+		t.Fatal("total != sum")
+	}
+}
+
+func TestMigrationCountPerVM(t *testing.T) {
+	c := paperCluster(t)
+	plan, _ := c.PlanUpgrade(1)
+	perVM := map[int]int{}
+	for _, g := range plan.Groups {
+		for _, m := range g.Migrations {
+			perVM[m.VMID]++
+		}
+	}
+	for id := 0; id < c.VMCount(); id++ {
+		vm, _ := c.VM(id)
+		if vm.Migrations != perVM[id] {
+			t.Fatalf("VM %d migration count mismatch", id)
+		}
+		if vm.Migrations < 1 {
+			t.Fatalf("VM %d never migrated in a 0%%-compatible upgrade", id)
+		}
+	}
+}

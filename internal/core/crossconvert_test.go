@@ -1,0 +1,162 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hypertp/internal/hv"
+	"hypertp/internal/hv/kvm"
+	"hypertp/internal/hv/xen"
+	"hypertp/internal/hw"
+	"hypertp/internal/simtime"
+	"hypertp/internal/uisr"
+)
+
+// crossState runs one VM's platform state through the full heterogeneous
+// journey: created on Xen, saved to UISR, restored into KVM's formats,
+// saved again, restored back into Xen, saved a third time. Returns the
+// three UISR snapshots.
+func crossState(t *testing.T, vcpus int, seed uint64) (onXen, onKVM, backOnXen *uisr.VMState) {
+	t.Helper()
+	clock := simtime.NewClock()
+	x1, err := xen.Boot(hw.NewMachine(clock, hw.M1()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kvm.Boot(hw.NewMachine(clock, hw.M1()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := xen.Boot(hw.NewMachine(clock, hw.M1()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := hv.Config{Name: "cross", VCPUs: vcpus, MemBytes: 64 << 20, HugePages: true, Seed: seed}
+	vm, err := x1.CreateVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1.Pause(vm.ID)
+	onXen, err = x1.SaveUISR(vm.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kvmVM, err := k.RestoreUISR(onXen, hv.RestoreOptions{Mode: hv.RestoreAllocate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onKVM, err = k.SaveUISR(kvmVM.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	xenVM, err := x2.RestoreUISR(onKVM, hv.RestoreOptions{Mode: hv.RestoreAllocate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backOnXen, err = x2.SaveUISR(xenVM.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return onXen, onKVM, backOnXen
+}
+
+// The Table 2 common subset survives the full Xen→KVM→Xen journey
+// field-for-field; the documented compatibility transforms (IOAPIC pins,
+// platform timers) behave exactly as specified.
+func TestCrossHypervisorStateJourney(t *testing.T) {
+	onXen, onKVM, back := crossState(t, 2, 99)
+
+	// vCPU architectural state is identical at every hop.
+	for i := range onXen.VCPUs {
+		a, b, c := onXen.VCPUs[i], onKVM.VCPUs[i], back.VCPUs[i]
+		if !reflect.DeepEqual(a.Regs, b.Regs) || !reflect.DeepEqual(a.Regs, c.Regs) {
+			t.Fatalf("vCPU %d GP registers changed across formats", i)
+		}
+		if !reflect.DeepEqual(a.SRegs, b.SRegs) || !reflect.DeepEqual(a.SRegs, c.SRegs) {
+			t.Fatalf("vCPU %d system registers changed", i)
+		}
+		if !reflect.DeepEqual(a.MSRs, b.MSRs) || !reflect.DeepEqual(a.MSRs, c.MSRs) {
+			t.Fatalf("vCPU %d MSR list changed", i)
+		}
+		if a.FPU != b.FPU || a.FPU != c.FPU {
+			t.Fatalf("vCPU %d FPU image changed", i)
+		}
+		if !reflect.DeepEqual(a.XSave, b.XSave) || !reflect.DeepEqual(a.XSave, c.XSave) {
+			t.Fatalf("vCPU %d XSAVE state changed", i)
+		}
+		if !reflect.DeepEqual(a.LAPIC, b.LAPIC) || !reflect.DeepEqual(a.LAPIC, c.LAPIC) {
+			t.Fatalf("vCPU %d LAPIC state changed", i)
+		}
+		if !reflect.DeepEqual(a.MTRR, b.MTRR) || !reflect.DeepEqual(a.MTRR, c.MTRR) {
+			t.Fatalf("vCPU %d MTRR state changed (the MSR encoding must be exact)", i)
+		}
+	}
+
+	// PIT and RTC cross unchanged.
+	if !reflect.DeepEqual(onXen.PIT, onKVM.PIT) || !reflect.DeepEqual(onXen.PIT, back.PIT) {
+		t.Fatal("PIT state changed")
+	}
+	if onXen.RTC != onKVM.RTC || onXen.RTC != back.RTC {
+		t.Fatal("RTC state changed")
+	}
+
+	// IOAPIC: 48 pins on Xen, narrowed to 24 on KVM (lower pins
+	// preserved), widened back to 48 with the upper 24 masked.
+	if onXen.IOAPIC.NumPins != uisr.XenIOAPICPins || onKVM.IOAPIC.NumPins != uisr.KVMIOAPICPins {
+		t.Fatal("IOAPIC pin counts wrong")
+	}
+	for p := 0; p < uisr.KVMIOAPICPins; p++ {
+		if onXen.IOAPIC.Redir[p] != onKVM.IOAPIC.Redir[p] ||
+			onXen.IOAPIC.Redir[p] != back.IOAPIC.Redir[p] {
+			t.Fatalf("IOAPIC pin %d changed", p)
+		}
+	}
+	const maskBit = 1 << 16
+	for p := uisr.KVMIOAPICPins; p < uisr.XenIOAPICPins; p++ {
+		if back.IOAPIC.Redir[p] != maskBit {
+			t.Fatalf("re-widened pin %d not masked", p)
+		}
+	}
+
+	// Platform timers: dropped on kvmtool, re-synthesized (disabled) on
+	// the return to Xen.
+	if !onXen.HasHPET || !onXen.HasPMTimer {
+		t.Fatal("Xen source missing platform timers")
+	}
+	if onKVM.HasHPET || onKVM.HasPMTimer {
+		t.Fatal("kvmtool reported platform timers it does not emulate")
+	}
+	if !back.HasHPET {
+		t.Fatal("return to Xen did not re-synthesize the HPET")
+	}
+	if back.HPET.Config != 0 {
+		t.Fatal("re-synthesized HPET not disabled")
+	}
+}
+
+// Property: the common-subset invariance holds for arbitrary seeds and
+// vCPU counts.
+func TestPropertyCrossJourney(t *testing.T) {
+	f := func(seedRaw uint32, vcpusRaw uint8) bool {
+		vcpus := int(vcpusRaw%4) + 1
+		onXen, _, back := crossState(t, vcpus, uint64(seedRaw)+1)
+		for i := range onXen.VCPUs {
+			a, c := onXen.VCPUs[i], back.VCPUs[i]
+			if !reflect.DeepEqual(a.Regs, c.Regs) ||
+				!reflect.DeepEqual(a.SRegs, c.SRegs) ||
+				!reflect.DeepEqual(a.MSRs, c.MSRs) ||
+				!reflect.DeepEqual(a.MTRR, c.MTRR) ||
+				a.FPU != c.FPU {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,519 @@
+// Package core implements HyperTP itself: the transplant engine that
+// combines in-place micro-reboot-based transplant (InPlaceTP, §3.2/Fig. 3)
+// and live-migration-based transplant (MigrationTP, §3.3) behind one
+// interface, built on the UISR and memory-separation principles of §3.1.
+//
+// The engine performs the real state mechanics — UISR save, PRAM build,
+// kexec, adopt-restore, guest rebinding — against the simulated machine,
+// and charges calibrated virtual time for each phase so the Fig. 6-10
+// breakdowns are measurable outputs.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hypertp/internal/guest"
+	"hypertp/internal/hv"
+	"hypertp/internal/hv/kvm"
+	"hypertp/internal/hv/nova"
+	"hypertp/internal/hv/xen"
+	"hypertp/internal/hw"
+	"hypertp/internal/kexec"
+	"hypertp/internal/pram"
+	"hypertp/internal/simtime"
+	"hypertp/internal/trace"
+	"hypertp/internal/uisr"
+)
+
+// Options toggles the §4.2.5 optimizations. The zero value is the fully
+// de-optimized configuration; use DefaultOptions for the paper's setup.
+type Options struct {
+	// PrepareBeforePause performs PRAM construction before pausing VMs
+	// (the pre-copy-like preparation), keeping it out of the downtime.
+	PrepareBeforePause bool
+	// Parallel translates/restores VMs on all worker threads instead of
+	// sequentially.
+	Parallel bool
+	// HugePages records 2 MiB PRAM entries instead of splitting into
+	// 4 KiB entries (smaller metadata, faster build and boot-time
+	// parse).
+	HugePages bool
+	// EarlyRestoration starts VM restoration as soon as KVM/Xen
+	// services are up rather than after full service settle.
+	EarlyRestoration bool
+}
+
+// DefaultOptions is the paper's optimized configuration.
+func DefaultOptions() Options {
+	return Options{PrepareBeforePause: true, Parallel: true, HugePages: true, EarlyRestoration: true}
+}
+
+// splitPRAMCostFactor scales PRAM build and parse costs when huge pages
+// are disabled: 512x the entries, amortized by bulk writes.
+const splitPRAMCostFactor = 8
+
+// VMResult records one VM's journey through a transplant.
+type VMResult struct {
+	Name  string
+	OldID hv.VMID
+	NewID hv.VMID
+	VCPUs int
+	Bytes uint64
+	// UISRBytes is the serialized platform-state size (Fig. 14).
+	UISRBytes uint64
+}
+
+// InPlaceReport is the Fig. 6 phase breakdown of one InPlaceTP operation.
+type InPlaceReport struct {
+	Source, Target string
+
+	// Phase durations. PRAM runs before the pause when
+	// PrepareBeforePause is set; the others are inside the downtime.
+	PRAM        time.Duration
+	Translation time.Duration
+	Reboot      time.Duration
+	Restoration time.Duration
+	// Network is the NIC reinitialization time, overlapping
+	// restoration; only network-dependent applications observe it.
+	Network time.Duration
+
+	// Downtime = Translation + Reboot + Restoration (+ PRAM when built
+	// inside the pause window).
+	Downtime time.Duration
+	// NetworkDowntime is the service interruption seen by
+	// network-dependent applications: Downtime + Network.
+	NetworkDowntime time.Duration
+	// Total is PRAM + Downtime (the full transplantation time).
+	Total time.Duration
+
+	// PRAMMetadataBytes and UISRBytes are the Fig. 14 overheads.
+	PRAMMetadataBytes uint64
+	UISRBytes         uint64
+	WipedFrames       int
+
+	VMs []VMResult
+}
+
+// Engine drives transplants on one machine.
+type Engine struct {
+	Clock   *simtime.Clock
+	Machine *hw.Machine
+	// Trace, when non-nil, receives one event per workflow step
+	// (Fig. 3 audit log). A nil Trace is valid and free.
+	Trace *trace.Log
+}
+
+// NewEngine creates an engine for the given machine.
+func NewEngine(clock *simtime.Clock, m *hw.Machine) *Engine {
+	return &Engine{Clock: clock, Machine: m}
+}
+
+// BootHypervisor boots a hypervisor of the requested kind on the
+// engine's machine.
+func (e *Engine) BootHypervisor(kind hv.Kind) (hv.Hypervisor, error) {
+	switch kind {
+	case hv.KindXen:
+		return xen.Boot(e.Machine)
+	case hv.KindKVM:
+		return kvm.Boot(e.Machine)
+	case hv.KindNOVA:
+		return nova.Boot(e.Machine)
+	default:
+		return nil, fmt.Errorf("core: unknown hypervisor kind %v", kind)
+	}
+}
+
+// InPlace performs an in-place hypervisor transplant of every VM on src
+// to a freshly booted hypervisor of the target kind, following the Fig. 3
+// workflow. On success the returned hypervisor replaces src, which must
+// not be used afterwards.
+func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hypervisor, *InPlaceReport, error) {
+	if src.Machine() != e.Machine {
+		return nil, nil, fmt.Errorf("core: source hypervisor is not on this machine")
+	}
+	if src.Kind() == target {
+		return nil, nil, fmt.Errorf("core: transplant to the same hypervisor kind %v", target)
+	}
+	vms := src.VMs()
+	if len(vms) == 0 {
+		return nil, nil, fmt.Errorf("core: no VMs to transplant")
+	}
+	for _, vm := range vms {
+		if vm.Paused() {
+			return nil, nil, fmt.Errorf("core: VM %q already paused", vm.Config.Name)
+		}
+	}
+	cost := e.Machine.Profile.Cost
+	report := &InPlaceReport{Source: src.Name(), Target: target.String()}
+	start := e.Clock.Now()
+
+	// ❶ Load the target hypervisor image ahead of time.
+	img, err := kexec.Load(e.Machine, target)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.Trace.Emit(trace.StepLoadImage, "%s image staged (%d MiB)", target, img.Bytes>>20)
+
+	// PRAM construction (runs before the pause with the optimization,
+	// inside the downtime without it). The structure itself is built
+	// for real either way; only the accounting moves.
+	buildPRAM := func() (*pram.Structure, map[string]*guest.Guest, error) {
+		files := make([]pram.File, 0, len(vms))
+		guests := make(map[string]*guest.Guest, len(vms))
+		costs := make([]time.Duration, 0, len(vms))
+		for _, vm := range vms {
+			extents, err := src.MemExtents(vm.ID)
+			if err != nil {
+				return nil, nil, err
+			}
+			files = append(files, pram.File{
+				Name: vm.Config.Name, VMID: uint32(vm.ID),
+				Extents: extents,
+			})
+			guests[vm.Config.Name] = vm.Guest
+			gib := float64(vm.Config.MemBytes) / float64(hw.GiB)
+			c := cost.PRAMPerVM + time.Duration(gib*float64(cost.PRAMPerGB))
+			if !opts.HugePages {
+				c *= splitPRAMCostFactor
+			}
+			costs = append(costs, c)
+		}
+		ps, err := pram.Build(e.Machine.Mem, files, pram.BuildOptions{SplitHugePages: !opts.HugePages})
+		if err != nil {
+			return nil, nil, err
+		}
+		report.PRAM = e.elapsed(costs, opts.Parallel)
+		e.Clock.Advance(report.PRAM)
+		e.Trace.Emit(trace.StepPRAMBuild, "%d files, %d B metadata", len(files), ps.MetadataBytes())
+		return ps, guests, nil
+	}
+
+	var ps *pram.Structure
+	var guests map[string]*guest.Guest
+	if opts.PrepareBeforePause {
+		if ps, guests, err = buildPRAM(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// ❷ Pause all VMs and run the guest-side device protocol (§4.2.3).
+	pauseAt := e.Clock.Now()
+	e.Trace.Emit(trace.StepPause, "%d VMs paused, device protocol run", len(vms))
+	for _, vm := range vms {
+		if vm.Guest != nil {
+			if err := vm.Guest.PrepareTransplant(); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := src.Pause(vm.ID); err != nil {
+			return nil, nil, err
+		}
+	}
+	if !opts.PrepareBeforePause {
+		if ps, guests, err = buildPRAM(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// ❸ Translate VM_i State to UISR and stash the blobs in preserved
+	// RAM: each blob becomes an extra PRAM file so the target kernel
+	// can find it after the micro-reboot.
+	type savedVM struct {
+		res    VMResult
+		inPl   bool
+		frames []hw.MFN
+		bytes  int
+	}
+	saved := make([]savedVM, 0, len(vms))
+	blobFiles := make([]pram.File, 0, len(vms))
+	costs := make([]time.Duration, 0, len(vms))
+	for _, vm := range vms {
+		st, err := src.SaveUISR(vm.ID)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The memory map travels via the PRAM "mem" file, not the UISR
+		// blob — Fig. 14 accounts the two overheads separately.
+		st.MemMap = nil
+		blob, err := uisr.Encode(st)
+		if err != nil {
+			return nil, nil, err
+		}
+		frames, err := writeBlob(e.Machine.Mem, blob)
+		if err != nil {
+			return nil, nil, err
+		}
+		saved = append(saved, savedVM{
+			res: VMResult{
+				Name: vm.Config.Name, OldID: vm.ID,
+				VCPUs: vm.Config.VCPUs, Bytes: vm.Config.MemBytes,
+				UISRBytes: uint64(len(blob)),
+			},
+			inPl:   vm.Config.InPlaceCompatible,
+			frames: frames,
+			bytes:  len(blob),
+		})
+		report.UISRBytes += uint64(len(blob))
+		blobFiles = append(blobFiles, blobFile(vm.Config.Name, frames))
+		gib := float64(vm.Config.MemBytes) / float64(hw.GiB)
+		costs = append(costs, cost.TranslatePerVM+
+			time.Duration(vm.Config.VCPUs)*cost.TranslatePerVCPU+
+			time.Duration(gib*float64(cost.TranslatePerGB)))
+	}
+	// Record the blob locations in a second PRAM structure chained to
+	// nothing — we rebuild one structure holding both memory maps and
+	// blobs for the handover.
+	allFiles := append(append([]pram.File(nil), ps.Files...), blobFiles...)
+	if err := ps.Release(e.Machine.Mem); err != nil {
+		return nil, nil, err
+	}
+	ps, err = pram.Build(e.Machine.Mem, allFiles, pram.BuildOptions{SplitHugePages: !opts.HugePages})
+	if err != nil {
+		return nil, nil, err
+	}
+	report.Translation = e.elapsed(costs, opts.Parallel)
+	e.Clock.Advance(report.Translation)
+	report.PRAMMetadataBytes = ps.MetadataBytes()
+	e.Trace.Emit(trace.StepTranslate, "%d VM_i states to UISR (%d B)", len(vms), report.UISRBytes)
+
+	// Source-side teardown: release VM_i State (guest memory stays).
+	for _, vm := range vms {
+		if err := releaseVMState(src, vm.ID); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// ❹ Micro-reboot into the target hypervisor. The preserve set comes
+	// entirely from PRAM: guest memory, metadata pages, and the UISR
+	// blob frames (recorded as "uisr:" files above).
+	res, err := kexec.Exec(e.Machine, img, ps.Pointer, ps.FrameRanges())
+	if err != nil {
+		return nil, nil, err
+	}
+	report.WipedFrames = res.WipedFrames
+	var totalGiB float64
+	for _, vm := range vms {
+		totalGiB += float64(vm.Config.MemBytes) / float64(hw.GiB)
+	}
+	parseCost := time.Duration(totalGiB * float64(cost.PRAMParsePerGB))
+	if !opts.HugePages {
+		parseCost *= splitPRAMCostFactor
+	}
+	bootBase := cost.BootLinuxKVM
+	switch target {
+	case hv.KindXen:
+		bootBase = cost.BootXenDom0
+	case hv.KindNOVA:
+		bootBase = cost.BootNOVA
+	}
+	e.Trace.Emit(trace.StepKexec, "wiped %d frames, preserved %d", res.WipedFrames, res.PreservedFrames)
+	report.Reboot = bootBase + parseCost + time.Duration(len(vms))*cost.PRAMParsePerVM
+	e.Clock.Advance(report.Reboot)
+
+	// ❺ Boot the target hypervisor and re-parse PRAM from the command
+	// line pointer — the real handover.
+	dst, err := e.BootHypervisor(target)
+	if err != nil {
+		return nil, nil, err
+	}
+	ptr, err := kexec.ParseCmdline(e.Machine.Cmdline)
+	if err != nil {
+		return nil, nil, err
+	}
+	parsed, err := pram.Parse(e.Machine.Mem, ptr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: PRAM lost across reboot: %w", err)
+	}
+	e.Trace.Emit(trace.StepBoot, "%s up (generation %d)", dst.Name(), e.Machine.Generation())
+	e.Trace.Emit(trace.StepPRAMParse, "%d files recovered from cmdline pointer", len(parsed.Files))
+
+	// ❻ Restore each VM from its UISR blob, adopting its memory map.
+	if !opts.EarlyRestoration {
+		report.Restoration += cost.RestoreServiceWait
+		e.Clock.Advance(cost.RestoreServiceWait)
+	}
+	memFiles := map[string]pram.File{}
+	blobs := map[string]pram.File{}
+	for _, f := range parsed.Files {
+		if name, ok := blobFileName(f.Name); ok {
+			blobs[name] = f
+		} else {
+			memFiles[f.Name] = f
+		}
+	}
+	costs = costs[:0]
+	for i := range saved {
+		s := &saved[i]
+		bf, ok := blobs[s.res.Name]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: UISR blob for %q missing after reboot", s.res.Name)
+		}
+		mf, ok := memFiles[s.res.Name]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: memory map for %q missing after reboot", s.res.Name)
+		}
+		blob, err := readBlob(e.Machine.Mem, bf)
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := uisr.Decode(blob)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: UISR blob for %q corrupt: %w", s.res.Name, err)
+		}
+		st.MemMap = mf.Extents
+		newVM, err := dst.RestoreUISR(st, hv.RestoreOptions{
+			Mode:              hv.RestoreAdopt,
+			InPlaceCompatible: s.inPl,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		s.res.NewID = newVM.ID
+		e.Trace.Emit(trace.StepRestore, "%s restored as id %d", s.res.Name, newVM.ID)
+		if g := guests[s.res.Name]; g != nil {
+			if err := dst.AttachGuest(newVM.ID, g); err != nil {
+				return nil, nil, err
+			}
+			e.Trace.Emit(trace.StepAttachGuest, "%s guest rebound", s.res.Name)
+		}
+		costs = append(costs, cost.RestorePerVM+time.Duration(s.res.VCPUs)*cost.RestorePerVCPU)
+	}
+	restore := e.elapsed(costs, opts.Parallel)
+	report.Restoration += restore
+	e.Clock.Advance(restore)
+
+	// ❼ Resume guests, run the device-completion protocol, free the
+	// ephemeral PRAM metadata and UISR blobs.
+	for i := range saved {
+		s := &saved[i]
+		if err := dst.Resume(s.res.NewID); err != nil {
+			return nil, nil, err
+		}
+		if g := guests[s.res.Name]; g != nil {
+			if err := g.CompleteTransplant(); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, f := range s.frames {
+			if err := e.Machine.Mem.Free(f); err != nil {
+				return nil, nil, err
+			}
+		}
+		report.VMs = append(report.VMs, s.res)
+	}
+	e.Trace.Emit(trace.StepResume, "%d VMs running on %s", len(saved), dst.Name())
+	if err := releaseParsedMetadata(e.Machine.Mem, parsed); err != nil {
+		return nil, nil, err
+	}
+	e.Trace.Emit(trace.StepCleanup, "ephemeral PRAM metadata and UISR blobs freed")
+
+	report.Downtime = e.Clock.Now() - pauseAt
+	report.Total = e.Clock.Now() - start
+	report.Network = cost.NICReinit
+	report.NetworkDowntime = report.Downtime + cost.NICReinit
+	return dst, report, nil
+}
+
+// elapsed aggregates per-VM phase costs according to the parallelization
+// option.
+func (e *Engine) elapsed(costs []time.Duration, parallel bool) time.Duration {
+	if parallel {
+		return e.Machine.ParallelElapsedVaried(costs)
+	}
+	var sum time.Duration
+	for _, c := range costs {
+		sum += c
+	}
+	return sum
+}
+
+// releaseVMState invokes the hypervisor-specific VM_i State teardown.
+func releaseVMState(h hv.Hypervisor, id hv.VMID) error {
+	switch impl := h.(type) {
+	case *xen.Xen:
+		return impl.ReleaseVMState(id)
+	case *kvm.KVM:
+		return impl.ReleaseVMState(id)
+	case *nova.NOVA:
+		return impl.ReleaseVMState(id)
+	default:
+		return fmt.Errorf("core: hypervisor %T cannot release VM state in place", h)
+	}
+}
+
+// --- UISR blob storage in preserved RAM -------------------------------------
+
+const blobPrefix = "uisr:"
+
+func blobFile(vmName string, frames []hw.MFN) pram.File {
+	extents := make([]uisr.PageExtent, len(frames))
+	for i, f := range frames {
+		extents[i] = uisr.PageExtent{GFN: uint64(i), MFN: uint64(f), Order: 0}
+	}
+	return pram.File{Name: blobPrefix + vmName, Extents: extents}
+}
+
+func blobFileName(fileName string) (string, bool) {
+	if len(fileName) > len(blobPrefix) && fileName[:len(blobPrefix)] == blobPrefix {
+		return fileName[len(blobPrefix):], true
+	}
+	return "", false
+}
+
+// writeBlob stores a length-prefixed blob into freshly allocated frames.
+func writeBlob(mem *hw.PhysMem, blob []byte) ([]hw.MFN, error) {
+	total := 8 + len(blob)
+	n := (total + hw.PageSize4K - 1) / hw.PageSize4K
+	frames, err := mem.Alloc(n, hw.OwnerPRAM, -1)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, total)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(len(blob)) >> (8 * i))
+	}
+	copy(buf[8:], blob)
+	for i := 0; i < len(buf); i += hw.PageSize4K {
+		end := i + hw.PageSize4K
+		if end > len(buf) {
+			end = len(buf)
+		}
+		if err := mem.Write(frames[i/hw.PageSize4K], 0, buf[i:end]); err != nil {
+			return nil, err
+		}
+	}
+	return frames, nil
+}
+
+// readBlob loads a length-prefixed blob from the frames a PRAM file
+// records.
+func readBlob(mem *hw.PhysMem, f pram.File) ([]byte, error) {
+	var raw []byte
+	for _, e := range f.Extents {
+		for p := uint64(0); p < e.Pages(); p++ {
+			page, err := mem.Read(hw.MFN(e.MFN+p), 0, hw.PageSize4K)
+			if err != nil {
+				return nil, err
+			}
+			raw = append(raw, page...)
+		}
+	}
+	if len(raw) < 8 {
+		return nil, fmt.Errorf("core: blob file %q too short", f.Name)
+	}
+	var n uint64
+	for i := 7; i >= 0; i-- {
+		n = n<<8 | uint64(raw[i])
+	}
+	if n > uint64(len(raw)-8) {
+		return nil, fmt.Errorf("core: blob file %q claims %d bytes, have %d", f.Name, n, len(raw)-8)
+	}
+	return raw[8 : 8+n], nil
+}
+
+// releaseParsedMetadata frees the metadata pages of a parsed PRAM
+// structure (step ❼ cleanup).
+func releaseParsedMetadata(mem *hw.PhysMem, s *pram.Structure) error {
+	return s.Release(mem)
+}

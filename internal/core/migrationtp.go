@@ -1,0 +1,40 @@
+package core
+
+import (
+	"hypertp/internal/hv"
+	"hypertp/internal/migration"
+	"hypertp/internal/simnet"
+	"hypertp/internal/simtime"
+)
+
+// MigrationTPParams configures a migration-based transplant of one VM to
+// a (possibly heterogeneous) destination hypervisor on another machine.
+type MigrationTPParams struct {
+	Link   *simnet.Link
+	Source hv.Hypervisor
+	Dest   *migration.Receiver
+	VMID   hv.VMID
+	// DirtyRatePagesPerSec models the guest's write activity during
+	// pre-copy.
+	DirtyRatePagesPerSec float64
+}
+
+// MigrationTP performs one migration-based transplant and blocks (in
+// virtual time) until it completes. For concurrent migrations drive
+// migration.Run directly.
+func MigrationTP(clock *simtime.Clock, p MigrationTPParams) (*migration.Report, error) {
+	var report *migration.Report
+	var err error
+	migration.Run(clock, migration.Params{
+		Link:                 p.Link,
+		Source:               p.Source,
+		Dest:                 p.Dest,
+		VMID:                 p.VMID,
+		DirtyRatePagesPerSec: p.DirtyRatePagesPerSec,
+	}, func(r *migration.Report, e error) { report, err = r, e })
+	clock.Run()
+	if err != nil {
+		return nil, err
+	}
+	return report, nil
+}

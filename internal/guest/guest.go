@@ -1,0 +1,285 @@
+// Package guest models the software running inside a VM: a guest kernel
+// with device drivers that participate in the transplant notification
+// protocol (§4.2.3), and applications that read and write real bytes in
+// guest memory.
+//
+// The guest is deliberately hypervisor-agnostic: it talks to its memory
+// through the Memory interface, which the owning hypervisor provides. When
+// a VM is transplanted, the new hypervisor rebinds the guest's memory
+// accessor; everything the guest ever wrote must still be there — that is
+// the Guest State preservation property the tests check end to end.
+package guest
+
+import (
+	"fmt"
+
+	"hypertp/internal/hw"
+)
+
+// Memory is the guest-physical address space as exposed by whichever
+// hypervisor currently runs the VM.
+type Memory interface {
+	// WritePage stores data at byte offset off of guest frame gfn.
+	WritePage(gfn hw.GFN, off int, data []byte) error
+	// ReadPage loads n bytes from byte offset off of guest frame gfn.
+	ReadPage(gfn hw.GFN, off, n int) ([]byte, error)
+	// NumPages returns the guest's page count.
+	NumPages() uint64
+}
+
+// DriverState is the lifecycle state of a guest device driver.
+type DriverState uint8
+
+const (
+	// DriverRunning is normal operation.
+	DriverRunning DriverState = iota
+	// DriverPaused: device quiesced for transplant; driver state lives
+	// in guest memory and survives as Guest State.
+	DriverPaused
+	// DriverUnplugged: device removed ahead of transplant (the paper's
+	// strategy for network devices); reinstalled by a rescan afterwards.
+	DriverUnplugged
+)
+
+func (s DriverState) String() string {
+	switch s {
+	case DriverRunning:
+		return "running"
+	case DriverPaused:
+		return "paused"
+	case DriverUnplugged:
+		return "unplugged"
+	default:
+		return fmt.Sprintf("driverstate(%d)", uint8(s))
+	}
+}
+
+// DeviceClass describes how a device is virtualized, which determines its
+// transplant strategy (§4.2.3).
+type DeviceClass uint8
+
+const (
+	// DeviceEmulated devices have their emulation state translated
+	// through UISR.
+	DeviceEmulated DeviceClass = iota
+	// DevicePassthrough devices are paused in place: the hardware stays
+	// identical across transplant and the driver state is Guest State.
+	DevicePassthrough
+	// DeviceNetwork devices are unplugged before and rescanned after
+	// transplant; the paper observed this does not break TCP
+	// connections.
+	DeviceNetwork
+)
+
+func (c DeviceClass) String() string {
+	switch c {
+	case DeviceEmulated:
+		return "emulated"
+	case DevicePassthrough:
+		return "passthrough"
+	case DeviceNetwork:
+		return "network"
+	default:
+		return fmt.Sprintf("deviceclass(%d)", uint8(c))
+	}
+}
+
+// Driver is one guest device driver participating in the transplant
+// protocol.
+type Driver struct {
+	Name  string
+	Class DeviceClass
+	state DriverState
+	// pauseCount / resumeCount audit protocol compliance.
+	pauseCount, resumeCount, rescanCount int
+}
+
+// State returns the driver's current lifecycle state.
+func (d *Driver) State() DriverState { return d.state }
+
+// Guest is the software stack of one VM.
+type Guest struct {
+	Name    string
+	mem     Memory
+	drivers []*Driver
+	// writes tracks everything the guest has written:
+	// (gfn, off) -> value, so integrity can be verified byte-for-byte
+	// after any transplant. Only bookkeeping — the actual bytes live in
+	// simulated physical memory.
+	writes map[pageOff]byte
+	seq    uint64
+}
+
+type pageOff struct {
+	gfn hw.GFN
+	off uint16
+}
+
+// New creates a guest bound to mem with the given device drivers.
+func New(name string, mem Memory, drivers ...*Driver) *Guest {
+	return &Guest{
+		Name:    name,
+		mem:     mem,
+		drivers: drivers,
+		writes:  make(map[pageOff]byte),
+	}
+}
+
+// Rebind switches the guest's memory accessor to the one provided by a new
+// hypervisor. The guest itself does not notice: its state is in memory.
+func (g *Guest) Rebind(mem Memory) { g.mem = mem }
+
+// Memory returns the current accessor (nil while the VM is mid-transplant).
+func (g *Guest) Memory() Memory { return g.mem }
+
+// Drivers returns the guest's device drivers.
+func (g *Guest) Drivers() []*Driver { return g.drivers }
+
+// Driver returns the named driver, or nil.
+func (g *Guest) Driver(name string) *Driver {
+	for _, d := range g.drivers {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// Write stores data into guest memory and records it for later
+// verification.
+func (g *Guest) Write(gfn hw.GFN, off int, data []byte) error {
+	if err := g.mem.WritePage(gfn, off, data); err != nil {
+		return err
+	}
+	for i, b := range data {
+		g.writes[pageOff{gfn, uint16(off + i)}] = b
+	}
+	return nil
+}
+
+// Read loads bytes from guest memory.
+func (g *Guest) Read(gfn hw.GFN, off, n int) ([]byte, error) {
+	return g.mem.ReadPage(gfn, off, n)
+}
+
+// WriteWorkingSet writes a deterministic pattern across npages pages
+// starting at startGFN (one 64-byte record per page), simulating an
+// application's resident data.
+func (g *Guest) WriteWorkingSet(startGFN hw.GFN, npages int) error {
+	for i := 0; i < npages; i++ {
+		gfn := startGFN + hw.GFN(i)
+		if uint64(gfn) >= g.mem.NumPages() {
+			return fmt.Errorf("guest %s: working set page %d beyond memory", g.Name, gfn)
+		}
+		rec := make([]byte, 64)
+		g.seq++
+		fill(rec, uint64(gfn)*2654435761+g.seq)
+		if err := g.Write(gfn, int(uint64(gfn)%(hw.PageSize4K-64)), rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify re-reads every byte the guest ever wrote and reports the first
+// mismatch. A nil return is the Guest State preservation property.
+func (g *Guest) Verify() error {
+	for k, want := range g.writes {
+		got, err := g.mem.ReadPage(k.gfn, int(k.off), 1)
+		if err != nil {
+			return fmt.Errorf("guest %s: verify gfn %d off %d: %w", g.Name, k.gfn, k.off, err)
+		}
+		if got[0] != want {
+			return fmt.Errorf("guest %s: corrupt byte at gfn %d off %d: got %#x want %#x",
+				g.Name, k.gfn, k.off, got[0], want)
+		}
+	}
+	return nil
+}
+
+// WrittenBytes returns the number of distinct bytes the guest has written.
+func (g *Guest) WrittenBytes() int { return len(g.writes) }
+
+// PrepareTransplant runs the pre-transplant notification (delivered
+// similarly to Azure's Scheduled Events, per the paper): passthrough
+// devices are paused, network devices are unplugged, emulated devices are
+// paused for state capture.
+func (g *Guest) PrepareTransplant() error {
+	for _, d := range g.drivers {
+		switch d.Class {
+		case DevicePassthrough, DeviceEmulated:
+			if d.state != DriverRunning {
+				return fmt.Errorf("guest %s: driver %s is %v, cannot pause", g.Name, d.Name, d.state)
+			}
+			d.state = DriverPaused
+			d.pauseCount++
+		case DeviceNetwork:
+			if d.state != DriverRunning {
+				return fmt.Errorf("guest %s: driver %s is %v, cannot unplug", g.Name, d.Name, d.state)
+			}
+			d.state = DriverUnplugged
+		}
+	}
+	return nil
+}
+
+// CompleteTransplant runs the post-transplant notification: paused devices
+// resume, unplugged devices are rediscovered by a bus rescan.
+func (g *Guest) CompleteTransplant() error {
+	for _, d := range g.drivers {
+		switch d.state {
+		case DriverPaused:
+			d.state = DriverRunning
+			d.resumeCount++
+		case DriverUnplugged:
+			d.state = DriverRunning
+			d.rescanCount++
+		case DriverRunning:
+			return fmt.Errorf("guest %s: driver %s was never prepared", g.Name, d.Name)
+		}
+	}
+	return nil
+}
+
+// AllDriversRunning reports whether every driver is back in normal
+// operation.
+func (g *Guest) AllDriversRunning() bool {
+	for _, d := range g.drivers {
+		if d.state != DriverRunning {
+			return false
+		}
+	}
+	return true
+}
+
+// ProtocolCounters returns (pauses, resumes, rescans) across all drivers,
+// for protocol-compliance assertions in tests.
+func (g *Guest) ProtocolCounters() (pauses, resumes, rescans int) {
+	for _, d := range g.drivers {
+		pauses += d.pauseCount
+		resumes += d.resumeCount
+		rescans += d.rescanCount
+	}
+	return
+}
+
+// DefaultDrivers returns the device complement the paper's experiments
+// use: an emulated block device (remote storage), an emulated-unplugged
+// network device, and a serial console.
+func DefaultDrivers() []*Driver {
+	return []*Driver{
+		{Name: "virtio-blk", Class: DeviceEmulated},
+		{Name: "virtio-net", Class: DeviceNetwork},
+		{Name: "serial", Class: DeviceEmulated},
+	}
+}
+
+func fill(b []byte, seed uint64) {
+	s := seed
+	for i := range b {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		b[i] = byte(z ^ (z >> 27))
+	}
+}

@@ -1,0 +1,222 @@
+package guest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hypertp/internal/hw"
+)
+
+// fakeMem is a simple in-process Memory for unit-testing the guest in
+// isolation from any hypervisor.
+type fakeMem struct {
+	pages map[hw.GFN][]byte
+	n     uint64
+}
+
+func newFakeMem(pages uint64) *fakeMem {
+	return &fakeMem{pages: make(map[hw.GFN][]byte), n: pages}
+}
+
+func (f *fakeMem) WritePage(gfn hw.GFN, off int, data []byte) error {
+	p, ok := f.pages[gfn]
+	if !ok {
+		p = make([]byte, hw.PageSize4K)
+		f.pages[gfn] = p
+	}
+	copy(p[off:], data)
+	return nil
+}
+
+func (f *fakeMem) ReadPage(gfn hw.GFN, off, n int) ([]byte, error) {
+	out := make([]byte, n)
+	if p, ok := f.pages[gfn]; ok {
+		copy(out, p[off:off+n])
+	}
+	return out, nil
+}
+
+func (f *fakeMem) NumPages() uint64 { return f.n }
+
+func newTestGuest() *Guest {
+	return New("g0", newFakeMem(1024), DefaultDrivers()...)
+}
+
+func TestWriteReadVerify(t *testing.T) {
+	g := newTestGuest()
+	if err := g.Write(5, 100, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Read(5, 100, 7)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if g.WrittenBytes() != 7 {
+		t.Fatalf("WrittenBytes = %d, want 7", g.WrittenBytes())
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	mem := newFakeMem(1024)
+	g := New("g0", mem)
+	if err := g.Write(3, 0, []byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	mem.pages[3][0] = 0xBB // corrupt behind the guest's back
+	if err := g.Verify(); err == nil {
+		t.Fatal("Verify missed corruption")
+	}
+}
+
+func TestWriteWorkingSet(t *testing.T) {
+	g := newTestGuest()
+	if err := g.WriteWorkingSet(10, 50); err != nil {
+		t.Fatal(err)
+	}
+	if g.WrittenBytes() != 50*64 {
+		t.Fatalf("WrittenBytes = %d, want %d", g.WrittenBytes(), 50*64)
+	}
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteWorkingSetBounds(t *testing.T) {
+	g := New("g0", newFakeMem(16))
+	if err := g.WriteWorkingSet(10, 10); err == nil {
+		t.Fatal("working set past end of memory accepted")
+	}
+}
+
+func TestRebindPreservesVerification(t *testing.T) {
+	memA := newFakeMem(64)
+	g := New("g0", memA)
+	g.Write(1, 10, []byte("hello"))
+	// Simulate a transplant: the same backing pages become visible
+	// through a new accessor.
+	memB := newFakeMem(64)
+	memB.pages = memA.pages
+	g.Rebind(memB)
+	if g.Memory() != Memory(memB) {
+		t.Fatal("Rebind did not switch accessor")
+	}
+	if err := g.Verify(); err != nil {
+		t.Fatalf("verify after rebind: %v", err)
+	}
+}
+
+func TestTransplantProtocol(t *testing.T) {
+	g := newTestGuest()
+	if !g.AllDriversRunning() {
+		t.Fatal("drivers not running initially")
+	}
+	if err := g.PrepareTransplant(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Driver("virtio-blk").State() != DriverPaused {
+		t.Fatalf("emulated driver state = %v, want paused", g.Driver("virtio-blk").State())
+	}
+	if g.Driver("virtio-net").State() != DriverUnplugged {
+		t.Fatalf("network driver state = %v, want unplugged", g.Driver("virtio-net").State())
+	}
+	if g.AllDriversRunning() {
+		t.Fatal("AllDriversRunning true mid-transplant")
+	}
+	if err := g.CompleteTransplant(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.AllDriversRunning() {
+		t.Fatal("drivers not running after completion")
+	}
+	pauses, resumes, rescans := g.ProtocolCounters()
+	if pauses != 2 || resumes != 2 || rescans != 1 {
+		t.Fatalf("counters = %d/%d/%d, want 2/2/1", pauses, resumes, rescans)
+	}
+}
+
+func TestPassthroughDriverPausesInPlace(t *testing.T) {
+	d := &Driver{Name: "gpu", Class: DevicePassthrough}
+	g := New("g0", newFakeMem(16), d)
+	if err := g.PrepareTransplant(); err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != DriverPaused {
+		t.Fatalf("passthrough driver = %v, want paused", d.State())
+	}
+	if err := g.CompleteTransplant(); err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != DriverRunning {
+		t.Fatalf("passthrough driver = %v after completion", d.State())
+	}
+}
+
+func TestDoublePrepareFails(t *testing.T) {
+	g := newTestGuest()
+	if err := g.PrepareTransplant(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PrepareTransplant(); err == nil {
+		t.Fatal("double prepare accepted")
+	}
+}
+
+func TestCompleteWithoutPrepareFails(t *testing.T) {
+	g := newTestGuest()
+	if err := g.CompleteTransplant(); err == nil {
+		t.Fatal("complete without prepare accepted")
+	}
+}
+
+func TestDriverLookup(t *testing.T) {
+	g := newTestGuest()
+	if g.Driver("virtio-net") == nil {
+		t.Fatal("virtio-net not found")
+	}
+	if g.Driver("missing") != nil {
+		t.Fatal("phantom driver found")
+	}
+	if len(g.Drivers()) != 3 {
+		t.Fatalf("Drivers() len = %d, want 3", len(g.Drivers()))
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if DriverRunning.String() != "running" || DriverPaused.String() != "paused" ||
+		DriverUnplugged.String() != "unplugged" {
+		t.Fatal("driver state strings wrong")
+	}
+	if DriverState(9).String() == "" {
+		t.Fatal("unknown driver state empty")
+	}
+	if DeviceEmulated.String() != "emulated" || DevicePassthrough.String() != "passthrough" ||
+		DeviceNetwork.String() != "network" {
+		t.Fatal("device class strings wrong")
+	}
+	if DeviceClass(9).String() == "" {
+		t.Fatal("unknown device class empty")
+	}
+}
+
+// Property: any sequence of writes verifies as long as memory is not
+// corrupted; the latest write to an offset wins.
+func TestPropertyWritesVerify(t *testing.T) {
+	f := func(ops []uint32) bool {
+		g := New("p", newFakeMem(256))
+		for _, op := range ops {
+			gfn := hw.GFN(op % 256)
+			off := int(op>>8) % (hw.PageSize4K - 4)
+			val := byte(op >> 24)
+			if err := g.Write(gfn, off, []byte{val, val ^ 0xff}); err != nil {
+				return false
+			}
+		}
+		return g.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+package hv
+
+import (
+	"fmt"
+	"sort"
+
+	"hypertp/internal/hw"
+	"hypertp/internal/uisr"
+)
+
+// AddressSpace is a guest-physical address space: an ordered set of
+// GFN→MFN extents over the machine's physical memory, with optional
+// dirty-page logging. Both hypervisor models use it as their mechanical
+// memory plumbing while keeping their own NPT *format* (Xen p2m vs KVM
+// memslots) as separate metadata.
+//
+// AddressSpace implements guest.Memory.
+type AddressSpace struct {
+	mem      *hw.PhysMem
+	extents  []uisr.PageExtent // sorted by GFN, non-overlapping
+	numPages uint64
+
+	dirtyLog bool
+	dirty    map[hw.GFN]struct{}
+}
+
+// NewAddressSpace builds an address space from extents. Extents must be
+// non-overlapping in GFN space and aligned to their order; they are sorted
+// here.
+func NewAddressSpace(mem *hw.PhysMem, extents []uisr.PageExtent) (*AddressSpace, error) {
+	sorted := make([]uisr.PageExtent, len(extents))
+	copy(sorted, extents)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].GFN < sorted[j].GFN })
+	var pages uint64
+	for i, e := range sorted {
+		if e.GFN%e.Pages() != 0 || e.MFN%e.Pages() != 0 {
+			return nil, fmt.Errorf("hv: extent %d (gfn %d mfn %d order %d) misaligned",
+				i, e.GFN, e.MFN, e.Order)
+		}
+		if i > 0 {
+			prev := sorted[i-1]
+			if prev.GFN+prev.Pages() > e.GFN {
+				return nil, fmt.Errorf("hv: extents %d and %d overlap", i-1, i)
+			}
+		}
+		pages += e.Pages()
+	}
+	return &AddressSpace{mem: mem, extents: sorted, numPages: pages}, nil
+}
+
+// AllocAddressSpace allocates memBytes of fresh guest memory for vm on
+// mem, using 2 MiB pages when huge is set, and returns the resulting
+// address space. Guest frames are tagged hw.OwnerGuest.
+func AllocAddressSpace(mem *hw.PhysMem, vm int, memBytes uint64, huge bool) (*AddressSpace, error) {
+	var extents []uisr.PageExtent
+	if huge {
+		n := memBytes / hw.PageSize2M
+		for i := uint64(0); i < n; i++ {
+			base, err := mem.Alloc2M(hw.OwnerGuest, vm)
+			if err != nil {
+				return nil, fmt.Errorf("hv: guest alloc: %w", err)
+			}
+			extents = append(extents, uisr.PageExtent{
+				GFN: i * hw.FramesPer2M, MFN: uint64(base), Order: 9,
+			})
+		}
+	} else {
+		n := memBytes / hw.PageSize4K
+		mfns, err := mem.Alloc(int(n), hw.OwnerGuest, vm)
+		if err != nil {
+			return nil, fmt.Errorf("hv: guest alloc: %w", err)
+		}
+		for i, m := range mfns {
+			extents = append(extents, uisr.PageExtent{GFN: uint64(i), MFN: uint64(m), Order: 0})
+		}
+	}
+	return NewAddressSpace(mem, extents)
+}
+
+// Extents returns the address space's extent list (sorted by GFN). The
+// returned slice must not be modified.
+func (as *AddressSpace) Extents() []uisr.PageExtent { return as.extents }
+
+// NumPages implements guest.Memory.
+func (as *AddressSpace) NumPages() uint64 { return as.numPages }
+
+// Bytes returns the guest-physical size in bytes.
+func (as *AddressSpace) Bytes() uint64 { return as.numPages * hw.PageSize4K }
+
+// Translate resolves a guest frame number to its machine frame.
+func (as *AddressSpace) Translate(gfn hw.GFN) (hw.MFN, error) {
+	i := sort.Search(len(as.extents), func(i int) bool {
+		e := as.extents[i]
+		return uint64(gfn) < e.GFN+e.Pages()
+	})
+	if i == len(as.extents) || uint64(gfn) < as.extents[i].GFN {
+		return 0, fmt.Errorf("hv: gfn %d not mapped", gfn)
+	}
+	e := as.extents[i]
+	return hw.MFN(e.MFN + (uint64(gfn) - e.GFN)), nil
+}
+
+// WritePage implements guest.Memory, recording dirty pages when logging
+// is enabled.
+func (as *AddressSpace) WritePage(gfn hw.GFN, off int, data []byte) error {
+	mfn, err := as.Translate(gfn)
+	if err != nil {
+		return err
+	}
+	if err := as.mem.Write(mfn, off, data); err != nil {
+		return err
+	}
+	if as.dirtyLog {
+		as.dirty[gfn] = struct{}{}
+	}
+	return nil
+}
+
+// ReadPage implements guest.Memory.
+func (as *AddressSpace) ReadPage(gfn hw.GFN, off, n int) ([]byte, error) {
+	mfn, err := as.Translate(gfn)
+	if err != nil {
+		return nil, err
+	}
+	return as.mem.Read(mfn, off, n)
+}
+
+// EnableDirtyLog starts dirty-page tracking (all pages considered clean).
+func (as *AddressSpace) EnableDirtyLog() {
+	as.dirtyLog = true
+	as.dirty = make(map[hw.GFN]struct{})
+}
+
+// DisableDirtyLog stops tracking.
+func (as *AddressSpace) DisableDirtyLog() {
+	as.dirtyLog = false
+	as.dirty = nil
+}
+
+// DirtyLogEnabled reports whether logging is active.
+func (as *AddressSpace) DirtyLogEnabled() bool { return as.dirtyLog }
+
+// FetchAndClearDirty returns the sorted set of pages written since the
+// last call and resets the log.
+func (as *AddressSpace) FetchAndClearDirty() []hw.GFN {
+	if !as.dirtyLog {
+		return nil
+	}
+	out := make([]hw.GFN, 0, len(as.dirty))
+	for g := range as.dirty {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	as.dirty = make(map[hw.GFN]struct{})
+	return out
+}
+
+// ChecksumAll returns a combined checksum over all guest pages that have
+// ever been written (untouched pages are zero and excluded by contract:
+// two spaces with identical written content match even if their frame
+// placement differs).
+func (as *AddressSpace) ChecksumAll() (uint64, error) {
+	var sum uint64
+	for _, e := range as.extents {
+		for p := uint64(0); p < e.Pages(); p++ {
+			c, err := as.mem.Checksum(hw.MFN(e.MFN + p))
+			if err != nil {
+				return 0, err
+			}
+			// Order-independent mix keyed by GFN.
+			gfn := e.GFN + p
+			sum += c * (gfn*2654435761 + 97)
+		}
+	}
+	return sum, nil
+}
+
+// FrameRanges returns the address space's machine frames as sorted,
+// disjoint runs — the shape kexec wants for its preserve set.
+func (as *AddressSpace) FrameRanges() []hw.FrameRange {
+	ranges := make([]hw.FrameRange, 0, len(as.extents))
+	for _, e := range as.extents {
+		ranges = append(ranges, hw.FrameRange{Start: hw.MFN(e.MFN), Count: e.Pages()})
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].Start < ranges[j].Start })
+	// Merge adjacent runs.
+	out := ranges[:0]
+	for _, r := range ranges {
+		if n := len(out); n > 0 && out[n-1].Start+hw.MFN(out[n-1].Count) == r.Start {
+			out[n-1].Count += r.Count
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// CopyContentsTo replays every touched page of this space into dst, which
+// must have the same guest-physical size. It is the content side of a
+// migration stream: after it returns, dst's guest image equals the
+// source's.
+func (as *AddressSpace) CopyContentsTo(dst *AddressSpace) error {
+	if dst.NumPages() != as.NumPages() {
+		return fmt.Errorf("hv: copy between spaces of %d and %d pages", as.NumPages(), dst.NumPages())
+	}
+	for _, e := range as.extents {
+		for p := uint64(0); p < e.Pages(); p++ {
+			mfn := hw.MFN(e.MFN + p)
+			if !as.mem.Touched(mfn) {
+				continue
+			}
+			data, err := as.mem.Read(mfn, 0, hw.PageSize4K)
+			if err != nil {
+				return err
+			}
+			if err := dst.WritePage(hw.GFN(e.GFN+p), 0, data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Release frees every frame of the address space back to the machine.
+func (as *AddressSpace) Release() error {
+	for _, e := range as.extents {
+		for p := uint64(0); p < e.Pages(); p++ {
+			if err := as.mem.Free(hw.MFN(e.MFN + p)); err != nil {
+				return err
+			}
+		}
+	}
+	as.extents = nil
+	as.numPages = 0
+	return nil
+}
+
+// Retag re-tags all frames of the space with the given owner/vm — used
+// when a freshly booted hypervisor adopts preserved guest memory.
+func (as *AddressSpace) Retag(owner hw.Owner, vm int) error {
+	for _, e := range as.extents {
+		for p := uint64(0); p < e.Pages(); p++ {
+			if err := as.mem.SetOwner(hw.MFN(e.MFN+p), owner, vm); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

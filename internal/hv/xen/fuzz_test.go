@@ -1,0 +1,42 @@
+package xen
+
+import (
+	"bytes"
+	"testing"
+
+	"hypertp/internal/uisr"
+)
+
+// FuzzParseContext: the HVM context blob parser (the path that consumes
+// state written by another hypervisor's toolstack) must never panic on
+// arbitrary bytes, and anything it accepts must re-marshal stably.
+func FuzzParseContext(f *testing.F) {
+	st := uisr.SyntheticVM("seed", 1, 2, 64<<20, 5)
+	st.IOAPIC.NumPins = uisr.XenIOAPICPins
+	ctx, err := fromUISR(st)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := marshalContext(ctx)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:9])
+	mutated := append([]byte(nil), valid...)
+	mutated[4] ^= 0x80 // corrupt the first record's length
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := parseContext(data)
+		if err != nil {
+			return
+		}
+		re := marshalContext(parsed)
+		parsed2, err := parseContext(re)
+		if err != nil {
+			t.Fatalf("re-marshaled context rejected: %v", err)
+		}
+		if !bytes.Equal(re, marshalContext(parsed2)) {
+			t.Fatal("marshal not stable")
+		}
+	})
+}

@@ -1,0 +1,345 @@
+// Package xen models a Xen-4.12-flavoured type-I hypervisor re-engineered
+// for HyperTP compliance. Its defining trait for the reproduction is its
+// *internal state format*: platform state lives in an HVM context blob of
+// typed save records (the format xc_domain_hvm_get/setcontext exchanges,
+// §4.2.1), the guest memory map lives in a superpage-aware p2m, and VM
+// management state lives in credit-scheduler run queues. None of this is
+// understood by the KVM model — only the UISR converters bridge them.
+package xen
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"hypertp/internal/uisr"
+)
+
+// HVM save record type codes (matching Xen's public/arch-x86/hvm/save.h
+// numbering where applicable).
+const (
+	recEnd       uint16 = 0
+	recHeader    uint16 = 1
+	recCPU       uint16 = 2
+	recIOAPIC    uint16 = 4
+	recLAPIC     uint16 = 5
+	recLAPICRegs uint16 = 6
+	recPIT       uint16 = 10
+	recRTC       uint16 = 11
+	recHPET      uint16 = 12
+	recPMTimer   uint16 = 13
+	recMTRR      uint16 = 14
+	recXSave     uint16 = 16
+	recMSR       uint16 = 20
+)
+
+// hvmHeader is the blob header record.
+type hvmHeader struct {
+	Magic   uint32 // "XnSv"
+	Version uint32
+	Changes uint64 // changeset id, informational
+	CPUID   uint64
+}
+
+const hvmMagic = 0x766e5358 // "XSnv" little-endian bytes
+
+// hvmCPU is Xen's per-vCPU architectural state record. Field order and
+// grouping deliberately differ from both the UISR and the KVM layouts:
+// segments are stored as packed (base, limit, arbytes, sel) quadruples and
+// control registers live beside the GP file.
+type hvmCPU struct {
+	// GP register file, Xen's ordering.
+	RAX, RBX, RCX, RDX, RBP, RSI, RDI, RSP uint64
+	R8, R9, R10, R11, R12, R13, R14, R15   uint64
+	RIP, RFlags                            uint64
+
+	CR0, CR2, CR3, CR4 uint64
+
+	// Segments: base, limit, arbytes, selector per register, in Xen's
+	// cs/ds/es/fs/gs/ss/tr/ldtr order.
+	CSBase, DSBase, ESBase, FSBase, GSBase, SSBase, TRBase, LDTRBase         uint64
+	CSLimit, DSLimit, ESLimit, FSLimit, GSLimit, SSLimit, TRLimit, LDTRLimit uint32
+	CSAr, DSAr, ESAr, FSAr, GSAr, SSAr, TRAr, LDTRAr                         uint32
+	CSSel, DSSel, ESSel, FSSel, GSSel, SSSel, TRSel, LDTRSel                 uint16
+
+	GDTBase, IDTBase   uint64
+	GDTLimit, IDTLimit uint32
+
+	// MSR-backed architectural state Xen keeps inline in the CPU record.
+	EFER, CR8 uint64
+
+	// FXSAVE image.
+	FPU [512]byte
+}
+
+// hvmLAPIC is Xen's LAPIC summary record.
+type hvmLAPIC struct {
+	APICBaseMSR  uint64
+	Disabled     uint32
+	TimerDivisor uint32
+}
+
+// hvmLAPICRegs is Xen's LAPIC register page record: the full 1 KiB of
+// architectural registers, one 32-bit register per 16-byte stride.
+type hvmLAPICRegs struct {
+	Data [1024]byte
+}
+
+// hvmIOAPIC is Xen's 48-pin virtual IOAPIC record.
+type hvmIOAPIC struct {
+	ID       uint32
+	IORegSel uint32
+	Redir    [uisr.XenIOAPICPins]uint64
+}
+
+// hvmPIT is Xen's i8254 record.
+type hvmPIT struct {
+	Channels [3]struct {
+		Count        uint32
+		LatchedCount uint32
+		Mode         uint8
+		BCD          uint8
+		Gate         uint8
+		OutHigh      uint8
+		Pad          uint32
+	}
+	Speaker   uint8
+	Pad       [7]byte
+	CountLoad [3]uint64
+}
+
+// hvmRTC is Xen's MC146818 record: the CMOS image with the index latch
+// appended (Xen's hvm_hw_rtc layout).
+type hvmRTC struct {
+	CMOS  [128]byte
+	Index uint8
+	Pad   [7]byte
+}
+
+// hvmHPET is Xen's HPET record.
+type hvmHPET struct {
+	Capability uint64
+	Config     uint64
+	ISR        uint64
+	Counter    uint64
+	Timers     [3]struct {
+		Config     uint64
+		Comparator uint64
+		FSB        uint64
+	}
+}
+
+// hvmPMTimer is Xen's ACPI PM timer record.
+type hvmPMTimer struct {
+	Value  uint32
+	Pad    uint32
+	BaseNS uint64
+}
+
+// hvmMTRR is Xen's per-vCPU MTRR record.
+type hvmMTRR struct {
+	PATCr    uint64
+	Cap      uint64
+	DefType  uint64
+	Fixed    [11]uint64
+	VarPairs [16]uint64 // base/mask interleaved
+	Flags    uint32     // bit0: enabled, bit1: fixed enabled
+	Pad      uint32
+}
+
+// hvmXSave is Xen's extended-state record.
+type hvmXSave struct {
+	XCR0      uint64
+	XCR0Accum uint64
+	Header    [64]byte
+	YMM       [504]byte
+}
+
+// hvmMSR is Xen's generic MSR list record payload header; entries follow.
+type hvmMSREntry struct {
+	Index    uint32
+	Reserved uint32
+	Value    uint64
+}
+
+// marshalRecord appends one save record (descriptor + payload) to buf.
+func marshalRecord(buf *bytes.Buffer, typecode uint16, instance uint16, payload []byte) {
+	var desc [8]byte
+	le := binary.LittleEndian
+	le.PutUint16(desc[0:], typecode)
+	le.PutUint16(desc[2:], instance)
+	le.PutUint32(desc[4:], uint32(len(payload)))
+	buf.Write(desc[:])
+	buf.Write(payload)
+}
+
+func marshalStruct(v any) []byte {
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+		panic(fmt.Sprintf("xen: marshalStruct(%T): %v", v, err))
+	}
+	return buf.Bytes()
+}
+
+func unmarshalStruct(p []byte, v any) error {
+	if want := binary.Size(v); len(p) != want {
+		return fmt.Errorf("xen: record payload %d bytes, want %d for %T", len(p), want, v)
+	}
+	return binary.Read(bytes.NewReader(p), binary.LittleEndian, v)
+}
+
+// domainContext is the parsed in-memory form of one domain's HVM context.
+type domainContext struct {
+	header    hvmHeader
+	cpus      []hvmCPU
+	lapics    []hvmLAPIC
+	lapicRegs []hvmLAPICRegs
+	mtrrs     []hvmMTRR
+	xsaves    []hvmXSave
+	msrs      [][]hvmMSREntry
+	ioapic    hvmIOAPIC
+	pit       hvmPIT
+	rtc       hvmRTC
+	hpet      hvmHPET
+	pmtimer   hvmPMTimer
+}
+
+// marshalContext serializes a domain context into the HVM blob format.
+func marshalContext(ctx *domainContext) []byte {
+	var buf bytes.Buffer
+	marshalRecord(&buf, recHeader, 0, marshalStruct(&ctx.header))
+	for i := range ctx.cpus {
+		inst := uint16(i)
+		marshalRecord(&buf, recCPU, inst, marshalStruct(&ctx.cpus[i]))
+		marshalRecord(&buf, recLAPIC, inst, marshalStruct(&ctx.lapics[i]))
+		marshalRecord(&buf, recLAPICRegs, inst, marshalStruct(&ctx.lapicRegs[i]))
+		marshalRecord(&buf, recMTRR, inst, marshalStruct(&ctx.mtrrs[i]))
+		marshalRecord(&buf, recXSave, inst, marshalStruct(&ctx.xsaves[i]))
+		var msrbuf bytes.Buffer
+		var count [8]byte
+		binary.LittleEndian.PutUint64(count[:], uint64(len(ctx.msrs[i])))
+		msrbuf.Write(count[:])
+		for _, e := range ctx.msrs[i] {
+			msrbuf.Write(marshalStruct(&e))
+		}
+		marshalRecord(&buf, recMSR, inst, msrbuf.Bytes())
+	}
+	marshalRecord(&buf, recIOAPIC, 0, marshalStruct(&ctx.ioapic))
+	marshalRecord(&buf, recPIT, 0, marshalStruct(&ctx.pit))
+	marshalRecord(&buf, recRTC, 0, marshalStruct(&ctx.rtc))
+	marshalRecord(&buf, recHPET, 0, marshalStruct(&ctx.hpet))
+	marshalRecord(&buf, recPMTimer, 0, marshalStruct(&ctx.pmtimer))
+	marshalRecord(&buf, recEnd, 0, nil)
+	return buf.Bytes()
+}
+
+// parseContext parses an HVM blob back into a domain context. It is
+// strict about framing, mirroring Xen's hvm_load checks.
+func parseContext(blob []byte) (*domainContext, error) {
+	ctx := &domainContext{}
+	le := binary.LittleEndian
+	off := 0
+	sawHeader, sawEnd := false, false
+	grow := func(inst uint16) error {
+		for len(ctx.cpus) <= int(inst) {
+			ctx.cpus = append(ctx.cpus, hvmCPU{})
+			ctx.lapics = append(ctx.lapics, hvmLAPIC{})
+			ctx.lapicRegs = append(ctx.lapicRegs, hvmLAPICRegs{})
+			ctx.mtrrs = append(ctx.mtrrs, hvmMTRR{})
+			ctx.xsaves = append(ctx.xsaves, hvmXSave{})
+			ctx.msrs = append(ctx.msrs, nil)
+		}
+		return nil
+	}
+	for off < len(blob) {
+		if sawEnd {
+			return nil, fmt.Errorf("xen: records after end marker")
+		}
+		if off+8 > len(blob) {
+			return nil, fmt.Errorf("xen: truncated record descriptor at %d", off)
+		}
+		typecode := le.Uint16(blob[off:])
+		instance := le.Uint16(blob[off+2:])
+		length := int(le.Uint32(blob[off+4:]))
+		off += 8
+		if off+length > len(blob) {
+			return nil, fmt.Errorf("xen: truncated record %d payload", typecode)
+		}
+		payload := blob[off : off+length]
+		off += length
+
+		var err error
+		switch typecode {
+		case recHeader:
+			err = unmarshalStruct(payload, &ctx.header)
+			if err == nil && ctx.header.Magic != hvmMagic {
+				err = fmt.Errorf("bad context magic %#x", ctx.header.Magic)
+			}
+			sawHeader = true
+		case recCPU:
+			if err = grow(instance); err == nil {
+				err = unmarshalStruct(payload, &ctx.cpus[instance])
+			}
+		case recLAPIC:
+			if err = grow(instance); err == nil {
+				err = unmarshalStruct(payload, &ctx.lapics[instance])
+			}
+		case recLAPICRegs:
+			if err = grow(instance); err == nil {
+				err = unmarshalStruct(payload, &ctx.lapicRegs[instance])
+			}
+		case recMTRR:
+			if err = grow(instance); err == nil {
+				err = unmarshalStruct(payload, &ctx.mtrrs[instance])
+			}
+		case recXSave:
+			if err = grow(instance); err == nil {
+				err = unmarshalStruct(payload, &ctx.xsaves[instance])
+			}
+		case recMSR:
+			if err = grow(instance); err != nil {
+				break
+			}
+			if len(payload) < 8 {
+				err = fmt.Errorf("MSR record too short")
+				break
+			}
+			n := int(le.Uint64(payload[0:]))
+			if len(payload) != 8+16*n {
+				err = fmt.Errorf("MSR record %d bytes, want %d", len(payload), 8+16*n)
+				break
+			}
+			entries := make([]hvmMSREntry, n)
+			for j := range entries {
+				base := 8 + 16*j
+				entries[j].Index = le.Uint32(payload[base:])
+				entries[j].Value = le.Uint64(payload[base+8:])
+			}
+			ctx.msrs[instance] = entries
+		case recIOAPIC:
+			err = unmarshalStruct(payload, &ctx.ioapic)
+		case recPIT:
+			err = unmarshalStruct(payload, &ctx.pit)
+		case recRTC:
+			err = unmarshalStruct(payload, &ctx.rtc)
+		case recHPET:
+			err = unmarshalStruct(payload, &ctx.hpet)
+		case recPMTimer:
+			err = unmarshalStruct(payload, &ctx.pmtimer)
+		case recEnd:
+			sawEnd = true
+		default:
+			return nil, fmt.Errorf("xen: unknown record type %d", typecode)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xen: record type %d: %w", typecode, err)
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("xen: context blob has no header record")
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("xen: context blob has no end record")
+	}
+	return ctx, nil
+}

@@ -1,0 +1,427 @@
+package hw
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hypertp/internal/simtime"
+)
+
+func newTestMem() *PhysMem { return NewPhysMem(64 * 1024 * 1024) } // 64 MiB
+
+func TestAllocBasics(t *testing.T) {
+	pm := newTestMem()
+	mfns, err := pm.Alloc(10, OwnerGuest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mfns) != 10 {
+		t.Fatalf("got %d frames, want 10", len(mfns))
+	}
+	if pm.AllocatedFrames() != 10 {
+		t.Fatalf("AllocatedFrames = %d, want 10", pm.AllocatedFrames())
+	}
+	seen := map[MFN]bool{}
+	for _, m := range mfns {
+		if seen[m] {
+			t.Fatalf("duplicate MFN %d", m)
+		}
+		seen[m] = true
+		owner, vm := pm.OwnerOf(m)
+		if owner != OwnerGuest || vm != 1 {
+			t.Fatalf("frame %d owner = %v/%d, want guest/1", m, owner, vm)
+		}
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	pm := NewPhysMem(8 * PageSize4K)
+	if _, err := pm.Alloc(8, OwnerHV, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.Alloc(1, OwnerHV, -1); err == nil {
+		t.Fatal("allocating past capacity succeeded")
+	}
+}
+
+func TestAllocFreeReuse(t *testing.T) {
+	pm := NewPhysMem(4 * PageSize4K)
+	mfns, err := pm.Alloc(4, OwnerHV, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Free(mfns[2]); err != nil {
+		t.Fatal(err)
+	}
+	again, err := pm.Alloc(1, OwnerGuest, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != mfns[2] {
+		t.Fatalf("reallocation got frame %d, want recycled %d", again[0], mfns[2])
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	pm := newTestMem()
+	mfns, _ := pm.Alloc(1, OwnerHV, -1)
+	if err := pm.Free(mfns[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Free(mfns[0]); err == nil {
+		t.Fatal("double free succeeded")
+	}
+}
+
+func TestAllocFreeOwnerZero(t *testing.T) {
+	pm := newTestMem()
+	if _, err := pm.Alloc(1, OwnerFree, -1); err == nil {
+		t.Fatal("Alloc with OwnerFree succeeded")
+	}
+	if _, err := pm.Alloc2M(OwnerFree, -1); err == nil {
+		t.Fatal("Alloc2M with OwnerFree succeeded")
+	}
+}
+
+func TestAlloc2MAlignmentAndContiguity(t *testing.T) {
+	pm := NewPhysMem(16 * PageSize2M)
+	// Fragment the start a little.
+	if _, err := pm.Alloc(3, OwnerHV, -1); err != nil {
+		t.Fatal(err)
+	}
+	base, err := pm.Alloc2M(OwnerGuest, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(base)%FramesPer2M != 0 {
+		t.Fatalf("2M base %d not aligned", base)
+	}
+	for i := MFN(0); i < FramesPer2M; i++ {
+		owner, vm := pm.OwnerOf(base + i)
+		if owner != OwnerGuest || vm != 2 {
+			t.Fatalf("frame %d of huge page owner = %v/%d", base+i, owner, vm)
+		}
+	}
+}
+
+func TestAlloc2MFragmentation(t *testing.T) {
+	pm := NewPhysMem(2 * PageSize2M)
+	// Poison one frame in each aligned 2M run.
+	taken, _ := pm.Alloc(1, OwnerHV, -1)
+	_ = taken
+	pm.next = MFN(FramesPer2M) // move cursor; poison second run too
+	if _, err := pm.Alloc(1, OwnerHV, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.Alloc2M(OwnerGuest, 1); err == nil {
+		t.Fatal("Alloc2M succeeded despite fragmentation of every run")
+	}
+}
+
+func TestReadWrite(t *testing.T) {
+	pm := newTestMem()
+	mfns, _ := pm.Alloc(1, OwnerGuest, 1)
+	m := mfns[0]
+	payload := []byte("hypervisor transplant")
+	if err := pm.Write(m, 100, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pm.Read(m, 100, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read back %q, want %q", got, payload)
+	}
+	// Untouched region reads as zeros.
+	zeros, err := pm.Read(m, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range zeros {
+		if b != 0 {
+			t.Fatal("untouched bytes are not zero")
+		}
+	}
+}
+
+func TestReadWriteBounds(t *testing.T) {
+	pm := newTestMem()
+	mfns, _ := pm.Alloc(1, OwnerGuest, 1)
+	if err := pm.Write(mfns[0], PageSize4K-1, []byte{1, 2}); err == nil {
+		t.Fatal("write past frame end succeeded")
+	}
+	if err := pm.Write(mfns[0], -1, []byte{1}); err == nil {
+		t.Fatal("write at negative offset succeeded")
+	}
+	if _, err := pm.Read(mfns[0], PageSize4K, 1); err == nil {
+		t.Fatal("read past frame end succeeded")
+	}
+}
+
+func TestReadWriteUnallocated(t *testing.T) {
+	pm := newTestMem()
+	if err := pm.Write(5, 0, []byte{1}); err == nil {
+		t.Fatal("write to unallocated frame succeeded")
+	}
+	if _, err := pm.Read(5, 0, 1); err == nil {
+		t.Fatal("read from unallocated frame succeeded")
+	}
+	if _, err := pm.Checksum(5); err == nil {
+		t.Fatal("checksum of unallocated frame succeeded")
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	pm := newTestMem()
+	mfns, _ := pm.Alloc(2, OwnerGuest, 1)
+	a, b := mfns[0], mfns[1]
+	ca0, _ := pm.Checksum(a)
+	cb0, _ := pm.Checksum(b)
+	if ca0 != cb0 {
+		t.Fatal("two untouched frames have different checksums")
+	}
+	pm.Write(a, 0, []byte{0xde, 0xad})
+	ca1, _ := pm.Checksum(a)
+	if ca1 == ca0 {
+		t.Fatal("checksum unchanged after write")
+	}
+	pm.Write(b, 0, []byte{0xde, 0xad})
+	cb1, _ := pm.Checksum(b)
+	if ca1 != cb1 {
+		t.Fatal("same content, different checksum")
+	}
+}
+
+func TestSetOwner(t *testing.T) {
+	pm := newTestMem()
+	mfns, _ := pm.Alloc(1, OwnerVMState, 3)
+	if err := pm.SetOwner(mfns[0], OwnerGuest, 4); err != nil {
+		t.Fatal(err)
+	}
+	owner, vm := pm.OwnerOf(mfns[0])
+	if owner != OwnerGuest || vm != 4 {
+		t.Fatalf("owner = %v/%d after SetOwner", owner, vm)
+	}
+	if err := pm.SetOwner(999, OwnerGuest, 0); err == nil {
+		t.Fatal("SetOwner on unallocated frame succeeded")
+	}
+}
+
+func TestWipePreservesKeepSet(t *testing.T) {
+	pm := newTestMem()
+	guest, _ := pm.Alloc(5, OwnerGuest, 1)
+	hv, _ := pm.Alloc(5, OwnerHV, -1)
+	pm.Write(guest[0], 0, []byte("survive"))
+	pm.Write(hv[0], 0, []byte("perish"))
+	keep := map[MFN]bool{}
+	for _, m := range guest {
+		keep[m] = true
+	}
+	wiped := pm.Wipe(keep)
+	if wiped != 5 {
+		t.Fatalf("wiped %d frames, want 5", wiped)
+	}
+	got, err := pm.Read(guest[0], 0, 7)
+	if err != nil || string(got) != "survive" {
+		t.Fatalf("guest frame lost: %q, %v", got, err)
+	}
+	if _, err := pm.Read(hv[0], 0, 1); err == nil {
+		t.Fatal("HV frame survived the wipe")
+	}
+}
+
+func TestCountByOwner(t *testing.T) {
+	pm := newTestMem()
+	pm.Alloc(3, OwnerGuest, 1)
+	pm.Alloc(2, OwnerVMState, 1)
+	pm.Alloc(4, OwnerHV, -1)
+	counts := pm.CountByOwner()
+	if counts[OwnerGuest] != 3 || counts[OwnerVMState] != 2 || counts[OwnerHV] != 4 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestFramesByOwnerSorted(t *testing.T) {
+	pm := newTestMem()
+	pm.Alloc(10, OwnerGuest, 1)
+	frames := pm.FramesByOwner(OwnerGuest)
+	if len(frames) != 10 {
+		t.Fatalf("len = %d", len(frames))
+	}
+	for i := 1; i < len(frames); i++ {
+		if frames[i] <= frames[i-1] {
+			t.Fatal("FramesByOwner not sorted")
+		}
+	}
+}
+
+func TestOwnerString(t *testing.T) {
+	cases := map[Owner]string{
+		OwnerFree: "free", OwnerGuest: "guest", OwnerVMState: "vmstate",
+		OwnerVMMgmt: "vmmgmt", OwnerHV: "hv", OwnerPRAM: "pram",
+		OwnerKexecImage: "kexec-image",
+	}
+	for o, want := range cases {
+		if o.String() != want {
+			t.Fatalf("Owner(%d).String() = %q, want %q", o, o.String(), want)
+		}
+	}
+	if Owner(200).String() != "owner(200)" {
+		t.Fatalf("unknown owner string = %q", Owner(200).String())
+	}
+}
+
+// Property: alloc/free keeps the allocated counter consistent with the map.
+func TestPropertyAllocFreeAccounting(t *testing.T) {
+	f := func(ops []uint8) bool {
+		pm := NewPhysMem(256 * PageSize4K)
+		var live []MFN
+		for _, op := range ops {
+			if op%2 == 0 || len(live) == 0 {
+				n := int(op%7) + 1
+				mfns, err := pm.Alloc(n, OwnerGuest, 1)
+				if err != nil {
+					continue
+				}
+				live = append(live, mfns...)
+			} else {
+				m := live[int(op)%len(live)]
+				live = remove(live, m)
+				if err := pm.Free(m); err != nil {
+					return false
+				}
+			}
+		}
+		return pm.AllocatedFrames() == uint64(len(live))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func remove(s []MFN, m MFN) []MFN {
+	for i, v := range s {
+		if v == m {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+func TestProfiles(t *testing.T) {
+	m1, m2, cn := M1(), M2(), ClusterNode()
+	if m1.Workers() != 6 {
+		t.Fatalf("M1 workers = %d, want 6 (8 threads - 2 reserved)", m1.Workers())
+	}
+	if m2.Workers() != 54 {
+		t.Fatalf("M2 workers = %d, want 54", m2.Workers())
+	}
+	if m1.RAMBytes != 16*GiB || m2.RAMBytes != 64*GiB || cn.RAMBytes != 96*GiB {
+		t.Fatal("profile RAM sizes wrong")
+	}
+	if cn.NetRate != 10_000_000_000/8 {
+		t.Fatalf("cluster node net rate = %d", cn.NetRate)
+	}
+	// The Xen boot path must be several times the Linux/KVM path — this
+	// asymmetry is what produces Fig. 10.
+	if m1.Cost.BootXenDom0 < 3*m1.Cost.BootLinuxKVM {
+		t.Fatal("M1 Xen boot not slower than 3x KVM boot")
+	}
+}
+
+func TestWorkersFloor(t *testing.T) {
+	p := &Profile{Threads: 1, ReservedCPUs: 2}
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want floor of 1", p.Workers())
+	}
+}
+
+func TestMachineReboot(t *testing.T) {
+	clock := simtime.NewClock()
+	m := NewMachine(clock, M1())
+	guest, _ := m.Mem.Alloc(4, OwnerGuest, 1)
+	m.Mem.Alloc(4, OwnerHV, -1)
+	m.Mem.Write(guest[0], 0, []byte("vm data"))
+	var keep []FrameRange
+	for _, f := range guest {
+		keep = append(keep, FrameRange{Start: f, Count: 1})
+	}
+	clock.Advance(5 * time.Second)
+	wiped := m.MicroReboot("pram=0x1000", keep)
+	if wiped != 4 {
+		t.Fatalf("wiped = %d, want 4", wiped)
+	}
+	if m.Generation() != 1 {
+		t.Fatalf("generation = %d, want 1", m.Generation())
+	}
+	if m.Cmdline != "pram=0x1000" {
+		t.Fatalf("cmdline = %q", m.Cmdline)
+	}
+	if m.BootedAt() != 5*time.Second {
+		t.Fatalf("BootedAt = %v", m.BootedAt())
+	}
+	got, err := m.Mem.Read(guest[0], 0, 7)
+	if err != nil || string(got) != "vm data" {
+		t.Fatalf("guest data lost across reboot: %q, %v", got, err)
+	}
+}
+
+func TestParallelElapsed(t *testing.T) {
+	clock := simtime.NewClock()
+	m1 := NewMachine(clock, M1()) // 6 workers
+	per := 450 * time.Millisecond
+	if got := m1.ParallelElapsed(1, per); got != per {
+		t.Fatalf("1 item: %v, want %v", got, per)
+	}
+	if got := m1.ParallelElapsed(6, per); got != per {
+		t.Fatalf("6 items on 6 workers: %v, want %v", got, per)
+	}
+	if got := m1.ParallelElapsed(7, per); got != 2*per {
+		t.Fatalf("7 items on 6 workers: %v, want %v", got, 2*per)
+	}
+	if got := m1.ParallelElapsed(0, per); got != 0 {
+		t.Fatalf("0 items: %v, want 0", got)
+	}
+	m2 := NewMachine(clock, M2()) // 54 workers: 12 VMs still 1 round
+	if got := m2.ParallelElapsed(12, per); got != per {
+		t.Fatalf("M2 12 items: %v, want %v (flat scaling)", got, per)
+	}
+}
+
+func TestParallelElapsedVaried(t *testing.T) {
+	clock := simtime.NewClock()
+	m := NewMachine(clock, M1())
+	if got := m.ParallelElapsedVaried(nil); got != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+	costs := []time.Duration{100, 200, 300, 400, 500, 600, 700}
+	got := m.ParallelElapsedVaried(costs)
+	// 7 items over 6 workers; LPT assigns greedily; max load must be at
+	// least the largest item and at most largest+smallest.
+	if got < 700 || got > 800 {
+		t.Fatalf("varied elapsed = %v, want in [700, 800]", got)
+	}
+	// Single worker sums everything.
+	single := &Profile{Threads: 3, ReservedCPUs: 2}
+	ms := NewMachine(clock, single)
+	if got := ms.ParallelElapsedVaried(costs); got != 2800 {
+		t.Fatalf("single worker = %v, want 2800", got)
+	}
+}
+
+func TestMachineString(t *testing.T) {
+	m := NewMachine(simtime.NewClock(), M1())
+	if m.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestMFNAddr(t *testing.T) {
+	if MFN(3).Addr() != 3*PageSize4K {
+		t.Fatalf("Addr = %d", MFN(3).Addr())
+	}
+}

@@ -1,0 +1,340 @@
+// Package hw models the physical machines of the paper's testbed: sparse
+// frame-granular physical memory, machine profiles (M1, M2, cluster nodes)
+// and the calibrated per-phase cost models that give the simulation its
+// virtual-time behaviour.
+//
+// Physical memory is the ground truth the whole reproduction hangs on:
+// guests write real bytes into frames, PRAM metadata is serialized into
+// frames, and the kexec micro-reboot wipes every frame that is not
+// explicitly preserved. "Guest State survives transplant" is therefore a
+// checkable property, not an assumption.
+package hw
+
+import (
+	"fmt"
+	"hash/crc64"
+)
+
+// Page geometry. The simulation uses the x86-64 4 KiB base page and the
+// 2 MiB huge page the paper's guests are configured with.
+const (
+	PageSize4K = 4096
+	PageSize2M = 2 << 20
+	// FramesPer2M is the number of base frames covered by one huge page.
+	FramesPer2M = PageSize2M / PageSize4K
+)
+
+// MFN is a machine frame number: an index into host physical memory in
+// units of 4 KiB frames.
+type MFN uint64
+
+// GFN is a guest frame number: an index into a guest physical address
+// space in units of 4 KiB frames.
+type GFN uint64
+
+// Addr returns the byte address of the frame's first byte.
+func (m MFN) Addr() uint64 { return uint64(m) * PageSize4K }
+
+// Owner identifies which of the paper's four memory-separation categories
+// (Fig. 2) a frame belongs to, so that the transplant engine and kexec can
+// reason about what must be translated, preserved, or wiped.
+type Owner uint8
+
+const (
+	// OwnerFree marks an unallocated frame.
+	OwnerFree Owner = iota
+	// OwnerGuest is Guest State: guest-managed memory, hypervisor
+	// independent, kept in place across InPlaceTP.
+	OwnerGuest
+	// OwnerVMState is VM_i State: per-VM hypervisor structures (NPT,
+	// vCPU contexts) that must be translated through UISR.
+	OwnerVMState
+	// OwnerVMMgmt is VM Management State: scheduler queues and other
+	// structures rebuilt (not translated) after transplant.
+	OwnerVMMgmt
+	// OwnerHV is HV State: hypervisor-private memory reinitialized by
+	// the micro-reboot.
+	OwnerHV
+	// OwnerPRAM marks frames holding PRAM metadata pages.
+	OwnerPRAM
+	// OwnerKexecImage marks frames holding the preloaded target
+	// hypervisor image.
+	OwnerKexecImage
+
+	numOwners
+)
+
+var ownerNames = [...]string{"free", "guest", "vmstate", "vmmgmt", "hv", "pram", "kexec-image"}
+
+func (o Owner) String() string {
+	if int(o) < len(ownerNames) {
+		return ownerNames[o]
+	}
+	return fmt.Sprintf("owner(%d)", uint8(o))
+}
+
+// PhysMem is the physical memory of one machine. Ownership tags are dense
+// arrays (multi-GB guests are cheap to allocate); page *contents* are a
+// sparse map populated only for frames actually written, so untouched
+// guest pages cost nothing and read as zeros.
+type PhysMem struct {
+	totalFrames uint64
+	owner       []Owner
+	vm          []int32
+	data        map[MFN][]byte
+	next        MFN // bump cursor for allocation
+	allocated   uint64
+	byOwner     [numOwners]uint64
+}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// NewPhysMem creates a physical memory of size bytes (rounded down to a
+// whole number of frames).
+func NewPhysMem(size uint64) *PhysMem {
+	n := size / PageSize4K
+	return &PhysMem{
+		totalFrames: n,
+		owner:       make([]Owner, n),
+		vm:          make([]int32, n),
+		data:        make(map[MFN][]byte),
+	}
+}
+
+// TotalFrames returns the machine's frame count.
+func (pm *PhysMem) TotalFrames() uint64 { return pm.totalFrames }
+
+// AllocatedFrames returns the number of currently allocated frames.
+func (pm *PhysMem) AllocatedFrames() uint64 { return pm.allocated }
+
+// FreeFrames returns the number of unallocated frames.
+func (pm *PhysMem) FreeFrames() uint64 { return pm.totalFrames - pm.allocated }
+
+func (pm *PhysMem) take(m MFN, owner Owner, vm int) {
+	pm.owner[m] = owner
+	pm.vm[m] = int32(vm)
+	pm.allocated++
+	pm.byOwner[owner]++
+}
+
+// Alloc allocates n frames for the given owner and VM id. Frames are
+// assigned from a bump cursor that wraps, which — combined with frames
+// freed and reallocated over a machine's lifetime — leaves VM memory
+// scattered rather than contiguous, as the paper observes (§4.2.2).
+func (pm *PhysMem) Alloc(n int, owner Owner, vm int) ([]MFN, error) {
+	if owner == OwnerFree {
+		return nil, fmt.Errorf("hw: cannot allocate with OwnerFree")
+	}
+	if uint64(n) > pm.FreeFrames() {
+		return nil, fmt.Errorf("hw: out of memory: want %d frames, %d free", n, pm.FreeFrames())
+	}
+	out := make([]MFN, 0, n)
+	for len(out) < n {
+		m := pm.next
+		pm.next = (pm.next + 1) % MFN(pm.totalFrames)
+		if pm.owner[m] != OwnerFree {
+			continue
+		}
+		pm.take(m, owner, vm)
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Alloc2M allocates one 2 MiB-aligned run of 512 contiguous frames,
+// returning the first MFN. Huge allocations scan for an aligned free run.
+func (pm *PhysMem) Alloc2M(owner Owner, vm int) (MFN, error) {
+	if owner == OwnerFree {
+		return 0, fmt.Errorf("hw: cannot allocate with OwnerFree")
+	}
+	if FramesPer2M > pm.FreeFrames() {
+		return 0, fmt.Errorf("hw: out of memory for 2M page")
+	}
+	start := (pm.next + FramesPer2M - 1) / FramesPer2M * FramesPer2M
+	nRuns := pm.totalFrames / FramesPer2M
+	for tries := uint64(0); tries < nRuns; tries++ {
+		base := (start + MFN(tries*FramesPer2M)) % MFN(nRuns*FramesPer2M)
+		ok := true
+		for i := MFN(0); i < FramesPer2M; i++ {
+			if pm.owner[base+i] != OwnerFree {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for i := MFN(0); i < FramesPer2M; i++ {
+			pm.take(base+i, owner, vm)
+		}
+		pm.next = (base + FramesPer2M) % MFN(pm.totalFrames)
+		return base, nil
+	}
+	return 0, fmt.Errorf("hw: no aligned 2M run available (fragmentation)")
+}
+
+// Free releases a frame. Freeing an unallocated frame is an error: it
+// indicates double-free bugs in a hypervisor model.
+func (pm *PhysMem) Free(m MFN) error {
+	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
+		return fmt.Errorf("hw: double free of frame %#x", uint64(m))
+	}
+	pm.byOwner[pm.owner[m]]--
+	pm.owner[m] = OwnerFree
+	pm.vm[m] = 0
+	pm.allocated--
+	delete(pm.data, m)
+	return nil
+}
+
+// OwnerOf reports a frame's owner tag (OwnerFree if unallocated) and
+// owning VM id.
+func (pm *PhysMem) OwnerOf(m MFN) (Owner, int) {
+	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
+		return OwnerFree, -1
+	}
+	return pm.owner[m], int(pm.vm[m])
+}
+
+// SetOwner retags an allocated frame. Used when the target hypervisor
+// adopts preserved guest frames after a micro-reboot.
+func (pm *PhysMem) SetOwner(m MFN, owner Owner, vm int) error {
+	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
+		return fmt.Errorf("hw: SetOwner on unallocated frame %#x", uint64(m))
+	}
+	pm.byOwner[pm.owner[m]]--
+	pm.owner[m] = owner
+	pm.vm[m] = int32(vm)
+	pm.byOwner[owner]++
+	return nil
+}
+
+// Write copies data into the frame starting at offset off. It allocates
+// backing storage on first touch. Writing past the frame end is an error.
+func (pm *PhysMem) Write(m MFN, off int, data []byte) error {
+	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
+		return fmt.Errorf("hw: write to unallocated frame %#x", uint64(m))
+	}
+	if off < 0 || off+len(data) > PageSize4K {
+		return fmt.Errorf("hw: write [%d, %d) outside frame", off, off+len(data))
+	}
+	page, ok := pm.data[m]
+	if !ok {
+		page = make([]byte, PageSize4K)
+		pm.data[m] = page
+	}
+	copy(page[off:], data)
+	return nil
+}
+
+// Read copies length bytes starting at offset off out of the frame.
+// Untouched frames read as zeros, matching real RAM handed out by a
+// hypervisor.
+func (pm *PhysMem) Read(m MFN, off, length int) ([]byte, error) {
+	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
+		return nil, fmt.Errorf("hw: read from unallocated frame %#x", uint64(m))
+	}
+	if off < 0 || off+length > PageSize4K {
+		return nil, fmt.Errorf("hw: read [%d, %d) outside frame", off, off+length)
+	}
+	out := make([]byte, length)
+	if page, ok := pm.data[m]; ok {
+		copy(out, page[off:off+length])
+	}
+	return out, nil
+}
+
+// Touched reports whether the frame has ever been written (untouched
+// frames are logically zero and need no migration traffic).
+func (pm *PhysMem) Touched(m MFN) bool {
+	_, ok := pm.data[m]
+	return ok
+}
+
+// Checksum returns a CRC-64 of the frame's contents. Untouched frames
+// checksum as all-zero pages.
+func (pm *PhysMem) Checksum(m MFN) (uint64, error) {
+	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
+		return 0, fmt.Errorf("hw: checksum of unallocated frame %#x", uint64(m))
+	}
+	if page, ok := pm.data[m]; ok {
+		return crc64.Checksum(page, crcTable), nil
+	}
+	return crc64.Checksum(zeroPage[:], crcTable), nil
+}
+
+var zeroPage [PageSize4K]byte
+
+// Wipe zeroes and frees every allocated frame whose MFN is not in keep.
+// It returns the number of frames wiped. This is the destructive half of
+// the kexec micro-reboot: only explicitly preserved memory survives.
+func (pm *PhysMem) Wipe(keep map[MFN]bool) int {
+	wiped := 0
+	for m := MFN(0); m < MFN(pm.totalFrames); m++ {
+		if pm.owner[m] == OwnerFree || keep[m] {
+			continue
+		}
+		pm.byOwner[pm.owner[m]]--
+		pm.owner[m] = OwnerFree
+		pm.vm[m] = 0
+		pm.allocated--
+		delete(pm.data, m)
+		wiped++
+	}
+	return wiped
+}
+
+// WipeRanges is Wipe with the keep set expressed as sorted, disjoint
+// [start, start+count) frame runs; it avoids materializing a per-frame
+// map when preserving multi-GB guests.
+func (pm *PhysMem) WipeRanges(keep []FrameRange) int {
+	wiped := 0
+	ki := 0
+	for m := MFN(0); m < MFN(pm.totalFrames); m++ {
+		for ki < len(keep) && m >= keep[ki].Start+MFN(keep[ki].Count) {
+			ki++
+		}
+		if ki < len(keep) && m >= keep[ki].Start {
+			continue
+		}
+		if pm.owner[m] == OwnerFree {
+			continue
+		}
+		pm.byOwner[pm.owner[m]]--
+		pm.owner[m] = OwnerFree
+		pm.vm[m] = 0
+		pm.allocated--
+		delete(pm.data, m)
+		wiped++
+	}
+	return wiped
+}
+
+// FrameRange is a contiguous run of machine frames.
+type FrameRange struct {
+	Start MFN
+	Count uint64
+}
+
+// FramesByOwner returns the sorted MFNs currently tagged with owner.
+func (pm *PhysMem) FramesByOwner(owner Owner) []MFN {
+	var out []MFN
+	for m := MFN(0); m < MFN(pm.totalFrames); m++ {
+		if pm.owner[m] == owner {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// CountByOwner returns the number of frames per owner category — the
+// memory-separation census of Fig. 2.
+func (pm *PhysMem) CountByOwner() map[Owner]uint64 {
+	out := make(map[Owner]uint64)
+	for o := Owner(1); o < numOwners; o++ {
+		if pm.byOwner[o] > 0 {
+			out[o] = pm.byOwner[o]
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package hw
+
+import "time"
+
+// CostModel holds the calibrated virtual-time costs of the transplant
+// phases on one machine type. The single-VM, 1 vCPU / 1 GB values are
+// anchored on the paper's Fig. 6 and §5.2 measurements; every other data
+// point in the evaluation is derived by the mechanisms (parallel workers,
+// sequential boot-time PRAM parsing, bandwidth sharing), so scalability
+// shapes are emergent rather than tabulated.
+type CostModel struct {
+	// PRAM structure construction (performed before pausing VMs,
+	// parallelized across worker threads, one VM per worker).
+	PRAMPerVM time.Duration // fixed per-VM file setup
+	PRAMPerGB time.Duration // per GiB of guest memory scanned
+
+	// UISR translation (inside the downtime window). Includes PRAM
+	// finalization, which is why it also scales with memory.
+	TranslatePerVM   time.Duration
+	TranslatePerVCPU time.Duration
+	TranslatePerGB   time.Duration
+
+	// UISR restoration on the target hypervisor (parallel across VMs).
+	RestorePerVM   time.Duration
+	RestorePerVCPU time.Duration
+
+	// Micro-reboot. BootLinuxKVM covers the Linux kernel + KVM services
+	// path; BootXenDom0 covers the two-kernel Xen + dom0 path, which is
+	// why KVM→Xen transplants are several times slower (Fig. 10).
+	// BootNOVA covers the microhypervisor path, the fastest of the
+	// three (a single tiny kernel plus its root task).
+	BootLinuxKVM time.Duration
+	BootXenDom0  time.Duration
+	BootNOVA     time.Duration
+
+	// Boot-time PRAM parsing is sequential (single CPU, early boot, no
+	// monitoring available — §5.2), so it adds to Reboot per GiB of
+	// preserved guest memory and per preserved VM.
+	PRAMParsePerGB time.Duration
+	PRAMParsePerVM time.Duration
+
+	// NIC reinitialization after the micro-reboot (driver dependent;
+	// 6.6 s on M1, 2.3 s on M2 in §5.2.1). Overlaps the restoration
+	// phases; only network-dependent applications observe it.
+	NICReinit time.Duration
+
+	// RestoreServiceWait is the delay before VM restoration can begin
+	// when the §4.2.5 early-restoration optimization is disabled (the
+	// time for all host services to settle after boot).
+	RestoreServiceWait time.Duration
+
+	// Live-migration stop-and-copy handling on the receive side. Xen's
+	// restore path is heavyweight (133.59 ms for 1 vCPU / 1 GB); kvmtool
+	// is 27x lighter (4.96 ms) — Table 4.
+	MigFinalizeXen     time.Duration
+	MigFinalizeKVMTool time.Duration
+	// MigFinalizePerVCPU is the extra stop-phase cost per additional
+	// vCPU whose context must be transferred and installed.
+	MigFinalizePerVCPU time.Duration
+	// MigXenReceiveSeqVar is the variance factor of Xen's sequential
+	// receive path when several VMs land on one host (§5.2.2): later
+	// VMs in the receive queue observe proportionally larger downtime.
+	MigXenReceiveSeqVar float64
+}
+
+// Profile describes one physical machine type of the testbed (Table 3).
+type Profile struct {
+	Name     string
+	Cores    int // physical cores
+	Threads  int // hardware threads
+	BaseGHz  float64
+	RAMBytes uint64
+	// ReservedCPUs are held back for the administration OS (dom0 on
+	// Xen, host Linux on KVM) per §5.1.
+	ReservedCPUs int
+	// NetRate is the byte rate of the machine's NIC.
+	NetRate int64
+	Cost    CostModel
+}
+
+// Workers returns the number of hardware threads available to parallel
+// transplant work (threads minus the administration reservation).
+func (p *Profile) Workers() int {
+	w := p.Threads - p.ReservedCPUs
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// GiB is one binary gigabyte.
+const GiB = uint64(1) << 30
+
+// M1 returns the profile of the paper's M1 machine: Intel i5-8400H,
+// 4 cores / 8 threads @ 2.5 GHz, 16 GB RAM, 1 Gbps Ethernet.
+func M1() *Profile {
+	return &Profile{
+		Name:         "M1",
+		Cores:        4,
+		Threads:      8,
+		BaseGHz:      2.5,
+		RAMBytes:     16 * GiB,
+		ReservedCPUs: 2,
+		NetRate:      1_000_000_000 / 8,
+		Cost: CostModel{
+			// Fig. 6 anchor: PRAM 0.45 s for one 1 GiB VM.
+			PRAMPerVM: 400 * time.Millisecond,
+			PRAMPerGB: 50 * time.Millisecond,
+			// Fig. 6 anchor: Translation 0.08 s.
+			TranslatePerVM:   55 * time.Millisecond,
+			TranslatePerVCPU: 5 * time.Millisecond,
+			TranslatePerGB:   20 * time.Millisecond,
+			// Fig. 6 anchor: Restoration 0.12 s.
+			RestorePerVM:   110 * time.Millisecond,
+			RestorePerVCPU: 10 * time.Millisecond,
+			// Fig. 6 anchor: Reboot 1.52 s (Linux+KVM) including
+			// the parse of one 1 GiB VM's PRAM; Fig. 10 anchor:
+			// ~7.6 s for the Xen+dom0 path.
+			BootLinuxKVM:       1435 * time.Millisecond,
+			BootXenDom0:        7515 * time.Millisecond,
+			BootNOVA:           620 * time.Millisecond,
+			PRAMParsePerGB:     75 * time.Millisecond,
+			PRAMParsePerVM:     10 * time.Millisecond,
+			NICReinit:          6600 * time.Millisecond,
+			RestoreServiceWait: 500 * time.Millisecond,
+			// Table 4 anchors.
+			MigFinalizeXen:      130 * time.Millisecond,
+			MigFinalizeKVMTool:  4500 * time.Microsecond,
+			MigFinalizePerVCPU:  3600 * time.Microsecond,
+			MigXenReceiveSeqVar: 0.85,
+		},
+	}
+}
+
+// M2 returns the profile of the paper's M2 machine: 2x Xeon E5-2650L v4,
+// 2x14 cores / 56 threads @ 1.7 GHz, 64 GB RAM, 1 Gbps Ethernet.
+func M2() *Profile {
+	return &Profile{
+		Name:         "M2",
+		Cores:        28,
+		Threads:      56,
+		BaseGHz:      1.7,
+		RAMBytes:     64 * GiB,
+		ReservedCPUs: 2,
+		NetRate:      1_000_000_000 / 8,
+		Cost: CostModel{
+			// Fig. 6 anchors for M2: PRAM 0.5 s, Translation
+			// 0.24 s, Reboot 2.40 s, Restoration 0.34 s. The
+			// lower clock makes per-item work costlier, the many
+			// cores make parallel phases scale flatter.
+			PRAMPerVM:        430 * time.Millisecond,
+			PRAMPerGB:        70 * time.Millisecond,
+			TranslatePerVM:   200 * time.Millisecond,
+			TranslatePerVCPU: 8 * time.Millisecond,
+			TranslatePerGB:   32 * time.Millisecond,
+			RestorePerVM:     320 * time.Millisecond,
+			RestorePerVCPU:   16 * time.Millisecond,
+			BootLinuxKVM:     2275 * time.Millisecond,
+			// Fig. 10 anchor: ~17.8 s total for KVM→Xen on M2.
+			BootXenDom0:         17100 * time.Millisecond,
+			BootNOVA:            950 * time.Millisecond,
+			PRAMParsePerGB:      110 * time.Millisecond,
+			PRAMParsePerVM:      15 * time.Millisecond,
+			NICReinit:           2300 * time.Millisecond,
+			RestoreServiceWait:  800 * time.Millisecond,
+			MigFinalizeXen:      150 * time.Millisecond,
+			MigFinalizeKVMTool:  5200 * time.Microsecond,
+			MigFinalizePerVCPU:  4000 * time.Microsecond,
+			MigXenReceiveSeqVar: 0.85,
+		},
+	}
+}
+
+// ClusterNode returns the profile of the §5.4 cluster machines: 2x Xeon
+// E5-2630 v3, 96 GB RAM, 10 Gbps network. Transplant costs reuse the M2
+// calibration (same server class).
+func ClusterNode() *Profile {
+	p := M2()
+	p.Name = "cluster-node"
+	p.Cores = 16
+	p.Threads = 32
+	p.BaseGHz = 2.4
+	p.RAMBytes = 96 * GiB
+	p.NetRate = 10_000_000_000 / 8
+	return p
+}

@@ -1,0 +1,252 @@
+// Package metrics provides the time-series and summary-statistics
+// machinery the evaluation harness uses to report tables and figures:
+// sampled series (QPS/latency timelines), box-plot statistics for the
+// multi-VM migration experiments, and plain-text table/series rendering.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is a named, time-ordered sequence of samples.
+type Series struct {
+	Name   string
+	Unit   string
+	Points []Point
+}
+
+// Add appends a sample; samples must be appended in time order.
+func (s *Series) Add(t time.Duration, v float64) {
+	if n := len(s.Points); n > 0 && s.Points[n-1].T > t {
+		panic(fmt.Sprintf("metrics: out-of-order sample %v after %v", t, s.Points[n-1].T))
+	}
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// At returns the value at time t (the most recent sample ≤ t), or 0
+// before the first sample.
+func (s *Series) At(t time.Duration) float64 {
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return s.Points[i-1].V
+}
+
+// Values returns the raw sample values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Window returns samples in [from, to).
+func (s *Series) Window(from, to time.Duration) []Point {
+	var out []Point
+	for _, p := range s.Points {
+		if p.T >= from && p.T < to {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of vs (0 for empty input).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(vs []float64) float64 {
+	if len(vs) < 2 {
+		return 0
+	}
+	m := Mean(vs)
+	var sq float64
+	for _, v := range vs {
+		d := v - m
+		sq += d * d
+	}
+	return math.Sqrt(sq / float64(len(vs)))
+}
+
+// Percentile returns the p-th percentile (0-100) by linear
+// interpolation.
+func Percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// BoxStats is the five-number summary used for the paper's box plots.
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Box computes the five-number summary.
+func Box(vs []float64) BoxStats {
+	return BoxStats{
+		Min:    Percentile(vs, 0),
+		Q1:     Percentile(vs, 25),
+		Median: Percentile(vs, 50),
+		Q3:     Percentile(vs, 75),
+		Max:    Percentile(vs, 100),
+	}
+}
+
+func (b BoxStats) String() string {
+	return fmt.Sprintf("min=%.3g q1=%.3g med=%.3g q3=%.3g max=%.3g",
+		b.Min, b.Q1, b.Median, b.Q3, b.Max)
+}
+
+// Durations converts a slice of time.Durations to float64 seconds.
+func Durations(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// Table is a simple text table for the harness output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns the table as aligned plain text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// RenderSeries renders a compact ASCII plot of one or more series over
+// their shared time range — the harness's stand-in for the paper's
+// figures.
+func RenderSeries(width, height int, series ...*Series) string {
+	if len(series) == 0 || width < 8 || height < 2 {
+		return ""
+	}
+	var tMax time.Duration
+	vMax := 0.0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.T > tMax {
+				tMax = p.T
+			}
+			if p.V > vMax {
+				vMax = p.V
+			}
+		}
+	}
+	if tMax == 0 || vMax == 0 {
+		return ""
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*o+x#@"
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for col := 0; col < width; col++ {
+			t := time.Duration(float64(tMax) * float64(col) / float64(width-1))
+			v := s.At(t)
+			row := height - 1 - int(v/vMax*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8.3g ┤\n", vMax)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "         │%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "         └%s\n", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "          0%*s\n", width-1, fmt.Sprintf("%.3gs", tMax.Seconds()))
+	for si, s := range series {
+		fmt.Fprintf(&b, "          %c %s", marks[si%len(marks)], s.Name)
+		if s.Unit != "" {
+			fmt.Fprintf(&b, " (%s)", s.Unit)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package migration
+
+import (
+	"testing"
+	"time"
+
+	"hypertp/internal/workload"
+)
+
+// A live in-guest workload driver produces real dirty pages that the
+// pre-copy loop must retransmit — no analytic rate parameter involved.
+func TestDriverDirtyPagesForceExtraRounds(t *testing.T) {
+	r := newRig(t)
+	vm := r.createVM(t, "busy", 1, 1)
+	// Write 3000 pages/s across a 64 Mi-page window: fast enough that
+	// each ~8.6 s round accumulates a large dirty set.
+	drv, err := workload.StartDriver(r.clock, vm.Guest, 3000, 0, 16384, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var report *Report
+	var gotErr error
+	Run(r.clock, Params{
+		Link: r.link, Source: r.src,
+		Dest: NewReceiver(r.clock, r.destK, 1), VMID: vm.ID,
+		// No synthetic rate: all dirtying comes from the driver.
+	}, func(rep *Report, err error) {
+		report, gotErr = rep, err
+		drv.Stop()
+	})
+	// The driver re-arms itself forever, so drive the clock by horizon
+	// instead of draining the queue.
+	r.clock.RunUntil(10 * time.Minute)
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if report == nil {
+		t.Fatal("migration never completed")
+	}
+	if report.Rounds < 2 {
+		t.Fatalf("rounds = %d, want > 1 with a live workload", report.Rounds)
+	}
+	onePass := int64(vm.Config.MemBytes)
+	if report.BytesSent <= onePass {
+		t.Fatalf("bytes sent %d ≤ one memory pass %d: no retransmission", report.BytesSent, onePass)
+	}
+	if drv.PagesWritten() == 0 {
+		t.Fatal("driver wrote nothing")
+	}
+	// Every byte the guest wrote — including mid-migration writes that
+	// landed before the final pause — is on the destination.
+	if err := report.DestVM.Guest.Verify(); err != nil {
+		t.Fatalf("guest state lost under live workload: %v", err)
+	}
+}

@@ -1,0 +1,438 @@
+// Package orchestrator models the paper's OpenStack integration (§4.5):
+// a Nova-like cloud manager driving hypervisors exclusively through a
+// generic libvirt-style ComputeDriver (the "G2" interaction mode every
+// surveyed operator uses), extended with the HyperTP operations —
+// guest-state saving, host live upgrade, guest-state restoring — plus a
+// HyperTP-aware scheduler filter that keeps transplantable VMs together.
+package orchestrator
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hypertp/internal/checkpoint"
+	"hypertp/internal/core"
+	"hypertp/internal/hv"
+	"hypertp/internal/hw"
+	"hypertp/internal/migration"
+	"hypertp/internal/simnet"
+	"hypertp/internal/simtime"
+)
+
+// ComputeDriver is the generic per-host driver interface (libvirt in the
+// paper), extended with the three HyperTP operations of §4.5.2.
+type ComputeDriver interface {
+	// HypervisorKind reports what currently runs on the host.
+	HypervisorKind() hv.Kind
+	// Spawn creates and starts a VM.
+	Spawn(cfg hv.Config) (hv.VMID, error)
+	// Destroy tears a VM down.
+	Destroy(id hv.VMID) error
+	// Suspend and Resume map to the existing Nova operations the
+	// HyperTP save/restore hooks are modeled on.
+	Suspend(id hv.VMID) error
+	Resume(id hv.VMID) error
+	// VMs lists the host's VMs.
+	VMs() []*hv.VM
+	// Capacity returns remaining vCPU and memory headroom.
+	Capacity() (vcpus int, mem uint64)
+
+	// HostLiveUpgrade is the new driver operation: transplant the whole
+	// host to the target hypervisor kind in place.
+	HostLiveUpgrade(target hv.Kind, opts core.Options) (*core.InPlaceReport, error)
+	// Hypervisor exposes the underlying handle for migration plumbing
+	// (used by the manager, never by operators).
+	Hypervisor() hv.Hypervisor
+}
+
+// LibvirtDriver implements ComputeDriver over a simulated host.
+type LibvirtDriver struct {
+	engine *core.Engine
+	hyp    hv.Hypervisor
+}
+
+// NewLibvirtDriver boots a hypervisor of the given kind on machine and
+// wraps it.
+func NewLibvirtDriver(clock *simtime.Clock, machine *hw.Machine, kind hv.Kind) (*LibvirtDriver, error) {
+	engine := core.NewEngine(clock, machine)
+	hyp, err := engine.BootHypervisor(kind)
+	if err != nil {
+		return nil, err
+	}
+	return &LibvirtDriver{engine: engine, hyp: hyp}, nil
+}
+
+// HypervisorKind implements ComputeDriver.
+func (d *LibvirtDriver) HypervisorKind() hv.Kind { return d.hyp.Kind() }
+
+// Hypervisor implements ComputeDriver.
+func (d *LibvirtDriver) Hypervisor() hv.Hypervisor { return d.hyp }
+
+// Spawn implements ComputeDriver.
+func (d *LibvirtDriver) Spawn(cfg hv.Config) (hv.VMID, error) {
+	vm, err := d.hyp.CreateVM(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return vm.ID, nil
+}
+
+// Destroy implements ComputeDriver.
+func (d *LibvirtDriver) Destroy(id hv.VMID) error { return d.hyp.DestroyVM(id) }
+
+// Suspend implements ComputeDriver.
+func (d *LibvirtDriver) Suspend(id hv.VMID) error { return d.hyp.Pause(id) }
+
+// Resume implements ComputeDriver.
+func (d *LibvirtDriver) Resume(id hv.VMID) error { return d.hyp.Resume(id) }
+
+// VMs implements ComputeDriver.
+func (d *LibvirtDriver) VMs() []*hv.VM { return d.hyp.VMs() }
+
+// Capacity implements ComputeDriver.
+func (d *LibvirtDriver) Capacity() (int, uint64) {
+	p := d.engine.Machine.Profile
+	vcpus := p.Threads - p.ReservedCPUs
+	mem := d.engine.Machine.Mem.FreeFrames() * hw.PageSize4K
+	for _, vm := range d.hyp.VMs() {
+		vcpus -= vm.Config.VCPUs
+	}
+	if vcpus < 0 {
+		vcpus = 0
+	}
+	return vcpus, mem
+}
+
+// HostLiveUpgrade implements ComputeDriver: the one-click in-place
+// transplant.
+func (d *LibvirtDriver) HostLiveUpgrade(target hv.Kind, opts core.Options) (*core.InPlaceReport, error) {
+	newHyp, report, err := d.engine.InPlace(d.hyp, target, opts)
+	if err != nil {
+		return nil, err
+	}
+	d.hyp = newHyp
+	return report, nil
+}
+
+// VMRecord is one row of the Nova database.
+type VMRecord struct {
+	Name              string
+	Node              string
+	ID                hv.VMID
+	Kind              hv.Kind
+	InPlaceCompatible bool
+}
+
+// Nova is the cloud manager.
+type Nova struct {
+	clock  *simtime.Clock
+	fabric *simnet.Link
+	nodes  map[string]*ComputeNode
+	order  []string
+	db     map[string]*VMRecord
+	seed   uint64
+}
+
+// ComputeNode is one managed host.
+type ComputeNode struct {
+	Name   string
+	Driver ComputeDriver
+}
+
+// NewNova creates a manager over the given fabric link.
+func NewNova(clock *simtime.Clock, fabric *simnet.Link) *Nova {
+	return &Nova{
+		clock:  clock,
+		fabric: fabric,
+		nodes:  make(map[string]*ComputeNode),
+		db:     make(map[string]*VMRecord),
+		seed:   1,
+	}
+}
+
+// AddNode registers a compute node.
+func (n *Nova) AddNode(name string, driver ComputeDriver) error {
+	if _, dup := n.nodes[name]; dup {
+		return fmt.Errorf("nova: duplicate node %q", name)
+	}
+	n.nodes[name] = &ComputeNode{Name: name, Driver: driver}
+	n.order = append(n.order, name)
+	sort.Strings(n.order)
+	return nil
+}
+
+// Node returns a registered node.
+func (n *Nova) Node(name string) (*ComputeNode, bool) {
+	node, ok := n.nodes[name]
+	return node, ok
+}
+
+// Records returns the database rows sorted by VM name.
+func (n *Nova) Records() []VMRecord {
+	names := make([]string, 0, len(n.db))
+	for name := range n.db {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]VMRecord, 0, len(names))
+	for _, name := range names {
+		out = append(out, *n.db[name])
+	}
+	return out
+}
+
+// Record returns one VM's database row.
+func (n *Nova) Record(name string) (VMRecord, bool) {
+	r, ok := n.db[name]
+	if !ok {
+		return VMRecord{}, false
+	}
+	return *r, true
+}
+
+// BootVM schedules and spawns a VM. The scheduler applies a capacity
+// filter and the HyperTP-aware affinity filter of §4.5.2: hosts whose
+// population matches the VM's transplantability are weighted up, so
+// transplantable VMs consolidate and whole hosts stay upgradable with a
+// single InPlaceTP.
+func (n *Nova) BootVM(cfg hv.Config) (string, error) {
+	if _, dup := n.db[cfg.Name]; dup {
+		return "", fmt.Errorf("nova: VM %q already exists", cfg.Name)
+	}
+	var best *ComputeNode
+	bestScore := -1 << 30
+	for _, name := range n.order {
+		node := n.nodes[name]
+		vcpus, mem := node.Driver.Capacity()
+		if vcpus < cfg.VCPUs || mem < cfg.MemBytes {
+			continue
+		}
+		score := 0
+		// HyperTP affinity: count co-located VMs with matching
+		// transplantability, penalize mismatches.
+		for _, vm := range node.Driver.VMs() {
+			if vm.Config.InPlaceCompatible == cfg.InPlaceCompatible {
+				score += 2
+			} else {
+				score -= 3
+			}
+		}
+		// Light packing preference: fuller nodes first, so empty
+		// nodes stay free for evacuation headroom.
+		score += len(node.Driver.VMs())
+		if score > bestScore {
+			best, bestScore = node, score
+		}
+	}
+	if best == nil {
+		return "", fmt.Errorf("nova: no node fits VM %q", cfg.Name)
+	}
+	id, err := best.Driver.Spawn(cfg)
+	if err != nil {
+		return "", err
+	}
+	n.db[cfg.Name] = &VMRecord{
+		Name: cfg.Name, Node: best.Name, ID: id,
+		Kind:              best.Driver.HypervisorKind(),
+		InPlaceCompatible: cfg.InPlaceCompatible,
+	}
+	return best.Name, nil
+}
+
+// LiveMigrate moves one VM to another node (the existing Nova
+// live_migration operation, heterogeneous-capable through the UISR
+// proxies).
+func (n *Nova) LiveMigrate(vmName, destNode string) (*migration.Report, error) {
+	rec, ok := n.db[vmName]
+	if !ok {
+		return nil, fmt.Errorf("nova: unknown VM %q", vmName)
+	}
+	dest, ok := n.nodes[destNode]
+	if !ok {
+		return nil, fmt.Errorf("nova: unknown node %q", destNode)
+	}
+	if rec.Node == destNode {
+		return nil, fmt.Errorf("nova: VM %q already on %q", vmName, destNode)
+	}
+	src := n.nodes[rec.Node]
+	n.seed++
+	recv := migration.NewReceiver(n.clock, dest.Driver.Hypervisor(), n.seed)
+	var report *migration.Report
+	var err error
+	migration.Run(n.clock, migration.Params{
+		Link:   n.fabric,
+		Source: src.Driver.Hypervisor(),
+		Dest:   recv,
+		VMID:   rec.ID,
+	}, func(r *migration.Report, e error) { report, err = r, e })
+	n.clock.Run()
+	if err != nil {
+		return nil, err
+	}
+	rec.Node = destNode
+	rec.ID = report.DestVM.ID
+	rec.Kind = dest.Driver.HypervisorKind()
+	return report, nil
+}
+
+// ColdMigrate moves a VM between nodes without a live link: the §4.5.2
+// guest-state-saving path — suspend, checkpoint, destroy, restore on the
+// destination, resume. Unlike LiveMigrate, the VM is down for the whole
+// operation; the payoff is that it works across any pool pair and needs
+// no migration stream.
+func (n *Nova) ColdMigrate(vmName, destNode string) error {
+	rec, ok := n.db[vmName]
+	if !ok {
+		return fmt.Errorf("nova: unknown VM %q", vmName)
+	}
+	dest, ok := n.nodes[destNode]
+	if !ok {
+		return fmt.Errorf("nova: unknown node %q", destNode)
+	}
+	if rec.Node == destNode {
+		return fmt.Errorf("nova: VM %q already on %q", vmName, destNode)
+	}
+	src := n.nodes[rec.Node]
+	srcHyp := src.Driver.Hypervisor()
+	vm, ok := srcHyp.LookupVM(rec.ID)
+	if !ok {
+		return fmt.Errorf("nova: VM %q missing from node %q", vmName, rec.Node)
+	}
+	g := vm.Guest
+	if err := srcHyp.Pause(rec.ID); err != nil {
+		return err
+	}
+	img, err := checkpoint.Save(srcHyp, rec.ID)
+	if err != nil {
+		return err
+	}
+	// Durable round trip, as the real operation would store to shared
+	// storage.
+	data, err := checkpoint.Serialize(img)
+	if err != nil {
+		return err
+	}
+	if err := srcHyp.DestroyVM(rec.ID); err != nil {
+		return err
+	}
+	img, err = checkpoint.Deserialize(data)
+	if err != nil {
+		return err
+	}
+	destHyp := dest.Driver.Hypervisor()
+	restored, err := checkpoint.Restore(destHyp, img)
+	if err != nil {
+		return err
+	}
+	if g != nil {
+		if err := destHyp.AttachGuest(restored.ID, g); err != nil {
+			return err
+		}
+	}
+	if err := destHyp.Resume(restored.ID); err != nil {
+		return err
+	}
+	rec.Node = destNode
+	rec.ID = restored.ID
+	rec.Kind = dest.Driver.HypervisorKind()
+	return nil
+}
+
+// UpgradeRecord summarizes a HostLiveUpgrade call.
+type UpgradeRecord struct {
+	Node         string
+	Target       hv.Kind
+	EvacuatedVMs []string
+	Report       *core.InPlaceReport
+	Elapsed      time.Duration
+}
+
+// HostLiveUpgrade is the §4.5.2 one-click API: VMs that do not support
+// InPlaceTP are live-migrated away (the Evacuate-like path), the host is
+// transplanted in place, and the database is updated to the new
+// hypervisor.
+func (n *Nova) HostLiveUpgrade(nodeName string, target hv.Kind, opts core.Options) (*UpgradeRecord, error) {
+	node, ok := n.nodes[nodeName]
+	if !ok {
+		return nil, fmt.Errorf("nova: unknown node %q", nodeName)
+	}
+	if node.Driver.HypervisorKind() == target {
+		return nil, fmt.Errorf("nova: node %q already runs %v", nodeName, target)
+	}
+	start := n.clock.Now()
+	rec := &UpgradeRecord{Node: nodeName, Target: target}
+
+	// Evacuate incompatible VMs.
+	for _, vm := range node.Driver.VMs() {
+		if vm.Config.InPlaceCompatible {
+			continue
+		}
+		dest := n.pickEvacuationTarget(nodeName, vm)
+		if dest == "" {
+			return nil, fmt.Errorf("nova: no evacuation target for VM %q", vm.Config.Name)
+		}
+		if _, err := n.LiveMigrate(vm.Config.Name, dest); err != nil {
+			return nil, err
+		}
+		rec.EvacuatedVMs = append(rec.EvacuatedVMs, vm.Config.Name)
+	}
+
+	// In-place transplant of the remaining (compatible) VMs. A host
+	// with no remaining VMs just reboots into the target.
+	if len(node.Driver.VMs()) > 0 {
+		report, err := node.Driver.HostLiveUpgrade(target, opts)
+		if err != nil {
+			return nil, err
+		}
+		rec.Report = report
+		// Update the database rows of the transplanted VMs.
+		for _, res := range report.VMs {
+			if r, ok := n.db[res.Name]; ok {
+				r.ID = res.NewID
+				r.Kind = target
+			}
+		}
+	} else {
+		if err := rebootEmptyHost(node.Driver, target); err != nil {
+			return nil, err
+		}
+	}
+	rec.Elapsed = n.clock.Now() - start
+	return rec, nil
+}
+
+// pickEvacuationTarget chooses the node with the most capacity.
+func (n *Nova) pickEvacuationTarget(exclude string, vm *hv.VM) string {
+	best := ""
+	bestCPU := -1
+	for _, name := range n.order {
+		if name == exclude {
+			continue
+		}
+		vcpus, mem := n.nodes[name].Driver.Capacity()
+		if vcpus < vm.Config.VCPUs || mem < vm.Config.MemBytes {
+			continue
+		}
+		if vcpus > bestCPU {
+			best, bestCPU = name, vcpus
+		}
+	}
+	return best
+}
+
+// rebootEmptyHost swaps the hypervisor on a host with no VMs.
+func rebootEmptyHost(d ComputeDriver, target hv.Kind) error {
+	ld, ok := d.(*LibvirtDriver)
+	if !ok {
+		return fmt.Errorf("nova: driver %T cannot reboot empty host", d)
+	}
+	// A plain reboot: wipe and boot the target. No state to preserve.
+	ld.engine.Machine.MicroReboot("fresh-boot", nil)
+	hyp, err := ld.engine.BootHypervisor(target)
+	if err != nil {
+		return err
+	}
+	ld.hyp = hyp
+	return nil
+}

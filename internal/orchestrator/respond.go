@@ -1,0 +1,90 @@
+package orchestrator
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hypertp/internal/core"
+	"hypertp/internal/hv"
+	"hypertp/internal/vulndb"
+)
+
+// FleetResponse is the outcome of an automated vulnerability response
+// across the whole fleet.
+type FleetResponse struct {
+	CVE    string
+	Target hv.Kind
+	// UpgradedNodes lists nodes transplanted, in order.
+	UpgradedNodes []string
+	// SkippedNodes lists nodes that already ran an unaffected
+	// hypervisor.
+	SkippedNodes []string
+	// Records are the per-node upgrade reports.
+	Records []*UpgradeRecord
+	// Elapsed is the virtual time from alert to fleet-secured.
+	Elapsed time.Duration
+}
+
+// RespondToCVE is the paper's end-to-end scenario as a single operation:
+// given a newly disclosed vulnerability, consult the database, pick a
+// safe target hypervisor from the pool, and upgrade every affected node
+// (evacuating InPlaceTP-incompatible VMs first). It refuses to act on
+// non-critical flaws — HyperTP is reserved for critical vulnerabilities
+// (§1) — and fails when no pool member is safe (the VENOM case).
+func (n *Nova) RespondToCVE(db *vulndb.Database, cveID string, pool []string, opts core.Options) (*FleetResponse, error) {
+	rec, ok := db.Lookup(cveID)
+	if !ok {
+		return nil, fmt.Errorf("nova: unknown vulnerability %q", cveID)
+	}
+	if rec.Severity() != vulndb.SeverityCritical {
+		return nil, fmt.Errorf("nova: %s is %s; transplant is reserved for critical flaws",
+			cveID, rec.Severity())
+	}
+	start := n.clock.Now()
+	resp := &FleetResponse{CVE: cveID}
+
+	// Determine affected nodes and a common safe target. Processing in
+	// name order keeps the response deterministic.
+	names := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		node := n.nodes[name]
+		current := node.Driver.HypervisorKind().String()
+		if !rec.Affected(current) {
+			resp.SkippedNodes = append(resp.SkippedNodes, name)
+			continue
+		}
+		targetName, err := db.SelectTarget(current, []string{cveID}, pool)
+		if err != nil {
+			return nil, fmt.Errorf("nova: node %s: %w", name, err)
+		}
+		var target hv.Kind
+		switch targetName {
+		case "xen":
+			target = hv.KindXen
+		case "kvm":
+			target = hv.KindKVM
+		case "nova":
+			target = hv.KindNOVA
+		default:
+			return nil, fmt.Errorf("nova: policy chose unknown hypervisor %q", targetName)
+		}
+		up, err := n.HostLiveUpgrade(name, target, opts)
+		if err != nil {
+			return nil, fmt.Errorf("nova: node %s: %w", name, err)
+		}
+		resp.Target = target
+		resp.UpgradedNodes = append(resp.UpgradedNodes, name)
+		resp.Records = append(resp.Records, up)
+	}
+	if len(resp.UpgradedNodes) == 0 {
+		return nil, fmt.Errorf("nova: no node runs a hypervisor affected by %s", cveID)
+	}
+	resp.Elapsed = n.clock.Now() - start
+	return resp, nil
+}

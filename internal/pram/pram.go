@@ -1,0 +1,438 @@
+// Package pram implements the PRAM structure of the paper (§4.2.2,
+// Fig. 4): a persistent-over-kexec filesystem-like structure that records
+// each VM's guest memory map so the target hypervisor can find and adopt
+// Guest State after the micro-reboot.
+//
+// The structure is built from 4 KiB metadata pages written into simulated
+// physical memory (owner tag hw.OwnerPRAM):
+//
+//	PRAM pointer ─→ root directory page ─→ (chain of root pages)
+//	                  │ file pointers
+//	                  ▼
+//	                file info page (one per VM)
+//	                  │ first-node pointer
+//	                  ▼
+//	                node page ─→ node page ─→ …
+//	                  │ page entries (8 bytes each)
+//
+// Each page entry packs (GFN, MFN, order) into 8 bytes — the paper's
+// "8-byte records for every VM's memory page" — which is what produces
+// the Fig. 14 overhead numbers: 4 KiB of entries per GiB of 2 MiB-backed
+// guest memory, plus three fixed metadata pages per structure/VM.
+package pram
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"hypertp/internal/hw"
+	"hypertp/internal/uisr"
+)
+
+// Page-level layout constants.
+const (
+	rootMagic uint64 = 0x4d4152506f6f72 // "rooPRAM"
+	fileMagic uint64 = 0x4d415250656c69 // "ilePRAM"
+	nodeMagic uint64 = 0x4d415250646f6e // "nodPRAM"
+
+	rootHeaderSize = 24 // magic, next, count
+	nodeHeaderSize = 32 // magic, next, count, reserved
+	// EntriesPerNode is how many 8-byte page entries fit in one node
+	// page after its header.
+	EntriesPerNode = (hw.PageSize4K - nodeHeaderSize) / 8
+	// filePointersPerRoot is how many file-info pointers fit in one
+	// root directory page.
+	filePointersPerRoot = (hw.PageSize4K - rootHeaderSize) / 8
+
+	// maxNameLen is the file (VM) name field width in a file info page.
+	maxNameLen = 64
+)
+
+// Entry packing: order in the low 4 bits, then GFN/2^order in 28 bits,
+// then MFN/2^order in the top 32 bits. Orders above 15 are rejected.
+const (
+	orderBits = 4
+	gfnBits   = 28
+	gfnShift  = orderBits
+	mfnShift  = orderBits + gfnBits
+)
+
+func packEntry(e uisr.PageExtent) (uint64, error) {
+	if e.Order >= 1<<orderBits {
+		return 0, fmt.Errorf("pram: order %d too large", e.Order)
+	}
+	g := e.GFN >> e.Order
+	m := e.MFN >> e.Order
+	if g>>gfnBits != 0 {
+		return 0, fmt.Errorf("pram: gfn %d does not fit entry encoding", e.GFN)
+	}
+	if m>>32 != 0 {
+		return 0, fmt.Errorf("pram: mfn %d does not fit entry encoding", e.MFN)
+	}
+	if e.GFN%e.Pages() != 0 || e.MFN%e.Pages() != 0 {
+		return 0, fmt.Errorf("pram: extent gfn %d/mfn %d misaligned for order %d", e.GFN, e.MFN, e.Order)
+	}
+	return uint64(e.Order) | g<<gfnShift | m<<mfnShift, nil
+}
+
+func unpackEntry(raw uint64) uisr.PageExtent {
+	order := uint8(raw & (1<<orderBits - 1))
+	g := (raw >> gfnShift) & (1<<gfnBits - 1)
+	m := raw >> mfnShift
+	return uisr.PageExtent{GFN: g << order, MFN: m << order, Order: order}
+}
+
+// File is one VM's memory image as recorded in PRAM.
+type File struct {
+	Name    string
+	VMID    uint32
+	Extents []uisr.PageExtent
+}
+
+// Bytes returns the guest memory size the file covers.
+func (f *File) Bytes() uint64 {
+	var n uint64
+	for _, e := range f.Extents {
+		n += e.Pages() * hw.PageSize4K
+	}
+	return n
+}
+
+// Structure is a built PRAM instance resident in physical memory.
+type Structure struct {
+	// Pointer is the machine frame of the first root directory page —
+	// the "PRAM pointer" handed to the target hypervisor on its boot
+	// command line.
+	Pointer hw.MFN
+	// MetaFrames are all metadata frames in allocation order.
+	MetaFrames []hw.MFN
+	// Files are the recorded VM images.
+	Files []File
+}
+
+// MetadataBytes returns the PRAM structure's own memory footprint — the
+// quantity plotted in Fig. 14.
+func (s *Structure) MetadataBytes() uint64 {
+	return uint64(len(s.MetaFrames)) * hw.PageSize4K
+}
+
+// FrameRanges returns the frame runs that must survive the micro-reboot:
+// the metadata pages and every guest frame the entries reference.
+func (s *Structure) FrameRanges() []hw.FrameRange {
+	var out []hw.FrameRange
+	for _, m := range s.MetaFrames {
+		out = append(out, hw.FrameRange{Start: m, Count: 1})
+	}
+	for _, f := range s.Files {
+		for _, e := range f.Extents {
+			out = append(out, hw.FrameRange{Start: hw.MFN(e.MFN), Count: e.Pages()})
+		}
+	}
+	return normalizeRanges(out)
+}
+
+// BuildOptions tune PRAM construction; the defaults match the paper's
+// optimized configuration (§4.2.5).
+type BuildOptions struct {
+	// SplitHugePages disables the huge-page adaptation: order-9 extents
+	// are recorded as 512 individual 4 KiB entries. Used by the
+	// ablation experiments; costs ~512x metadata and parse time.
+	SplitHugePages bool
+}
+
+// Build serializes the memory maps of the given files into a PRAM
+// structure in mem. Metadata frames are tagged hw.OwnerPRAM.
+func Build(mem *hw.PhysMem, files []File, opts BuildOptions) (*Structure, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("pram: no files to record")
+	}
+	s := &Structure{}
+	alloc := func() (hw.MFN, error) {
+		fr, err := mem.Alloc(1, hw.OwnerPRAM, -1)
+		if err != nil {
+			return 0, err
+		}
+		s.MetaFrames = append(s.MetaFrames, fr[0])
+		return fr[0], nil
+	}
+
+	// Write each file: info page + node chain.
+	infoPages := make([]hw.MFN, 0, len(files))
+	for fi := range files {
+		f := &files[fi]
+		if len(f.Name) > maxNameLen {
+			return nil, fmt.Errorf("pram: file name %q too long", f.Name)
+		}
+		extents := f.Extents
+		if opts.SplitHugePages {
+			extents = splitExtents(extents)
+		}
+		nodeMFNs, err := writeNodeChain(mem, alloc, extents)
+		if err != nil {
+			return nil, err
+		}
+		info, err := alloc()
+		if err != nil {
+			return nil, err
+		}
+		if err := writeFileInfo(mem, info, f, nodeMFNs, len(extents)); err != nil {
+			return nil, err
+		}
+		infoPages = append(infoPages, info)
+	}
+
+	// Write the root directory chain.
+	var roots []hw.MFN
+	for i := 0; i < len(infoPages); i += filePointersPerRoot {
+		r, err := alloc()
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, r)
+	}
+	for ri, root := range roots {
+		lo := ri * filePointersPerRoot
+		hi := lo + filePointersPerRoot
+		if hi > len(infoPages) {
+			hi = len(infoPages)
+		}
+		next := hw.MFN(0)
+		if ri+1 < len(roots) {
+			next = roots[ri+1]
+		}
+		if err := writeRootPage(mem, root, next, infoPages[lo:hi]); err != nil {
+			return nil, err
+		}
+	}
+	s.Pointer = roots[0]
+	s.Files = files
+	return s, nil
+}
+
+// Parse reconstructs a PRAM structure from physical memory starting at
+// the PRAM pointer. This is what the target hypervisor runs during early
+// boot (§4.2.4); it is strict because adopting a corrupt map would hand
+// guests the wrong frames.
+func Parse(mem *hw.PhysMem, pointer hw.MFN) (*Structure, error) {
+	s := &Structure{Pointer: pointer}
+	seen := map[hw.MFN]bool{}
+	visit := func(m hw.MFN) error {
+		if seen[m] {
+			return fmt.Errorf("pram: metadata cycle at frame %#x", uint64(m))
+		}
+		seen[m] = true
+		s.MetaFrames = append(s.MetaFrames, m)
+		return nil
+	}
+
+	root := pointer
+	for root != 0 {
+		if err := visit(root); err != nil {
+			return nil, err
+		}
+		page, err := mem.Read(root, 0, hw.PageSize4K)
+		if err != nil {
+			return nil, fmt.Errorf("pram: root page: %w", err)
+		}
+		le := binary.LittleEndian
+		if le.Uint64(page[0:]) != rootMagic {
+			return nil, fmt.Errorf("pram: bad root magic at frame %#x", uint64(root))
+		}
+		next := hw.MFN(le.Uint64(page[8:]))
+		count := int(le.Uint64(page[16:]))
+		if count > filePointersPerRoot {
+			return nil, fmt.Errorf("pram: root page count %d too large", count)
+		}
+		for i := 0; i < count; i++ {
+			info := hw.MFN(le.Uint64(page[rootHeaderSize+8*i:]))
+			if err := visit(info); err != nil {
+				return nil, err
+			}
+			f, err := parseFile(mem, info, visit)
+			if err != nil {
+				return nil, err
+			}
+			s.Files = append(s.Files, *f)
+		}
+		root = next
+	}
+	if len(s.Files) == 0 {
+		return nil, fmt.Errorf("pram: structure records no files")
+	}
+	return s, nil
+}
+
+// Release frees all metadata frames: step ❼ of Fig. 3, returning the
+// ephemeral memory after resume.
+func (s *Structure) Release(mem *hw.PhysMem) error {
+	for _, m := range s.MetaFrames {
+		if err := mem.Free(m); err != nil {
+			return err
+		}
+	}
+	s.MetaFrames = nil
+	return nil
+}
+
+// --- page writers ------------------------------------------------------------
+
+func writeRootPage(mem *hw.PhysMem, frame, next hw.MFN, infos []hw.MFN) error {
+	page := make([]byte, hw.PageSize4K)
+	le := binary.LittleEndian
+	le.PutUint64(page[0:], rootMagic)
+	le.PutUint64(page[8:], uint64(next))
+	le.PutUint64(page[16:], uint64(len(infos)))
+	for i, m := range infos {
+		le.PutUint64(page[rootHeaderSize+8*i:], uint64(m))
+	}
+	return mem.Write(frame, 0, page)
+}
+
+func writeFileInfo(mem *hw.PhysMem, frame hw.MFN, f *File, firstNode hw.MFN, entries int) error {
+	page := make([]byte, hw.PageSize4K)
+	le := binary.LittleEndian
+	le.PutUint64(page[0:], fileMagic)
+	le.PutUint64(page[8:], uint64(firstNode))
+	le.PutUint64(page[16:], uint64(entries))
+	le.PutUint64(page[24:], f.Bytes())
+	le.PutUint32(page[32:], f.VMID)
+	le.PutUint32(page[36:], uint32(len(f.Name)))
+	copy(page[40:40+maxNameLen], f.Name)
+	return mem.Write(frame, 0, page)
+}
+
+func writeNodeChain(mem *hw.PhysMem, alloc func() (hw.MFN, error), extents []uisr.PageExtent) (hw.MFN, error) {
+	if len(extents) == 0 {
+		return 0, fmt.Errorf("pram: file has no extents")
+	}
+	nNodes := (len(extents) + EntriesPerNode - 1) / EntriesPerNode
+	nodes := make([]hw.MFN, nNodes)
+	for i := range nodes {
+		m, err := alloc()
+		if err != nil {
+			return 0, err
+		}
+		nodes[i] = m
+	}
+	le := binary.LittleEndian
+	for ni := range nodes {
+		lo := ni * EntriesPerNode
+		hi := lo + EntriesPerNode
+		if hi > len(extents) {
+			hi = len(extents)
+		}
+		page := make([]byte, hw.PageSize4K)
+		le.PutUint64(page[0:], nodeMagic)
+		next := uint64(0)
+		if ni+1 < len(nodes) {
+			next = uint64(nodes[ni+1])
+		}
+		le.PutUint64(page[8:], next)
+		le.PutUint64(page[16:], uint64(hi-lo))
+		for i, e := range extents[lo:hi] {
+			raw, err := packEntry(e)
+			if err != nil {
+				return 0, err
+			}
+			le.PutUint64(page[nodeHeaderSize+8*i:], raw)
+		}
+		if err := mem.Write(nodes[ni], 0, page); err != nil {
+			return 0, err
+		}
+	}
+	return nodes[0], nil
+}
+
+func parseFile(mem *hw.PhysMem, info hw.MFN, visit func(hw.MFN) error) (*File, error) {
+	page, err := mem.Read(info, 0, hw.PageSize4K)
+	if err != nil {
+		return nil, fmt.Errorf("pram: file info page: %w", err)
+	}
+	le := binary.LittleEndian
+	if le.Uint64(page[0:]) != fileMagic {
+		return nil, fmt.Errorf("pram: bad file magic at frame %#x", uint64(info))
+	}
+	node := hw.MFN(le.Uint64(page[8:]))
+	wantEntries := int(le.Uint64(page[16:]))
+	wantBytes := le.Uint64(page[24:])
+	f := &File{VMID: le.Uint32(page[32:])}
+	nameLen := int(le.Uint32(page[36:]))
+	if nameLen > maxNameLen {
+		return nil, fmt.Errorf("pram: file name length %d too large", nameLen)
+	}
+	f.Name = string(page[40 : 40+nameLen])
+
+	for node != 0 {
+		if err := visit(node); err != nil {
+			return nil, err
+		}
+		npage, err := mem.Read(node, 0, hw.PageSize4K)
+		if err != nil {
+			return nil, fmt.Errorf("pram: node page: %w", err)
+		}
+		if le.Uint64(npage[0:]) != nodeMagic {
+			return nil, fmt.Errorf("pram: bad node magic at frame %#x", uint64(node))
+		}
+		next := hw.MFN(le.Uint64(npage[8:]))
+		count := int(le.Uint64(npage[16:]))
+		if count > EntriesPerNode {
+			return nil, fmt.Errorf("pram: node entry count %d too large", count)
+		}
+		for i := 0; i < count; i++ {
+			raw := le.Uint64(npage[nodeHeaderSize+8*i:])
+			f.Extents = append(f.Extents, unpackEntry(raw))
+		}
+		node = next
+	}
+	if len(f.Extents) != wantEntries {
+		return nil, fmt.Errorf("pram: file %q has %d entries, info page says %d",
+			f.Name, len(f.Extents), wantEntries)
+	}
+	if f.Bytes() != wantBytes {
+		return nil, fmt.Errorf("pram: file %q covers %d bytes, info page says %d",
+			f.Name, f.Bytes(), wantBytes)
+	}
+	return f, nil
+}
+
+// splitExtents expands huge extents into order-0 entries (the
+// non-huge-page ablation).
+func splitExtents(in []uisr.PageExtent) []uisr.PageExtent {
+	var out []uisr.PageExtent
+	for _, e := range in {
+		if e.Order == 0 {
+			out = append(out, e)
+			continue
+		}
+		for p := uint64(0); p < e.Pages(); p++ {
+			out = append(out, uisr.PageExtent{GFN: e.GFN + p, MFN: e.MFN + p, Order: 0})
+		}
+	}
+	return out
+}
+
+// normalizeRanges sorts and merges frame ranges.
+func normalizeRanges(in []hw.FrameRange) []hw.FrameRange {
+	if len(in) == 0 {
+		return in
+	}
+	sortRanges(in)
+	out := in[:1]
+	for _, r := range in[1:] {
+		last := &out[len(out)-1]
+		if last.Start+hw.MFN(last.Count) >= r.Start {
+			end := r.Start + hw.MFN(r.Count)
+			if end > last.Start+hw.MFN(last.Count) {
+				last.Count = uint64(end - last.Start)
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func sortRanges(rs []hw.FrameRange) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
+}

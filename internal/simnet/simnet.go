@@ -1,0 +1,221 @@
+// Package simnet models the datacenter network used by MigrationTP and by
+// the cluster experiments: point-to-point links with a fixed line rate,
+// propagation latency, and fair bandwidth sharing among concurrent
+// transfers.
+//
+// The model is analytic rather than packet-level: a Link tracks the set of
+// in-flight transfers and, whenever that set changes, recomputes each
+// transfer's completion time assuming the line rate is split equally among
+// them (max-min fair sharing, which is what long-lived TCP migration streams
+// converge to in practice). This is the property that matters for the
+// paper's Figure 9: total migration time is bandwidth-bound and grows
+// linearly with the bytes moved, while concurrent migrations share the pipe.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hypertp/internal/simtime"
+)
+
+// Common link speeds used in the paper's testbeds.
+const (
+	Gbps1  = 1_000_000_000 / 8  // bytes per second on the M1<->M1 1 Gbps link
+	Gbps10 = 10_000_000_000 / 8 // bytes per second on the cluster's 10 Gbps fabric
+)
+
+// ErrTransferAborted is reported to completion callbacks when a transfer is
+// cancelled before finishing.
+var ErrTransferAborted = errors.New("simnet: transfer aborted")
+
+// Link is a shared-medium network link. All transfers on the link divide its
+// line rate equally.
+type Link struct {
+	name       string
+	byteRate   float64 // bytes per second of usable line rate
+	latency    time.Duration
+	clock      *simtime.Clock
+	active     map[*Transfer]struct{}
+	lastUpdate time.Duration
+}
+
+// Transfer is one in-flight bulk transfer (e.g. a migration stream).
+type Transfer struct {
+	link      *Link
+	name      string
+	remaining float64 // bytes still to move
+	total     int64
+	started   time.Duration
+	done      func(err error)
+	finished  bool
+	event     *simtime.Event
+}
+
+// NewLink creates a link with the given usable byte rate and one-way latency.
+func NewLink(clock *simtime.Clock, name string, byteRate int64, latency time.Duration) *Link {
+	if byteRate <= 0 {
+		panic(fmt.Sprintf("simnet: NewLink(%q): byteRate must be positive", name))
+	}
+	return &Link{
+		name:     name,
+		byteRate: float64(byteRate),
+		latency:  latency,
+		clock:    clock,
+		active:   make(map[*Transfer]struct{}),
+	}
+}
+
+// Name returns the link's label.
+func (l *Link) Name() string { return l.name }
+
+// ByteRate returns the link's usable line rate in bytes per second.
+func (l *Link) ByteRate() int64 { return int64(l.byteRate) }
+
+// Latency returns the link's one-way propagation latency.
+func (l *Link) Latency() time.Duration { return l.latency }
+
+// ActiveTransfers reports the number of in-flight transfers.
+func (l *Link) ActiveTransfers() int { return len(l.active) }
+
+// Start begins moving size bytes across the link. done is invoked (with a
+// nil error) at the virtual time the last byte lands, or with
+// ErrTransferAborted if the transfer is cancelled. done may be nil.
+func (l *Link) Start(name string, size int64, done func(err error)) *Transfer {
+	if size < 0 {
+		panic(fmt.Sprintf("simnet: transfer %q: negative size %d", name, size))
+	}
+	l.settle()
+	tr := &Transfer{
+		link:      l,
+		name:      name,
+		remaining: float64(size),
+		total:     size,
+		started:   l.clock.Now(),
+		done:      done,
+	}
+	l.active[tr] = struct{}{}
+	l.reschedule()
+	return tr
+}
+
+// TransferTime returns the time to move size bytes when the link is
+// otherwise idle, including one latency hit. It does not start a transfer;
+// it is the closed-form used by planners to estimate durations.
+func (l *Link) TransferTime(size int64) time.Duration {
+	return l.latency + time.Duration(float64(size)/l.byteRate*float64(time.Second))
+}
+
+// settle drains progress accrued since the last queue change: every active
+// transfer has been moving at rate/n since lastUpdate.
+func (l *Link) settle() {
+	now := l.clock.Now()
+	if now == l.lastUpdate || len(l.active) == 0 {
+		l.lastUpdate = now
+		return
+	}
+	elapsed := (now - l.lastUpdate).Seconds()
+	share := l.byteRate / float64(len(l.active))
+	for tr := range l.active {
+		tr.remaining -= share * elapsed
+		if tr.remaining < 0 {
+			tr.remaining = 0
+		}
+	}
+	l.lastUpdate = now
+}
+
+// reschedule recomputes the next completion event after the active set or
+// the clock changed.
+func (l *Link) reschedule() {
+	for tr := range l.active {
+		if tr.event != nil {
+			l.clock.Cancel(tr.event)
+			tr.event = nil
+		}
+	}
+	if len(l.active) == 0 {
+		return
+	}
+	// Find the transfer that finishes first under equal sharing.
+	var first *Transfer
+	for tr := range l.active {
+		if first == nil || tr.remaining < first.remaining ||
+			(tr.remaining == first.remaining && tr.started < first.started) {
+			first = tr
+		}
+	}
+	share := l.byteRate / float64(len(l.active))
+	dt := time.Duration(first.remaining / share * float64(time.Second))
+	first.event = l.clock.After(dt, "simnet:"+first.name, func(*simtime.Clock) {
+		l.complete(first)
+	})
+}
+
+func (l *Link) complete(tr *Transfer) {
+	l.settle()
+	tr.finished = true
+	tr.remaining = 0
+	delete(l.active, tr)
+	l.reschedule()
+	if tr.done != nil {
+		tr.done(nil)
+	}
+}
+
+// Abort cancels an in-flight transfer. It is a no-op on finished transfers.
+func (l *Link) Abort(tr *Transfer) {
+	if tr.finished {
+		return
+	}
+	l.settle()
+	if tr.event != nil {
+		l.clock.Cancel(tr.event)
+		tr.event = nil
+	}
+	tr.finished = true
+	delete(l.active, tr)
+	l.reschedule()
+	if tr.done != nil {
+		tr.done(ErrTransferAborted)
+	}
+}
+
+// AbortAll severs every in-flight transfer — a link failure. Each
+// transfer's done callback receives ErrTransferAborted.
+func (l *Link) AbortAll() {
+	for len(l.active) > 0 {
+		for tr := range l.active {
+			l.Abort(tr)
+			break
+		}
+	}
+}
+
+// Remaining returns the bytes the transfer still has to move, settling
+// progress first.
+func (l *Link) Remaining(tr *Transfer) int64 {
+	l.settle()
+	l.reschedule()
+	return int64(tr.remaining + 0.5)
+}
+
+// Total returns the transfer's original size in bytes.
+func (tr *Transfer) Total() int64 { return tr.total }
+
+// Name returns the transfer's label.
+func (tr *Transfer) Name() string { return tr.name }
+
+// Finished reports whether the transfer completed or was aborted.
+func (tr *Transfer) Finished() bool { return tr.finished }
+
+// NICModel captures how long a network card takes to come back after a
+// micro-reboot. The paper measures 6.6 s on M1 and 2.3 s on M2 (Section
+// 5.2.1); the value is driver- and firmware-dependent, so it is part of the
+// hardware profile rather than the transplant engine.
+type NICModel struct {
+	// ReinitTime is the delay between the target hypervisor booting and
+	// the physical link carrying traffic again.
+	ReinitTime time.Duration
+}

@@ -1,0 +1,151 @@
+// Package simtime provides the discrete-event virtual clock that drives the
+// whole HyperTP simulation. All durations in the evaluation are virtual:
+// components charge time to a Clock instead of sleeping, which makes every
+// experiment deterministic and lets the full paper evaluation replay in
+// milliseconds of wall time.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a discrete-event simulation clock. The zero value is not usable;
+// call NewClock.
+//
+// Clock is not safe for concurrent use. The simulator is single-threaded by
+// design: "parallelism" inside the simulated machines (e.g. PRAM translation
+// workers) is modeled analytically by the components that own it, not by
+// running goroutines against the clock.
+type Clock struct {
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+}
+
+// Event is a scheduled callback. Fire receives the clock so handlers can
+// schedule follow-up events.
+type Event struct {
+	At   time.Duration
+	Name string
+	Fire func(c *Clock)
+
+	seq   uint64 // tie-breaker: FIFO among simultaneous events
+	index int
+}
+
+// NewClock returns a clock positioned at t=0 with an empty event queue.
+func NewClock() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time as an offset from simulation start.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d without running queued events.
+// It is the primitive used by sequential code ("this step costs d").
+// Advance panics if d is negative: simulated time never runs backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: Advance(%v): negative duration", d))
+	}
+	c.now += d
+}
+
+// Schedule enqueues fn to run at absolute virtual time at. Scheduling in the
+// past panics — it is always a simulation bug.
+func (c *Clock) Schedule(at time.Duration, name string, fn func(c *Clock)) *Event {
+	if at < c.now {
+		panic(fmt.Sprintf("simtime: Schedule(%q) at %v before now %v", name, at, c.now))
+	}
+	ev := &Event{At: at, Name: name, Fire: fn, seq: c.seq}
+	c.seq++
+	heap.Push(&c.queue, ev)
+	return ev
+}
+
+// After enqueues fn to run d from now.
+func (c *Clock) After(d time.Duration, name string, fn func(c *Clock)) *Event {
+	return c.Schedule(c.now+d, name, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or already
+// cancelled event is a no-op and returns false.
+func (c *Clock) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 || ev.index >= len(c.queue) || c.queue[ev.index] != ev {
+		return false
+	}
+	heap.Remove(&c.queue, ev.index)
+	ev.index = -1
+	return true
+}
+
+// Pending reports the number of queued events.
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It returns false if the queue is empty.
+func (c *Clock) Step() bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&c.queue).(*Event)
+	ev.index = -1
+	if ev.At > c.now {
+		c.now = ev.At
+	}
+	ev.Fire(c)
+	return true
+}
+
+// Run fires events until the queue drains.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// RunUntil fires events with At <= deadline, then advances the clock to
+// deadline if it is still behind.
+func (c *Clock) RunUntil(deadline time.Duration) {
+	for len(c.queue) > 0 && c.queue[0].At <= deadline {
+		c.Step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// eventQueue is a min-heap on (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,131 @@
+// Package trace records structured event logs of transplant operations:
+// each Fig. 3 workflow step is emitted with its virtual timestamp, so
+// operators (tpctl -v) and tests can audit exactly what the engine did
+// and in what order.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hypertp/internal/simtime"
+)
+
+// Step names emitted by the transplant engine, in Fig. 3 order.
+const (
+	StepLoadImage   = "load-image"   // ❶
+	StepPRAMBuild   = "pram-build"   //    preparation (pre- or post-pause)
+	StepPause       = "pause"        // ❷
+	StepTranslate   = "translate"    // ❸
+	StepKexec       = "kexec"        // ❹
+	StepBoot        = "boot"         //    target hypervisor up
+	StepPRAMParse   = "pram-parse"   // ❺
+	StepRestore     = "restore"      // ❺/❻
+	StepAttachGuest = "attach-guest" // ❻
+	StepResume      = "resume"       // ❼
+	StepCleanup     = "cleanup"      // ❼
+)
+
+// Event is one recorded step.
+type Event struct {
+	T      time.Duration
+	Step   string
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12s  %-12s %s", e.T, e.Step, e.Detail)
+}
+
+// Log is an append-only event log bound to a virtual clock. A nil *Log is
+// valid and discards everything, so callers can pass one through without
+// nil checks.
+type Log struct {
+	clock  *simtime.Clock
+	events []Event
+}
+
+// New creates a log reading timestamps from clock.
+func New(clock *simtime.Clock) *Log { return &Log{clock: clock} }
+
+// Emit appends an event at the current virtual time.
+func (l *Log) Emit(step, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, Event{
+		T:      l.clock.Now(),
+		Step:   step,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Events returns the recorded events in order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Steps returns just the step names, in order — convenient for
+// workflow-order assertions.
+func (l *Log) Steps() []string {
+	if l == nil {
+		return nil
+	}
+	out := make([]string, len(l.events))
+	for i, e := range l.events {
+		out[i] = e.Step
+	}
+	return out
+}
+
+// Render returns the log as aligned text.
+func (l *Log) Render() string {
+	if l == nil || len(l.events) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range l.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FirstIndex returns the index of the first event with the given step, or
+// -1.
+func (l *Log) FirstIndex(step string) int {
+	if l == nil {
+		return -1
+	}
+	for i, e := range l.events {
+		if e.Step == step {
+			return i
+		}
+	}
+	return -1
+}
+
+// AssertOrder checks that the given steps appear in the log in the given
+// relative order (not necessarily adjacent) and returns the first
+// violation.
+func (l *Log) AssertOrder(steps ...string) error {
+	last := -1
+	for _, s := range steps {
+		idx := -1
+		for i := last + 1; i < len(l.Events()); i++ {
+			if l.events[i].Step == s {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("trace: step %q missing after index %d", s, last)
+		}
+		last = idx
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hypertp/internal/simtime"
+)
+
+func TestEmitAndEvents(t *testing.T) {
+	clock := simtime.NewClock()
+	l := New(clock)
+	l.Emit(StepLoadImage, "kvm image staged")
+	clock.Advance(time.Second)
+	l.Emit(StepPause, "%d VMs", 3)
+	events := l.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].T != 0 || events[1].T != time.Second {
+		t.Fatal("timestamps wrong")
+	}
+	if events[1].Detail != "3 VMs" {
+		t.Fatalf("detail = %q", events[1].Detail)
+	}
+	if got := l.Steps(); len(got) != 2 || got[0] != StepLoadImage || got[1] != StepPause {
+		t.Fatalf("steps = %v", got)
+	}
+}
+
+func TestNilLogIsValid(t *testing.T) {
+	var l *Log
+	l.Emit(StepPause, "ignored")
+	if l.Events() != nil || l.Steps() != nil {
+		t.Fatal("nil log returned data")
+	}
+	if l.Render() != "" {
+		t.Fatal("nil log rendered")
+	}
+	if l.FirstIndex(StepPause) != -1 {
+		t.Fatal("nil log found an index")
+	}
+}
+
+func TestRenderAndFirstIndex(t *testing.T) {
+	clock := simtime.NewClock()
+	l := New(clock)
+	l.Emit(StepPause, "x")
+	l.Emit(StepKexec, "y")
+	out := l.Render()
+	if !strings.Contains(out, StepKexec) || !strings.Contains(out, "y") {
+		t.Fatalf("render = %q", out)
+	}
+	if l.FirstIndex(StepKexec) != 1 {
+		t.Fatal("FirstIndex wrong")
+	}
+	if l.FirstIndex("missing") != -1 {
+		t.Fatal("phantom step found")
+	}
+	if (Event{T: time.Second, Step: "s", Detail: "d"}).String() == "" {
+		t.Fatal("event string empty")
+	}
+}
+
+func TestAssertOrder(t *testing.T) {
+	clock := simtime.NewClock()
+	l := New(clock)
+	for _, s := range []string{StepLoadImage, StepPause, StepTranslate, StepKexec, StepResume} {
+		l.Emit(s, "")
+	}
+	if err := l.AssertOrder(StepLoadImage, StepKexec, StepResume); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AssertOrder(StepKexec, StepPause); err == nil {
+		t.Fatal("reversed order accepted")
+	}
+	if err := l.AssertOrder(StepCleanup); err == nil {
+		t.Fatal("missing step accepted")
+	}
+}

@@ -1,0 +1,461 @@
+package uisr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Section type tags of the binary format. They correspond to the UISR
+// column of the paper's Table 2, plus memory-map and device sections.
+const (
+	SecHeader    uint16 = 0x0000
+	SecCPU       uint16 = 0x0001 // Regs (Table 2: "CPU")
+	SecSRegs     uint16 = 0x0002
+	SecMSRs      uint16 = 0x0003
+	SecFPU       uint16 = 0x0004
+	SecXSave     uint16 = 0x0005 // Table 2: "XSAVE"
+	SecLAPIC     uint16 = 0x0006 // Table 2: "LAPIC"
+	SecLAPICRegs uint16 = 0x0007 // Table 2: "LAPIC_REGS"
+	SecMTRR      uint16 = 0x0008 // Table 2: "MTRR"
+	SecIOAPIC    uint16 = 0x0009 // Table 2: "IOAPIC"
+	SecPIT       uint16 = 0x000a // Table 2: "PIT"
+	SecMemMap    uint16 = 0x000b
+	SecDevice    uint16 = 0x000c
+	SecRTC       uint16 = 0x000d
+	SecHPET      uint16 = 0x000e
+	SecPMTimer   uint16 = 0x000f
+	SecEnd       uint16 = 0xffff
+)
+
+// sectionHeader precedes each TLV payload: type, instance (vCPU id or
+// device ordinal), payload length.
+type sectionHeader struct {
+	Type     uint16
+	Instance uint16
+	Length   uint32
+}
+
+const sectionHeaderSize = 8
+
+// Encode serializes the VM state to the UISR wire/RAM format. It is the
+// implementation behind the paper's struct uisr* to_uisr_xxx family: each
+// state category becomes one typed section.
+func Encode(s *VMState) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+
+	var top [12]byte
+	le.PutUint32(top[0:], Magic)
+	le.PutUint16(top[4:], Version)
+	le.PutUint16(top[6:], 0) // flags
+	le.PutUint32(top[8:], 0) // patched with section count at the end
+	buf.Write(top[:])
+
+	sections := 0
+	emit := func(typ, instance uint16, payload []byte) {
+		var hdr [sectionHeaderSize]byte
+		le.PutUint16(hdr[0:], typ)
+		le.PutUint16(hdr[2:], instance)
+		le.PutUint32(hdr[4:], uint32(len(payload)))
+		buf.Write(hdr[:])
+		buf.Write(payload)
+		sections++
+	}
+
+	emit(SecHeader, 0, encodeHeader(s))
+	for i := range s.VCPUs {
+		v := &s.VCPUs[i]
+		inst := uint16(v.ID)
+		emit(SecCPU, inst, encodeFixed(&v.Regs))
+		emit(SecSRegs, inst, encodeFixed(&v.SRegs))
+		emit(SecMSRs, inst, encodeMSRs(v.MSRs))
+		emit(SecFPU, inst, v.FPU.Data[:])
+		emit(SecXSave, inst, encodeFixed(&v.XSave))
+		emit(SecLAPIC, inst, encodeLAPICBase(&v.LAPIC))
+		emit(SecLAPICRegs, inst, encodeLAPICRegs(&v.LAPIC))
+		emit(SecMTRR, inst, encodeFixed(&v.MTRR))
+	}
+	emit(SecIOAPIC, 0, encodeFixed(&s.IOAPIC))
+	if s.HasPIT {
+		emit(SecPIT, 0, encodeFixed(&s.PIT))
+	}
+	emit(SecRTC, 0, encodeFixed(&s.RTC))
+	if s.HasHPET {
+		emit(SecHPET, 0, encodeFixed(&s.HPET))
+	}
+	if s.HasPMTimer {
+		emit(SecPMTimer, 0, encodeFixed(&s.PMTimer))
+	}
+	if len(s.MemMap) > 0 {
+		emit(SecMemMap, 0, encodeMemMap(s.MemMap))
+	}
+	for i, d := range s.Devices {
+		emit(SecDevice, uint16(i), encodeDevice(&d))
+	}
+	emit(SecEnd, 0, nil)
+
+	out := buf.Bytes()
+	le.PutUint32(out[8:], uint32(sections))
+	return out, nil
+}
+
+// Decode parses a UISR blob back into a VMState. It is strict: unknown
+// sections, truncation, or a bad magic are errors, because a transplant
+// must never silently restore partial state.
+func Decode(data []byte) (*VMState, error) {
+	le := binary.LittleEndian
+	if len(data) < 12 {
+		return nil, fmt.Errorf("uisr: blob too short (%d bytes)", len(data))
+	}
+	if le.Uint32(data[0:]) != Magic {
+		return nil, fmt.Errorf("uisr: bad magic %#x", le.Uint32(data[0:]))
+	}
+	if v := le.Uint16(data[4:]); v != Version {
+		return nil, fmt.Errorf("uisr: unsupported version %d", v)
+	}
+	wantSections := le.Uint32(data[8:])
+
+	s := &VMState{}
+	vcpus := map[uint16]*VCPU{}
+	vcpu := func(inst uint16) *VCPU {
+		v, ok := vcpus[inst]
+		if !ok {
+			v = &VCPU{ID: uint32(inst)}
+			vcpus[inst] = v
+		}
+		return v
+	}
+
+	off := 12
+	var gotSections uint32
+	sawEnd := false
+	for off < len(data) {
+		if sawEnd {
+			return nil, fmt.Errorf("uisr: trailing data after end section")
+		}
+		if off+sectionHeaderSize > len(data) {
+			return nil, fmt.Errorf("uisr: truncated section header at %d", off)
+		}
+		hdr := sectionHeader{
+			Type:     le.Uint16(data[off:]),
+			Instance: le.Uint16(data[off+2:]),
+			Length:   le.Uint32(data[off+4:]),
+		}
+		off += sectionHeaderSize
+		if off+int(hdr.Length) > len(data) {
+			return nil, fmt.Errorf("uisr: truncated section %#x payload", hdr.Type)
+		}
+		payload := data[off : off+int(hdr.Length)]
+		off += int(hdr.Length)
+		gotSections++
+
+		var err error
+		switch hdr.Type {
+		case SecHeader:
+			err = decodeHeader(payload, s)
+		case SecCPU:
+			err = decodeFixed(payload, &vcpu(hdr.Instance).Regs)
+		case SecSRegs:
+			err = decodeFixed(payload, &vcpu(hdr.Instance).SRegs)
+		case SecMSRs:
+			vcpu(hdr.Instance).MSRs, err = decodeMSRs(payload)
+		case SecFPU:
+			if len(payload) != 512 {
+				err = fmt.Errorf("FPU payload %d bytes, want 512", len(payload))
+			} else {
+				copy(vcpu(hdr.Instance).FPU.Data[:], payload)
+			}
+		case SecXSave:
+			err = decodeFixed(payload, &vcpu(hdr.Instance).XSave)
+		case SecLAPIC:
+			err = decodeLAPICBase(payload, &vcpu(hdr.Instance).LAPIC)
+		case SecLAPICRegs:
+			err = decodeLAPICRegs(payload, &vcpu(hdr.Instance).LAPIC)
+		case SecMTRR:
+			err = decodeFixed(payload, &vcpu(hdr.Instance).MTRR)
+		case SecIOAPIC:
+			err = decodeFixed(payload, &s.IOAPIC)
+		case SecPIT:
+			s.HasPIT = true
+			err = decodeFixed(payload, &s.PIT)
+		case SecRTC:
+			err = decodeFixed(payload, &s.RTC)
+		case SecHPET:
+			s.HasHPET = true
+			err = decodeFixed(payload, &s.HPET)
+		case SecPMTimer:
+			s.HasPMTimer = true
+			err = decodeFixed(payload, &s.PMTimer)
+		case SecMemMap:
+			s.MemMap, err = decodeMemMap(payload)
+		case SecDevice:
+			var d EmulatedDevice
+			if err = decodeDevice(payload, &d); err == nil {
+				s.Devices = append(s.Devices, d)
+			}
+		case SecEnd:
+			sawEnd = true
+		default:
+			return nil, fmt.Errorf("uisr: unknown section type %#x", hdr.Type)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("uisr: section %#x: %w", hdr.Type, err)
+		}
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("uisr: missing end section")
+	}
+	if gotSections != wantSections {
+		return nil, fmt.Errorf("uisr: section count %d, header says %d", gotSections, wantSections)
+	}
+	s.VCPUs = make([]VCPU, len(vcpus))
+	for inst, v := range vcpus {
+		if int(inst) >= len(s.VCPUs) {
+			return nil, fmt.Errorf("uisr: vCPU id %d out of range (have %d vCPUs)", inst, len(vcpus))
+		}
+		s.VCPUs[inst] = *v
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// EncodedSize returns the size in bytes of the serialized UISR for the
+// state, without building the blob. Used by the memory-overhead
+// experiment (Fig. 14).
+func EncodedSize(s *VMState) (int, error) {
+	b, err := Encode(s)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// --- fixed-layout helpers -------------------------------------------------
+
+// encodeFixed serializes a struct of fixed-size fields via encoding/binary.
+func encodeFixed(v any) []byte {
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+		panic(fmt.Sprintf("uisr: encodeFixed(%T): %v", v, err))
+	}
+	return buf.Bytes()
+}
+
+func decodeFixed(payload []byte, v any) error {
+	want := binary.Size(v)
+	if len(payload) != want {
+		return fmt.Errorf("payload %d bytes, want %d for %T", len(payload), want, v)
+	}
+	return binary.Read(bytes.NewReader(payload), binary.LittleEndian, v)
+}
+
+// --- variable-layout sections ----------------------------------------------
+
+func encodeHeader(s *VMState) []byte {
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	var fixed [20]byte
+	le.PutUint32(fixed[0:], s.VMID)
+	le.PutUint64(fixed[4:], s.MemBytes)
+	le.PutUint16(fixed[12:], uint16(len(s.VCPUs)))
+	if s.HugePages {
+		fixed[14] = 1
+	}
+	fixed[15] = 0
+	le.PutUint16(fixed[16:], s.Weight)
+	le.PutUint16(fixed[18:], 0) // reserved
+	buf.Write(fixed[:])
+	writeString(&buf, s.Name)
+	writeString(&buf, s.SourceHypervisor)
+	return buf.Bytes()
+}
+
+func decodeHeader(p []byte, s *VMState) error {
+	if len(p) < 20 {
+		return fmt.Errorf("header too short")
+	}
+	le := binary.LittleEndian
+	s.VMID = le.Uint32(p[0:])
+	s.MemBytes = le.Uint64(p[4:])
+	s.HugePages = p[14] == 1
+	s.Weight = le.Uint16(p[16:])
+	rest := p[20:]
+	var err error
+	s.Name, rest, err = readString(rest)
+	if err != nil {
+		return err
+	}
+	s.SourceHypervisor, rest, err = readString(rest)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("trailing header bytes")
+	}
+	return nil
+}
+
+func encodeMSRs(msrs []MSR) []byte {
+	out := make([]byte, 4+12*len(msrs))
+	le := binary.LittleEndian
+	le.PutUint32(out[0:], uint32(len(msrs)))
+	for i, m := range msrs {
+		le.PutUint32(out[4+12*i:], m.Index)
+		le.PutUint64(out[8+12*i:], m.Value)
+	}
+	return out
+}
+
+func decodeMSRs(p []byte) ([]MSR, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("MSR section too short")
+	}
+	le := binary.LittleEndian
+	n := int(le.Uint32(p[0:]))
+	if len(p) != 4+12*n {
+		return nil, fmt.Errorf("MSR section %d bytes, want %d for %d entries", len(p), 4+12*n, n)
+	}
+	out := make([]MSR, n)
+	for i := range out {
+		out[i].Index = le.Uint32(p[4+12*i:])
+		out[i].Value = le.Uint64(p[8+12*i:])
+	}
+	return out, nil
+}
+
+func encodeLAPICBase(l *LAPIC) []byte {
+	var out [12]byte
+	le := binary.LittleEndian
+	le.PutUint64(out[0:], l.Base)
+	le.PutUint32(out[8:], l.ID)
+	return out[:]
+}
+
+func decodeLAPICBase(p []byte, l *LAPIC) error {
+	if len(p) != 12 {
+		return fmt.Errorf("LAPIC base payload %d bytes, want 12", len(p))
+	}
+	le := binary.LittleEndian
+	l.Base = le.Uint64(p[0:])
+	l.ID = le.Uint32(p[8:])
+	return nil
+}
+
+func encodeLAPICRegs(l *LAPIC) []byte {
+	out := make([]byte, 4*NumLAPICRegs)
+	le := binary.LittleEndian
+	for i, r := range l.Regs {
+		le.PutUint32(out[4*i:], r)
+	}
+	return out
+}
+
+func decodeLAPICRegs(p []byte, l *LAPIC) error {
+	if len(p) != 4*NumLAPICRegs {
+		return fmt.Errorf("LAPIC regs payload %d bytes, want %d", len(p), 4*NumLAPICRegs)
+	}
+	le := binary.LittleEndian
+	for i := range l.Regs {
+		l.Regs[i] = le.Uint32(p[4*i:])
+	}
+	return nil
+}
+
+func encodeMemMap(extents []PageExtent) []byte {
+	out := make([]byte, 4+17*len(extents))
+	le := binary.LittleEndian
+	le.PutUint32(out[0:], uint32(len(extents)))
+	for i, e := range extents {
+		base := 4 + 17*i
+		le.PutUint64(out[base:], e.GFN)
+		le.PutUint64(out[base+8:], e.MFN)
+		out[base+16] = e.Order
+	}
+	return out
+}
+
+func decodeMemMap(p []byte) ([]PageExtent, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("memmap too short")
+	}
+	le := binary.LittleEndian
+	n := int(le.Uint32(p[0:]))
+	if len(p) != 4+17*n {
+		return nil, fmt.Errorf("memmap %d bytes, want %d for %d extents", len(p), 4+17*n, n)
+	}
+	out := make([]PageExtent, n)
+	for i := range out {
+		base := 4 + 17*i
+		out[i].GFN = le.Uint64(p[base:])
+		out[i].MFN = le.Uint64(p[base+8:])
+		out[i].Order = p[base+16]
+	}
+	return out, nil
+}
+
+func encodeDevice(d *EmulatedDevice) []byte {
+	var buf bytes.Buffer
+	writeString(&buf, d.Kind)
+	writeString(&buf, d.Model)
+	if d.UnplugOnTransplant {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(len(d.State)))
+	buf.Write(lenb[:])
+	buf.Write(d.State)
+	return buf.Bytes()
+}
+
+func decodeDevice(p []byte, d *EmulatedDevice) error {
+	var err error
+	d.Kind, p, err = readString(p)
+	if err != nil {
+		return err
+	}
+	d.Model, p, err = readString(p)
+	if err != nil {
+		return err
+	}
+	if len(p) < 5 {
+		return fmt.Errorf("device section truncated")
+	}
+	d.UnplugOnTransplant = p[0] == 1
+	n := int(binary.LittleEndian.Uint32(p[1:]))
+	p = p[5:]
+	if len(p) != n {
+		return fmt.Errorf("device state %d bytes, want %d", len(p), n)
+	}
+	if n > 0 {
+		d.State = make([]byte, n)
+		copy(d.State, p)
+	}
+	return nil
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	var lenb [2]byte
+	binary.LittleEndian.PutUint16(lenb[:], uint16(len(s)))
+	buf.Write(lenb[:])
+	buf.WriteString(s)
+}
+
+func readString(p []byte) (string, []byte, error) {
+	if len(p) < 2 {
+		return "", nil, fmt.Errorf("truncated string length")
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < n {
+		return "", nil, fmt.Errorf("truncated string body")
+	}
+	return string(p[:n]), p[n:], nil
+}

@@ -1,0 +1,45 @@
+package uisr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: the UISR decoder must never panic on arbitrary bytes, and
+// anything it accepts must re-encode to a decodable blob (decode/encode
+// stability). Run with `go test -fuzz=FuzzDecode ./internal/uisr`; in
+// normal test runs the seed corpus executes.
+func FuzzDecode(f *testing.F) {
+	valid, err := Encode(SyntheticVM("seed", 1, 2, 1<<30, 7))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:16])
+	mutated := append([]byte(nil), valid...)
+	mutated[20] ^= 0xff
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			return // rejected, fine
+		}
+		re, err := Encode(st)
+		if err != nil {
+			t.Fatalf("accepted state does not re-encode: %v", err)
+		}
+		st2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded blob does not decode: %v", err)
+		}
+		re2, err := Encode(st2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatal("encode not stable after one round trip")
+		}
+	})
+}

@@ -1,0 +1,460 @@
+// Package vulndb reproduces the paper's vulnerability study (§2): a
+// database of Xen and KVM vulnerabilities 2013-2019 whose per-year counts
+// match Table 1, the KVM vulnerability-window statistics of §2.2, and the
+// transplant decision policy built on them — given an active flaw, find a
+// replacement hypervisor that does not share it.
+//
+// The per-year counts, category distributions, common vulnerabilities and
+// the named CVEs (VENOM, CVE-2015-8104/5307, CVE-2016-6258,
+// CVE-2017-12188, CVE-2013-0311, Spectre/Meltdown) are data from the
+// paper; the remaining records are synthetic placeholders that make the
+// aggregate counts exact. Note: the paper's Table 1 "Total" row for Xen
+// medium vulnerabilities (136) is inconsistent with its own per-year
+// numbers (which sum to 171); this reproduction follows the per-year
+// numbers.
+package vulndb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Severity is the CVSS v2 band used by the paper.
+type Severity uint8
+
+const (
+	// SeverityMedium is CVSS v2 in [4, 7).
+	SeverityMedium Severity = iota + 1
+	// SeverityCritical is CVSS v2 ≥ 7 — the band HyperTP is reserved
+	// for.
+	SeverityCritical
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SeverityMedium:
+		return "medium"
+	case SeverityCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("severity(%d)", uint8(s))
+	}
+}
+
+// SeverityOf classifies a CVSS v2 base score per the paper's thresholds
+// (§2: critical ≥ 7, medium ≥ 4 and < 7). Scores below 4 are out of
+// scope and classify as 0.
+func SeverityOf(cvss float64) Severity {
+	switch {
+	case cvss >= 7:
+		return SeverityCritical
+	case cvss >= 4:
+		return SeverityMedium
+	default:
+		return 0
+	}
+}
+
+// Category is the root-cause classification of §2.1.
+type Category string
+
+// Categories used in the §2.1 breakdown.
+const (
+	CatPVMechanisms Category = "pv-mechanisms" // event channels, hypercalls
+	CatResourceMgmt Category = "resource-management"
+	CatHardware     Category = "hardware-mishandling" // e.g. VT-x state
+	CatToolstack    Category = "toolstack"            // libxl
+	CatQEMU         Category = "qemu"
+	CatIoctl        Category = "ioctls"
+	CatHardwareCPU  Category = "cpu-hardware" // Spectre/Meltdown class
+)
+
+// Record is one vulnerability.
+type Record struct {
+	ID       string
+	Year     int
+	CVSS     float64
+	Category Category
+	// Affects lists the hypervisors subject to the flaw ("xen", "kvm").
+	Affects []string
+	// WindowDays is the vulnerability window (report → patch release)
+	// where known, else 0.
+	WindowDays int
+	// Description is free text for the named real-world entries.
+	Description string
+}
+
+// Affected reports whether the record affects the named hypervisor.
+func (r *Record) Affected(hv string) bool {
+	for _, a := range r.Affects {
+		if a == hv {
+			return true
+		}
+	}
+	return false
+}
+
+// Severity returns the record's CVSS band.
+func (r *Record) Severity() Severity { return SeverityOf(r.CVSS) }
+
+// Database is the loaded vulnerability set.
+type Database struct {
+	records []Record
+}
+
+// Years covered by the study.
+const (
+	FirstYear = 2013
+	LastYear  = 2019
+)
+
+// table1 holds the paper's Table 1 per-year counts.
+// Index: year-FirstYear → {xenCrit, xenMed, kvmCrit, kvmMed, commonCrit, commonMed}.
+var table1 = [7][6]int{
+	{3, 38, 3, 21, 0, 0}, // 2013
+	{4, 27, 1, 12, 0, 0}, // 2014
+	{11, 20, 1, 4, 1, 2}, // 2015
+	{6, 12, 3, 3, 0, 0},  // 2016
+	{17, 38, 1, 7, 0, 0}, // 2017
+	{7, 21, 2, 5, 0, 0},  // 2018
+	{7, 15, 2, 4, 0, 0},  // 2019
+}
+
+// xenCritCategories approximates §2.1's distribution of Xen critical
+// vulnerabilities: 38.4% PV mechanisms, 28.2% resource management, 15.3%
+// hardware mishandling, 7.5% toolstack, 10.2% QEMU.
+var xenCritCategories = []struct {
+	cat  Category
+	frac float64
+}{
+	{CatPVMechanisms, 0.384},
+	{CatResourceMgmt, 0.282},
+	{CatHardware, 0.153},
+	{CatToolstack, 0.075},
+	{CatQEMU, 0.102},
+}
+
+// kvmCritCategories approximates §2.1's KVM distribution: 27% ioctls,
+// 36% hardware mishandling, 36% QEMU, 9% resource management (the paper's
+// fractions overshoot 100%; they are normalized here).
+var kvmCritCategories = []struct {
+	cat  Category
+	frac float64
+}{
+	{CatIoctl, 0.25},
+	{CatHardware, 0.33},
+	{CatQEMU, 0.33},
+	{CatResourceMgmt, 0.09},
+}
+
+// kvmWindowsDays are the §2.2 vulnerability windows of the 24 KVM
+// vulnerabilities tracked through Red Hat's bug tracker: average 71 days,
+// 15/24 (62.5%) above 60 days, maximum 180 (CVE-2017-12188), minimum 8
+// (CVE-2013-0311).
+var kvmWindowsDays = []int{
+	8, 10, 12, 15, 20, 25, 30, 40, 50, // ≤ 60 days
+	64, 67, 70, 73, 76, 80, 84, 88, 92, 98, 105, 115, 130, 172, 180, // > 60 days
+}
+
+// Load builds the database. The content is deterministic.
+func Load() *Database {
+	db := &Database{}
+	for yi, row := range table1 {
+		year := FirstYear + yi
+		xenCrit, xenMed, kvmCrit, kvmMed, comCrit, comMed := row[0], row[1], row[2], row[3], row[4], row[5]
+
+		// Common vulnerabilities are counted inside the per-HV columns
+		// in Table 1? No — the paper counts them separately ("we
+		// counted only one common critical vulnerability"), so the Xen
+		// and KVM columns are HV-specific and Common is its own set.
+		db.addSynthetic(year, "xen", SeverityCritical, xenCrit, pickCats(xenCritCategories, xenCrit))
+		db.addSynthetic(year, "xen", SeverityMedium, xenMed, nil)
+		db.addSynthetic(year, "kvm", SeverityCritical, kvmCrit, pickCats(kvmCritCategories, kvmCrit))
+		db.addSynthetic(year, "kvm", SeverityMedium, kvmMed, nil)
+		_ = comCrit
+		_ = comMed
+	}
+
+	// Named real-world entries replace synthetic placeholders where the
+	// paper discusses them specifically.
+	db.replace(Record{
+		ID: "CVE-2015-3456", Year: 2015, CVSS: 7.7, Category: CatQEMU,
+		Affects: []string{"xen", "kvm"},
+		Description: "VENOM: QEMU virtual floppy disk controller missing bounds " +
+			"check leading to buffer overflow — the only common critical " +
+			"vulnerability in the studied period",
+	})
+	db.replace(Record{
+		ID: "CVE-2015-8104", Year: 2015, CVSS: 4.9, Category: CatHardware,
+		Affects:     []string{"xen", "kvm"},
+		Description: "DoS via incomplete handling of the Debug Exception (#DB)",
+	})
+	db.replace(Record{
+		ID: "CVE-2015-5307", Year: 2015, CVSS: 4.9, Category: CatHardware,
+		Affects:     []string{"xen", "kvm"},
+		Description: "DoS via incomplete handling of the Alignment Check exception (#AC)",
+	})
+	db.replace(Record{
+		ID: "CVE-2016-6258", Year: 2016, CVSS: 7.2, Category: CatPVMechanisms,
+		Affects: []string{"xen"}, WindowDays: 7,
+		Description: "Xen PV pagetable flaw; patch publicly released 7 days after discovery",
+	})
+	db.replace(Record{
+		ID: "CVE-2017-12188", Year: 2017, CVSS: 7.2, Category: CatHardware,
+		Affects: []string{"kvm"}, WindowDays: 180,
+		Description: "KVM nested MMU flaw; the longest observed vulnerability window (180 days)",
+	})
+	db.replace(Record{
+		ID: "CVE-2013-0311", Year: 2013, CVSS: 7.2, Category: CatIoctl,
+		Affects: []string{"kvm"}, WindowDays: 8,
+		Description: "KVM vhost descriptor flaw; the shortest observed window (8 days)",
+	})
+	db.replace(Record{
+		ID: "CVE-2017-5753", Year: 2018, CVSS: 4.7, Category: CatHardwareCPU,
+		Affects: []string{"xen", "kvm"}, WindowDays: 216,
+		Description: "Spectre v1: CPU-level speculative execution leak; reported " +
+			"2017-06-01, disclosed 2018-01-03 after a 7-month embargo",
+	})
+	db.replace(Record{
+		ID: "CVE-2017-5754", Year: 2018, CVSS: 4.7, Category: CatHardwareCPU,
+		Affects: []string{"xen", "kvm"}, WindowDays: 216,
+		Description: "Meltdown: CPU-level kernel memory read; same 7-month embargo",
+	})
+
+	// Assign the §2.2 windows to the remaining tracked KVM
+	// vulnerabilities. The named CVEs already carry the real minimum (8,
+	// CVE-2013-0311) and maximum (180, CVE-2017-12188), so the other 22
+	// values go to synthetic records — 24 tracked in total.
+	var assignable []int
+	for _, w := range kvmWindowsDays {
+		if w != 8 && w != 180 {
+			assignable = append(assignable, w)
+		}
+	}
+	assigned := 0
+	for i := range db.records {
+		r := &db.records[i]
+		if assigned >= len(assignable) {
+			break
+		}
+		if len(r.Affects) == 1 && r.Affects[0] == "kvm" && r.WindowDays == 0 {
+			r.WindowDays = assignable[assigned]
+			assigned++
+		}
+	}
+	sort.Slice(db.records, func(i, j int) bool {
+		if db.records[i].Year != db.records[j].Year {
+			return db.records[i].Year < db.records[j].Year
+		}
+		return db.records[i].ID < db.records[j].ID
+	})
+	return db
+}
+
+// addSynthetic appends n placeholder records.
+func (db *Database) addSynthetic(year int, hv string, sev Severity, n int, cats []Category) {
+	for i := 0; i < n; i++ {
+		cvss := 5.0
+		if sev == SeverityCritical {
+			cvss = 7.5
+		}
+		cat := CatResourceMgmt
+		if cats != nil {
+			cat = cats[i%len(cats)]
+		}
+		db.records = append(db.records, Record{
+			ID:       fmt.Sprintf("CVE-%d-%s%03d%s", year, map[string]string{"xen": "1", "kvm": "2"}[hv], i, sevTag(sev)),
+			Year:     year,
+			CVSS:     cvss,
+			Category: cat,
+			Affects:  []string{hv},
+		})
+	}
+}
+
+func sevTag(s Severity) string {
+	if s == SeverityCritical {
+		return "C"
+	}
+	return "M"
+}
+
+// pickCats expands a fractional category distribution into n category
+// assignments (largest remainders first).
+func pickCats(dist []struct {
+	cat  Category
+	frac float64
+}, n int) []Category {
+	out := make([]Category, 0, n)
+	for _, d := range dist {
+		k := int(d.frac*float64(n) + 0.5)
+		for i := 0; i < k && len(out) < n; i++ {
+			out = append(out, d.cat)
+		}
+	}
+	for len(out) < n {
+		out = append(out, dist[0].cat)
+	}
+	return out
+}
+
+// replace swaps one synthetic record of the same (year, hv-set severity)
+// for the given named record, preserving Table 1 counts. Common records
+// (multi-HV) are additive because Table 1 counts them in their own
+// column.
+func (db *Database) replace(named Record) {
+	if len(named.Affects) > 1 {
+		db.records = append(db.records, named)
+		return
+	}
+	want := named.Severity()
+	for i := range db.records {
+		r := &db.records[i]
+		if r.Year == named.Year && len(r.Affects) == 1 &&
+			r.Affects[0] == named.Affects[0] && r.Severity() == want &&
+			r.Description == "" {
+			db.records[i] = named
+			return
+		}
+	}
+	db.records = append(db.records, named)
+}
+
+// All returns every record.
+func (db *Database) All() []Record { return db.records }
+
+// Count returns the number of records in the (year, hv, severity) cell,
+// where hv is "xen", "kvm" or "common". HV-specific cells exclude common
+// vulnerabilities, matching Table 1's columns. CPU-level flaws
+// (Spectre/Meltdown) are excluded from the table, as in the paper.
+func (db *Database) Count(year int, hv string, sev Severity) int {
+	n := 0
+	for i := range db.records {
+		r := &db.records[i]
+		if r.Year != year || r.Severity() != sev || r.Category == CatHardwareCPU {
+			continue
+		}
+		common := len(r.Affects) > 1
+		switch hv {
+		case "common":
+			if common {
+				n++
+			}
+		default:
+			if !common && r.Affected(hv) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// WindowStats summarizes the §2.2 KVM vulnerability windows.
+type WindowStats struct {
+	Tracked     int
+	AverageDays float64
+	Over60Frac  float64
+	MaxDays     int
+	MaxID       string
+	MinDays     int
+	MinID       string
+}
+
+// KVMWindowStats computes the §2.2 statistics over the tracked KVM
+// vulnerabilities.
+func (db *Database) KVMWindowStats() WindowStats {
+	var s WindowStats
+	sum := 0
+	over := 0
+	for i := range db.records {
+		r := &db.records[i]
+		if r.WindowDays == 0 || !r.Affected("kvm") || len(r.Affects) > 1 {
+			continue
+		}
+		s.Tracked++
+		sum += r.WindowDays
+		if r.WindowDays > 60 {
+			over++
+		}
+		if r.WindowDays > s.MaxDays {
+			s.MaxDays, s.MaxID = r.WindowDays, r.ID
+		}
+		if s.MinDays == 0 || r.WindowDays < s.MinDays {
+			s.MinDays, s.MinID = r.WindowDays, r.ID
+		}
+	}
+	if s.Tracked > 0 {
+		s.AverageDays = float64(sum) / float64(s.Tracked)
+		s.Over60Frac = float64(over) / float64(s.Tracked)
+	}
+	return s
+}
+
+// Lookup finds a record by CVE id.
+func (db *Database) Lookup(id string) (*Record, bool) {
+	for i := range db.records {
+		if db.records[i].ID == id {
+			return &db.records[i], true
+		}
+	}
+	return nil, false
+}
+
+// CommonVulnerabilities returns the records affecting more than one
+// hypervisor (excluding CPU-level flaws, which the paper treats
+// separately).
+func (db *Database) CommonVulnerabilities() []Record {
+	var out []Record
+	for _, r := range db.records {
+		if len(r.Affects) > 1 && r.Category != CatHardwareCPU {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SelectTarget implements the transplant decision policy of §1/§3.1:
+// given the current hypervisor and the set of active (unpatched) flaws,
+// choose a hypervisor from the pool that is subject to none of them.
+// It returns an error when every candidate is affected (e.g. VENOM).
+func (db *Database) SelectTarget(current string, activeIDs []string, pool []string) (string, error) {
+	var active []*Record
+	for _, id := range activeIDs {
+		r, ok := db.Lookup(id)
+		if !ok {
+			return "", fmt.Errorf("vulndb: unknown vulnerability %q", id)
+		}
+		active = append(active, r)
+	}
+	for _, cand := range pool {
+		if cand == current {
+			continue
+		}
+		safe := true
+		for _, r := range active {
+			if r.Affected(cand) {
+				safe = false
+				break
+			}
+		}
+		if safe {
+			return cand, nil
+		}
+	}
+	return "", fmt.Errorf("vulndb: no hypervisor in pool %v avoids all of %v", pool, activeIDs)
+}
+
+// TransplantWorthwhile reports whether the paper's policy calls for a
+// transplant: the flaw is critical and at least one pool member is
+// unaffected.
+func (db *Database) TransplantWorthwhile(id string, current string, pool []string) (bool, string) {
+	r, ok := db.Lookup(id)
+	if !ok || r.Severity() != SeverityCritical || !r.Affected(current) {
+		return false, ""
+	}
+	target, err := db.SelectTarget(current, []string{id}, pool)
+	if err != nil {
+		return false, ""
+	}
+	return true, target
+}

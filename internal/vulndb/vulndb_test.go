@@ -1,0 +1,241 @@
+package vulndb
+
+import "testing"
+
+// Table 1 anchor: every per-year cell must match the paper exactly.
+func TestTable1CountsExact(t *testing.T) {
+	db := Load()
+	want := map[int][6]int{
+		2013: {3, 38, 3, 21, 0, 0},
+		2014: {4, 27, 1, 12, 0, 0},
+		2015: {11, 20, 1, 4, 1, 2},
+		2016: {6, 12, 3, 3, 0, 0},
+		2017: {17, 38, 1, 7, 0, 0},
+		2018: {7, 21, 2, 5, 0, 0},
+		2019: {7, 15, 2, 4, 0, 0},
+	}
+	for year, row := range want {
+		got := [6]int{
+			db.Count(year, "xen", SeverityCritical),
+			db.Count(year, "xen", SeverityMedium),
+			db.Count(year, "kvm", SeverityCritical),
+			db.Count(year, "kvm", SeverityMedium),
+			db.Count(year, "common", SeverityCritical),
+			db.Count(year, "common", SeverityMedium),
+		}
+		if got != row {
+			t.Errorf("%d: counts = %v, want %v", year, got, row)
+		}
+	}
+}
+
+func TestTable1Totals(t *testing.T) {
+	db := Load()
+	var xenCrit, kvmCrit, comCrit, comMed int
+	for y := FirstYear; y <= LastYear; y++ {
+		xenCrit += db.Count(y, "xen", SeverityCritical)
+		kvmCrit += db.Count(y, "kvm", SeverityCritical)
+		comCrit += db.Count(y, "common", SeverityCritical)
+		comMed += db.Count(y, "common", SeverityMedium)
+	}
+	if xenCrit != 55 {
+		t.Errorf("Xen critical total = %d, want 55", xenCrit)
+	}
+	if kvmCrit != 13 {
+		t.Errorf("KVM critical total = %d, want 13", kvmCrit)
+	}
+	if comCrit != 1 {
+		t.Errorf("common critical total = %d, want 1", comCrit)
+	}
+	if comMed != 2 {
+		t.Errorf("common medium total = %d, want 2", comMed)
+	}
+}
+
+func TestSeverityOf(t *testing.T) {
+	cases := []struct {
+		cvss float64
+		want Severity
+	}{
+		{9.3, SeverityCritical}, {7.0, SeverityCritical},
+		{6.9, SeverityMedium}, {4.0, SeverityMedium},
+		{3.9, 0}, {0, 0},
+	}
+	for _, c := range cases {
+		if got := SeverityOf(c.cvss); got != c.want {
+			t.Errorf("SeverityOf(%v) = %v, want %v", c.cvss, got, c.want)
+		}
+	}
+	if SeverityCritical.String() != "critical" || SeverityMedium.String() != "medium" {
+		t.Fatal("severity strings wrong")
+	}
+}
+
+// §2.2 anchors: 24 tracked KVM vulnerabilities, average window 71 days,
+// ≥60% above 60 days, max 180 (CVE-2017-12188), min 8 (CVE-2013-0311).
+func TestKVMWindowStats(t *testing.T) {
+	s := Load().KVMWindowStats()
+	if s.Tracked != 24 {
+		t.Fatalf("tracked = %d, want 24", s.Tracked)
+	}
+	if s.AverageDays < 70 || s.AverageDays > 72 {
+		t.Fatalf("average = %.1f days, want ~71", s.AverageDays)
+	}
+	if s.Over60Frac < 0.60 {
+		t.Fatalf("over-60 fraction = %.2f, want ≥ 0.60", s.Over60Frac)
+	}
+	if s.MaxDays != 180 || s.MaxID != "CVE-2017-12188" {
+		t.Fatalf("max = %d (%s), want 180 (CVE-2017-12188)", s.MaxDays, s.MaxID)
+	}
+	if s.MinDays != 8 || s.MinID != "CVE-2013-0311" {
+		t.Fatalf("min = %d (%s), want 8 (CVE-2013-0311)", s.MinDays, s.MinID)
+	}
+}
+
+func TestNamedCVEs(t *testing.T) {
+	db := Load()
+	venom, ok := db.Lookup("CVE-2015-3456")
+	if !ok {
+		t.Fatal("VENOM missing")
+	}
+	if !venom.Affected("xen") || !venom.Affected("kvm") {
+		t.Fatal("VENOM must affect both hypervisors")
+	}
+	if venom.Severity() != SeverityCritical || venom.Category != CatQEMU {
+		t.Fatal("VENOM classification wrong")
+	}
+	xsa, ok := db.Lookup("CVE-2016-6258")
+	if !ok || xsa.WindowDays != 7 {
+		t.Fatal("CVE-2016-6258 7-day window missing")
+	}
+	if _, ok := db.Lookup("CVE-2015-8104"); !ok {
+		t.Fatal("CVE-2015-8104 missing")
+	}
+	if _, ok := db.Lookup("CVE-2015-5307"); !ok {
+		t.Fatal("CVE-2015-5307 missing")
+	}
+}
+
+func TestCommonVulnerabilities(t *testing.T) {
+	db := Load()
+	common := db.CommonVulnerabilities()
+	// VENOM + the two medium DoS flaws; Spectre/Meltdown are CPU-level
+	// and excluded.
+	if len(common) != 3 {
+		t.Fatalf("common vulnerabilities = %d, want 3", len(common))
+	}
+	crit := 0
+	for _, r := range common {
+		if r.Severity() == SeverityCritical {
+			crit++
+		}
+	}
+	if crit != 1 {
+		t.Fatalf("common critical = %d, want 1 (VENOM)", crit)
+	}
+}
+
+func TestSpectreMeltdownExcludedFromTable(t *testing.T) {
+	db := Load()
+	// They exist in the DB…
+	if _, ok := db.Lookup("CVE-2017-5754"); !ok {
+		t.Fatal("Meltdown missing")
+	}
+	// …but 2018 shows zero common entries, as in Table 1.
+	if db.Count(2018, "common", SeverityMedium) != 0 {
+		t.Fatal("CPU-level flaws leaked into Table 1 counts")
+	}
+}
+
+func TestSelectTarget(t *testing.T) {
+	db := Load()
+	pool := []string{"xen", "kvm"}
+
+	// A Xen-only critical flaw: KVM is a valid target.
+	target, err := db.SelectTarget("xen", []string{"CVE-2016-6258"}, pool)
+	if err != nil || target != "kvm" {
+		t.Fatalf("target = %q, %v", target, err)
+	}
+	// VENOM affects both: no target exists.
+	if _, err := db.SelectTarget("xen", []string{"CVE-2015-3456"}, pool); err == nil {
+		t.Fatal("VENOM transplant target found — policy must refuse")
+	}
+	// Unknown id.
+	if _, err := db.SelectTarget("xen", []string{"CVE-9999-0000"}, pool); err == nil {
+		t.Fatal("unknown CVE accepted")
+	}
+	// A bigger pool rescues the common-flaw case.
+	target, err = db.SelectTarget("xen", []string{"CVE-2015-3456"}, []string{"xen", "kvm", "hyper-v"})
+	if err != nil || target != "hyper-v" {
+		t.Fatalf("pool-of-3 target = %q, %v", target, err)
+	}
+}
+
+// Property: SelectTarget never returns a hypervisor affected by any
+// active flaw.
+func TestSelectTargetNeverUnsafe(t *testing.T) {
+	db := Load()
+	pool := []string{"xen", "kvm"}
+	for _, r := range db.All() {
+		target, err := db.SelectTarget("xen", []string{r.ID}, pool)
+		if err != nil {
+			continue
+		}
+		if rec, _ := db.Lookup(r.ID); rec.Affected(target) {
+			t.Fatalf("policy chose %q for %s which affects it", target, r.ID)
+		}
+	}
+}
+
+func TestTransplantWorthwhile(t *testing.T) {
+	db := Load()
+	pool := []string{"xen", "kvm"}
+	// Critical Xen-only flaw on a Xen host: transplant to KVM.
+	ok, target := db.TransplantWorthwhile("CVE-2016-6258", "xen", pool)
+	if !ok || target != "kvm" {
+		t.Fatalf("worthwhile = %v/%q", ok, target)
+	}
+	// Medium flaw: HyperTP is reserved for critical ones.
+	ok, _ = db.TransplantWorthwhile("CVE-2015-8104", "xen", pool)
+	if ok {
+		t.Fatal("medium flaw triggered transplant")
+	}
+	// Flaw not affecting the current hypervisor.
+	ok, _ = db.TransplantWorthwhile("CVE-2017-12188", "xen", pool)
+	if ok {
+		t.Fatal("irrelevant flaw triggered transplant")
+	}
+	// Common critical flaw: no safe target.
+	ok, _ = db.TransplantWorthwhile("CVE-2015-3456", "xen", pool)
+	if ok {
+		t.Fatal("VENOM triggered transplant with no safe target")
+	}
+}
+
+// The motivating statistic: transplants needed per year stay low because
+// critical vulnerabilities rarely hit both hypervisors at once.
+func TestLowCommonRate(t *testing.T) {
+	db := Load()
+	totalCrit := 0
+	for y := FirstYear; y <= LastYear; y++ {
+		totalCrit += db.Count(y, "xen", SeverityCritical) +
+			db.Count(y, "kvm", SeverityCritical) +
+			db.Count(y, "common", SeverityCritical)
+	}
+	commonCrit := 0
+	for _, r := range db.CommonVulnerabilities() {
+		if r.Severity() == SeverityCritical {
+			commonCrit++
+		}
+	}
+	if frac := float64(commonCrit) / float64(totalCrit); frac > 0.02 {
+		t.Fatalf("common critical fraction = %.3f, want ≤ 0.02 (1/69)", frac)
+	}
+}
+
+func TestRecordAffected(t *testing.T) {
+	r := Record{Affects: []string{"xen"}}
+	if !r.Affected("xen") || r.Affected("kvm") {
+		t.Fatal("Affected wrong")
+	}
+}

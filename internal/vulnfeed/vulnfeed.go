@@ -1,0 +1,105 @@
+// Package vulnfeed closes the loop the paper's Fig. 1(b) draws: a
+// vulnerability-disclosure feed drives the transplant machinery. A
+// Watcher subscribes the orchestrator to a simulated advisory stream
+// (NVD/XSA-style); when a critical flaw affecting the fleet's hypervisor
+// arrives, it invokes the automated response immediately — collapsing the
+// multi-day "time to apply patch" segment of the vulnerability window to
+// the seconds a fleet transplant takes.
+package vulnfeed
+
+import (
+	"fmt"
+	"time"
+
+	"hypertp/internal/core"
+	"hypertp/internal/orchestrator"
+	"hypertp/internal/simtime"
+	"hypertp/internal/vulndb"
+)
+
+// Disclosure is one advisory arriving on the feed.
+type Disclosure struct {
+	At    time.Duration
+	CVEID string
+}
+
+// Response records what the watcher did about one disclosure.
+type Response struct {
+	Disclosure Disclosure
+	// Action is "transplant", "ignored" (not critical or not
+	// affecting the fleet), or "no-safe-target".
+	Action string
+	Fleet  *orchestrator.FleetResponse
+	Err    error
+}
+
+// Watcher connects a feed to the orchestrator.
+type Watcher struct {
+	clock     *simtime.Clock
+	db        *vulndb.Database
+	nova      *orchestrator.Nova
+	pool      []string
+	opts      core.Options
+	responses []Response
+}
+
+// NewWatcher builds a watcher for the given fleet manager and hypervisor
+// pool.
+func NewWatcher(clock *simtime.Clock, db *vulndb.Database, nova *orchestrator.Nova,
+	pool []string, opts core.Options) *Watcher {
+	return &Watcher{clock: clock, db: db, nova: nova, pool: pool, opts: opts}
+}
+
+// Subscribe schedules the watcher to process each disclosure at its
+// arrival time. Run the clock to deliver them.
+func (w *Watcher) Subscribe(feed []Disclosure) error {
+	for _, d := range feed {
+		if d.At < w.clock.Now() {
+			return fmt.Errorf("vulnfeed: disclosure %s arrives in the past", d.CVEID)
+		}
+		d := d
+		w.clock.Schedule(d.At, "disclosure:"+d.CVEID, func(*simtime.Clock) {
+			w.handle(d)
+		})
+	}
+	return nil
+}
+
+// handle applies the paper's policy to one disclosure.
+func (w *Watcher) handle(d Disclosure) {
+	rec, ok := w.db.Lookup(d.CVEID)
+	if !ok {
+		w.responses = append(w.responses, Response{Disclosure: d, Action: "ignored",
+			Err: fmt.Errorf("vulnfeed: unknown CVE %q", d.CVEID)})
+		return
+	}
+	if rec.Severity() != vulndb.SeverityCritical {
+		// Medium flaws wait for the normal patch cycle (§1: HyperTP is
+		// reserved for critical vulnerabilities).
+		w.responses = append(w.responses, Response{Disclosure: d, Action: "ignored"})
+		return
+	}
+	fleet, err := w.nova.RespondToCVE(w.db, d.CVEID, w.pool, w.opts)
+	if err != nil {
+		action := "no-safe-target"
+		w.responses = append(w.responses, Response{Disclosure: d, Action: action, Err: err})
+		return
+	}
+	w.responses = append(w.responses, Response{Disclosure: d, Action: "transplant", Fleet: fleet})
+}
+
+// Responses returns what happened to each disclosure, in processing
+// order.
+func (w *Watcher) Responses() []Response { return w.responses }
+
+// WindowClosed reports, for a handled disclosure, the virtual time from
+// arrival to fleet-secured — the reproduction's answer to the paper's
+// 71-day average window.
+func (w *Watcher) WindowClosed(cveID string) (time.Duration, bool) {
+	for _, r := range w.responses {
+		if r.Disclosure.CVEID == cveID && r.Action == "transplant" {
+			return r.Fleet.Elapsed, true
+		}
+	}
+	return 0, false
+}

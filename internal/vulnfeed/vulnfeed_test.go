@@ -1,0 +1,118 @@
+package vulnfeed
+
+import (
+	"testing"
+	"time"
+
+	"hypertp/internal/core"
+	"hypertp/internal/hv"
+	"hypertp/internal/hw"
+	"hypertp/internal/orchestrator"
+	"hypertp/internal/simnet"
+	"hypertp/internal/simtime"
+	"hypertp/internal/vulndb"
+)
+
+func newFleet(t *testing.T) (*simtime.Clock, *orchestrator.Nova) {
+	t.Helper()
+	clock := simtime.NewClock()
+	fabric := simnet.NewLink(clock, "fabric", simnet.Gbps10, 100*time.Microsecond)
+	nova := orchestrator.NewNova(clock, fabric)
+	for _, name := range []string{"a-node", "b-node"} {
+		d, err := orchestrator.NewLibvirtDriver(clock, hw.NewMachine(clock, hw.M2()), hv.KindXen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nova.AddNode(name, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		_, err := nova.BootVM(hv.Config{
+			Name: "vm-" + string(rune('0'+i)), VCPUs: 1, MemBytes: 1 << 30,
+			HugePages: true, Seed: uint64(i), InPlaceCompatible: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return clock, nova
+}
+
+func TestWatcherRespondsToCriticalDisclosure(t *testing.T) {
+	clock, nova := newFleet(t)
+	db := vulndb.Load()
+	w := NewWatcher(clock, db, nova, []string{"xen", "kvm"}, core.DefaultOptions())
+	err := w.Subscribe([]Disclosure{
+		{At: 10 * time.Second, CVEID: "CVE-2015-8104"},  // medium: wait for patch
+		{At: 20 * time.Second, CVEID: "CVE-2016-6258"},  // critical on Xen: transplant
+		{At: 30 * time.Second, CVEID: "CVE-2017-12188"}, // KVM-only: fleet now on KVM!
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Run()
+	rs := w.Responses()
+	if len(rs) != 3 {
+		t.Fatalf("responses = %d", len(rs))
+	}
+	if rs[0].Action != "ignored" {
+		t.Fatalf("medium flaw action = %q", rs[0].Action)
+	}
+	if rs[1].Action != "transplant" || rs[1].Fleet.Target != hv.KindKVM {
+		t.Fatalf("critical flaw action = %q", rs[1].Action)
+	}
+	// After the transplant the fleet runs KVM, so the later KVM flaw
+	// now matters — but with only {xen, kvm} in the pool the policy can
+	// still act (Xen is safe for it).
+	if rs[2].Action != "transplant" || rs[2].Fleet.Target != hv.KindXen {
+		t.Fatalf("follow-up flaw action = %q (target %v)", rs[2].Action, rs[2].Fleet)
+	}
+	// The window closed in virtual seconds, not the paper's 71 days.
+	window, ok := w.WindowClosed("CVE-2016-6258")
+	if !ok {
+		t.Fatal("window not recorded")
+	}
+	if window <= 0 || window > time.Minute {
+		t.Fatalf("window = %v, want seconds-scale", window)
+	}
+	if _, ok := w.WindowClosed("CVE-2015-8104"); ok {
+		t.Fatal("ignored flaw reported a window")
+	}
+}
+
+func TestWatcherVENOMWithoutEscape(t *testing.T) {
+	clock, nova := newFleet(t)
+	db := vulndb.Load()
+	w := NewWatcher(clock, db, nova, []string{"xen", "kvm"}, core.DefaultOptions())
+	if err := w.Subscribe([]Disclosure{{At: time.Second, CVEID: "CVE-2015-3456"}}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Run()
+	rs := w.Responses()
+	if len(rs) != 1 || rs[0].Action != "no-safe-target" {
+		t.Fatalf("VENOM response = %+v", rs)
+	}
+}
+
+func TestWatcherUnknownCVE(t *testing.T) {
+	clock, nova := newFleet(t)
+	w := NewWatcher(clock, vulndb.Load(), nova, []string{"xen", "kvm"}, core.DefaultOptions())
+	if err := w.Subscribe([]Disclosure{{At: time.Second, CVEID: "CVE-0000-0000"}}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Run()
+	rs := w.Responses()
+	if len(rs) != 1 || rs[0].Action != "ignored" || rs[0].Err == nil {
+		t.Fatalf("unknown CVE response = %+v", rs)
+	}
+}
+
+func TestSubscribePastDisclosure(t *testing.T) {
+	clock, nova := newFleet(t)
+	clock.Advance(time.Minute)
+	w := NewWatcher(clock, vulndb.Load(), nova, nil, core.DefaultOptions())
+	if err := w.Subscribe([]Disclosure{{At: time.Second, CVEID: "CVE-2016-6258"}}); err == nil {
+		t.Fatal("past disclosure accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"time"
+
+	"hypertp/internal/simtime"
+)
+
+// Darknet models the paper's neural-network training workload: 100
+// training iterations over MNIST, ~2.044 s per iteration when
+// undisturbed (Table 6).
+const (
+	// DarknetIterations is the paper's training length.
+	DarknetIterations = 100
+	// DarknetBaseIterSec is the undisturbed mean iteration time.
+	DarknetBaseIterSec = 2.044
+)
+
+// DarknetMode is the disturbance applied mid-training.
+type DarknetMode uint8
+
+const (
+	// DarknetDefault trains undisturbed.
+	DarknetDefault DarknetMode = iota + 1
+	// DarknetXenMigration applies a homogeneous Xen→Xen live migration
+	// (Table 6: longest iteration ~2.672 s).
+	DarknetXenMigration
+	// DarknetInPlaceTP applies InPlaceTP: the VM pauses for the
+	// downtime, stretching one iteration (Table 6: ~4.97 s).
+	DarknetInPlaceTP
+	// DarknetMigrationTP applies MigrationTP (Table 6: longest
+	// iteration ~2.244 s).
+	DarknetMigrationTP
+)
+
+// DarknetRun is one training run's per-iteration durations in seconds.
+type DarknetRun struct {
+	Mode       DarknetMode
+	Iterations []float64
+}
+
+// RunDarknet simulates one training run with the given disturbance. The
+// disturbance hits the middle iteration; migrations additionally slow
+// the iterations overlapping the pre-copy window.
+func RunDarknet(mode DarknetMode, downtime time.Duration, seed uint64) DarknetRun {
+	rng := simtime.NewRand(seed)
+	run := DarknetRun{Mode: mode, Iterations: make([]float64, DarknetIterations)}
+	for i := range run.Iterations {
+		run.Iterations[i] = rng.Jitter(DarknetBaseIterSec, 0.015)
+	}
+	mid := DarknetIterations / 2
+	switch mode {
+	case DarknetDefault:
+	case DarknetInPlaceTP:
+		// The VM is paused for the downtime during one iteration.
+		run.Iterations[mid] += downtime.Seconds()
+	case DarknetXenMigration, DarknetMigrationTP:
+		// Pre-copy of the 8 GB VM takes ~76 s ≈ 37 iterations; each
+		// overlapped iteration is slightly slower, the stop-and-copy
+		// one most of all.
+		perIter := 0.09 // MigrationTP interference per iteration
+		peak := 0.20
+		if mode == DarknetXenMigration {
+			perIter = 0.17 // Xen's heavier shadow-paging log-dirty cost
+			peak = 0.62
+		}
+		window := 37
+		for i := mid - window/2; i < mid+window/2 && i < len(run.Iterations); i++ {
+			if i < 0 {
+				continue
+			}
+			run.Iterations[i] += rng.Jitter(perIter, 0.3)
+		}
+		run.Iterations[mid] += peak
+	}
+	return run
+}
+
+// Mean returns the mean iteration time.
+func (r DarknetRun) Mean() float64 {
+	var sum float64
+	for _, v := range r.Iterations {
+		sum += v
+	}
+	return sum / float64(len(r.Iterations))
+}
+
+// Longest returns the slowest iteration.
+func (r DarknetRun) Longest() float64 {
+	var max float64
+	for _, v := range r.Iterations {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

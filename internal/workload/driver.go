@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"hypertp/internal/guest"
+	"hypertp/internal/hw"
+	"hypertp/internal/simtime"
+)
+
+// Driver runs a workload *inside* a guest on the virtual clock: it
+// periodically writes real bytes into the guest's working set at the
+// profile's dirty rate. While a migration's pre-copy loop is active, the
+// hypervisor's dirty log picks these writes up, so the extra rounds and
+// retransmissions of Figs. 8-9 can be produced mechanistically instead of
+// by the analytic rate parameter.
+type Driver struct {
+	clock   *simtime.Clock
+	guest   *guest.Guest
+	rate    float64 // pages per second
+	tick    time.Duration
+	baseGFN hw.GFN
+	span    uint64
+	cursor  uint64
+	rng     *simtime.Rand
+
+	running      bool
+	pagesWritten uint64
+	event        *simtime.Event
+}
+
+// StartDriver begins writing rate pages/second into the guest, cycling
+// through span pages starting at baseGFN. It keeps scheduling itself
+// until Stop is called.
+func StartDriver(clock *simtime.Clock, g *guest.Guest, rate float64, baseGFN hw.GFN, span uint64, seed uint64) (*Driver, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: driver rate must be positive")
+	}
+	if span == 0 {
+		return nil, fmt.Errorf("workload: driver span must be positive")
+	}
+	if uint64(baseGFN)+span > g.Memory().NumPages() {
+		return nil, fmt.Errorf("workload: driver window [%d, %d) outside guest memory",
+			baseGFN, uint64(baseGFN)+span)
+	}
+	d := &Driver{
+		clock: clock, guest: g, rate: rate,
+		tick:    100 * time.Millisecond,
+		baseGFN: baseGFN, span: span,
+		rng:     simtime.NewRand(seed),
+		running: true,
+	}
+	d.schedule()
+	return d, nil
+}
+
+func (d *Driver) schedule() {
+	d.event = d.clock.After(d.tick, "workload-tick", func(*simtime.Clock) { d.step() })
+}
+
+func (d *Driver) step() {
+	if !d.running {
+		return
+	}
+	n := int(d.rate * d.tick.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		gfn := d.baseGFN + hw.GFN((d.cursor+uint64(i)*2654435761)%d.span)
+		payload := []byte{byte(d.rng.Uint64()), byte(d.rng.Uint64())}
+		off := int(d.rng.Uint64() % (hw.PageSize4K - 2))
+		if err := d.guest.Write(gfn, off, payload); err != nil {
+			// The VM is mid-transplant (memory temporarily detached):
+			// a real guest would be paused; just skip the tick.
+			break
+		}
+		d.pagesWritten++
+	}
+	d.cursor += uint64(n)
+	d.schedule()
+}
+
+// PagesWritten reports the total pages the driver has touched.
+func (d *Driver) PagesWritten() uint64 { return d.pagesWritten }
+
+// Running reports whether the driver is active.
+func (d *Driver) Running() bool { return d.running }
+
+// Stop halts the driver.
+func (d *Driver) Stop() {
+	d.running = false
+	if d.event != nil {
+		d.clock.Cancel(d.event)
+		d.event = nil
+	}
+}
