@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench benchfig
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the PR gate: vet + build + the full suite under the race
+# detector (the determinism and pool-stress tests rely on it).
+check:
+	$(GO) vet ./... && $(GO) build ./... && $(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+benchfig:
+	$(GO) run ./cmd/benchfig

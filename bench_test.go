@@ -13,9 +13,14 @@ import (
 
 	"hypertp"
 	"hypertp/internal/experiments"
+	"hypertp/internal/hv"
+	"hypertp/internal/hw"
+	"hypertp/internal/pram"
+	"hypertp/internal/uisr"
 )
 
 func BenchmarkTable1VulnStudy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		db, tab := experiments.Table1()
 		if db == nil || len(tab.Rows) != 8 {
@@ -29,6 +34,7 @@ func BenchmarkTable1VulnStudy(b *testing.B) {
 }
 
 func BenchmarkTable2StateMapping(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if len(experiments.Table2().Rows) != 7 {
 			b.Fatal("table 2 wrong")
@@ -37,6 +43,7 @@ func BenchmarkTable2StateMapping(b *testing.B) {
 }
 
 func BenchmarkFigure6Breakdown(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Figure6()
 		if err != nil {
@@ -49,6 +56,7 @@ func BenchmarkFigure6Breakdown(b *testing.B) {
 }
 
 func BenchmarkFigure7Scalability(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sweeps, _, err := experiments.Figure7()
 		if err != nil {
@@ -61,6 +69,7 @@ func BenchmarkFigure7Scalability(b *testing.B) {
 }
 
 func BenchmarkFigure8Downtime(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sweeps, _, err := experiments.Figure8()
 		if err != nil {
@@ -73,6 +82,7 @@ func BenchmarkFigure8Downtime(b *testing.B) {
 }
 
 func BenchmarkFigure9MigrationTime(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sweeps, _, err := experiments.Figure9()
 		if err != nil {
@@ -85,6 +95,7 @@ func BenchmarkFigure9MigrationTime(b *testing.B) {
 }
 
 func BenchmarkFigure10KVMToXen(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sweeps, _, err := experiments.Figure10()
 		if err != nil {
@@ -97,6 +108,7 @@ func BenchmarkFigure10KVMToXen(b *testing.B) {
 }
 
 func BenchmarkTable4Migration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, _, err := experiments.Table4()
 		if err != nil {
@@ -109,6 +121,7 @@ func BenchmarkTable4Migration(b *testing.B) {
 }
 
 func BenchmarkFigure11Redis(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tl, _, err := experiments.Figure11()
 		if err != nil {
@@ -121,6 +134,7 @@ func BenchmarkFigure11Redis(b *testing.B) {
 }
 
 func BenchmarkFigure12MySQL(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tl, _, err := experiments.Figure12()
 		if err != nil {
@@ -133,6 +147,7 @@ func BenchmarkFigure12MySQL(b *testing.B) {
 }
 
 func BenchmarkTable5SPEC(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		inplace, migr, _, err := experiments.Table5()
 		if err != nil {
@@ -145,6 +160,7 @@ func BenchmarkTable5SPEC(b *testing.B) {
 }
 
 func BenchmarkTable6Darknet(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		runs, _, err := experiments.Table6()
 		if err != nil {
@@ -157,6 +173,7 @@ func BenchmarkTable6Darknet(b *testing.B) {
 }
 
 func BenchmarkFigure13Cluster(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		points, _, err := experiments.Figure13()
 		if err != nil {
@@ -169,6 +186,7 @@ func BenchmarkFigure13Cluster(b *testing.B) {
 }
 
 func BenchmarkFigure14Overhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		fig, _, err := experiments.Figure14()
 		if err != nil {
@@ -181,6 +199,7 @@ func BenchmarkFigure14Overhead(b *testing.B) {
 }
 
 func BenchmarkAblationOptimizations(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Ablation()
 		if err != nil {
@@ -195,6 +214,7 @@ func BenchmarkAblationOptimizations(b *testing.B) {
 // BenchmarkInPlaceTransplant measures the public-API single-transplant
 // path: the cost of one full InPlaceTP including machine setup.
 func BenchmarkInPlaceTransplant(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sim := hypertp.NewSimulation()
 		host, err := sim.NewHost(hypertp.M1(), hypertp.KindXen)
@@ -214,6 +234,7 @@ func BenchmarkInPlaceTransplant(b *testing.B) {
 
 // BenchmarkMigrationTP measures the public-API migration path.
 func BenchmarkMigrationTP(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sim := hypertp.NewSimulation()
 		src, err := sim.NewHost(hypertp.M1(), hypertp.KindXen)
@@ -240,6 +261,7 @@ func BenchmarkMigrationTP(b *testing.B) {
 // BenchmarkVENOMEscape measures the three-pool escape scenario: Xen →
 // microhypervisor and back, with guest verification.
 func BenchmarkVENOMEscape(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sim := hypertp.NewSimulation()
 		host, err := sim.NewHost(hypertp.M1(), hypertp.KindXen)
@@ -263,6 +285,84 @@ func BenchmarkVENOMEscape(b *testing.B) {
 			if err := vm.Guest.Verify(); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// --- codec micro-benchmarks -------------------------------------------------
+//
+// These isolate the serialization hot paths the transplant engine runs per
+// VM: UISR encode/decode and PRAM build (serialize) / parse. Fixtures match
+// the paper's reference VM shape (4 vCPUs, 8 GiB huge-page backed).
+
+func benchState(b *testing.B) *uisr.VMState {
+	b.Helper()
+	return uisr.SyntheticVM("bench", 1, 4, 8<<30, 42)
+}
+
+func BenchmarkUISREncode(b *testing.B) {
+	st := benchState(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uisr.Encode(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUISRDecode(b *testing.B) {
+	blob, err := uisr.Encode(benchState(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uisr.Decode(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPRAMFiles allocates an 8 GiB huge-page guest on a fresh physical
+// memory and returns the memory plus the PRAM file records for it.
+func benchPRAMFiles(b *testing.B) (*hw.PhysMem, []pram.File) {
+	b.Helper()
+	mem := hw.NewPhysMem(16 << 30)
+	space, err := hv.AllocAddressSpace(mem, 1, 8<<30, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mem, []pram.File{{Name: "bench", VMID: 1, Extents: space.Extents()}}
+}
+
+func BenchmarkPRAMSerialize(b *testing.B) {
+	mem, files := benchPRAMFiles(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := pram.Build(mem, files, pram.BuildOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Release(mem); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPRAMParse(b *testing.B) {
+	mem, files := benchPRAMFiles(b)
+	s, err := pram.Build(mem, files, pram.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pram.Parse(mem, s.Pointer); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -6,166 +6,174 @@
 //
 //	benchfig           # everything
 //	benchfig -only fig6,table4,fig13
+//	benchfig -workers 8
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"hypertp/internal/experiments"
 	"hypertp/internal/metrics"
+	"hypertp/internal/par"
 )
 
-// sections maps selector names to the drivers.
+// sections maps selector names to the drivers. Each driver renders into
+// the supplied writer so sections can run concurrently and still print in
+// a deterministic order.
 var sections = []struct {
 	name string
-	run  func() error
+	run  func(w io.Writer) error
 }{
-	{"table1", func() error {
+	{"table1", func(w io.Writer) error {
 		_, tab := experiments.Table1()
-		fmt.Println(tab.Render())
+		fmt.Fprintln(w, tab.Render())
 		_, win := experiments.Section22Windows()
-		fmt.Println(win.Render())
+		fmt.Fprintln(w, win.Render())
 		return nil
 	}},
-	{"table2", func() error {
-		fmt.Println(experiments.Table2().Render())
+	{"table2", func(w io.Writer) error {
+		fmt.Fprintln(w, experiments.Table2().Render())
 		return nil
 	}},
-	{"fig6", func() error {
+	{"fig6", func(w io.Writer) error {
 		_, tab, err := experiments.Figure6()
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(w, tab.Render())
 		return nil
 	}},
-	{"fig7", func() error {
+	{"fig7", func(w io.Writer) error {
 		_, tabs, err := experiments.Figure7()
-		return printTabs(tabs, err)
+		return printTabs(w, tabs, err)
 	}},
-	{"fig8", func() error {
+	{"fig8", func(w io.Writer) error {
 		_, tabs, err := experiments.Figure8()
-		return printTabs(tabs, err)
+		return printTabs(w, tabs, err)
 	}},
-	{"fig9", func() error {
+	{"fig9", func(w io.Writer) error {
 		_, tabs, err := experiments.Figure9()
-		return printTabs(tabs, err)
+		return printTabs(w, tabs, err)
 	}},
-	{"fig10", func() error {
+	{"fig10", func(w io.Writer) error {
 		_, tabs, err := experiments.Figure10()
-		return printTabs(tabs, err)
+		return printTabs(w, tabs, err)
 	}},
-	{"table4", func() error {
+	{"table4", func(w io.Writer) error {
 		_, tab, err := experiments.Table4()
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(w, tab.Render())
 		return nil
 	}},
-	{"fig11", func() error {
+	{"fig11", func(w io.Writer) error {
 		_, render, err := experiments.Figure11()
 		if err != nil {
 			return err
 		}
-		fmt.Println(render)
+		fmt.Fprintln(w, render)
 		return nil
 	}},
-	{"fig12", func() error {
+	{"fig12", func(w io.Writer) error {
 		_, render, err := experiments.Figure12()
 		if err != nil {
 			return err
 		}
-		fmt.Println(render)
+		fmt.Fprintln(w, render)
 		return nil
 	}},
-	{"table5", func() error {
+	{"table5", func(w io.Writer) error {
 		_, _, tab, err := experiments.Table5()
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(w, tab.Render())
 		return nil
 	}},
-	{"table6", func() error {
+	{"table6", func(w io.Writer) error {
 		_, tab, err := experiments.Table6()
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(w, tab.Render())
 		return nil
 	}},
-	{"fig13", func() error {
+	{"fig13", func(w io.Writer) error {
 		_, tab, err := experiments.Figure13()
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(w, tab.Render())
 		return nil
 	}},
-	{"fig14", func() error {
+	{"fig14", func(w io.Writer) error {
 		_, tabs, err := experiments.Figure14()
-		return printTabs(tabs, err)
+		return printTabs(w, tabs, err)
 	}},
-	{"directions", func() error {
+	{"directions", func(w io.Writer) error {
 		_, tab, err := experiments.DirectionsMatrix()
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(w, tab.Render())
 		return nil
 	}},
-	{"decisions", func() error {
-		fmt.Println("Transplant decision policy (Xen datacenter):")
+	{"decisions", func(w io.Writer) error {
+		fmt.Fprintln(w, "Transplant decision policy (Xen datacenter):")
 		for _, d := range experiments.Decisions() {
 			target := d.Target
 			if target == "" {
 				target = "-"
 			}
-			fmt.Printf("  %-15s pool=%d transplant=%-5v target=%s\n",
+			fmt.Fprintf(w, "  %-15s pool=%d transplant=%-5v target=%s\n",
 				d.CVE, d.Pool, d.Transplant, target)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		return nil
 	}},
-	{"groupsize", func() error {
+	{"groupsize", func(w io.Writer) error {
 		_, tab, err := experiments.GroupSizeSweep()
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(w, tab.Render())
 		return nil
 	}},
-	{"ablation", func() error {
+	{"ablation", func(w io.Writer) error {
 		_, tab, err := experiments.Ablation()
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(w, tab.Render())
 		return nil
 	}},
-	{"tcb", func() error {
-		fmt.Println(experiments.TCB().Render())
+	{"tcb", func(w io.Writer) error {
+		fmt.Fprintln(w, experiments.TCB().Render())
 		return nil
 	}},
 }
 
-func printTabs(tabs []*metrics.Table, err error) error {
+func printTabs(w io.Writer, tabs []*metrics.Table, err error) error {
 	if err != nil {
 		return err
 	}
 	for _, tab := range tabs {
-		fmt.Println(tab.Render())
+		fmt.Fprintln(w, tab.Render())
 	}
 	return nil
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated subset (e.g. fig6,table4); empty = all")
+	workers := flag.Int("workers", 0, "host worker pool size for wall-clock parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -173,14 +181,32 @@ func main() {
 			want[strings.TrimSpace(s)] = true
 		}
 	}
-	for _, sec := range sections {
+	var run []int
+	for i, sec := range sections {
 		if len(want) > 0 && !want[sec.name] {
 			continue
 		}
-		fmt.Printf("==== %s ====\n\n", sec.name)
-		if err := sec.run(); err != nil {
-			fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", sec.name, err)
-			os.Exit(1)
+		run = append(run, i)
+	}
+
+	// Render every selected section into its own buffer on the worker
+	// pool, then print the buffers in section order — the output is
+	// byte-identical to a sequential run for any worker count. Errors
+	// surface in section order (lowest index wins), matching the first
+	// error a sequential run would report.
+	bufs, err := par.Map(run, func(_ int, idx int) (*bytes.Buffer, error) {
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "==== %s ====\n\n", sections[idx].name)
+		if err := sections[idx].run(&buf); err != nil {
+			return nil, fmt.Errorf("%s: %w", sections[idx].name, err)
 		}
+		return &buf, nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+		os.Exit(1)
+	}
+	for _, buf := range bufs {
+		os.Stdout.Write(buf.Bytes())
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"hypertp/internal/hw"
 	"hypertp/internal/metrics"
 	"hypertp/internal/migration"
+	"hypertp/internal/par"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
 	"hypertp/internal/trace"
@@ -40,9 +41,11 @@ func main() {
 		noPar   = flag.Bool("no-parallel", false, "disable parallel translation (ablation)")
 		noHuge  = flag.Bool("no-hugepages", false, "disable huge-page PRAM entries (ablation)")
 		noEarly = flag.Bool("no-early-restore", false, "disable early restoration (ablation)")
+		workers = flag.Int("workers", 0, "host worker pool size for wall-clock parallelism (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "print the Fig. 3 workflow trace")
 	)
 	flag.Parse()
+	par.SetWorkers(*workers)
 	if err := run(*mode, *from, *to, *machine, *vms, *vcpus, *memGiB, *cve,
 		core.Options{
 			PrepareBeforePause: !*noPrep,

@@ -14,6 +14,7 @@ import (
 
 	"hypertp/internal/hv"
 	"hypertp/internal/hw"
+	"hypertp/internal/par"
 	"hypertp/internal/uisr"
 )
 
@@ -61,9 +62,13 @@ func Save(h hv.Hypervisor, id hv.VMID) (*Image, error) {
 	st.MemMap = nil
 	img := &Image{State: st, InPlaceCompatible: vm.Config.InPlaceCompatible}
 
-	// Capture touched pages through the address space.
+	// Capture touched pages through the address space: extents are
+	// independent, so capture fans out per extent and the per-extent page
+	// lists concatenate in extent order — the same record order the
+	// sequential walk produced.
 	mem := h.Machine().Mem
-	for _, e := range vm.Space.Extents() {
+	perExtent, err := par.Map(vm.Space.Extents(), func(_ int, e uisr.PageExtent) ([]PageRecord, error) {
+		var recs []PageRecord
 		for p := uint64(0); p < e.Pages(); p++ {
 			mfn := hw.MFN(e.MFN + p)
 			if !mem.Touched(mfn) {
@@ -73,8 +78,15 @@ func Save(h hv.Hypervisor, id hv.VMID) (*Image, error) {
 			if err != nil {
 				return nil, err
 			}
-			img.Pages = append(img.Pages, PageRecord{GFN: hw.GFN(e.GFN + p), Data: data})
+			recs = append(recs, PageRecord{GFN: hw.GFN(e.GFN + p), Data: data})
 		}
+		return recs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, recs := range perExtent {
+		img.Pages = append(img.Pages, recs...)
 	}
 	return img, nil
 }
@@ -93,10 +105,18 @@ func Restore(h hv.Hypervisor, img *Image) (*hv.VM, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, pr := range img.Pages {
-		if err := vm.Space.WritePage(pr.GFN, 0, pr.Data); err != nil {
-			return nil, fmt.Errorf("checkpoint: replay page %d: %w", pr.GFN, err)
+	// Records cover distinct pages, so the replay fans out.
+	err = par.ForEachSpan(len(img.Pages), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			pr := img.Pages[i]
+			if err := vm.Space.WritePage(pr.GFN, 0, pr.Data); err != nil {
+				return fmt.Errorf("checkpoint: replay page %d: %w", pr.GFN, err)
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return vm, nil
 }
@@ -112,37 +132,43 @@ func Serialize(img *Image) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The image size is exact, so the whole output is one allocation
+	// written in place; page records land at computed offsets, which lets
+	// the bulk page copies fan out on the par pool.
 	size := 12 + len(blob) + 4 + len(img.Pages)*(8+hw.PageSize4K) + 8
-	out := make([]byte, 0, size)
+	out := make([]byte, size)
 	le := binary.LittleEndian
 
-	var hdr [12]byte
-	le.PutUint32(hdr[0:], magic)
-	le.PutUint16(hdr[4:], version)
+	le.PutUint32(out[0:], magic)
+	le.PutUint16(out[4:], version)
 	flags := uint16(0)
 	if img.InPlaceCompatible {
 		flags |= 1
 	}
-	le.PutUint16(hdr[6:], flags)
-	le.PutUint32(hdr[8:], uint32(len(blob)))
-	out = append(out, hdr[:]...)
-	out = append(out, blob...)
+	le.PutUint16(out[6:], flags)
+	le.PutUint32(out[8:], uint32(len(blob)))
+	copy(out[12:], blob)
 
-	var cnt [4]byte
-	le.PutUint32(cnt[:], uint32(len(img.Pages)))
-	out = append(out, cnt[:]...)
-	for _, pr := range img.Pages {
-		if len(pr.Data) != hw.PageSize4K {
-			return nil, fmt.Errorf("checkpoint: page %d has %d bytes", pr.GFN, len(pr.Data))
+	pagesOff := 12 + len(blob)
+	le.PutUint32(out[pagesOff:], uint32(len(img.Pages)))
+	pagesOff += 4
+	err = par.ForEachSpan(len(img.Pages), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			pr := img.Pages[i]
+			if len(pr.Data) != hw.PageSize4K {
+				return fmt.Errorf("checkpoint: page %d has %d bytes", pr.GFN, len(pr.Data))
+			}
+			rec := out[pagesOff+i*(8+hw.PageSize4K):]
+			le.PutUint64(rec[0:], uint64(pr.GFN))
+			copy(rec[8:8+hw.PageSize4K], pr.Data)
 		}
-		var g [8]byte
-		le.PutUint64(g[:], uint64(pr.GFN))
-		out = append(out, g[:]...)
-		out = append(out, pr.Data...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	var sum [8]byte
-	le.PutUint64(sum[:], crc64.Checksum(out, crcTable))
-	return append(out, sum[:]...), nil
+	le.PutUint64(out[size-8:], crc64.Checksum(out[:size-8], crcTable))
+	return out, nil
 }
 
 // Deserialize parses and validates a serialized image. Any corruption —
@@ -180,13 +206,24 @@ func Deserialize(data []byte) (*Image, error) {
 		return nil, fmt.Errorf("checkpoint: page section size mismatch")
 	}
 	img := &Image{State: st, InPlaceCompatible: flags&1 != 0}
-	for i := 0; i < n; i++ {
-		gfn := hw.GFN(le.Uint64(body[off:]))
-		off += 8
-		page := make([]byte, hw.PageSize4K)
-		copy(page, body[off:off+hw.PageSize4K])
-		off += hw.PageSize4K
-		img.Pages = append(img.Pages, PageRecord{GFN: gfn, Data: page})
+	if n > 0 {
+		// One backing array for all page contents (instead of one
+		// allocation per page), sliced per record; records sit at
+		// computed offsets, so the copies fan out.
+		img.Pages = make([]PageRecord, n)
+		backing := make([]byte, n*hw.PageSize4K)
+		err = par.ForEachSpan(n, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				rec := body[off+i*(8+hw.PageSize4K):]
+				page := backing[i*hw.PageSize4K : (i+1)*hw.PageSize4K : (i+1)*hw.PageSize4K]
+				copy(page, rec[8:8+hw.PageSize4K])
+				img.Pages[i] = PageRecord{GFN: hw.GFN(le.Uint64(rec[0:])), Data: page}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return img, nil
 }

@@ -20,6 +20,7 @@ import (
 	"hypertp/internal/hv/xen"
 	"hypertp/internal/hw"
 	"hypertp/internal/kexec"
+	"hypertp/internal/par"
 	"hypertp/internal/pram"
 	"hypertp/internal/simtime"
 	"hypertp/internal/trace"
@@ -219,14 +220,19 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	// ❸ Translate VM_i State to UISR and stash the blobs in preserved
 	// RAM: each blob becomes an extra PRAM file so the target kernel
 	// can find it after the micro-reboot.
+	//
+	// The phase is staged so the wall-clock parallel part is pure compute:
+	// SaveUISR runs sequentially (it walks hypervisor structures), the
+	// per-VM Encode fans out on the par pool, and blob frames are
+	// allocated and written sequentially so MFN assignment — and therefore
+	// every preserved byte — is identical for any worker count.
 	type savedVM struct {
 		res    VMResult
 		inPl   bool
 		frames []hw.MFN
 		bytes  int
 	}
-	saved := make([]savedVM, 0, len(vms))
-	blobFiles := make([]pram.File, 0, len(vms))
+	states := make([]*uisr.VMState, 0, len(vms))
 	costs := make([]time.Duration, 0, len(vms))
 	for _, vm := range vms {
 		st, err := src.SaveUISR(vm.ID)
@@ -236,10 +242,22 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		// The memory map travels via the PRAM "mem" file, not the UISR
 		// blob — Fig. 14 accounts the two overheads separately.
 		st.MemMap = nil
-		blob, err := uisr.Encode(st)
-		if err != nil {
-			return nil, nil, err
-		}
+		states = append(states, st)
+		gib := float64(vm.Config.MemBytes) / float64(hw.GiB)
+		costs = append(costs, cost.TranslatePerVM+
+			time.Duration(vm.Config.VCPUs)*cost.TranslatePerVCPU+
+			time.Duration(gib*float64(cost.TranslatePerGB)))
+	}
+	blobs, err := par.Map(states, func(_ int, st *uisr.VMState) ([]byte, error) {
+		return uisr.Encode(st)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	saved := make([]savedVM, 0, len(vms))
+	blobFiles := make([]pram.File, 0, len(vms))
+	for i, vm := range vms {
+		blob := blobs[i]
 		frames, err := writeBlob(e.Machine.Mem, blob)
 		if err != nil {
 			return nil, nil, err
@@ -256,10 +274,6 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		})
 		report.UISRBytes += uint64(len(blob))
 		blobFiles = append(blobFiles, blobFile(vm.Config.Name, frames))
-		gib := float64(vm.Config.MemBytes) / float64(hw.GiB)
-		costs = append(costs, cost.TranslatePerVM+
-			time.Duration(vm.Config.VCPUs)*cost.TranslatePerVCPU+
-			time.Duration(gib*float64(cost.TranslatePerGB)))
 	}
 	// Record the blob locations in a second PRAM structure chained to
 	// nothing — we rebuild one structure holding both memory maps and
@@ -334,33 +348,44 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		e.Clock.Advance(cost.RestoreServiceWait)
 	}
 	memFiles := map[string]pram.File{}
-	blobs := map[string]pram.File{}
+	blobFileMap := map[string]pram.File{}
 	for _, f := range parsed.Files {
 		if name, ok := blobFileName(f.Name); ok {
-			blobs[name] = f
+			blobFileMap[name] = f
 		} else {
 			memFiles[f.Name] = f
 		}
 	}
+	// Restoration mirrors translation's staging: blob reads and UISR
+	// decodes are pure compute and fan out on the par pool; RestoreUISR
+	// and guest attachment mutate the target hypervisor and run
+	// sequentially in VM order.
+	restored, err := par.Map(saved, func(_ int, s savedVM) (*uisr.VMState, error) {
+		bf, ok := blobFileMap[s.res.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: UISR blob for %q missing after reboot", s.res.Name)
+		}
+		blob, err := readBlob(e.Machine.Mem, bf)
+		if err != nil {
+			return nil, err
+		}
+		st, err := uisr.Decode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("core: UISR blob for %q corrupt: %w", s.res.Name, err)
+		}
+		return st, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	costs = costs[:0]
 	for i := range saved {
 		s := &saved[i]
-		bf, ok := blobs[s.res.Name]
-		if !ok {
-			return nil, nil, fmt.Errorf("core: UISR blob for %q missing after reboot", s.res.Name)
-		}
 		mf, ok := memFiles[s.res.Name]
 		if !ok {
 			return nil, nil, fmt.Errorf("core: memory map for %q missing after reboot", s.res.Name)
 		}
-		blob, err := readBlob(e.Machine.Mem, bf)
-		if err != nil {
-			return nil, nil, err
-		}
-		st, err := uisr.Decode(blob)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: UISR blob for %q corrupt: %w", s.res.Name, err)
-		}
+		st := restored[i]
 		st.MemMap = mf.Extents
 		newVM, err := dst.RestoreUISR(st, hv.RestoreOptions{
 			Mode:              hv.RestoreAdopt,
@@ -487,16 +512,21 @@ func writeBlob(mem *hw.PhysMem, blob []byte) ([]hw.MFN, error) {
 }
 
 // readBlob loads a length-prefixed blob from the frames a PRAM file
-// records.
+// records. The page count is known up front, so the whole blob is read
+// into a single allocation.
 func readBlob(mem *hw.PhysMem, f pram.File) ([]byte, error) {
-	var raw []byte
+	var pages uint64
+	for _, e := range f.Extents {
+		pages += e.Pages()
+	}
+	raw := make([]byte, pages*hw.PageSize4K)
+	off := 0
 	for _, e := range f.Extents {
 		for p := uint64(0); p < e.Pages(); p++ {
-			page, err := mem.Read(hw.MFN(e.MFN+p), 0, hw.PageSize4K)
-			if err != nil {
+			if err := mem.ReadInto(hw.MFN(e.MFN+p), 0, raw[off:off+hw.PageSize4K]); err != nil {
 				return nil, err
 			}
-			raw = append(raw, page...)
+			off += hw.PageSize4K
 		}
 	}
 	if len(raw) < 8 {

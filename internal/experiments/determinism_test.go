@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hypertp/internal/hv"
+	"hypertp/internal/hw"
+	"hypertp/internal/par"
+)
+
+// renderFig7 runs Figure 7 and flattens its rendered tables into one
+// string — the exact bytes benchfig would print for the section.
+func renderFig7(t *testing.T) string {
+	t.Helper()
+	_, tabs, err := Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tab := range tabs {
+		sb.WriteString(tab.Render())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestFigure7Deterministic is the tentpole's core guarantee: the rendered
+// Fig. 7 output is byte-identical between a sequential run and a wide
+// worker pool. Simulated time must flow only through the virtual-time
+// model, never through host scheduling.
+func TestFigure7Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig. 7 grid twice")
+	}
+	defer par.SetWorkers(0)
+	par.SetWorkers(1)
+	seq := renderFig7(t)
+	par.SetWorkers(8)
+	wide := renderFig7(t)
+	par.SetWorkers(8)
+	again := renderFig7(t)
+	if seq != wide {
+		t.Fatal("Figure 7 output differs between -workers 1 and -workers 8")
+	}
+	if wide != again {
+		t.Fatal("Figure 7 output differs between two -workers 8 runs")
+	}
+}
+
+// TestInPlaceMultiVMDeterministic runs the same multi-VM InPlaceTP twice
+// on a wide pool and requires identical reports field for field: the
+// per-VM translation fan-out, PRAM build and restoration must not let
+// host scheduling leak into virtual time.
+func TestInPlaceMultiVMDeterministic(t *testing.T) {
+	defer par.SetWorkers(0)
+	par.SetWorkers(8)
+	first, err := runInPlace(hw.M1(), hv.KindXen, hv.KindKVM, 6, 2, GiBytes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := runInPlace(hw.M1(), hv.KindXen, hv.KindKVM, 6, 2, GiBytes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("InPlaceTP reports differ across identical runs:\n%+v\nvs\n%+v", first, second)
+	}
+	par.SetWorkers(1)
+	sequential, err := runInPlace(hw.M1(), hv.KindXen, hv.KindKVM, 6, 2, GiBytes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, sequential) {
+		t.Fatalf("InPlaceTP report differs from sequential run:\n%+v\nvs\n%+v", first, sequential)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"hypertp/internal/hv"
 	"hypertp/internal/hw"
 	"hypertp/internal/metrics"
+	"hypertp/internal/par"
 )
 
 // Fig6Row is one machine's InPlaceTP breakdown (single 1 vCPU / 1 GB VM).
@@ -68,27 +69,53 @@ type Sweep struct {
 }
 
 // runSweeps executes the full 2-machine x 3-dimension grid for the given
-// transplant direction.
+// transplant direction. Every sweep point runs on its own testbed with its
+// own virtual clock, so the grid is flattened and fanned out on the par
+// worker pool, then reassembled in grid order — the resulting reports are
+// identical to a sequential run for any worker count.
 func runSweeps(from, to hv.Kind) ([]Sweep, error) {
+	profiles := []*hw.Profile{hw.M1(), hw.M2()}
+	dims := []SweepDim{SweepVCPUs, SweepMemory, SweepVMs}
+	type job struct {
+		profile *hw.Profile
+		dim     SweepDim
+		x       int
+	}
+	var jobs []job
+	for _, p := range profiles {
+		for _, dim := range dims {
+			for _, x := range sweepValues[dim] {
+				jobs = append(jobs, job{p, dim, x})
+			}
+		}
+	}
+	reports, err := par.Map(jobs, func(_ int, j job) (*core.InPlaceReport, error) {
+		n, vcpus, mem := 1, 1, GiBytes(1)
+		switch j.dim {
+		case SweepVCPUs:
+			vcpus = j.x
+		case SweepMemory:
+			mem = GiBytes(j.x)
+		case SweepVMs:
+			n = j.x
+		}
+		rep, err := runInPlace(j.profile, from, to, n, vcpus, mem)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s x=%d: %w", j.profile.Name, j.dim, j.x, err)
+		}
+		return rep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Sweep
-	for _, p := range []*hw.Profile{hw.M1(), hw.M2()} {
-		for _, dim := range []SweepDim{SweepVCPUs, SweepMemory, SweepVMs} {
+	i := 0
+	for _, p := range profiles {
+		for _, dim := range dims {
 			sw := Sweep{Machine: p.Name, Dim: dim}
 			for _, x := range sweepValues[dim] {
-				n, vcpus, mem := 1, 1, GiBytes(1)
-				switch dim {
-				case SweepVCPUs:
-					vcpus = x
-				case SweepMemory:
-					mem = GiBytes(x)
-				case SweepVMs:
-					n = x
-				}
-				rep, err := runInPlace(p, from, to, n, vcpus, mem)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s x=%d: %w", p.Name, dim, x, err)
-				}
-				sw.Points = append(sw.Points, SweepPoint{X: x, Report: rep})
+				sw.Points = append(sw.Points, SweepPoint{X: x, Report: reports[i]})
+				i++
 			}
 			out = append(out, sw)
 		}
@@ -161,16 +188,24 @@ func Ablation() ([]AblationRow, *metrics.Table, error) {
 		Title:   "Ablation of the §4.2.5 optimizations (M1, 4 VMs x 1 vCPU / 2 GiB, Xen→KVM)",
 		Headers: []string{"Configuration", "PRAM", "Downtime", "Total", "PRAM bytes"},
 	}
-	var rows []AblationRow
-	for _, cfg := range configs {
+	// Each configuration runs on its own testbed, so the six runs fan out.
+	reports, err := par.Map(configs, func(_ int, cfg struct {
+		name string
+		opts core.Options
+	}) (*core.InPlaceReport, error) {
 		tb, err := newTestbed(hw.M1(), hv.KindXen, 4, 1, GiBytes(2))
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		_, rep, err := tb.engine.InPlace(tb.hyp, hv.KindKVM, cfg.opts)
-		if err != nil {
-			return nil, nil, err
-		}
+		return rep, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []AblationRow
+	for i, cfg := range configs {
+		rep := reports[i]
 		rows = append(rows, AblationRow{Name: cfg.name, Options: cfg.opts, Report: rep, Downtime: rep.Downtime})
 		tab.AddRow(cfg.name, secs(rep.PRAM), secs(rep.Downtime), secs(rep.Total),
 			fmt.Sprint(rep.PRAMMetadataBytes))
@@ -200,20 +235,32 @@ func DirectionsMatrix() ([]DirectionRow, *metrics.Table, error) {
 		Title:   "Transplant directions across the pool (M1, 1 vCPU / 1 GiB, seconds)",
 		Headers: []string{"From", "To", "Reboot", "Downtime", "Total"},
 	}
-	var rows []DirectionRow
+	type pair struct{ from, to hv.Kind }
+	var pairs []pair
 	for _, from := range kinds {
 		for _, to := range kinds {
-			if from == to {
-				continue
+			if from != to {
+				pairs = append(pairs, pair{from, to})
 			}
-			rep, err := runInPlace(hw.M1(), from, to, 1, 1, GiBytes(1))
-			if err != nil {
-				return nil, nil, fmt.Errorf("%v→%v: %w", from, to, err)
-			}
-			rows = append(rows, DirectionRow{From: from, To: to, Report: rep})
-			tab.AddRow(from.String(), to.String(), secs(rep.Reboot),
-				secs(rep.Downtime), secs(rep.Total))
 		}
+	}
+	// Independent testbeds per direction — fan out, merge in matrix order.
+	reports, err := par.Map(pairs, func(_ int, pr pair) (*core.InPlaceReport, error) {
+		rep, err := runInPlace(hw.M1(), pr.from, pr.to, 1, 1, GiBytes(1))
+		if err != nil {
+			return nil, fmt.Errorf("%v→%v: %w", pr.from, pr.to, err)
+		}
+		return rep, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []DirectionRow
+	for i, pr := range pairs {
+		rep := reports[i]
+		rows = append(rows, DirectionRow{From: pr.from, To: pr.to, Report: rep})
+		tab.AddRow(pr.from.String(), pr.to.String(), secs(rep.Reboot),
+			secs(rep.Downtime), secs(rep.Total))
 	}
 	return rows, tab, nil
 }

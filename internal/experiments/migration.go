@@ -10,6 +10,7 @@ import (
 	"hypertp/internal/hw"
 	"hypertp/internal/metrics"
 	"hypertp/internal/migration"
+	"hypertp/internal/par"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
 )
@@ -153,45 +154,67 @@ type MigSweep struct {
 }
 
 // runMigSweeps executes the three sweeps, extracting a per-VM metric.
+// Each (dimension, x) point builds its own rigs with its own clocks and
+// fixed per-point seeds (Seed + x*10 + i), so points fan out on the par
+// worker pool and the results are independent of the worker count.
 func runMigSweeps(metric func(*migration.Report) float64) ([]MigSweep, error) {
-	var out []MigSweep
-	for _, dim := range []SweepDim{SweepVCPUs, SweepMemory, SweepVMs} {
-		sw := MigSweep{Dim: dim}
+	dims := []SweepDim{SweepVCPUs, SweepMemory, SweepVMs}
+	type job struct {
+		dim SweepDim
+		x   int
+	}
+	var jobs []job
+	for _, dim := range dims {
 		for _, x := range sweepValues[dim] {
-			n, vcpus, mem := 1, 1, GiBytes(1)
-			switch dim {
-			case SweepVCPUs:
-				vcpus = x
-			case SweepMemory:
-				mem = GiBytes(x)
-			case SweepVMs:
-				n = x
+			jobs = append(jobs, job{dim, x})
+		}
+	}
+	points, err := par.Map(jobs, func(_ int, j job) (MigPoint, error) {
+		n, vcpus, mem := 1, 1, GiBytes(1)
+		switch j.dim {
+		case SweepVCPUs:
+			vcpus = j.x
+		case SweepMemory:
+			mem = GiBytes(j.x)
+		case SweepVMs:
+			n = j.x
+		}
+		pt := MigPoint{X: j.x}
+		for i, kind := range []hv.Kind{hv.KindXen, hv.KindKVM} {
+			rig, err := newMigRig()
+			if err != nil {
+				return pt, err
 			}
-			pt := MigPoint{X: x}
-			for i, kind := range []hv.Kind{hv.KindXen, hv.KindKVM} {
-				rig, err := newMigRig()
-				if err != nil {
-					return nil, err
-				}
-				recv, err := rig.receiver(kind, Seed+uint64(x*10+i))
-				if err != nil {
-					return nil, err
-				}
-				reps, err := rig.migrateBatch(n, vcpus, mem, recv)
-				if err != nil {
-					return nil, fmt.Errorf("%s x=%d: %w", dim, x, err)
-				}
-				vals := make([]float64, len(reps))
-				for j, rep := range reps {
-					vals[j] = metric(rep)
-				}
-				if kind == hv.KindXen {
-					pt.Xen = metrics.Box(vals)
-				} else {
-					pt.TP = metrics.Box(vals)
-				}
+			recv, err := rig.receiver(kind, Seed+uint64(j.x*10+i))
+			if err != nil {
+				return pt, err
 			}
-			sw.Points = append(sw.Points, pt)
+			reps, err := rig.migrateBatch(n, vcpus, mem, recv)
+			if err != nil {
+				return pt, fmt.Errorf("%s x=%d: %w", j.dim, j.x, err)
+			}
+			vals := make([]float64, len(reps))
+			for jj, rep := range reps {
+				vals[jj] = metric(rep)
+			}
+			if kind == hv.KindXen {
+				pt.Xen = metrics.Box(vals)
+			} else {
+				pt.TP = metrics.Box(vals)
+			}
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []MigSweep
+	i := 0
+	for _, dim := range dims {
+		sw := MigSweep{Dim: dim}
+		for range sweepValues[dim] {
+			sw.Points = append(sw.Points, points[i])
+			i++
 		}
 		out = append(out, sw)
 	}

@@ -6,6 +6,7 @@ import (
 	"hypertp/internal/hv"
 	"hypertp/internal/hw"
 	"hypertp/internal/metrics"
+	"hypertp/internal/par"
 	"hypertp/internal/pram"
 	"hypertp/internal/uisr"
 )
@@ -55,34 +56,36 @@ func Figure14() (*Fig14, []*metrics.Table, error) {
 		return s.MetadataBytes(), nil
 	}
 
+	// Every point builds its own structures on its own PhysMem, so the
+	// three sweeps fan out on the par worker pool.
 	onePRAM, err := pramSize(1, 1)
 	if err != nil {
 		return nil, nil, err
-	}
-	for _, v := range sweepValues[SweepVCPUs] {
-		u, err := uisrSize(v)
-		if err != nil {
-			return nil, nil, err
-		}
-		out.VCPUs = append(out.VCPUs, Fig14Point{X: v, PRAMBytes: onePRAM, UISRBytes: u})
 	}
 	oneUISR, err := uisrSize(1)
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, g := range sweepValues[SweepMemory] {
-		p, err := pramSize(1, g)
-		if err != nil {
-			return nil, nil, err
-		}
-		out.Memory = append(out.Memory, Fig14Point{X: g, PRAMBytes: p, UISRBytes: oneUISR})
+	out.VCPUs, err = par.Map(sweepValues[SweepVCPUs], func(_ int, v int) (Fig14Point, error) {
+		u, err := uisrSize(v)
+		return Fig14Point{X: v, PRAMBytes: onePRAM, UISRBytes: u}, err
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	for _, n := range sweepValues[SweepVMs] {
+	out.Memory, err = par.Map(sweepValues[SweepMemory], func(_ int, g int) (Fig14Point, error) {
+		p, err := pramSize(1, g)
+		return Fig14Point{X: g, PRAMBytes: p, UISRBytes: oneUISR}, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out.VMs, err = par.Map(sweepValues[SweepVMs], func(_ int, n int) (Fig14Point, error) {
 		p, err := pramSize(n, 1)
-		if err != nil {
-			return nil, nil, err
-		}
-		out.VMs = append(out.VMs, Fig14Point{X: n, PRAMBytes: p, UISRBytes: uint64(n) * oneUISR})
+		return Fig14Point{X: n, PRAMBytes: p, UISRBytes: uint64(n) * oneUISR}, err
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 
 	render := func(title, xlabel string, pts []Fig14Point) *metrics.Table {

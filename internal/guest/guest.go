@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"hypertp/internal/hw"
+	"hypertp/internal/par"
 )
 
 // Memory is the guest-physical address space as exposed by whichever
@@ -165,17 +166,39 @@ func (g *Guest) Read(gfn hw.GFN, off, n int) ([]byte, error) {
 // WriteWorkingSet writes a deterministic pattern across npages pages
 // starting at startGFN (one 64-byte record per page), simulating an
 // application's resident data.
+//
+// The sequence range is reserved up front, so each page's record depends
+// only on its index and the fill+WritePage loop can fan out on the par
+// pool (pages are distinct frames); the write-tracking map is updated in a
+// sequential pass afterwards.
 func (g *Guest) WriteWorkingSet(startGFN hw.GFN, npages int) error {
 	for i := 0; i < npages; i++ {
-		gfn := startGFN + hw.GFN(i)
-		if uint64(gfn) >= g.mem.NumPages() {
-			return fmt.Errorf("guest %s: working set page %d beyond memory", g.Name, gfn)
+		if uint64(startGFN)+uint64(i) >= g.mem.NumPages() {
+			return fmt.Errorf("guest %s: working set page %d beyond memory", g.Name, startGFN+hw.GFN(i))
 		}
-		rec := make([]byte, 64)
-		g.seq++
-		fill(rec, uint64(gfn)*2654435761+g.seq)
-		if err := g.Write(gfn, int(uint64(gfn)%(hw.PageSize4K-64)), rec); err != nil {
-			return err
+	}
+	base := g.seq
+	g.seq += uint64(npages)
+	recs := make([][64]byte, npages)
+	err := par.ForEachSpan(npages, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			gfn := startGFN + hw.GFN(i)
+			rec := recs[i][:]
+			fill(rec, uint64(gfn)*2654435761+base+uint64(i)+1)
+			if err := g.mem.WritePage(gfn, int(uint64(gfn)%(hw.PageSize4K-64)), rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < npages; i++ {
+		gfn := startGFN + hw.GFN(i)
+		off := int(uint64(gfn) % (hw.PageSize4K - 64))
+		for j, b := range recs[i] {
+			g.writes[pageOff{gfn, uint16(off + j)}] = b
 		}
 	}
 	return nil
@@ -183,18 +206,31 @@ func (g *Guest) WriteWorkingSet(startGFN hw.GFN, npages int) error {
 
 // Verify re-reads every byte the guest ever wrote and reports the first
 // mismatch. A nil return is the Guest State preservation property.
+// Reads are independent, so the check fans out over a snapshot of the
+// recorded writes.
 func (g *Guest) Verify() error {
-	for k, want := range g.writes {
-		got, err := g.mem.ReadPage(k.gfn, int(k.off), 1)
-		if err != nil {
-			return fmt.Errorf("guest %s: verify gfn %d off %d: %w", g.Name, k.gfn, k.off, err)
-		}
-		if got[0] != want {
-			return fmt.Errorf("guest %s: corrupt byte at gfn %d off %d: got %#x want %#x",
-				g.Name, k.gfn, k.off, got[0], want)
-		}
+	type rec struct {
+		k    pageOff
+		want byte
 	}
-	return nil
+	recs := make([]rec, 0, len(g.writes))
+	for k, want := range g.writes {
+		recs = append(recs, rec{k, want})
+	}
+	return par.ForEachSpan(len(recs), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			k, want := recs[i].k, recs[i].want
+			got, err := g.mem.ReadPage(k.gfn, int(k.off), 1)
+			if err != nil {
+				return fmt.Errorf("guest %s: verify gfn %d off %d: %w", g.Name, k.gfn, k.off, err)
+			}
+			if got[0] != want {
+				return fmt.Errorf("guest %s: corrupt byte at gfn %d off %d: got %#x want %#x",
+					g.Name, k.gfn, k.off, got[0], want)
+			}
+		}
+		return nil
+	})
 }
 
 // WrittenBytes returns the number of distinct bytes the guest has written.

@@ -3,8 +3,10 @@ package hv
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"hypertp/internal/hw"
+	"hypertp/internal/par"
 	"hypertp/internal/uisr"
 )
 
@@ -21,6 +23,7 @@ type AddressSpace struct {
 	numPages uint64
 
 	dirtyLog bool
+	dirtyMu  sync.Mutex // guards dirty; WritePage runs on par worker pools
 	dirty    map[hw.GFN]struct{}
 }
 
@@ -111,7 +114,9 @@ func (as *AddressSpace) WritePage(gfn hw.GFN, off int, data []byte) error {
 		return err
 	}
 	if as.dirtyLog {
+		as.dirtyMu.Lock()
 		as.dirty[gfn] = struct{}{}
+		as.dirtyMu.Unlock()
 	}
 	return nil
 }
@@ -127,12 +132,16 @@ func (as *AddressSpace) ReadPage(gfn hw.GFN, off, n int) ([]byte, error) {
 
 // EnableDirtyLog starts dirty-page tracking (all pages considered clean).
 func (as *AddressSpace) EnableDirtyLog() {
+	as.dirtyMu.Lock()
+	defer as.dirtyMu.Unlock()
 	as.dirtyLog = true
 	as.dirty = make(map[hw.GFN]struct{})
 }
 
 // DisableDirtyLog stops tracking.
 func (as *AddressSpace) DisableDirtyLog() {
+	as.dirtyMu.Lock()
+	defer as.dirtyMu.Unlock()
 	as.dirtyLog = false
 	as.dirty = nil
 }
@@ -143,6 +152,8 @@ func (as *AddressSpace) DirtyLogEnabled() bool { return as.dirtyLog }
 // FetchAndClearDirty returns the sorted set of pages written since the
 // last call and resets the log.
 func (as *AddressSpace) FetchAndClearDirty() []hw.GFN {
+	as.dirtyMu.Lock()
+	defer as.dirtyMu.Unlock()
 	if !as.dirtyLog {
 		return nil
 	}
@@ -160,8 +171,11 @@ func (as *AddressSpace) FetchAndClearDirty() []hw.GFN {
 // two spaces with identical written content match even if their frame
 // placement differs).
 func (as *AddressSpace) ChecksumAll() (uint64, error) {
-	var sum uint64
-	for _, e := range as.extents {
+	// The combined sum is commutative (wrapping uint64 addition keyed by
+	// GFN), so per-extent partial sums merge to the same value in any
+	// execution order — checksumming parallelizes freely.
+	partial, err := par.Map(as.extents, func(_ int, e uisr.PageExtent) (uint64, error) {
+		var sum uint64
 		for p := uint64(0); p < e.Pages(); p++ {
 			c, err := as.mem.Checksum(hw.MFN(e.MFN + p))
 			if err != nil {
@@ -171,6 +185,14 @@ func (as *AddressSpace) ChecksumAll() (uint64, error) {
 			gfn := e.GFN + p
 			sum += c * (gfn*2654435761 + 97)
 		}
+		return sum, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for _, s := range partial {
+		sum += s
 	}
 	return sum, nil
 }
@@ -203,7 +225,11 @@ func (as *AddressSpace) CopyContentsTo(dst *AddressSpace) error {
 	if dst.NumPages() != as.NumPages() {
 		return fmt.Errorf("hv: copy between spaces of %d and %d pages", as.NumPages(), dst.NumPages())
 	}
-	for _, e := range as.extents {
+	// Extents are disjoint in GFN space, so each worker replays a disjoint
+	// set of destination pages; the dirty log (if enabled on dst) is the
+	// only shared structure and WritePage guards it.
+	return par.ForEach(len(as.extents), func(i int) error {
+		e := as.extents[i]
 		for p := uint64(0); p < e.Pages(); p++ {
 			mfn := hw.MFN(e.MFN + p)
 			if !as.mem.Touched(mfn) {
@@ -217,8 +243,8 @@ func (as *AddressSpace) CopyContentsTo(dst *AddressSpace) error {
 				return err
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // Release frees every frame of the address space back to the machine.
@@ -239,10 +265,8 @@ func (as *AddressSpace) Release() error {
 // when a freshly booted hypervisor adopts preserved guest memory.
 func (as *AddressSpace) Retag(owner hw.Owner, vm int) error {
 	for _, e := range as.extents {
-		for p := uint64(0); p < e.Pages(); p++ {
-			if err := as.mem.SetOwner(hw.MFN(e.MFN+p), owner, vm); err != nil {
-				return err
-			}
+		if err := as.mem.SetOwnerRange(hw.MFN(e.MFN), e.Pages(), owner, vm); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -425,3 +425,52 @@ func TestMFNAddr(t *testing.T) {
 		t.Fatalf("Addr = %d", MFN(3).Addr())
 	}
 }
+
+// TestParallelElapsedVariedMatchesReference cross-checks the min-heap
+// scheduler against a naive least-loaded linear scan: ties may break to
+// different workers, but the resulting maximum load must be identical.
+func TestParallelElapsedVariedMatchesReference(t *testing.T) {
+	clock := simtime.NewClock()
+	ref := func(costs []time.Duration, workers int) time.Duration {
+		if len(costs) == 0 {
+			return 0
+		}
+		loads := make([]time.Duration, workers)
+		for _, c := range costs {
+			min := 0
+			for w := 1; w < workers; w++ {
+				if loads[w] < loads[min] {
+					min = w
+				}
+			}
+			loads[min] += c
+		}
+		var max time.Duration
+		for _, l := range loads {
+			if l > max {
+				max = l
+			}
+		}
+		return max
+	}
+	rng := uint64(1)
+	next := func(mod int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int(rng>>33) % mod
+	}
+	for _, p := range []*Profile{M1(), M2(), {Threads: 5, ReservedCPUs: 2}} {
+		m := NewMachine(clock, p)
+		for trial := 0; trial < 50; trial++ {
+			costs := make([]time.Duration, 1+next(200))
+			for i := range costs {
+				costs[i] = time.Duration(1 + next(10000))
+			}
+			got := m.ParallelElapsedVaried(costs)
+			want := ref(costs, p.Workers())
+			if got != want {
+				t.Fatalf("%s trial %d (%d items, %d workers): heap %v, reference %v",
+					p.Name, trial, len(costs), p.Workers(), got, want)
+			}
+		}
+	}
+}

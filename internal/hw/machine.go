@@ -72,6 +72,13 @@ func (m *Machine) ParallelElapsed(nitems int, perItem time.Duration) time.Durati
 // ParallelElapsedVaried is ParallelElapsed for heterogeneous item costs:
 // items are assigned to the least-loaded worker (LPT-style), and the
 // elapsed time is the maximum worker load.
+//
+// The least-loaded worker is tracked in a binary min-heap, so one call is
+// O(n log w) instead of the former O(n·w) linear scan — it runs per
+// transplant with up to 54 workers (M2) and per-VM cost lists. Which of
+// several equally-loaded workers receives an item cannot change the
+// resulting load multiset, so the returned duration is identical to the
+// linear scan's.
 func (m *Machine) ParallelElapsedVaried(costs []time.Duration) time.Duration {
 	if len(costs) == 0 {
 		return 0
@@ -84,15 +91,38 @@ func (m *Machine) ParallelElapsedVaried(costs []time.Duration) time.Duration {
 		}
 		return sum
 	}
-	loads := make([]time.Duration, workers)
-	for _, c := range costs {
-		min := 0
-		for i := 1; i < workers; i++ {
-			if loads[i] < loads[min] {
-				min = i
+	if len(costs) <= workers {
+		// One item per worker: elapsed is simply the largest item.
+		var max time.Duration
+		for _, c := range costs {
+			if c > max {
+				max = c
 			}
 		}
-		loads[min] += c
+		return max
+	}
+	// loads is a min-heap: loads[0] is always the least-loaded worker.
+	// All-zero initial loads are trivially heap-ordered.
+	loads := make([]time.Duration, workers)
+	for _, c := range costs {
+		loads[0] += c
+		// Sift the updated root down to restore the heap property.
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < workers && loads[l] < loads[min] {
+				min = l
+			}
+			if r < workers && loads[r] < loads[min] {
+				min = r
+			}
+			if min == i {
+				break
+			}
+			loads[i], loads[min] = loads[min], loads[i]
+			i = min
+		}
 	}
 	var max time.Duration
 	for _, l := range loads {

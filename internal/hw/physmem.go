@@ -13,6 +13,7 @@ package hw
 import (
 	"fmt"
 	"hash/crc64"
+	"sync"
 )
 
 // Page geometry. The simulation uses the x86-64 4 KiB base page and the
@@ -77,7 +78,15 @@ func (o Owner) String() string {
 // arrays (multi-GB guests are cheap to allocate); page *contents* are a
 // sparse map populated only for frames actually written, so untouched
 // guest pages cost nothing and read as zeros.
+//
+// Concurrency: all methods are safe to call from the internal/par worker
+// pools, with one contract — concurrent Read/Write/Checksum calls must
+// target *distinct* frames (the mutex guards the bookkeeping, while page
+// payload copies run outside it so parallel page writes actually scale).
+// Allocation and wiping take the full lock and are typically kept in
+// sequential stages so frame assignment stays deterministic.
 type PhysMem struct {
+	mu          sync.Mutex
 	totalFrames uint64
 	owner       []Owner
 	vm          []int32
@@ -105,10 +114,21 @@ func NewPhysMem(size uint64) *PhysMem {
 func (pm *PhysMem) TotalFrames() uint64 { return pm.totalFrames }
 
 // AllocatedFrames returns the number of currently allocated frames.
-func (pm *PhysMem) AllocatedFrames() uint64 { return pm.allocated }
+func (pm *PhysMem) AllocatedFrames() uint64 {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.allocated
+}
 
 // FreeFrames returns the number of unallocated frames.
-func (pm *PhysMem) FreeFrames() uint64 { return pm.totalFrames - pm.allocated }
+func (pm *PhysMem) FreeFrames() uint64 {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.totalFrames - pm.allocated
+}
+
+// freeFramesLocked is FreeFrames for callers already holding pm.mu.
+func (pm *PhysMem) freeFramesLocked() uint64 { return pm.totalFrames - pm.allocated }
 
 func (pm *PhysMem) take(m MFN, owner Owner, vm int) {
 	pm.owner[m] = owner
@@ -125,8 +145,10 @@ func (pm *PhysMem) Alloc(n int, owner Owner, vm int) ([]MFN, error) {
 	if owner == OwnerFree {
 		return nil, fmt.Errorf("hw: cannot allocate with OwnerFree")
 	}
-	if uint64(n) > pm.FreeFrames() {
-		return nil, fmt.Errorf("hw: out of memory: want %d frames, %d free", n, pm.FreeFrames())
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if uint64(n) > pm.freeFramesLocked() {
+		return nil, fmt.Errorf("hw: out of memory: want %d frames, %d free", n, pm.freeFramesLocked())
 	}
 	out := make([]MFN, 0, n)
 	for len(out) < n {
@@ -147,7 +169,9 @@ func (pm *PhysMem) Alloc2M(owner Owner, vm int) (MFN, error) {
 	if owner == OwnerFree {
 		return 0, fmt.Errorf("hw: cannot allocate with OwnerFree")
 	}
-	if FramesPer2M > pm.FreeFrames() {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if FramesPer2M > pm.freeFramesLocked() {
 		return 0, fmt.Errorf("hw: out of memory for 2M page")
 	}
 	start := (pm.next + FramesPer2M - 1) / FramesPer2M * FramesPer2M
@@ -176,6 +200,8 @@ func (pm *PhysMem) Alloc2M(owner Owner, vm int) (MFN, error) {
 // Free releases a frame. Freeing an unallocated frame is an error: it
 // indicates double-free bugs in a hypervisor model.
 func (pm *PhysMem) Free(m MFN) error {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
 		return fmt.Errorf("hw: double free of frame %#x", uint64(m))
 	}
@@ -190,6 +216,8 @@ func (pm *PhysMem) Free(m MFN) error {
 // OwnerOf reports a frame's owner tag (OwnerFree if unallocated) and
 // owning VM id.
 func (pm *PhysMem) OwnerOf(m MFN) (Owner, int) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
 		return OwnerFree, -1
 	}
@@ -199,6 +227,8 @@ func (pm *PhysMem) OwnerOf(m MFN) (Owner, int) {
 // SetOwner retags an allocated frame. Used when the target hypervisor
 // adopts preserved guest frames after a micro-reboot.
 func (pm *PhysMem) SetOwner(m MFN, owner Owner, vm int) error {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
 		return fmt.Errorf("hw: SetOwner on unallocated frame %#x", uint64(m))
 	}
@@ -209,20 +239,46 @@ func (pm *PhysMem) SetOwner(m MFN, owner Owner, vm int) error {
 	return nil
 }
 
+// SetOwnerRange retags the contiguous run [start, start+count) in one
+// critical section — the bulk path behind hv.AddressSpace.Retag, where a
+// per-frame SetOwner would pay millions of lock round-trips per
+// transplant. Frames are retagged in order; the first unallocated frame
+// aborts with the same error (and partial effect) a SetOwner loop has.
+func (pm *PhysMem) SetOwnerRange(start MFN, count uint64, owner Owner, vm int) error {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	for i := uint64(0); i < count; i++ {
+		m := start + MFN(i)
+		if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
+			return fmt.Errorf("hw: SetOwner on unallocated frame %#x", uint64(m))
+		}
+		pm.byOwner[pm.owner[m]]--
+		pm.owner[m] = owner
+		pm.vm[m] = int32(vm)
+		pm.byOwner[owner]++
+	}
+	return nil
+}
+
 // Write copies data into the frame starting at offset off. It allocates
 // backing storage on first touch. Writing past the frame end is an error.
+// The payload copy runs outside the lock; concurrent writers must target
+// distinct frames.
 func (pm *PhysMem) Write(m MFN, off int, data []byte) error {
-	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
-		return fmt.Errorf("hw: write to unallocated frame %#x", uint64(m))
-	}
 	if off < 0 || off+len(data) > PageSize4K {
 		return fmt.Errorf("hw: write [%d, %d) outside frame", off, off+len(data))
+	}
+	pm.mu.Lock()
+	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
+		pm.mu.Unlock()
+		return fmt.Errorf("hw: write to unallocated frame %#x", uint64(m))
 	}
 	page, ok := pm.data[m]
 	if !ok {
 		page = make([]byte, PageSize4K)
 		pm.data[m] = page
 	}
+	pm.mu.Unlock()
 	copy(page[off:], data)
 	return nil
 }
@@ -231,22 +287,49 @@ func (pm *PhysMem) Write(m MFN, off int, data []byte) error {
 // Untouched frames read as zeros, matching real RAM handed out by a
 // hypervisor.
 func (pm *PhysMem) Read(m MFN, off, length int) ([]byte, error) {
-	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
-		return nil, fmt.Errorf("hw: read from unallocated frame %#x", uint64(m))
-	}
 	if off < 0 || off+length > PageSize4K {
 		return nil, fmt.Errorf("hw: read [%d, %d) outside frame", off, off+length)
 	}
+	pm.mu.Lock()
+	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
+		pm.mu.Unlock()
+		return nil, fmt.Errorf("hw: read from unallocated frame %#x", uint64(m))
+	}
+	page := pm.data[m]
+	pm.mu.Unlock()
 	out := make([]byte, length)
-	if page, ok := pm.data[m]; ok {
+	if page != nil {
 		copy(out, page[off:off+length])
 	}
 	return out, nil
 }
 
+// ReadInto copies len(dst) bytes from the frame starting at offset off
+// into dst, without allocating. Untouched frames read as zeros.
+func (pm *PhysMem) ReadInto(m MFN, off int, dst []byte) error {
+	if off < 0 || off+len(dst) > PageSize4K {
+		return fmt.Errorf("hw: read [%d, %d) outside frame", off, off+len(dst))
+	}
+	pm.mu.Lock()
+	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
+		pm.mu.Unlock()
+		return fmt.Errorf("hw: read from unallocated frame %#x", uint64(m))
+	}
+	page := pm.data[m]
+	pm.mu.Unlock()
+	if page != nil {
+		copy(dst, page[off:off+len(dst)])
+	} else {
+		clear(dst)
+	}
+	return nil
+}
+
 // Touched reports whether the frame has ever been written (untouched
 // frames are logically zero and need no migration traffic).
 func (pm *PhysMem) Touched(m MFN) bool {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	_, ok := pm.data[m]
 	return ok
 }
@@ -254,10 +337,14 @@ func (pm *PhysMem) Touched(m MFN) bool {
 // Checksum returns a CRC-64 of the frame's contents. Untouched frames
 // checksum as all-zero pages.
 func (pm *PhysMem) Checksum(m MFN) (uint64, error) {
+	pm.mu.Lock()
 	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
+		pm.mu.Unlock()
 		return 0, fmt.Errorf("hw: checksum of unallocated frame %#x", uint64(m))
 	}
-	if page, ok := pm.data[m]; ok {
+	page := pm.data[m]
+	pm.mu.Unlock()
+	if page != nil {
 		return crc64.Checksum(page, crcTable), nil
 	}
 	return crc64.Checksum(zeroPage[:], crcTable), nil
@@ -269,6 +356,8 @@ var zeroPage [PageSize4K]byte
 // It returns the number of frames wiped. This is the destructive half of
 // the kexec micro-reboot: only explicitly preserved memory survives.
 func (pm *PhysMem) Wipe(keep map[MFN]bool) int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	wiped := 0
 	for m := MFN(0); m < MFN(pm.totalFrames); m++ {
 		if pm.owner[m] == OwnerFree || keep[m] {
@@ -288,6 +377,8 @@ func (pm *PhysMem) Wipe(keep map[MFN]bool) int {
 // [start, start+count) frame runs; it avoids materializing a per-frame
 // map when preserving multi-GB guests.
 func (pm *PhysMem) WipeRanges(keep []FrameRange) int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	wiped := 0
 	ki := 0
 	for m := MFN(0); m < MFN(pm.totalFrames); m++ {
@@ -318,6 +409,8 @@ type FrameRange struct {
 
 // FramesByOwner returns the sorted MFNs currently tagged with owner.
 func (pm *PhysMem) FramesByOwner(owner Owner) []MFN {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	var out []MFN
 	for m := MFN(0); m < MFN(pm.totalFrames); m++ {
 		if pm.owner[m] == owner {
@@ -330,6 +423,8 @@ func (pm *PhysMem) FramesByOwner(owner Owner) []MFN {
 // CountByOwner returns the number of frames per owner category — the
 // memory-separation census of Fig. 2.
 func (pm *PhysMem) CountByOwner() map[Owner]uint64 {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	out := make(map[Owner]uint64)
 	for o := Owner(1); o < numOwners; o++ {
 		if pm.byOwner[o] > 0 {

@@ -1,0 +1,146 @@
+// Package par is the deterministic host-parallel execution layer of the
+// reproduction: a bounded worker pool that spreads independent work items
+// across host cores while guaranteeing that results are byte-identical to
+// a sequential run.
+//
+// The simulator draws a hard line between two kinds of parallelism:
+//
+//   - Virtual-time parallelism — the paper's §4.2.5 "parallel translation"
+//     optimization — is *modeled* by hw.ParallelElapsed*: it decides how
+//     much simulated time a phase costs and is controlled per-transplant
+//     by core.Options.Parallel.
+//   - Wall-clock parallelism — this package — decides how fast the Go
+//     process itself executes the phase and never influences simulated
+//     time.
+//
+// Determinism contract: Map and ForEach assign work by index, store
+// results by index, and report the lowest-index error, so any observable
+// output is independent of the worker count and of goroutine scheduling.
+// Callers must keep per-item work free of cross-item side effects (or
+// guard shared structures, as hw.PhysMem does); everything order-dependent
+// belongs in a sequential stage before or after the parallel one.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the configured pool width; 0 means GOMAXPROCS. It is the
+// process-wide knob behind the CLIs' -workers flag.
+var workers atomic.Int64
+
+// SetWorkers sets the pool width used by Map and ForEach. n <= 0 restores
+// the default (GOMAXPROCS at call time).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+}
+
+// Workers returns the current pool width.
+func Workers() int {
+	if n := workers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map applies fn to every item of items on the worker pool and returns
+// the results in item order. fn receives the item index and the item.
+// All items are attempted even after a failure; the returned error is the
+// one with the lowest index, so error behaviour is deterministic too.
+func Map[T, R any](items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := ForEach(len(items), func(i int) error {
+		r, err := fn(i, items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) on the worker pool and returns
+// the lowest-index error (nil if all succeed).
+func ForEach(n int, fn func(i int) error) error {
+	return ForEachSpan(n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ForEachSpan partitions [0, n) into contiguous spans and runs fn(lo, hi)
+// for each span on the worker pool. Spans let fine-grained loops (per-page
+// writes, checksums) amortize dispatch overhead; fn must treat its span as
+// an independent unit. The lowest-starting-index error wins.
+func ForEachSpan(n int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		return fn(0, n)
+	}
+	// Span size balances dispatch cost against load balance: aim for a
+	// few spans per worker so a slow span does not serialize the tail.
+	span := n / (w * 4)
+	if span < 1 {
+		span = 1
+	}
+	nspans := (n + span - 1) / span
+	errs := make([]error, nspans)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= nspans {
+					return
+				}
+				lo := s * span
+				hi := lo + span
+				if hi > n {
+					hi = n
+				}
+				errs[s] = fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeriveSeed returns a per-item RNG seed mixed from a base seed and an
+// item index with SplitMix64 finalization. Work items that need modeled
+// randomness derive their own generator from the item index instead of
+// sharing a sequential stream, so draws stay identical for any worker
+// count and execution order.
+func DeriveSeed(base uint64, i int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

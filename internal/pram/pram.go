@@ -25,10 +25,29 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"hypertp/internal/hw"
+	"hypertp/internal/par"
 	"hypertp/internal/uisr"
 )
+
+// pagePool recycles 4 KiB scratch buffers for metadata-page serialization,
+// so building a structure allocates O(files) instead of O(metadata pages).
+// Buffers are returned zeroed, ready for the next writer.
+var pagePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, hw.PageSize4K)
+		return &b
+	},
+}
+
+func getPage() *[]byte { return pagePool.Get().(*[]byte) }
+
+func putPage(p *[]byte) {
+	clear(*p)
+	pagePool.Put(p)
+}
 
 // Page-level layout constants.
 const (
@@ -143,6 +162,12 @@ type BuildOptions struct {
 
 // Build serializes the memory maps of the given files into a PRAM
 // structure in mem. Metadata frames are tagged hw.OwnerPRAM.
+//
+// Construction is staged so the structure is bit-identical for any worker
+// count: frame allocation runs sequentially in the legacy order (per file,
+// node frames then the info page; then the root chain), fixing every MFN;
+// then the now-independent metadata pages are serialized in parallel on
+// the par worker pool.
 func Build(mem *hw.PhysMem, files []File, opts BuildOptions) (*Structure, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("pram: no files to record")
@@ -157,7 +182,9 @@ func Build(mem *hw.PhysMem, files []File, opts BuildOptions) (*Structure, error)
 		return fr[0], nil
 	}
 
-	// Write each file: info page + node chain.
+	// Stage 1 — sequential allocation and layout. Each closure appended to
+	// jobs writes exactly one already-placed metadata page.
+	var jobs []func() error
 	infoPages := make([]hw.MFN, 0, len(files))
 	for fi := range files {
 		f := &files[fi]
@@ -168,21 +195,44 @@ func Build(mem *hw.PhysMem, files []File, opts BuildOptions) (*Structure, error)
 		if opts.SplitHugePages {
 			extents = splitExtents(extents)
 		}
-		nodeMFNs, err := writeNodeChain(mem, alloc, extents)
-		if err != nil {
-			return nil, err
+		if len(extents) == 0 {
+			return nil, fmt.Errorf("pram: file has no extents")
+		}
+		nNodes := (len(extents) + EntriesPerNode - 1) / EntriesPerNode
+		nodes := make([]hw.MFN, nNodes)
+		for i := range nodes {
+			m, err := alloc()
+			if err != nil {
+				return nil, err
+			}
+			nodes[i] = m
 		}
 		info, err := alloc()
 		if err != nil {
 			return nil, err
 		}
-		if err := writeFileInfo(mem, info, f, nodeMFNs, len(extents)); err != nil {
-			return nil, err
-		}
 		infoPages = append(infoPages, info)
+		for ni := range nodes {
+			lo := ni * EntriesPerNode
+			hi := lo + EntriesPerNode
+			if hi > len(extents) {
+				hi = len(extents)
+			}
+			frame := nodes[ni]
+			next := hw.MFN(0)
+			if ni+1 < nNodes {
+				next = nodes[ni+1]
+			}
+			chunk := extents[lo:hi]
+			jobs = append(jobs, func() error {
+				return writeNodePage(mem, frame, next, chunk)
+			})
+		}
+		firstNode, entries := nodes[0], len(extents)
+		jobs = append(jobs, func() error {
+			return writeFileInfo(mem, info, f, firstNode, entries)
+		})
 	}
-
-	// Write the root directory chain.
 	var roots []hw.MFN
 	for i := 0; i < len(infoPages); i += filePointersPerRoot {
 		r, err := alloc()
@@ -201,9 +251,15 @@ func Build(mem *hw.PhysMem, files []File, opts BuildOptions) (*Structure, error)
 		if ri+1 < len(roots) {
 			next = roots[ri+1]
 		}
-		if err := writeRootPage(mem, root, next, infoPages[lo:hi]); err != nil {
-			return nil, err
-		}
+		root, infos := root, infoPages[lo:hi]
+		jobs = append(jobs, func() error {
+			return writeRootPage(mem, root, next, infos)
+		})
+	}
+
+	// Stage 2 — parallel serialization: every job targets a distinct frame.
+	if err := par.ForEach(len(jobs), func(i int) error { return jobs[i]() }); err != nil {
+		return nil, err
 	}
 	s.Pointer = roots[0]
 	s.Files = files
@@ -216,21 +272,21 @@ func Build(mem *hw.PhysMem, files []File, opts BuildOptions) (*Structure, error)
 // guests the wrong frames.
 func Parse(mem *hw.PhysMem, pointer hw.MFN) (*Structure, error) {
 	s := &Structure{Pointer: pointer}
-	seen := map[hw.MFN]bool{}
-	visit := func(m hw.MFN) error {
-		if seen[m] {
-			return fmt.Errorf("pram: metadata cycle at frame %#x", uint64(m))
-		}
-		seen[m] = true
-		s.MetaFrames = append(s.MetaFrames, m)
-		return nil
-	}
 
+	// Stage 1 — walk the root directory chain sequentially (it is a linked
+	// list) and collect the file-info pointers per root page.
+	type rootPage struct {
+		frame hw.MFN
+		infos []hw.MFN
+	}
+	var rootPages []rootPage
+	seenRoots := map[hw.MFN]bool{}
 	root := pointer
 	for root != 0 {
-		if err := visit(root); err != nil {
-			return nil, err
+		if seenRoots[root] {
+			return nil, fmt.Errorf("pram: metadata cycle at frame %#x", uint64(root))
 		}
+		seenRoots[root] = true
 		page, err := mem.Read(root, 0, hw.PageSize4K)
 		if err != nil {
 			return nil, fmt.Errorf("pram: root page: %w", err)
@@ -244,18 +300,63 @@ func Parse(mem *hw.PhysMem, pointer hw.MFN) (*Structure, error) {
 		if count > filePointersPerRoot {
 			return nil, fmt.Errorf("pram: root page count %d too large", count)
 		}
+		rp := rootPage{frame: root, infos: make([]hw.MFN, count)}
 		for i := 0; i < count; i++ {
-			info := hw.MFN(le.Uint64(page[rootHeaderSize+8*i:]))
+			rp.infos[i] = hw.MFN(le.Uint64(page[rootHeaderSize+8*i:]))
+		}
+		rootPages = append(rootPages, rp)
+		root = next
+	}
+
+	// Stage 2 — parse every file in parallel: each walks only its own node
+	// chain. Cycle detection within a chain is local; sharing of frames
+	// *across* files is caught by the sequential merge below.
+	var allInfos []hw.MFN
+	for _, rp := range rootPages {
+		allInfos = append(allInfos, rp.infos...)
+	}
+	type parsedFile struct {
+		f     *File
+		nodes []hw.MFN
+	}
+	parsed, err := par.Map(allInfos, func(_ int, info hw.MFN) (parsedFile, error) {
+		f, nodes, err := parseFile(mem, info)
+		return parsedFile{f, nodes}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 3 — deterministic merge in the legacy visit order (root, then
+	// per info: info page, then its node chain), re-running the global
+	// duplicate-frame check the sequential parser performed inline.
+	seen := map[hw.MFN]bool{}
+	visit := func(m hw.MFN) error {
+		if seen[m] {
+			return fmt.Errorf("pram: metadata cycle at frame %#x", uint64(m))
+		}
+		seen[m] = true
+		s.MetaFrames = append(s.MetaFrames, m)
+		return nil
+	}
+	idx := 0
+	for _, rp := range rootPages {
+		if err := visit(rp.frame); err != nil {
+			return nil, err
+		}
+		for _, info := range rp.infos {
 			if err := visit(info); err != nil {
 				return nil, err
 			}
-			f, err := parseFile(mem, info, visit)
-			if err != nil {
-				return nil, err
+			p := parsed[idx]
+			idx++
+			for _, n := range p.nodes {
+				if err := visit(n); err != nil {
+					return nil, err
+				}
 			}
-			s.Files = append(s.Files, *f)
+			s.Files = append(s.Files, *p.f)
 		}
-		root = next
 	}
 	if len(s.Files) == 0 {
 		return nil, fmt.Errorf("pram: structure records no files")
@@ -278,7 +379,9 @@ func (s *Structure) Release(mem *hw.PhysMem) error {
 // --- page writers ------------------------------------------------------------
 
 func writeRootPage(mem *hw.PhysMem, frame, next hw.MFN, infos []hw.MFN) error {
-	page := make([]byte, hw.PageSize4K)
+	pp := getPage()
+	defer putPage(pp)
+	page := *pp
 	le := binary.LittleEndian
 	le.PutUint64(page[0:], rootMagic)
 	le.PutUint64(page[8:], uint64(next))
@@ -290,7 +393,9 @@ func writeRootPage(mem *hw.PhysMem, frame, next hw.MFN, infos []hw.MFN) error {
 }
 
 func writeFileInfo(mem *hw.PhysMem, frame hw.MFN, f *File, firstNode hw.MFN, entries int) error {
-	page := make([]byte, hw.PageSize4K)
+	pp := getPage()
+	defer putPage(pp)
+	page := *pp
 	le := binary.LittleEndian
 	le.PutUint64(page[0:], fileMagic)
 	le.PutUint64(page[8:], uint64(firstNode))
@@ -302,56 +407,36 @@ func writeFileInfo(mem *hw.PhysMem, frame hw.MFN, f *File, firstNode hw.MFN, ent
 	return mem.Write(frame, 0, page)
 }
 
-func writeNodeChain(mem *hw.PhysMem, alloc func() (hw.MFN, error), extents []uisr.PageExtent) (hw.MFN, error) {
-	if len(extents) == 0 {
-		return 0, fmt.Errorf("pram: file has no extents")
-	}
-	nNodes := (len(extents) + EntriesPerNode - 1) / EntriesPerNode
-	nodes := make([]hw.MFN, nNodes)
-	for i := range nodes {
-		m, err := alloc()
-		if err != nil {
-			return 0, err
-		}
-		nodes[i] = m
-	}
+// writeNodePage serializes one node page of a chain: its extents chunk and
+// the already-assigned frame of the next node.
+func writeNodePage(mem *hw.PhysMem, frame, next hw.MFN, extents []uisr.PageExtent) error {
+	pp := getPage()
+	defer putPage(pp)
+	page := *pp
 	le := binary.LittleEndian
-	for ni := range nodes {
-		lo := ni * EntriesPerNode
-		hi := lo + EntriesPerNode
-		if hi > len(extents) {
-			hi = len(extents)
+	le.PutUint64(page[0:], nodeMagic)
+	le.PutUint64(page[8:], uint64(next))
+	le.PutUint64(page[16:], uint64(len(extents)))
+	for i, e := range extents {
+		raw, err := packEntry(e)
+		if err != nil {
+			return err
 		}
-		page := make([]byte, hw.PageSize4K)
-		le.PutUint64(page[0:], nodeMagic)
-		next := uint64(0)
-		if ni+1 < len(nodes) {
-			next = uint64(nodes[ni+1])
-		}
-		le.PutUint64(page[8:], next)
-		le.PutUint64(page[16:], uint64(hi-lo))
-		for i, e := range extents[lo:hi] {
-			raw, err := packEntry(e)
-			if err != nil {
-				return 0, err
-			}
-			le.PutUint64(page[nodeHeaderSize+8*i:], raw)
-		}
-		if err := mem.Write(nodes[ni], 0, page); err != nil {
-			return 0, err
-		}
+		le.PutUint64(page[nodeHeaderSize+8*i:], raw)
 	}
-	return nodes[0], nil
+	return mem.Write(frame, 0, page)
 }
 
-func parseFile(mem *hw.PhysMem, info hw.MFN, visit func(hw.MFN) error) (*File, error) {
+// parseFile reads one file-info page and walks its node chain, returning
+// the file and the node frames in chain order.
+func parseFile(mem *hw.PhysMem, info hw.MFN) (*File, []hw.MFN, error) {
 	page, err := mem.Read(info, 0, hw.PageSize4K)
 	if err != nil {
-		return nil, fmt.Errorf("pram: file info page: %w", err)
+		return nil, nil, fmt.Errorf("pram: file info page: %w", err)
 	}
 	le := binary.LittleEndian
 	if le.Uint64(page[0:]) != fileMagic {
-		return nil, fmt.Errorf("pram: bad file magic at frame %#x", uint64(info))
+		return nil, nil, fmt.Errorf("pram: bad file magic at frame %#x", uint64(info))
 	}
 	node := hw.MFN(le.Uint64(page[8:]))
 	wantEntries := int(le.Uint64(page[16:]))
@@ -359,25 +444,34 @@ func parseFile(mem *hw.PhysMem, info hw.MFN, visit func(hw.MFN) error) (*File, e
 	f := &File{VMID: le.Uint32(page[32:])}
 	nameLen := int(le.Uint32(page[36:]))
 	if nameLen > maxNameLen {
-		return nil, fmt.Errorf("pram: file name length %d too large", nameLen)
+		return nil, nil, fmt.Errorf("pram: file name length %d too large", nameLen)
 	}
 	f.Name = string(page[40 : 40+nameLen])
+	// The info page records the entry count, so the extents slice can be
+	// sized once instead of grown through repeated appends.
+	if wantEntries > 0 {
+		f.Extents = make([]uisr.PageExtent, 0, wantEntries)
+	}
 
+	var nodes []hw.MFN
+	local := map[hw.MFN]bool{}
 	for node != 0 {
-		if err := visit(node); err != nil {
-			return nil, err
+		if local[node] {
+			return nil, nil, fmt.Errorf("pram: metadata cycle at frame %#x", uint64(node))
 		}
+		local[node] = true
+		nodes = append(nodes, node)
 		npage, err := mem.Read(node, 0, hw.PageSize4K)
 		if err != nil {
-			return nil, fmt.Errorf("pram: node page: %w", err)
+			return nil, nil, fmt.Errorf("pram: node page: %w", err)
 		}
 		if le.Uint64(npage[0:]) != nodeMagic {
-			return nil, fmt.Errorf("pram: bad node magic at frame %#x", uint64(node))
+			return nil, nil, fmt.Errorf("pram: bad node magic at frame %#x", uint64(node))
 		}
 		next := hw.MFN(le.Uint64(npage[8:]))
 		count := int(le.Uint64(npage[16:]))
 		if count > EntriesPerNode {
-			return nil, fmt.Errorf("pram: node entry count %d too large", count)
+			return nil, nil, fmt.Errorf("pram: node entry count %d too large", count)
 		}
 		for i := 0; i < count; i++ {
 			raw := le.Uint64(npage[nodeHeaderSize+8*i:])
@@ -386,14 +480,14 @@ func parseFile(mem *hw.PhysMem, info hw.MFN, visit func(hw.MFN) error) (*File, e
 		node = next
 	}
 	if len(f.Extents) != wantEntries {
-		return nil, fmt.Errorf("pram: file %q has %d entries, info page says %d",
+		return nil, nil, fmt.Errorf("pram: file %q has %d entries, info page says %d",
 			f.Name, len(f.Extents), wantEntries)
 	}
 	if f.Bytes() != wantBytes {
-		return nil, fmt.Errorf("pram: file %q covers %d bytes, info page says %d",
+		return nil, nil, fmt.Errorf("pram: file %q covers %d bytes, info page says %d",
 			f.Name, f.Bytes(), wantBytes)
 	}
-	return f, nil
+	return f, nodes, nil
 }
 
 // splitExtents expands huge extents into order-0 entries (the

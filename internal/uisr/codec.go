@@ -1,7 +1,6 @@
 package uisr
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 )
@@ -38,67 +37,149 @@ type sectionHeader struct {
 
 const sectionHeaderSize = 8
 
+// Wire sizes of the fixed-layout sections, computed once. binary.Size on
+// these types cannot fail (all fields are fixed-size).
+var (
+	sizeRegs    = binary.Size(Regs{})
+	sizeSRegs   = binary.Size(SRegs{})
+	sizeXSave   = binary.Size(XSave{})
+	sizeMTRR    = binary.Size(MTRRState{})
+	sizeIOAPIC  = binary.Size(IOAPIC{})
+	sizePIT     = binary.Size(PIT{})
+	sizeRTC     = binary.Size(RTC{})
+	sizeHPET    = binary.Size(HPET{})
+	sizePMTimer = binary.Size(PMTimer{})
+)
+
+const (
+	topHeaderSize  = 12
+	lapicBaseSize  = 12
+	lapicRegsSize  = 4 * NumLAPICRegs
+	fpuSize        = 512
+	msrEntrySize   = 12
+	extentWireSize = 17
+)
+
+// headerPayloadSize is the size of the SecHeader payload for s.
+func headerPayloadSize(s *VMState) int {
+	return 20 + 2 + len(s.Name) + 2 + len(s.SourceHypervisor)
+}
+
+// devicePayloadSize is the size of one SecDevice payload.
+func devicePayloadSize(d *EmulatedDevice) int {
+	return 2 + len(d.Kind) + 2 + len(d.Model) + 1 + 4 + len(d.State)
+}
+
+// encodedSize computes the exact byte length of Encode(s) arithmetically,
+// without serializing anything. Encode relies on it to allocate the output
+// in one shot; Fig. 14's memory-overhead sweep relies on it being cheap.
+func encodedSize(s *VMState) int {
+	n := topHeaderSize
+	n += sectionHeaderSize + headerPayloadSize(s)
+	for i := range s.VCPUs {
+		n += sectionHeaderSize + sizeRegs
+		n += sectionHeaderSize + sizeSRegs
+		n += sectionHeaderSize + 4 + msrEntrySize*len(s.VCPUs[i].MSRs)
+		n += sectionHeaderSize + fpuSize
+		n += sectionHeaderSize + sizeXSave
+		n += sectionHeaderSize + lapicBaseSize
+		n += sectionHeaderSize + lapicRegsSize
+		n += sectionHeaderSize + sizeMTRR
+	}
+	n += sectionHeaderSize + sizeIOAPIC
+	if s.HasPIT {
+		n += sectionHeaderSize + sizePIT
+	}
+	n += sectionHeaderSize + sizeRTC
+	if s.HasHPET {
+		n += sectionHeaderSize + sizeHPET
+	}
+	if s.HasPMTimer {
+		n += sectionHeaderSize + sizePMTimer
+	}
+	if len(s.MemMap) > 0 {
+		n += sectionHeaderSize + 4 + extentWireSize*len(s.MemMap)
+	}
+	for i := range s.Devices {
+		n += sectionHeaderSize + devicePayloadSize(&s.Devices[i])
+	}
+	n += sectionHeaderSize // end section
+	return n
+}
+
 // Encode serializes the VM state to the UISR wire/RAM format. It is the
 // implementation behind the paper's struct uisr* to_uisr_xxx family: each
 // state category becomes one typed section.
+//
+// The output size is precomputed and the blob written in place through a
+// single []byte, so Encode performs exactly one allocation regardless of
+// vCPU or device count — it runs once per VM inside the transplant
+// blackout window, on the par worker pool.
 func Encode(s *VMState) ([]byte, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	var buf bytes.Buffer
 	le := binary.LittleEndian
+	out := make([]byte, encodedSize(s))
 
-	var top [12]byte
-	le.PutUint32(top[0:], Magic)
-	le.PutUint16(top[4:], Version)
-	le.PutUint16(top[6:], 0) // flags
-	le.PutUint32(top[8:], 0) // patched with section count at the end
-	buf.Write(top[:])
+	le.PutUint32(out[0:], Magic)
+	le.PutUint16(out[4:], Version)
+	le.PutUint16(out[6:], 0) // flags
+	off := topHeaderSize
 
 	sections := 0
-	emit := func(typ, instance uint16, payload []byte) {
-		var hdr [sectionHeaderSize]byte
-		le.PutUint16(hdr[0:], typ)
-		le.PutUint16(hdr[2:], instance)
-		le.PutUint32(hdr[4:], uint32(len(payload)))
-		buf.Write(hdr[:])
-		buf.Write(payload)
+	// begin writes one section header and returns the payload window.
+	begin := func(typ, instance uint16, length int) []byte {
+		le.PutUint16(out[off:], typ)
+		le.PutUint16(out[off+2:], instance)
+		le.PutUint32(out[off+4:], uint32(length))
+		payload := out[off+sectionHeaderSize : off+sectionHeaderSize+length]
+		off += sectionHeaderSize + length
 		sections++
+		return payload
+	}
+	fixed := func(typ, instance uint16, v any, size int) {
+		if _, err := binary.Encode(begin(typ, instance, size), le, v); err != nil {
+			panic(fmt.Sprintf("uisr: encode %T: %v", v, err))
+		}
 	}
 
-	emit(SecHeader, 0, encodeHeader(s))
+	encodeHeader(begin(SecHeader, 0, headerPayloadSize(s)), s)
 	for i := range s.VCPUs {
 		v := &s.VCPUs[i]
 		inst := uint16(v.ID)
-		emit(SecCPU, inst, encodeFixed(&v.Regs))
-		emit(SecSRegs, inst, encodeFixed(&v.SRegs))
-		emit(SecMSRs, inst, encodeMSRs(v.MSRs))
-		emit(SecFPU, inst, v.FPU.Data[:])
-		emit(SecXSave, inst, encodeFixed(&v.XSave))
-		emit(SecLAPIC, inst, encodeLAPICBase(&v.LAPIC))
-		emit(SecLAPICRegs, inst, encodeLAPICRegs(&v.LAPIC))
-		emit(SecMTRR, inst, encodeFixed(&v.MTRR))
+		fixed(SecCPU, inst, &v.Regs, sizeRegs)
+		fixed(SecSRegs, inst, &v.SRegs, sizeSRegs)
+		encodeMSRs(begin(SecMSRs, inst, 4+msrEntrySize*len(v.MSRs)), v.MSRs)
+		copy(begin(SecFPU, inst, fpuSize), v.FPU.Data[:])
+		fixed(SecXSave, inst, &v.XSave, sizeXSave)
+		encodeLAPICBase(begin(SecLAPIC, inst, lapicBaseSize), &v.LAPIC)
+		encodeLAPICRegs(begin(SecLAPICRegs, inst, lapicRegsSize), &v.LAPIC)
+		fixed(SecMTRR, inst, &v.MTRR, sizeMTRR)
 	}
-	emit(SecIOAPIC, 0, encodeFixed(&s.IOAPIC))
+	fixed(SecIOAPIC, 0, &s.IOAPIC, sizeIOAPIC)
 	if s.HasPIT {
-		emit(SecPIT, 0, encodeFixed(&s.PIT))
+		fixed(SecPIT, 0, &s.PIT, sizePIT)
 	}
-	emit(SecRTC, 0, encodeFixed(&s.RTC))
+	fixed(SecRTC, 0, &s.RTC, sizeRTC)
 	if s.HasHPET {
-		emit(SecHPET, 0, encodeFixed(&s.HPET))
+		fixed(SecHPET, 0, &s.HPET, sizeHPET)
 	}
 	if s.HasPMTimer {
-		emit(SecPMTimer, 0, encodeFixed(&s.PMTimer))
+		fixed(SecPMTimer, 0, &s.PMTimer, sizePMTimer)
 	}
 	if len(s.MemMap) > 0 {
-		emit(SecMemMap, 0, encodeMemMap(s.MemMap))
+		encodeMemMap(begin(SecMemMap, 0, 4+extentWireSize*len(s.MemMap)), s.MemMap)
 	}
-	for i, d := range s.Devices {
-		emit(SecDevice, uint16(i), encodeDevice(&d))
+	for i := range s.Devices {
+		d := &s.Devices[i]
+		encodeDevice(begin(SecDevice, uint16(i), devicePayloadSize(d)), d)
 	}
-	emit(SecEnd, 0, nil)
+	begin(SecEnd, 0, 0)
 
-	out := buf.Bytes()
+	if off != len(out) {
+		panic(fmt.Sprintf("uisr: encoded %d bytes, sized %d", off, len(out)))
+	}
 	le.PutUint32(out[8:], uint32(sections))
 	return out, nil
 }
@@ -108,7 +189,7 @@ func Encode(s *VMState) ([]byte, error) {
 // must never silently restore partial state.
 func Decode(data []byte) (*VMState, error) {
 	le := binary.LittleEndian
-	if len(data) < 12 {
+	if len(data) < topHeaderSize {
 		return nil, fmt.Errorf("uisr: blob too short (%d bytes)", len(data))
 	}
 	if le.Uint32(data[0:]) != Magic {
@@ -130,7 +211,7 @@ func Decode(data []byte) (*VMState, error) {
 		return v
 	}
 
-	off := 12
+	off := topHeaderSize
 	var gotSections uint32
 	sawEnd := false
 	for off < len(data) {
@@ -164,8 +245,8 @@ func Decode(data []byte) (*VMState, error) {
 		case SecMSRs:
 			vcpu(hdr.Instance).MSRs, err = decodeMSRs(payload)
 		case SecFPU:
-			if len(payload) != 512 {
-				err = fmt.Errorf("FPU payload %d bytes, want 512", len(payload))
+			if len(payload) != fpuSize {
+				err = fmt.Errorf("FPU payload %d bytes, want %d", len(payload), fpuSize)
 			} else {
 				copy(vcpu(hdr.Instance).FPU.Data[:], payload)
 			}
@@ -229,51 +310,39 @@ func Decode(data []byte) (*VMState, error) {
 // state, without building the blob. Used by the memory-overhead
 // experiment (Fig. 14).
 func EncodedSize(s *VMState) (int, error) {
-	b, err := Encode(s)
-	if err != nil {
+	if err := s.Validate(); err != nil {
 		return 0, err
 	}
-	return len(b), nil
+	return encodedSize(s), nil
 }
 
 // --- fixed-layout helpers -------------------------------------------------
-
-// encodeFixed serializes a struct of fixed-size fields via encoding/binary.
-func encodeFixed(v any) []byte {
-	var buf bytes.Buffer
-	if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
-		panic(fmt.Sprintf("uisr: encodeFixed(%T): %v", v, err))
-	}
-	return buf.Bytes()
-}
 
 func decodeFixed(payload []byte, v any) error {
 	want := binary.Size(v)
 	if len(payload) != want {
 		return fmt.Errorf("payload %d bytes, want %d for %T", len(payload), want, v)
 	}
-	return binary.Read(bytes.NewReader(payload), binary.LittleEndian, v)
+	_, err := binary.Decode(payload, binary.LittleEndian, v)
+	return err
 }
 
 // --- variable-layout sections ----------------------------------------------
 
-func encodeHeader(s *VMState) []byte {
-	var buf bytes.Buffer
+func encodeHeader(out []byte, s *VMState) {
 	le := binary.LittleEndian
-	var fixed [20]byte
-	le.PutUint32(fixed[0:], s.VMID)
-	le.PutUint64(fixed[4:], s.MemBytes)
-	le.PutUint16(fixed[12:], uint16(len(s.VCPUs)))
+	le.PutUint32(out[0:], s.VMID)
+	le.PutUint64(out[4:], s.MemBytes)
+	le.PutUint16(out[12:], uint16(len(s.VCPUs)))
 	if s.HugePages {
-		fixed[14] = 1
+		out[14] = 1
 	}
-	fixed[15] = 0
-	le.PutUint16(fixed[16:], s.Weight)
-	le.PutUint16(fixed[18:], 0) // reserved
-	buf.Write(fixed[:])
-	writeString(&buf, s.Name)
-	writeString(&buf, s.SourceHypervisor)
-	return buf.Bytes()
+	out[15] = 0
+	le.PutUint16(out[16:], s.Weight)
+	le.PutUint16(out[18:], 0) // reserved
+	off := 20
+	off = putString(out, off, s.Name)
+	putString(out, off, s.SourceHypervisor)
 }
 
 func decodeHeader(p []byte, s *VMState) error {
@@ -301,15 +370,13 @@ func decodeHeader(p []byte, s *VMState) error {
 	return nil
 }
 
-func encodeMSRs(msrs []MSR) []byte {
-	out := make([]byte, 4+12*len(msrs))
+func encodeMSRs(out []byte, msrs []MSR) {
 	le := binary.LittleEndian
 	le.PutUint32(out[0:], uint32(len(msrs)))
 	for i, m := range msrs {
-		le.PutUint32(out[4+12*i:], m.Index)
-		le.PutUint64(out[8+12*i:], m.Value)
+		le.PutUint32(out[4+msrEntrySize*i:], m.Index)
+		le.PutUint64(out[8+msrEntrySize*i:], m.Value)
 	}
-	return out
 }
 
 func decodeMSRs(p []byte) ([]MSR, error) {
@@ -318,28 +385,26 @@ func decodeMSRs(p []byte) ([]MSR, error) {
 	}
 	le := binary.LittleEndian
 	n := int(le.Uint32(p[0:]))
-	if len(p) != 4+12*n {
-		return nil, fmt.Errorf("MSR section %d bytes, want %d for %d entries", len(p), 4+12*n, n)
+	if len(p) != 4+msrEntrySize*n {
+		return nil, fmt.Errorf("MSR section %d bytes, want %d for %d entries", len(p), 4+msrEntrySize*n, n)
 	}
 	out := make([]MSR, n)
 	for i := range out {
-		out[i].Index = le.Uint32(p[4+12*i:])
-		out[i].Value = le.Uint64(p[8+12*i:])
+		out[i].Index = le.Uint32(p[4+msrEntrySize*i:])
+		out[i].Value = le.Uint64(p[8+msrEntrySize*i:])
 	}
 	return out, nil
 }
 
-func encodeLAPICBase(l *LAPIC) []byte {
-	var out [12]byte
+func encodeLAPICBase(out []byte, l *LAPIC) {
 	le := binary.LittleEndian
 	le.PutUint64(out[0:], l.Base)
 	le.PutUint32(out[8:], l.ID)
-	return out[:]
 }
 
 func decodeLAPICBase(p []byte, l *LAPIC) error {
-	if len(p) != 12 {
-		return fmt.Errorf("LAPIC base payload %d bytes, want 12", len(p))
+	if len(p) != lapicBaseSize {
+		return fmt.Errorf("LAPIC base payload %d bytes, want %d", len(p), lapicBaseSize)
 	}
 	le := binary.LittleEndian
 	l.Base = le.Uint64(p[0:])
@@ -347,18 +412,16 @@ func decodeLAPICBase(p []byte, l *LAPIC) error {
 	return nil
 }
 
-func encodeLAPICRegs(l *LAPIC) []byte {
-	out := make([]byte, 4*NumLAPICRegs)
+func encodeLAPICRegs(out []byte, l *LAPIC) {
 	le := binary.LittleEndian
 	for i, r := range l.Regs {
 		le.PutUint32(out[4*i:], r)
 	}
-	return out
 }
 
 func decodeLAPICRegs(p []byte, l *LAPIC) error {
-	if len(p) != 4*NumLAPICRegs {
-		return fmt.Errorf("LAPIC regs payload %d bytes, want %d", len(p), 4*NumLAPICRegs)
+	if len(p) != lapicRegsSize {
+		return fmt.Errorf("LAPIC regs payload %d bytes, want %d", len(p), lapicRegsSize)
 	}
 	le := binary.LittleEndian
 	for i := range l.Regs {
@@ -367,17 +430,15 @@ func decodeLAPICRegs(p []byte, l *LAPIC) error {
 	return nil
 }
 
-func encodeMemMap(extents []PageExtent) []byte {
-	out := make([]byte, 4+17*len(extents))
+func encodeMemMap(out []byte, extents []PageExtent) {
 	le := binary.LittleEndian
 	le.PutUint32(out[0:], uint32(len(extents)))
 	for i, e := range extents {
-		base := 4 + 17*i
+		base := 4 + extentWireSize*i
 		le.PutUint64(out[base:], e.GFN)
 		le.PutUint64(out[base+8:], e.MFN)
 		out[base+16] = e.Order
 	}
-	return out
 }
 
 func decodeMemMap(p []byte) ([]PageExtent, error) {
@@ -386,12 +447,12 @@ func decodeMemMap(p []byte) ([]PageExtent, error) {
 	}
 	le := binary.LittleEndian
 	n := int(le.Uint32(p[0:]))
-	if len(p) != 4+17*n {
-		return nil, fmt.Errorf("memmap %d bytes, want %d for %d extents", len(p), 4+17*n, n)
+	if len(p) != 4+extentWireSize*n {
+		return nil, fmt.Errorf("memmap %d bytes, want %d for %d extents", len(p), 4+extentWireSize*n, n)
 	}
 	out := make([]PageExtent, n)
 	for i := range out {
-		base := 4 + 17*i
+		base := 4 + extentWireSize*i
 		out[i].GFN = le.Uint64(p[base:])
 		out[i].MFN = le.Uint64(p[base+8:])
 		out[i].Order = p[base+16]
@@ -399,20 +460,15 @@ func decodeMemMap(p []byte) ([]PageExtent, error) {
 	return out, nil
 }
 
-func encodeDevice(d *EmulatedDevice) []byte {
-	var buf bytes.Buffer
-	writeString(&buf, d.Kind)
-	writeString(&buf, d.Model)
+func encodeDevice(out []byte, d *EmulatedDevice) {
+	off := putString(out, 0, d.Kind)
+	off = putString(out, off, d.Model)
 	if d.UnplugOnTransplant {
-		buf.WriteByte(1)
-	} else {
-		buf.WriteByte(0)
+		out[off] = 1
 	}
-	var lenb [4]byte
-	binary.LittleEndian.PutUint32(lenb[:], uint32(len(d.State)))
-	buf.Write(lenb[:])
-	buf.Write(d.State)
-	return buf.Bytes()
+	off++
+	binary.LittleEndian.PutUint32(out[off:], uint32(len(d.State)))
+	copy(out[off+4:], d.State)
 }
 
 func decodeDevice(p []byte, d *EmulatedDevice) error {
@@ -441,11 +497,12 @@ func decodeDevice(p []byte, d *EmulatedDevice) error {
 	return nil
 }
 
-func writeString(buf *bytes.Buffer, s string) {
-	var lenb [2]byte
-	binary.LittleEndian.PutUint16(lenb[:], uint16(len(s)))
-	buf.Write(lenb[:])
-	buf.WriteString(s)
+// putString writes a length-prefixed string at out[off:] and returns the
+// offset just past it.
+func putString(out []byte, off int, s string) int {
+	binary.LittleEndian.PutUint16(out[off:], uint16(len(s)))
+	copy(out[off+2:], s)
+	return off + 2 + len(s)
 }
 
 func readString(p []byte) (string, []byte, error) {

@@ -293,3 +293,20 @@ func TestOptionalTimerSections(t *testing.T) {
 		t.Fatal("absent timers decoded as present")
 	}
 }
+
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	for _, vcpus := range []int{1, 4, 16} {
+		s := SyntheticVM("sz", 7, vcpus, 4<<30, uint64(vcpus)*13)
+		blob, err := Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := EncodedSize(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(blob) {
+			t.Errorf("vcpus=%d: EncodedSize %d, Encode produced %d bytes", vcpus, n, len(blob))
+		}
+	}
+}
