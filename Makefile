@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench benchfig
+.PHONY: all build vet fmt-check test race check bench benchfig trace-demo
 
 all: check
 
@@ -10,15 +10,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# fmt-check fails (listing the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# check is the PR gate: vet + build + the full suite under the race
-# detector (the determinism and pool-stress tests rely on it).
-check:
+# check is the PR gate: formatting + vet + build + the full suite under
+# the race detector (the determinism and pool-stress tests rely on it).
+check: fmt-check
 	$(GO) vet ./... && $(GO) build ./... && $(GO) test -race ./...
 
 bench:
@@ -26,3 +31,13 @@ bench:
 
 benchfig:
 	$(GO) run ./cmd/benchfig
+
+# trace-demo runs one Figure-7 in-place transplant with tracing on and
+# verifies the emitted Chrome trace parses, is non-empty, and covers
+# every Fig. 3 workflow step. The trace lands in /tmp for opening in
+# Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+trace-demo:
+	$(GO) run ./cmd/tpctl -mode inplace -from xen -to kvm -machine M1 \
+		-vms 4 -vcpus 2 -mem-gib 2 \
+		-trace-out /tmp/hypertp-trace.json -metrics-out /tmp/hypertp-metrics.json
+	$(GO) run ./cmd/tracecheck -require-steps /tmp/hypertp-trace.json

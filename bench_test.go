@@ -15,7 +15,9 @@ import (
 	"hypertp/internal/experiments"
 	"hypertp/internal/hv"
 	"hypertp/internal/hw"
+	"hypertp/internal/obs"
 	"hypertp/internal/pram"
+	"hypertp/internal/simtime"
 	"hypertp/internal/uisr"
 )
 
@@ -365,4 +367,31 @@ func BenchmarkPRAMParse(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFigure7Observability measures the instrumentation tax on the
+// Figure 7 end-to-end run: "off" is the nil-recorder fast path (the
+// default), "on" attaches a full recorder (spans + metrics) to every
+// testbed the sweep builds. The PR gate is off-vs-on overhead <= 5%.
+func BenchmarkFigure7Observability(b *testing.B) {
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sweeps, _, err := experiments.Figure7()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(sweeps) != 6 {
+				b.Fatal("sweep count")
+			}
+		}
+	}
+	b.Run("off", run)
+	b.Run("on", func(b *testing.B) {
+		experiments.SetObsFactory(func(clock *simtime.Clock) *obs.Recorder {
+			return obs.NewRecorder(clock)
+		})
+		defer experiments.SetObsFactory(nil)
+		run(b)
+	})
 }

@@ -5,16 +5,22 @@
 // Usage:
 //
 //	clustersim -hosts 10 -vms-per-host 10 -group 1
+//	clustersim -trace-out upgrade.json -trace-frac 0.8
+//
+// -trace-out writes a Chrome trace_event file of the upgrade at the
+// -trace-frac compatibility fraction (open in Perfetto).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"hypertp/internal/cluster"
 	"hypertp/internal/metrics"
+	"hypertp/internal/obs"
 )
 
 func main() {
@@ -22,17 +28,20 @@ func main() {
 		hosts      = flag.Int("hosts", 10, "number of physical hosts")
 		vmsPerHost = flag.Int("vms-per-host", 10, "VMs per host (1 vCPU / 4 GiB each)")
 		group      = flag.Int("group", 1, "hosts taken offline per upgrade group")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file of one upgrade")
+		traceFrac  = flag.Float64("trace-frac", 0.8, "InPlaceTP-compatible fraction for the traced upgrade")
+		metricsOut = flag.String("metrics-out", "", "write the traced upgrade's metrics registry as JSON")
 	)
 	flag.Parse()
-	if err := run(*hosts, *vmsPerHost, *group); err != nil {
+	if err := run(*hosts, *vmsPerHost, *group, *traceOut, *traceFrac, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "clustersim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(hosts, vmsPerHost, group int) error {
+func run(hosts, vmsPerHost, group int, traceOut string, traceFrac float64, metricsOut string) error {
 	model := cluster.DefaultExecutionModel()
-	runOnce := func(frac float64) (cluster.Result, error) {
+	runOnce := func(frac float64, rec *obs.Recorder) (cluster.Result, error) {
 		c, err := cluster.New(cluster.Config{
 			Hosts: hosts, VMsPerHost: vmsPerHost, StreamFrac: 0.3, CPUFrac: 0.3,
 		})
@@ -47,10 +56,10 @@ func run(hosts, vmsPerHost, group int) error {
 		if err := c.Validate(); err != nil {
 			return cluster.Result{}, err
 		}
-		return plan.Execute(model), nil
+		return plan.ExecuteTraced(model, rec), nil
 	}
 
-	base, err := runOnce(0)
+	base, err := runOnce(0, nil)
 	if err != nil {
 		return err
 	}
@@ -64,7 +73,7 @@ func run(hosts, vmsPerHost, group int) error {
 		if pct == 100 && group > 1 {
 			continue
 		}
-		res, err := runOnce(float64(pct) / 100)
+		res, err := runOnce(float64(pct)/100, nil)
 		if err != nil {
 			return err
 		}
@@ -75,5 +84,42 @@ func run(hosts, vmsPerHost, group int) error {
 			fmt.Sprintf("%.0f", gain))
 	}
 	fmt.Println(tab.Render())
+
+	if traceOut == "" && metricsOut == "" {
+		return nil
+	}
+	// The planner is clock-less: spans carry explicit virtual times from
+	// the execution model, so the trace is deterministic.
+	rec := obs.NewRecorder(nil)
+	if _, err := runOnce(traceFrac, rec); err != nil {
+		return err
+	}
+	if traceOut != "" {
+		if err := writeFileWith(traceOut, rec.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Printf("trace: wrote %s for compatible fraction %.2f (open in Perfetto)\n",
+			traceOut, traceFrac)
+	}
+	if metricsOut != "" {
+		write := func(w io.Writer) error { return rec.Metrics().WriteMetricsJSON(w, false) }
+		if err := writeFileWith(metricsOut, write); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: wrote %s\n", metricsOut)
+	}
 	return nil
+}
+
+// writeFileWith creates path and streams fn's output into it.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

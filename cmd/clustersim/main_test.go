@@ -1,24 +1,60 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunDefaults(t *testing.T) {
-	if err := run(10, 10, 1); err != nil {
+	if err := run(10, 10, 1, "", 0.8, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSmallCluster(t *testing.T) {
-	if err := run(4, 3, 2); err != nil {
+	if err := run(4, 3, 2, "", 0.8, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadShape(t *testing.T) {
-	if err := run(1, 10, 1); err == nil {
+	if err := run(1, 10, 1, "", 0.8, ""); err == nil {
 		t.Fatal("single-host cluster accepted")
 	}
-	if err := run(10, 10, 10); err == nil {
+	if err := run(10, 10, 10, "", 0.8, ""); err == nil {
 		t.Fatal("group size = cluster accepted")
+	}
+}
+
+func TestRunTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "upgrade.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	if err := run(4, 3, 1, tracePath, 0.5, metricsPath); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		if name, ok := ev["name"].(string); ok {
+			seen[name] = true
+		}
+	}
+	if !seen["rolling-upgrade"] || !seen["group-0"] {
+		t.Fatalf("trace missing upgrade spans; saw %v", seen)
+	}
+	if _, err := os.Stat(metricsPath); err != nil {
+		t.Fatal(err)
 	}
 }

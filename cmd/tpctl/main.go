@@ -7,11 +7,17 @@
 //	tpctl -mode inplace  -from xen -to kvm -machine M1 -vms 1 -vcpus 1 -mem-gib 1
 //	tpctl -mode migration -from xen -to kvm -vms 2 -mem-gib 1
 //	tpctl -mode inplace -from xen -to kvm -cve CVE-2016-6258   # policy check first
+//	tpctl -mode inplace -trace-out trace.json -metrics-out metrics.json
+//
+// -trace-out writes a Chrome trace_event file (open in Perfetto or
+// chrome://tracing); -metrics-out writes the metrics registry as JSON.
+// Both are deterministic: byte-identical for any -workers count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,6 +26,7 @@ import (
 	"hypertp/internal/hw"
 	"hypertp/internal/metrics"
 	"hypertp/internal/migration"
+	"hypertp/internal/obs"
 	"hypertp/internal/par"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
@@ -29,30 +36,40 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "inplace", "transplant mode: inplace or migration")
-		from    = flag.String("from", "xen", "current hypervisor: xen or kvm")
-		to      = flag.String("to", "kvm", "target hypervisor: xen or kvm")
-		machine = flag.String("machine", "M1", "machine profile: M1 or M2")
-		vms     = flag.Int("vms", 1, "number of VMs on the host")
-		vcpus   = flag.Int("vcpus", 1, "vCPUs per VM")
-		memGiB  = flag.Int("mem-gib", 1, "memory per VM in GiB")
-		cve     = flag.String("cve", "", "check the transplant decision policy for this CVE first")
-		noPrep  = flag.Bool("no-prepare", false, "disable pre-pause preparation (ablation)")
-		noPar   = flag.Bool("no-parallel", false, "disable parallel translation (ablation)")
-		noHuge  = flag.Bool("no-hugepages", false, "disable huge-page PRAM entries (ablation)")
-		noEarly = flag.Bool("no-early-restore", false, "disable early restoration (ablation)")
-		workers = flag.Int("workers", 0, "host worker pool size for wall-clock parallelism (0 = GOMAXPROCS)")
-		verbose = flag.Bool("v", false, "print the Fig. 3 workflow trace")
+		mode       = flag.String("mode", "inplace", "transplant mode: inplace or migration")
+		from       = flag.String("from", "xen", "current hypervisor: xen or kvm")
+		to         = flag.String("to", "kvm", "target hypervisor: xen or kvm")
+		machine    = flag.String("machine", "M1", "machine profile: M1 or M2")
+		vms        = flag.Int("vms", 1, "number of VMs on the host")
+		vcpus      = flag.Int("vcpus", 1, "vCPUs per VM")
+		memGiB     = flag.Int("mem-gib", 1, "memory per VM in GiB")
+		cve        = flag.String("cve", "", "check the transplant decision policy for this CVE first")
+		noPrep     = flag.Bool("no-prepare", false, "disable pre-pause preparation (ablation)")
+		noPar      = flag.Bool("no-parallel", false, "disable parallel translation (ablation)")
+		noHuge     = flag.Bool("no-hugepages", false, "disable huge-page PRAM entries (ablation)")
+		noEarly    = flag.Bool("no-early-restore", false, "disable early restoration (ablation)")
+		workers    = flag.Int("workers", 0, "host worker pool size for wall-clock parallelism (0 = GOMAXPROCS)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run")
+		metricsOut = flag.String("metrics-out", "", "write the metrics registry as JSON")
+		profLabels = flag.Bool("pprof-labels", false, "annotate pool workers with pprof labels")
+		verbose    = flag.Bool("v", false, "print the Fig. 3 workflow trace")
 	)
 	flag.Parse()
 	par.SetWorkers(*workers)
-	if err := run(*mode, *from, *to, *machine, *vms, *vcpus, *memGiB, *cve,
-		core.Options{
+	par.SetProfileLabels(*profLabels)
+	if err := run(runConfig{
+		Mode: *mode, From: *from, To: *to, Machine: *machine,
+		VMs: *vms, VCPUs: *vcpus, MemGiB: *memGiB, CVE: *cve,
+		Opts: core.Options{
 			PrepareBeforePause: !*noPrep,
 			Parallel:           !*noPar,
 			HugePages:          !*noHuge,
 			EarlyRestoration:   !*noEarly,
-		}, *verbose); err != nil {
+		},
+		TraceOut:   *traceOut,
+		MetricsOut: *metricsOut,
+		Verbose:    *verbose,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "tpctl:", err)
 		os.Exit(1)
 	}
@@ -80,50 +97,68 @@ func parseProfile(s string) (*hw.Profile, error) {
 	}
 }
 
-func run(mode, from, to, machine string, vms, vcpus, memGiB int, cve string, opts core.Options, verbose bool) error {
-	fromKind, err := parseKind(from)
+// runConfig is one tpctl invocation's worth of parsed flags.
+type runConfig struct {
+	Mode, From, To, Machine string
+	VMs, VCPUs, MemGiB      int
+	CVE                     string
+	Opts                    core.Options
+	TraceOut, MetricsOut    string
+	Verbose                 bool
+}
+
+func run(cfg runConfig) error {
+	fromKind, err := parseKind(cfg.From)
 	if err != nil {
 		return err
 	}
-	toKind, err := parseKind(to)
+	toKind, err := parseKind(cfg.To)
 	if err != nil {
 		return err
 	}
-	profile, err := parseProfile(machine)
+	profile, err := parseProfile(cfg.Machine)
 	if err != nil {
 		return err
 	}
 
-	if cve != "" {
+	if cfg.CVE != "" {
 		db := vulndb.Load()
-		rec, ok := db.Lookup(cve)
+		rec, ok := db.Lookup(cfg.CVE)
 		if !ok {
-			return fmt.Errorf("unknown CVE %q", cve)
+			return fmt.Errorf("unknown CVE %q", cfg.CVE)
 		}
 		fmt.Printf("policy check: %s (CVSS %.1f, %s, affects %v)\n",
 			rec.ID, rec.CVSS, rec.Severity(), rec.Affects)
-		worthwhile, target := db.TransplantWorthwhile(cve, from, []string{"xen", "kvm"})
+		worthwhile, target := db.TransplantWorthwhile(cfg.CVE, cfg.From, []string{"xen", "kvm"})
 		if !worthwhile {
-			return fmt.Errorf("policy: transplant not indicated for %s on %s", cve, from)
+			return fmt.Errorf("policy: transplant not indicated for %s on %s", cfg.CVE, cfg.From)
 		}
-		fmt.Printf("policy: transplant %s → %s indicated\n\n", from, target)
+		fmt.Printf("policy: transplant %s → %s indicated\n\n", cfg.From, target)
 	}
 
 	clock := simtime.NewClock()
 	srcMachine := hw.NewMachine(clock, profile)
 	engine := core.NewEngine(clock, srcMachine)
-	if verbose {
+	var rec *obs.Recorder
+	if cfg.TraceOut != "" || cfg.MetricsOut != "" {
+		rec = obs.NewRecorder(clock)
+		engine.Obs = rec
+		par.SetObserver(rec.PoolObserver())
+		defer par.SetObserver(nil)
+	}
+	if cfg.Verbose || rec != nil {
 		engine.Trace = trace.New(clock)
+		engine.Trace.Attach(rec) // nil-safe: a nil sink is ignored
 	}
 	src, err := engine.BootHypervisor(fromKind)
 	if err != nil {
 		return err
 	}
 	var vmIDs []hv.VMID
-	for i := 0; i < vms; i++ {
+	for i := 0; i < cfg.VMs; i++ {
 		vm, err := src.CreateVM(hv.Config{
 			Name:  fmt.Sprintf("vm-%02d", i),
-			VCPUs: vcpus, MemBytes: uint64(memGiB) << 30, HugePages: true,
+			VCPUs: cfg.VCPUs, MemBytes: uint64(cfg.MemGiB) << 30, HugePages: true,
 			Seed: uint64(100 + i), InPlaceCompatible: true,
 		})
 		if err != nil {
@@ -132,16 +167,16 @@ func run(mode, from, to, machine string, vms, vcpus, memGiB int, cve string, opt
 		vmIDs = append(vmIDs, vm.ID)
 	}
 	fmt.Printf("host: %s running %s with %d VM(s) of %d vCPU / %d GiB\n\n",
-		profile.Name, src.Name(), vms, vcpus, memGiB)
+		profile.Name, src.Name(), cfg.VMs, cfg.VCPUs, cfg.MemGiB)
 
-	switch mode {
+	switch cfg.Mode {
 	case "inplace":
-		_, rep, err := engine.InPlace(src, toKind, opts)
+		_, rep, err := engine.InPlace(src, toKind, cfg.Opts)
 		if err != nil {
 			return err
 		}
 		tab := &metrics.Table{
-			Title:   fmt.Sprintf("InPlaceTP %s → %s on %s", from, to, profile.Name),
+			Title:   fmt.Sprintf("InPlaceTP %s → %s on %s", cfg.From, cfg.To, profile.Name),
 			Headers: []string{"Phase", "Duration"},
 		}
 		tab.AddRow("PRAM construction (pre-pause)", rep.PRAM.String())
@@ -155,8 +190,11 @@ func run(mode, from, to, machine string, vms, vcpus, memGiB int, cve string, opt
 		fmt.Println(tab.Render())
 		fmt.Printf("overheads: PRAM %d B, UISR %d B, wiped %d frames\n",
 			rep.PRAMMetadataBytes, rep.UISRBytes, rep.WipedFrames)
-		if verbose {
-			fmt.Printf("\nworkflow trace:\n%s", engine.Trace.Render())
+		if cfg.Verbose {
+			fmt.Printf("\nworkflow trace:\n")
+			if _, err := engine.Trace.WriteTo(os.Stdout); err != nil {
+				return err
+			}
 		}
 	case "migration":
 		dstMachine := hw.NewMachine(clock, profile)
@@ -166,14 +204,15 @@ func run(mode, from, to, machine string, vms, vcpus, memGiB int, cve string, opt
 			return err
 		}
 		link := simnet.NewLink(clock, "pair", simnet.Gbps1, 100*time.Microsecond)
+		link.SetRecorder(rec)
 		recv := migration.NewReceiver(clock, dst, 1)
 		tab := &metrics.Table{
-			Title:   fmt.Sprintf("MigrationTP %s → %s over 1 Gbps", from, to),
+			Title:   fmt.Sprintf("MigrationTP %s → %s over 1 Gbps", cfg.From, cfg.To),
 			Headers: []string{"VM", "Rounds", "Bytes sent", "Downtime", "Total"},
 		}
 		for _, id := range vmIDs {
 			rep, err := core.MigrationTP(clock, core.MigrationTPParams{
-				Link: link, Source: src, Dest: recv, VMID: id,
+				Link: link, Source: src, Dest: recv, VMID: id, Obs: rec,
 			})
 			if err != nil {
 				return err
@@ -183,7 +222,33 @@ func run(mode, from, to, machine string, vms, vcpus, memGiB int, cve string, opt
 		}
 		fmt.Println(tab.Render())
 	default:
-		return fmt.Errorf("unknown mode %q (want inplace or migration)", mode)
+		return fmt.Errorf("unknown mode %q (want inplace or migration)", cfg.Mode)
+	}
+	if cfg.TraceOut != "" {
+		if err := writeFileWith(cfg.TraceOut, rec.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n", cfg.TraceOut)
+	}
+	if cfg.MetricsOut != "" {
+		write := func(w io.Writer) error { return rec.Metrics().WriteMetricsJSON(w, false) }
+		if err := writeFileWith(cfg.MetricsOut, write); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: wrote %s\n", cfg.MetricsOut)
 	}
 	return nil
+}
+
+// writeFileWith creates path and streams fn's output into it.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,13 +1,21 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"hypertp/internal/core"
 	"hypertp/internal/hv"
 )
 
-func defaultOpts() core.Options { return core.DefaultOptions() }
+func cfg(mode string) runConfig {
+	return runConfig{
+		Mode: mode, From: "xen", To: "kvm", Machine: "M1",
+		VMs: 1, VCPUs: 1, MemGiB: 1, Opts: core.DefaultOptions(),
+	}
+}
 
 func TestParseKind(t *testing.T) {
 	if k, err := parseKind("xen"); err != nil || k != hv.KindXen {
@@ -33,41 +41,90 @@ func TestParseProfile(t *testing.T) {
 }
 
 func TestRunInPlace(t *testing.T) {
-	if err := run("inplace", "xen", "kvm", "M1", 1, 1, 1, "", defaultOpts(), false); err != nil {
+	if err := run(cfg("inplace")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMigration(t *testing.T) {
-	if err := run("migration", "xen", "kvm", "M1", 2, 1, 1, "", defaultOpts(), false); err != nil {
+	c := cfg("migration")
+	c.VMs = 2
+	if err := run(c); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithPolicyCheck(t *testing.T) {
-	if err := run("inplace", "xen", "kvm", "M1", 1, 1, 1, "CVE-2016-6258", defaultOpts(), false); err != nil {
+	c := cfg("inplace")
+	c.CVE = "CVE-2016-6258"
+	if err := run(c); err != nil {
 		t.Fatal(err)
 	}
 	// Medium flaw: the policy refuses.
-	if err := run("inplace", "xen", "kvm", "M1", 1, 1, 1, "CVE-2015-8104", defaultOpts(), false); err == nil {
+	c.CVE = "CVE-2015-8104"
+	if err := run(c); err == nil {
 		t.Fatal("medium CVE accepted")
 	}
-	if err := run("inplace", "xen", "kvm", "M1", 1, 1, 1, "CVE-0000-0000", defaultOpts(), false); err == nil {
+	c.CVE = "CVE-0000-0000"
+	if err := run(c); err == nil {
 		t.Fatal("unknown CVE accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("teleport", "xen", "kvm", "M1", 1, 1, 1, "", defaultOpts(), false); err == nil {
-		t.Fatal("unknown mode accepted")
+	bad := []runConfig{}
+	c := cfg("teleport")
+	bad = append(bad, c)
+	c = cfg("inplace")
+	c.From = "qnx"
+	bad = append(bad, c)
+	c = cfg("inplace")
+	c.To = "qnx"
+	bad = append(bad, c)
+	c = cfg("inplace")
+	c.Machine = "M9"
+	bad = append(bad, c)
+	for i, c := range bad {
+		if err := run(c); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
 	}
-	if err := run("inplace", "qnx", "kvm", "M1", 1, 1, 1, "", defaultOpts(), false); err == nil {
-		t.Fatal("unknown source accepted")
-	}
-	if err := run("inplace", "xen", "qnx", "M1", 1, 1, 1, "", defaultOpts(), false); err == nil {
-		t.Fatal("unknown target accepted")
-	}
-	if err := run("inplace", "xen", "kvm", "M9", 1, 1, 1, "", defaultOpts(), false); err == nil {
-		t.Fatal("unknown machine accepted")
+}
+
+// TestRunTraceAndMetricsOut exercises the -trace-out/-metrics-out paths
+// for both modes and checks the files are valid, non-empty JSON.
+func TestRunTraceAndMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	for _, mode := range []string{"inplace", "migration"} {
+		c := cfg(mode)
+		c.TraceOut = filepath.Join(dir, mode+"-trace.json")
+		c.MetricsOut = filepath.Join(dir, mode+"-metrics.json")
+		if err := run(c); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		var tr struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		data, err := os.ReadFile(c.TraceOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &tr); err != nil {
+			t.Fatalf("%s: trace is not valid JSON: %v", mode, err)
+		}
+		if len(tr.TraceEvents) == 0 {
+			t.Fatalf("%s: empty trace", mode)
+		}
+		var mets map[string]any
+		data, err = os.ReadFile(c.MetricsOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &mets); err != nil {
+			t.Fatalf("%s: metrics not valid JSON: %v", mode, err)
+		}
+		if len(mets) == 0 {
+			t.Fatalf("%s: empty metrics", mode)
+		}
 	}
 }

@@ -1,0 +1,108 @@
+// Command tracecheck validates a Chrome trace_event JSON file produced
+// by tpctl/clustersim: it must parse, be non-empty, contain only
+// well-formed complete ("X") and instant ("i") events, and — with
+// -require-steps — cover every Fig. 3 workflow step as a span. The
+// Makefile's trace-demo target uses it as the end-to-end check that the
+// observability pipeline emits something a human can actually open.
+//
+// Usage:
+//
+//	tracecheck -require-steps trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hypertp/internal/trace"
+)
+
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    *float64       `json:"ts"`
+	Dur   *float64       `json:"dur"`
+	PID   *int           `json:"pid"`
+	TID   *int           `json:"tid"`
+	Args  map[string]any `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent   `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData"`
+}
+
+// fig3Steps are the workflow phases an in-place transplant trace must
+// cover (Fig. 3 of the paper; the engine names its phase spans after
+// the trace step constants).
+var fig3Steps = []string{
+	trace.StepLoadImage, trace.StepPRAMBuild, trace.StepPause,
+	trace.StepTranslate, trace.StepKexec, trace.StepBoot,
+	trace.StepPRAMParse, trace.StepRestore, trace.StepResume,
+	trace.StepCleanup,
+}
+
+func main() {
+	requireSteps := flag.Bool("require-steps", false,
+		"require every Fig. 3 workflow step to appear as a span")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require-steps] <trace.json>")
+		os.Exit(2)
+	}
+	if err := check(flag.Arg(0), *requireSteps); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func check(path string, requireSteps bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %w", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("%s: no trace events", path)
+	}
+	spans := map[string]int{}
+	instants := 0
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("%s: event %d has no name", path, i)
+		}
+		if ev.TS == nil || ev.PID == nil || ev.TID == nil {
+			return fmt.Errorf("%s: event %d (%q) missing ts/pid/tid", path, i, ev.Name)
+		}
+		switch ev.Phase {
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return fmt.Errorf("%s: complete event %q has bad dur", path, ev.Name)
+			}
+			spans[ev.Name]++
+		case "i":
+			instants++
+		default:
+			return fmt.Errorf("%s: event %q has unexpected phase %q", path, ev.Name, ev.Phase)
+		}
+	}
+	if requireSteps {
+		var missing []string
+		for _, step := range fig3Steps {
+			if spans[step] == 0 {
+				missing = append(missing, step)
+			}
+		}
+		if len(missing) > 0 {
+			return fmt.Errorf("%s: missing Fig. 3 step spans %v", path, missing)
+		}
+	}
+	fmt.Printf("%s: ok — %d span events, %d instant events, %d distinct span names\n",
+		path, len(tf.TraceEvents)-instants, instants, len(spans))
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"hypertp/internal/hw"
+	"hypertp/internal/obs"
 	"hypertp/internal/simtime"
 )
 
@@ -314,22 +315,54 @@ type Result struct {
 
 // Execute times the plan under the model.
 func (p *Plan) Execute(m ExecutionModel) Result {
+	return p.ExecuteTraced(m, nil)
+}
+
+// ExecuteTraced times the plan under the model and, when rec is non-nil,
+// records the upgrade's span tree. The planner has no simulation clock,
+// so spans carry explicit virtual times from the model's own time cursor
+// (StartAt/EndAt): one root per upgrade, one child per host group, and
+// grandchildren for each migration and for the group's parallel in-place
+// window.
+func (p *Plan) ExecuteTraced(m ExecutionModel, rec *obs.Recorder) Result {
 	var res Result
-	for _, g := range p.Groups {
+	mets := rec.Metrics()
+	var cursor time.Duration
+	root := rec.StartAt(nil, "rolling-upgrade", 0, obs.A("groups", len(p.Groups)))
+	root.SetTrack("cluster")
+	for gi, g := range p.Groups {
+		gStart := cursor
+		gSpan := root.ChildAt(fmt.Sprintf("group-%d", gi), gStart,
+			obs.A("hosts", len(g.Hosts)),
+			obs.A("migrations", len(g.Migrations)),
+			obs.A("inplace_vms", g.InPlaceVMs))
 		var groupMig time.Duration
 		for _, mig := range g.Migrations {
 			transfer := time.Duration(float64(mig.Bytes) / float64(m.LinkByteRate) * float64(time.Second))
-			groupMig += transfer + m.PerMigrationOverhead
+			dur := transfer + m.PerMigrationOverhead
+			sp := gSpan.ChildAt(fmt.Sprintf("migrate:vm-%03d", mig.VMID), gStart+groupMig,
+				obs.A("from", mig.From), obs.A("to", mig.To), obs.A("bytes", mig.Bytes))
+			groupMig += dur
+			sp.EndAt(gStart + groupMig)
+			mets.Counter("cluster.bytes_migrated", "bytes").Add(int64(mig.Bytes))
 		}
+		mets.Counter("cluster.migrations", "migrations").Add(int64(len(g.Migrations)))
+		mets.Counter("cluster.inplace_vms", "vms").Add(int64(g.InPlaceVMs))
 		res.Migrations += len(g.Migrations)
 		res.MigrationTime += groupMig
 		inplace := time.Duration(0)
 		if g.InPlaceVMs > 0 || len(g.Migrations) > 0 {
 			inplace = m.InPlaceHostTime // hosts in a group upgrade in parallel
+			sp := gSpan.ChildAt("inplace-upgrade", gStart+groupMig,
+				obs.A("hosts", len(g.Hosts)), obs.A("vms", g.InPlaceVMs))
+			sp.EndAt(gStart + groupMig + inplace)
 		}
 		res.InPlaceTime += inplace
 		res.TotalTime += groupMig + inplace
+		cursor = gStart + groupMig + inplace
+		gSpan.EndAt(cursor)
 	}
+	root.EndAt(cursor)
 	return res
 }
 

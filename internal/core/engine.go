@@ -20,6 +20,7 @@ import (
 	"hypertp/internal/hv/xen"
 	"hypertp/internal/hw"
 	"hypertp/internal/kexec"
+	"hypertp/internal/obs"
 	"hypertp/internal/par"
 	"hypertp/internal/pram"
 	"hypertp/internal/simtime"
@@ -103,6 +104,10 @@ type Engine struct {
 	// Trace, when non-nil, receives one event per workflow step
 	// (Fig. 3 audit log). A nil Trace is valid and free.
 	Trace *trace.Log
+	// Obs, when non-nil, records a hierarchical span per Fig. 3 phase
+	// plus page/byte/latency metrics. A nil Obs is valid and free (the
+	// no-op fast path), so uninstrumented runs pay nothing.
+	Obs *obs.Recorder
 }
 
 // NewEngine creates an engine for the given machine.
@@ -148,25 +153,41 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	cost := e.Machine.Profile.Cost
 	report := &InPlaceReport{Source: src.Name(), Target: target.String()}
 	start := e.Clock.Now()
+	// The root span owns the whole Fig. 3 workflow; the deferred End is
+	// the error-path cleanup — it closes any phase span left open.
+	root := e.Obs.Start("inplace-tp",
+		obs.A("source", src.Name()), obs.A("target", target.String()),
+		obs.A("vms", len(vms)))
+	defer root.End()
+	mets := e.Obs.Metrics()
+	mets.Counter("tp.vms_transplanted", "vms").Add(int64(len(vms)))
 
 	// ❶ Load the target hypervisor image ahead of time.
+	sp := e.Obs.Start(trace.StepLoadImage)
 	img, err := kexec.Load(e.Machine, target)
 	if err != nil {
 		return nil, nil, err
 	}
 	e.Trace.Emit(trace.StepLoadImage, "%s image staged (%d MiB)", target, img.Bytes>>20)
+	sp.End()
 
 	// PRAM construction (runs before the pause with the optimization,
 	// inside the downtime without it). The structure itself is built
 	// for real either way; only the accounting moves.
 	buildPRAM := func() (*pram.Structure, map[string]*guest.Guest, error) {
+		sp := e.Obs.Start(trace.StepPRAMBuild)
+		defer sp.End()
 		files := make([]pram.File, 0, len(vms))
 		guests := make(map[string]*guest.Guest, len(vms))
 		costs := make([]time.Duration, 0, len(vms))
+		var pages uint64
 		for _, vm := range vms {
 			extents, err := src.MemExtents(vm.ID)
 			if err != nil {
 				return nil, nil, err
+			}
+			for _, ex := range extents {
+				pages += ex.Pages()
 			}
 			files = append(files, pram.File{
 				Name: vm.Config.Name, VMID: uint32(vm.ID),
@@ -187,6 +208,10 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		report.PRAM = e.elapsed(costs, opts.Parallel)
 		e.Clock.Advance(report.PRAM)
 		e.Trace.Emit(trace.StepPRAMBuild, "%d files, %d B metadata", len(files), ps.MetadataBytes())
+		mets.Counter("pram.pages_preserved", "pages").Add(int64(pages))
+		sp.SetAttr("files", len(files))
+		sp.SetAttr("pages", pages)
+		sp.SetAttr("metadata_bytes", ps.MetadataBytes())
 		return ps, guests, nil
 	}
 
@@ -200,6 +225,7 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 
 	// ❷ Pause all VMs and run the guest-side device protocol (§4.2.3).
 	pauseAt := e.Clock.Now()
+	sp = e.Obs.Start(trace.StepPause)
 	e.Trace.Emit(trace.StepPause, "%d VMs paused, device protocol run", len(vms))
 	for _, vm := range vms {
 		if vm.Guest != nil {
@@ -211,6 +237,7 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 			return nil, nil, err
 		}
 	}
+	sp.End()
 	if !opts.PrepareBeforePause {
 		if ps, guests, err = buildPRAM(); err != nil {
 			return nil, nil, err
@@ -232,6 +259,12 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		frames []hw.MFN
 		bytes  int
 	}
+	sp = e.Obs.Start(trace.StepTranslate)
+	// Wall-clock encode latency is profiling-only (Volatile); the
+	// virtual per-VM translation costs below are the deterministic
+	// latency record.
+	encodeWall := mets.Histogram("uisr.encode_wall_ns", "ns", obs.ExpBuckets(1e3, 4, 12)).Volatile()
+	translateVirtual := mets.Histogram("tp.translate_virtual_s", "s", obs.ExpBuckets(1e-3, 2, 16))
 	states := make([]*uisr.VMState, 0, len(vms))
 	costs := make([]time.Duration, 0, len(vms))
 	for _, vm := range vms {
@@ -244,12 +277,17 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		st.MemMap = nil
 		states = append(states, st)
 		gib := float64(vm.Config.MemBytes) / float64(hw.GiB)
-		costs = append(costs, cost.TranslatePerVM+
-			time.Duration(vm.Config.VCPUs)*cost.TranslatePerVCPU+
-			time.Duration(gib*float64(cost.TranslatePerGB)))
+		c := cost.TranslatePerVM +
+			time.Duration(vm.Config.VCPUs)*cost.TranslatePerVCPU +
+			time.Duration(gib*float64(cost.TranslatePerGB))
+		costs = append(costs, c)
+		translateVirtual.Observe(c.Seconds())
 	}
 	blobs, err := par.Map(states, func(_ int, st *uisr.VMState) ([]byte, error) {
-		return uisr.Encode(st)
+		t0 := time.Now()
+		blob, err := uisr.Encode(st)
+		encodeWall.Observe(float64(time.Since(t0).Nanoseconds()))
+		return blob, err
 	})
 	if err != nil {
 		return nil, nil, err
@@ -290,6 +328,10 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	e.Clock.Advance(report.Translation)
 	report.PRAMMetadataBytes = ps.MetadataBytes()
 	e.Trace.Emit(trace.StepTranslate, "%d VM_i states to UISR (%d B)", len(vms), report.UISRBytes)
+	mets.Counter("tp.uisr_bytes", "bytes").Add(int64(report.UISRBytes))
+	mets.Counter("tp.pram_metadata_bytes", "bytes").Add(int64(report.PRAMMetadataBytes))
+	sp.SetAttr("uisr_bytes", report.UISRBytes)
+	sp.End()
 
 	// Source-side teardown: release VM_i State (guest memory stays).
 	for _, vm := range vms {
@@ -301,6 +343,7 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	// ❹ Micro-reboot into the target hypervisor. The preserve set comes
 	// entirely from PRAM: guest memory, metadata pages, and the UISR
 	// blob frames (recorded as "uisr:" files above).
+	sp = e.Obs.Start(trace.StepKexec)
 	res, err := kexec.Exec(e.Machine, img, ps.Pointer, ps.FrameRanges())
 	if err != nil {
 		return nil, nil, err
@@ -322,15 +365,23 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		bootBase = cost.BootNOVA
 	}
 	e.Trace.Emit(trace.StepKexec, "wiped %d frames, preserved %d", res.WipedFrames, res.PreservedFrames)
+	mets.Counter("tp.wiped_frames", "frames").Add(int64(res.WipedFrames))
 	report.Reboot = bootBase + parseCost + time.Duration(len(vms))*cost.PRAMParsePerVM
 	e.Clock.Advance(report.Reboot)
+	sp.SetAttr("wiped_frames", res.WipedFrames)
+	sp.SetAttr("preserved_frames", res.PreservedFrames)
+	sp.End()
 
 	// ❺ Boot the target hypervisor and re-parse PRAM from the command
 	// line pointer — the real handover.
+	sp = e.Obs.Start(trace.StepBoot)
 	dst, err := e.BootHypervisor(target)
 	if err != nil {
 		return nil, nil, err
 	}
+	e.Trace.Emit(trace.StepBoot, "%s up (generation %d)", dst.Name(), e.Machine.Generation())
+	sp.End()
+	sp = e.Obs.Start(trace.StepPRAMParse)
 	ptr, err := kexec.ParseCmdline(e.Machine.Cmdline)
 	if err != nil {
 		return nil, nil, err
@@ -339,10 +390,12 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: PRAM lost across reboot: %w", err)
 	}
-	e.Trace.Emit(trace.StepBoot, "%s up (generation %d)", dst.Name(), e.Machine.Generation())
 	e.Trace.Emit(trace.StepPRAMParse, "%d files recovered from cmdline pointer", len(parsed.Files))
+	sp.SetAttr("files", len(parsed.Files))
+	sp.End()
 
 	// ❻ Restore each VM from its UISR blob, adopting its memory map.
+	sp = e.Obs.Start(trace.StepRestore)
 	if !opts.EarlyRestoration {
 		report.Restoration += cost.RestoreServiceWait
 		e.Clock.Advance(cost.RestoreServiceWait)
@@ -360,6 +413,7 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	// decodes are pure compute and fan out on the par pool; RestoreUISR
 	// and guest attachment mutate the target hypervisor and run
 	// sequentially in VM order.
+	decodeWall := mets.Histogram("uisr.decode_wall_ns", "ns", obs.ExpBuckets(1e3, 4, 12)).Volatile()
 	restored, err := par.Map(saved, func(_ int, s savedVM) (*uisr.VMState, error) {
 		bf, ok := blobFileMap[s.res.Name]
 		if !ok {
@@ -369,7 +423,9 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		if err != nil {
 			return nil, err
 		}
+		t0 := time.Now()
 		st, err := uisr.Decode(blob)
+		decodeWall.Observe(float64(time.Since(t0).Nanoseconds()))
 		if err != nil {
 			return nil, fmt.Errorf("core: UISR blob for %q corrupt: %w", s.res.Name, err)
 		}
@@ -404,12 +460,18 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		}
 		costs = append(costs, cost.RestorePerVM+time.Duration(s.res.VCPUs)*cost.RestorePerVCPU)
 	}
+	restoreVirtual := mets.Histogram("tp.restore_virtual_s", "s", obs.ExpBuckets(1e-3, 2, 16))
+	for _, c := range costs {
+		restoreVirtual.Observe(c.Seconds())
+	}
 	restore := e.elapsed(costs, opts.Parallel)
 	report.Restoration += restore
 	e.Clock.Advance(restore)
+	sp.End()
 
 	// ❼ Resume guests, run the device-completion protocol, free the
 	// ephemeral PRAM metadata and UISR blobs.
+	sp = e.Obs.Start(trace.StepResume)
 	for i := range saved {
 		s := &saved[i]
 		if err := dst.Resume(s.res.NewID); err != nil {
@@ -428,15 +490,20 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		report.VMs = append(report.VMs, s.res)
 	}
 	e.Trace.Emit(trace.StepResume, "%d VMs running on %s", len(saved), dst.Name())
+	sp.End()
+	sp = e.Obs.Start(trace.StepCleanup)
 	if err := releaseParsedMetadata(e.Machine.Mem, parsed); err != nil {
 		return nil, nil, err
 	}
 	e.Trace.Emit(trace.StepCleanup, "ephemeral PRAM metadata and UISR blobs freed")
+	sp.End()
 
 	report.Downtime = e.Clock.Now() - pauseAt
 	report.Total = e.Clock.Now() - start
 	report.Network = cost.NICReinit
 	report.NetworkDowntime = report.Downtime + cost.NICReinit
+	root.SetAttr("downtime", report.Downtime)
+	root.SetAttr("total", report.Total)
 	return dst, report, nil
 }
 

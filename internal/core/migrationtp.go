@@ -3,6 +3,7 @@ package core
 import (
 	"hypertp/internal/hv"
 	"hypertp/internal/migration"
+	"hypertp/internal/obs"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
 )
@@ -17,6 +18,9 @@ type MigrationTPParams struct {
 	// DirtyRatePagesPerSec models the guest's write activity during
 	// pre-copy.
 	DirtyRatePagesPerSec float64
+	// Obs, when non-nil, records the migration's span tree (pre-copy
+	// rounds, stop-and-copy, finalize) and byte/round metrics.
+	Obs *obs.Recorder
 }
 
 // MigrationTP performs one migration-based transplant and blocks (in
@@ -25,14 +29,17 @@ type MigrationTPParams struct {
 func MigrationTP(clock *simtime.Clock, p MigrationTPParams) (*migration.Report, error) {
 	var report *migration.Report
 	var err error
+	root := p.Obs.Start("migration-tp")
 	migration.Run(clock, migration.Params{
 		Link:                 p.Link,
 		Source:               p.Source,
 		Dest:                 p.Dest,
 		VMID:                 p.VMID,
 		DirtyRatePagesPerSec: p.DirtyRatePagesPerSec,
+		Obs:                  p.Obs,
 	}, func(r *migration.Report, e error) { report, err = r, e })
 	clock.Run()
+	root.End()
 	if err != nil {
 		return nil, err
 	}

@@ -14,11 +14,22 @@ import (
 	"hypertp/internal/core"
 	"hypertp/internal/hv"
 	"hypertp/internal/hw"
+	"hypertp/internal/obs"
 	"hypertp/internal/simtime"
 )
 
 // Seed is the default deterministic seed for every experiment.
 const Seed = 20210426 // EuroSys'21 week
+
+// obsFactory, when non-nil, supplies a recorder for every testbed the
+// experiment drivers build — the hook the observability-overhead
+// benchmark uses to compare instrumented and bare runs of the same
+// figures.
+var obsFactory func(clock *simtime.Clock) *obs.Recorder
+
+// SetObsFactory installs (or, with nil, removes) the per-testbed
+// recorder factory.
+func SetObsFactory(fn func(clock *simtime.Clock) *obs.Recorder) { obsFactory = fn }
 
 // testbed is one machine with a booted hypervisor and VMs.
 type testbed struct {
@@ -34,6 +45,9 @@ func newTestbed(p *hw.Profile, kind hv.Kind, n, vcpus int, memBytes uint64) (*te
 	clock := simtime.NewClock()
 	mach := hw.NewMachine(clock, p)
 	engine := core.NewEngine(clock, mach)
+	if obsFactory != nil {
+		engine.Obs = obsFactory(clock)
+	}
 	hyp, err := engine.BootHypervisor(kind)
 	if err != nil {
 		return nil, err

@@ -112,6 +112,38 @@ func Percentile(vs []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
+// Summary is the count/mean/percentile digest used by the observability
+// registry's renderers and by per-series latency reporting.
+type Summary struct {
+	Count          int
+	Mean, Min, Max float64
+	P50, P95, P99  float64
+}
+
+// Summarize computes the digest of vs (zero Summary for empty input).
+func Summarize(vs []float64) Summary {
+	if len(vs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count: len(vs),
+		Mean:  Mean(vs),
+		Min:   Percentile(vs, 0),
+		Max:   Percentile(vs, 100),
+		P50:   Percentile(vs, 50),
+		P95:   Percentile(vs, 95),
+		P99:   Percentile(vs, 99),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Summary returns the percentile digest of the series' sample values.
+func (s *Series) Summary() Summary { return Summarize(s.Values()) }
+
 // BoxStats is the five-number summary used for the paper's box plots.
 type BoxStats struct {
 	Min, Q1, Median, Q3, Max float64

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	// 1..100: the percentiles land on interpolated ranks.
+	vs := make([]float64, 100)
+	for i := range vs {
+		vs[i] = float64(i + 1)
+	}
+	s := Summarize(vs)
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("bounds: %+v", s)
+	}
+	if s.Mean != 50.5 {
+		t.Fatalf("mean = %g", s.Mean)
+	}
+	if s.P50 != 50.5 {
+		t.Fatalf("p50 = %g", s.P50)
+	}
+	if s.P95 <= s.P50 || s.P99 <= s.P95 || s.P99 > s.Max {
+		t.Fatalf("percentiles not ordered: %+v", s)
+	}
+	// Exact values for the interpolation: rank = p/100*(n-1).
+	if s.P95 != 95.05 {
+		t.Fatalf("p95 = %g", s.P95)
+	}
+	if s.P99 != 99.01 {
+		t.Fatalf("p99 = %g", s.P99)
+	}
+}
+
+func TestSummarizeSingleValue(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.P50 != 7 || s.P95 != 7 || s.P99 != 7 || s.Mean != 7 {
+		t.Fatalf("single-value summary = %+v", s)
+	}
+}
+
+func TestSeriesSummary(t *testing.T) {
+	s := &Series{Name: "lat", Unit: "ms"}
+	for i := 1; i <= 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	sum := s.Summary()
+	if sum.Count != 10 || sum.P50 != 5.5 || sum.Max != 10 {
+		t.Fatalf("series summary = %+v", sum)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	str := Summarize([]float64{1, 2, 3}).String()
+	for _, want := range []string{"n=3", "p50=2", "p99="} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() = %q missing %q", str, want)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"hypertp/internal/guest"
 	"hypertp/internal/hv"
 	"hypertp/internal/hw"
+	"hypertp/internal/obs"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
 	"hypertp/internal/uisr"
@@ -118,6 +119,13 @@ type Params struct {
 	// guest's effective dirty rate by 30%, guaranteeing the stop-and-
 	// copy set eventually fits the threshold.
 	AutoConverge bool
+
+	// Obs, when non-nil, records a span per migration with children for
+	// each pre-copy round, the stop-and-copy phase and the destination
+	// finalize window, plus round/byte/downtime metrics. Migration spans
+	// are detached (callback-driven work cannot use the current-span
+	// stack), so concurrent migrations each get their own subtree.
+	Obs *obs.Recorder
 }
 
 // Report describes one completed migration.
@@ -146,6 +154,25 @@ type Report struct {
 // the migration completes. It returns immediately; the work happens on
 // the clock's event queue so several migrations interleave realistically.
 func Run(clock *simtime.Clock, p Params, done func(*Report, error)) {
+	root := p.Obs.StartDetached("migration", obs.A("vm_id", int(p.VMID)))
+	root.SetTrack("migration")
+	inner := done
+	done = func(r *Report, err error) {
+		if err != nil {
+			root.SetAttr("error", err.Error())
+		} else if r != nil {
+			root.SetAttr("rounds", r.Rounds)
+			root.SetAttr("bytes_sent", r.BytesSent)
+			root.SetAttr("downtime", r.Downtime)
+			mets := p.Obs.Metrics()
+			mets.Counter("migration.rounds", "rounds").Add(int64(r.Rounds))
+			mets.Counter("migration.bytes_sent", "bytes").Add(r.BytesSent)
+			mets.Histogram("migration.downtime_virtual_s", "s",
+				obs.ExpBuckets(1e-3, 2, 16)).Observe(r.Downtime.Seconds())
+		}
+		root.End()
+		inner(r, err)
+	}
 	fail := func(err error) { done(nil, err) }
 	if p.MaxRounds <= 0 {
 		p.MaxRounds = DefaultMaxRounds
@@ -178,10 +205,12 @@ func Run(clock *simtime.Clock, p Params, done func(*Report, error)) {
 		return
 	}
 
+	root.SetAttr("vm", vm.Config.Name)
 	m := &migrator{
 		clock:  clock,
 		p:      p,
 		vm:     vm,
+		span:   root,
 		start:  clock.Now(),
 		report: &Report{VMName: vm.Config.Name, Heterogeneous: p.Source.Kind() != p.Dest.HV.Kind()},
 		done:   done,
@@ -193,6 +222,8 @@ type migrator struct {
 	clock      *simtime.Clock
 	p          Params
 	vm         *hv.VM
+	span       *obs.Span
+	roundSpan  *obs.Span
 	start      time.Duration
 	roundStart time.Duration
 	report     *Report
@@ -210,6 +241,8 @@ func (m *migrator) round(npages int64) {
 	m.roundStart = m.clock.Now()
 	bytes := npages * hw.PageSize4K
 	m.report.BytesSent += bytes
+	m.roundSpan = m.span.Child("precopy-round",
+		obs.A("round", m.report.Rounds), obs.A("pages", npages))
 	m.p.Link.Start(fmt.Sprintf("precopy:%s:r%d", m.vm.Config.Name, m.report.Rounds), bytes,
 		func(err error) {
 			if err != nil {
@@ -221,6 +254,7 @@ func (m *migrator) round(npages int64) {
 }
 
 func (m *migrator) afterRound() {
+	m.roundSpan.End()
 	// Pages dirtied while this round ran: the modeled workload rate
 	// plus anything the (simulated) guest actually wrote through the
 	// dirty log.
@@ -259,6 +293,7 @@ func (m *migrator) afterRound() {
 // native) platform state, restores on the destination, and resumes.
 func (m *migrator) stopAndCopy(dirtyPages int64) {
 	pausedAt := m.clock.Now()
+	sc := m.span.Child("stop-and-copy", obs.A("dirty_pages", dirtyPages))
 	if err := m.p.Source.Pause(m.p.VMID); err != nil {
 		m.done(nil, err)
 		return
@@ -280,7 +315,10 @@ func (m *migrator) stopAndCopy(dirtyPages int64) {
 		}
 		// Destination restore, possibly queued behind other VMs.
 		start, dur := m.p.Dest.finalizeWindow(len(st.VCPUs))
+		fin := m.span.ChildAt("finalize", start, obs.A("queued_for", start-m.clock.Now()))
 		m.clock.Schedule(start+dur, "mig-finalize:"+m.vm.Config.Name, func(*simtime.Clock) {
+			fin.EndAt(start + dur)
+			sc.End()
 			m.finish(pausedAt, st)
 		})
 	})

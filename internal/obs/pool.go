@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"time"
+
+	"hypertp/internal/par"
+)
+
+// poolObserver feeds the par worker pool's per-task hooks into the
+// metrics registry. Item and dispatch counts are deterministic (the
+// pool hands out the same total work for any worker width); task
+// counts, queue depths and wall times depend on the width and on
+// scheduling, so those instruments are volatile and excluded from
+// deterministic exports.
+type poolObserver struct {
+	dispatches *Counter
+	items      *Counter
+	tasks      *Counter
+	queueDepth *Gauge
+	workers    *Gauge
+	taskWall   *Histogram
+}
+
+// PoolObserver returns a par.Observer that records pool activity into
+// the recorder's metrics registry. Install it with
+// par.SetObserver(rec.PoolObserver()) — and remove it with
+// par.SetObserver(nil) when the recorder's run ends.
+func (r *Recorder) PoolObserver() par.Observer {
+	m := r.Metrics()
+	return &poolObserver{
+		dispatches: m.Counter("par.dispatches", "calls"),
+		items:      m.Counter("par.items", "items"),
+		tasks:      m.Counter("par.tasks", "tasks").Volatile(),
+		queueDepth: m.Gauge("par.queue_depth", "spans").Volatile(),
+		workers:    m.Gauge("par.workers", "goroutines").Volatile(),
+		taskWall:   m.Histogram("par.task_wall_ns", "ns", ExpBuckets(1e3, 4, 12)).Volatile(),
+	}
+}
+
+func (o *poolObserver) Dispatch(items, spans, workers int) {
+	o.dispatches.Add(1)
+	o.items.Add(int64(items))
+	o.queueDepth.Set(int64(spans))
+	o.workers.Set(int64(workers))
+}
+
+func (o *poolObserver) Task(items, queued int, wall time.Duration) {
+	o.tasks.Add(1)
+	o.queueDepth.Set(int64(queued))
+	o.taskWall.Observe(float64(wall.Nanoseconds()))
+}

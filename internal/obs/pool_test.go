@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"testing"
+
+	"hypertp/internal/par"
+	"hypertp/internal/simtime"
+)
+
+// TestPoolObserverCounts checks the deterministic instruments: however
+// the pool schedules, the dispatch and item totals must match the work
+// handed in.
+func TestPoolObserverCounts(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		par.SetWorkers(workers)
+		r := NewRecorder(simtime.NewClock())
+		par.SetObserver(r.PoolObserver())
+		const n = 1000
+		if err := par.ForEach(n, func(int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		par.SetObserver(nil)
+		m := r.Metrics()
+		if got := m.Counter("par.dispatches", "calls").Value(); got != 1 {
+			t.Fatalf("workers=%d: dispatches = %d", workers, got)
+		}
+		if got := m.Counter("par.items", "items").Value(); got != n {
+			t.Fatalf("workers=%d: items = %d", workers, got)
+		}
+		// Volatile task counts still have to account for every item.
+		if got := m.Counter("par.tasks", "tasks").Value(); got < 1 {
+			t.Fatalf("workers=%d: tasks = %d", workers, got)
+		}
+	}
+	par.SetWorkers(0)
+}

@@ -16,6 +16,7 @@ import (
 	"hypertp/internal/hv"
 	"hypertp/internal/hw"
 	"hypertp/internal/migration"
+	"hypertp/internal/obs"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
 )
@@ -104,6 +105,10 @@ func (d *LibvirtDriver) Capacity() (int, uint64) {
 	return vcpus, mem
 }
 
+// SetRecorder points the wrapped engine's observability at rec, so the
+// node's in-place transplants record their span trees there.
+func (d *LibvirtDriver) SetRecorder(rec *obs.Recorder) { d.engine.Obs = rec }
+
 // HostLiveUpgrade implements ComputeDriver: the one-click in-place
 // transplant.
 func (d *LibvirtDriver) HostLiveUpgrade(target hv.Kind, opts core.Options) (*core.InPlaceReport, error) {
@@ -132,6 +137,7 @@ type Nova struct {
 	order  []string
 	db     map[string]*VMRecord
 	seed   uint64
+	obs    *obs.Recorder
 }
 
 // ComputeNode is one managed host.
@@ -159,7 +165,26 @@ func (n *Nova) AddNode(name string, driver ComputeDriver) error {
 	n.nodes[name] = &ComputeNode{Name: name, Driver: driver}
 	n.order = append(n.order, name)
 	sort.Strings(n.order)
+	if n.obs != nil {
+		if rd, ok := driver.(interface{ SetRecorder(*obs.Recorder) }); ok {
+			rd.SetRecorder(n.obs)
+		}
+	}
 	return nil
+}
+
+// SetRecorder attaches an observability recorder to the manager and to
+// every registered (and future) driver that supports one, plus the
+// fabric link. Nova operations then record nova.* spans with the driver
+// and network activity nested beneath them.
+func (n *Nova) SetRecorder(rec *obs.Recorder) {
+	n.obs = rec
+	n.fabric.SetRecorder(rec)
+	for _, name := range n.order {
+		if rd, ok := n.nodes[name].Driver.(interface{ SetRecorder(*obs.Recorder) }); ok {
+			rd.SetRecorder(rec)
+		}
+	}
 }
 
 // Node returns a registered node.
@@ -258,6 +283,9 @@ func (n *Nova) LiveMigrate(vmName, destNode string) (*migration.Report, error) {
 	src := n.nodes[rec.Node]
 	n.seed++
 	recv := migration.NewReceiver(n.clock, dest.Driver.Hypervisor(), n.seed)
+	sp := n.obs.Start("nova.live-migrate",
+		obs.A("vm", vmName), obs.A("from", rec.Node), obs.A("to", destNode))
+	defer sp.End()
 	var report *migration.Report
 	var err error
 	migration.Run(n.clock, migration.Params{
@@ -265,6 +293,7 @@ func (n *Nova) LiveMigrate(vmName, destNode string) (*migration.Report, error) {
 		Source: src.Driver.Hypervisor(),
 		Dest:   recv,
 		VMID:   rec.ID,
+		Obs:    n.obs,
 	}, func(r *migration.Report, e error) { report, err = r, e })
 	n.clock.Run()
 	if err != nil {
@@ -299,6 +328,9 @@ func (n *Nova) ColdMigrate(vmName, destNode string) error {
 	if !ok {
 		return fmt.Errorf("nova: VM %q missing from node %q", vmName, rec.Node)
 	}
+	sp := n.obs.Start("nova.cold-migrate",
+		obs.A("vm", vmName), obs.A("from", rec.Node), obs.A("to", destNode))
+	defer sp.End()
 	g := vm.Guest
 	if err := srcHyp.Pause(rec.ID); err != nil {
 		return err
@@ -362,6 +394,9 @@ func (n *Nova) HostLiveUpgrade(nodeName string, target hv.Kind, opts core.Option
 	}
 	start := n.clock.Now()
 	rec := &UpgradeRecord{Node: nodeName, Target: target}
+	sp := n.obs.Start("nova.host-live-upgrade",
+		obs.A("node", nodeName), obs.A("target", target))
+	defer sp.End()
 
 	// Evacuate incompatible VMs.
 	for _, vm := range node.Driver.VMs() {
@@ -377,6 +412,7 @@ func (n *Nova) HostLiveUpgrade(nodeName string, target hv.Kind, opts core.Option
 		}
 		rec.EvacuatedVMs = append(rec.EvacuatedVMs, vm.Config.Name)
 	}
+	sp.SetAttr("evacuated", len(rec.EvacuatedVMs))
 
 	// In-place transplant of the remaining (compatible) VMs. A host
 	// with no remaining VMs just reboots into the target.

@@ -1,0 +1,105 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type countingObserver struct {
+	mu         sync.Mutex
+	dispatches int
+	dispItems  int
+	spans      int
+	taskItems  int
+	tasks      int
+	badQueue   atomic.Bool
+}
+
+func (o *countingObserver) Dispatch(items, spans, workers int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.dispatches++
+	o.dispItems += items
+	o.spans = spans
+	if workers < 1 {
+		o.badQueue.Store(true)
+	}
+}
+
+func (o *countingObserver) Task(items, queued int, wall time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.tasks++
+	o.taskItems += items
+	if queued < 0 || wall < 0 {
+		o.badQueue.Store(true)
+	}
+}
+
+// TestObserverAccounting: every item dispatched must be accounted for by
+// exactly one Task callback, for any worker width.
+func TestObserverAccounting(t *testing.T) {
+	defer SetWorkers(0)
+	defer SetObserver(nil)
+	for _, w := range []int{1, 2, 8} {
+		SetWorkers(w)
+		o := &countingObserver{}
+		SetObserver(o)
+		const n = 500
+		if err := ForEach(n, func(int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if o.dispatches != 1 || o.dispItems != n {
+			t.Fatalf("w=%d: dispatches=%d items=%d", w, o.dispatches, o.dispItems)
+		}
+		if o.taskItems != n {
+			t.Fatalf("w=%d: task items %d != %d", w, o.taskItems, n)
+		}
+		if o.tasks < 1 || o.tasks > o.spans+1 {
+			t.Fatalf("w=%d: %d tasks for %d spans", w, o.tasks, o.spans)
+		}
+		if o.badQueue.Load() {
+			t.Fatalf("w=%d: negative queue depth, wall time, or bad worker count", w)
+		}
+	}
+}
+
+// TestObserverDoesNotChangeResults: installing an observer (and pprof
+// labels) must not perturb the pool's deterministic output.
+func TestObserverDoesNotChangeResults(t *testing.T) {
+	defer SetWorkers(0)
+	defer SetObserver(nil)
+	defer SetProfileLabels(false)
+	run := func() []int {
+		out, err := Map(make([]int, 100), func(i int, _ int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	SetWorkers(4)
+	base := run()
+	SetObserver(&countingObserver{})
+	SetProfileLabels(true)
+	instrumented := run()
+	for i := range base {
+		if base[i] != instrumented[i] {
+			t.Fatalf("output diverged at %d: %d != %d", i, base[i], instrumented[i])
+		}
+	}
+}
+
+func TestObserverRemoved(t *testing.T) {
+	defer SetObserver(nil)
+	o := &countingObserver{}
+	SetObserver(o)
+	SetObserver(nil)
+	if err := ForEach(10, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if o.dispatches != 0 {
+		t.Fatal("removed observer still called")
+	}
+}

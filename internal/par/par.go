@@ -22,9 +22,13 @@
 package par
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // workers is the configured pool width; 0 means GOMAXPROCS. It is the
@@ -47,6 +51,52 @@ func Workers() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// Observer receives per-task timing hooks from the pool — the bridge to
+// the observability layer's pool metrics (queue depth, task wall time,
+// utilization). Implementations must be safe for concurrent use: tasks
+// on different workers report concurrently.
+//
+// Task is called once per executed span with the number of items the
+// span covered, the number of spans still queued when it finished, and
+// the span's wall-clock duration. Dispatch is called once per pool
+// invocation with the total item and span counts and the worker width.
+type Observer interface {
+	Dispatch(items, spans, workers int)
+	Task(items, queued int, wall time.Duration)
+}
+
+// observer is the process-wide hook; nil means no instrumentation and
+// costs one atomic load per pool call.
+var observer atomic.Pointer[observerBox]
+
+type observerBox struct{ o Observer }
+
+// SetObserver installs (or, with nil, removes) the pool observer.
+func SetObserver(o Observer) {
+	if o == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&observerBox{o: o})
+}
+
+// currentObserver returns the installed observer or nil.
+func currentObserver() Observer {
+	if b := observer.Load(); b != nil {
+		return b.o
+	}
+	return nil
+}
+
+// profileLabels toggles pprof label annotation of pool workers: when
+// set, each worker goroutine runs under pprof labels
+// {pool=par, worker=N}, so CPU profiles of a transplant run attribute
+// samples to pool workers directly.
+var profileLabels atomic.Bool
+
+// SetProfileLabels enables or disables pprof label annotation.
+func SetProfileLabels(on bool) { profileLabels.Store(on) }
 
 // Map applies fn to every item of items on the worker pool and returns
 // the results in item order. fn receives the item index and the item.
@@ -89,12 +139,20 @@ func ForEachSpan(n int, fn func(lo, hi int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	obs := currentObserver()
 	w := Workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
-		return fn(0, n)
+		if obs == nil {
+			return fn(0, n)
+		}
+		obs.Dispatch(n, 1, 1)
+		t0 := time.Now()
+		err := fn(0, n)
+		obs.Task(n, 0, time.Since(t0))
+		return err
 	}
 	// Span size balances dispatch cost against load balance: aim for a
 	// few spans per worker so a slow span does not serialize the tail.
@@ -103,26 +161,49 @@ func ForEachSpan(n int, fn func(lo, hi int) error) error {
 		span = 1
 	}
 	nspans := (n + span - 1) / span
+	if obs != nil {
+		obs.Dispatch(n, nspans, w)
+	}
 	errs := make([]error, nspans)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			for {
-				s := int(next.Add(1)) - 1
-				if s >= nspans {
-					return
+			loop := func() {
+				for {
+					s := int(next.Add(1)) - 1
+					if s >= nspans {
+						return
+					}
+					lo := s * span
+					hi := lo + span
+					if hi > n {
+						hi = n
+					}
+					if obs == nil {
+						errs[s] = fn(lo, hi)
+						continue
+					}
+					t0 := time.Now()
+					errs[s] = fn(lo, hi)
+					queued := nspans - int(next.Load())
+					if queued < 0 {
+						queued = 0
+					}
+					obs.Task(hi-lo, queued, time.Since(t0))
 				}
-				lo := s * span
-				hi := lo + span
-				if hi > n {
-					hi = n
-				}
-				errs[s] = fn(lo, hi)
 			}
-		}()
+			if profileLabels.Load() {
+				pprof.Do(context.Background(),
+					pprof.Labels("pool", "par", "worker", strconv.Itoa(worker)), func(context.Context) {
+						loop()
+					})
+			} else {
+				loop()
+			}
+		}(g)
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"hypertp/internal/obs"
 	"hypertp/internal/simtime"
 )
 
@@ -39,6 +40,7 @@ type Link struct {
 	clock      *simtime.Clock
 	active     map[*Transfer]struct{}
 	lastUpdate time.Duration
+	rec        *obs.Recorder
 }
 
 // Transfer is one in-flight bulk transfer (e.g. a migration stream).
@@ -51,6 +53,7 @@ type Transfer struct {
 	done      func(err error)
 	finished  bool
 	event     *simtime.Event
+	span      *obs.Span
 }
 
 // NewLink creates a link with the given usable byte rate and one-way latency.
@@ -66,6 +69,11 @@ func NewLink(clock *simtime.Clock, name string, byteRate int64, latency time.Dur
 		active:   make(map[*Transfer]struct{}),
 	}
 }
+
+// SetRecorder attaches an observability recorder: every transfer gets a
+// detached span on the "simnet" track plus transfer/byte counters and a
+// virtual-duration histogram. A nil recorder detaches.
+func (l *Link) SetRecorder(rec *obs.Recorder) { l.rec = rec }
 
 // Name returns the link's label.
 func (l *Link) Name() string { return l.name }
@@ -96,6 +104,12 @@ func (l *Link) Start(name string, size int64, done func(err error)) *Transfer {
 		done:      done,
 	}
 	l.active[tr] = struct{}{}
+	if l.rec != nil {
+		tr.span = l.rec.StartDetached("xfer:"+name,
+			obs.A("link", l.name), obs.A("bytes", size))
+		tr.span.SetTrack("simnet")
+		l.rec.Metrics().Counter("simnet.transfers", "transfers").Add(1)
+	}
 	l.reschedule()
 	return tr
 }
@@ -159,6 +173,14 @@ func (l *Link) complete(tr *Transfer) {
 	tr.remaining = 0
 	delete(l.active, tr)
 	l.reschedule()
+	if tr.span != nil {
+		tr.span.End()
+		m := l.rec.Metrics()
+		m.Counter("simnet.bytes_moved", "bytes").Add(tr.total)
+		// Virtual durations are deterministic, so the histogram is too.
+		m.Histogram("simnet.transfer_virtual_s", "s",
+			obs.ExpBuckets(1e-3, 2, 20)).Observe(tr.span.Duration().Seconds())
+	}
 	if tr.done != nil {
 		tr.done(nil)
 	}
@@ -177,6 +199,11 @@ func (l *Link) Abort(tr *Transfer) {
 	tr.finished = true
 	delete(l.active, tr)
 	l.reschedule()
+	if tr.span != nil {
+		tr.span.SetAttr("aborted", true)
+		tr.span.End()
+		l.rec.Metrics().Counter("simnet.aborts", "transfers").Add(1)
+	}
 	if tr.done != nil {
 		tr.done(ErrTransferAborted)
 	}

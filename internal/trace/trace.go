@@ -6,6 +6,7 @@ package trace
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
@@ -34,8 +35,12 @@ type Event struct {
 	Detail string
 }
 
+// String renders the event with a fixed-point seconds timestamp.
+// Fixed-point keeps the columns aligned for sub-millisecond virtual
+// timestamps, where time.Duration's unit-switching String ("500µs",
+// "1.5ms", "2s") produced ragged widths.
 func (e Event) String() string {
-	return fmt.Sprintf("%12s  %-12s %s", e.T, e.Step, e.Detail)
+	return fmt.Sprintf("%13.6fs  %-12s %s", e.T.Seconds(), e.Step, e.Detail)
 }
 
 // Log is an append-only event log bound to a virtual clock. A nil *Log is
@@ -44,21 +49,43 @@ func (e Event) String() string {
 type Log struct {
 	clock  *simtime.Clock
 	events []Event
+	sink   Sink
+}
+
+// Sink receives a copy of every emitted step. The observability
+// recorder (internal/obs) implements it, which turns this package into a
+// thin adapter over the span tree: existing step-order tests keep
+// working against the Log while the same events land as annotations on
+// the recorder's current span.
+type Sink interface {
+	Event(step, detail string)
 }
 
 // New creates a log reading timestamps from clock.
 func New(clock *simtime.Clock) *Log { return &Log{clock: clock} }
+
+// Attach mirrors every future Emit into s (nil detaches).
+func (l *Log) Attach(s Sink) {
+	if l == nil {
+		return
+	}
+	l.sink = s
+}
 
 // Emit appends an event at the current virtual time.
 func (l *Log) Emit(step, format string, args ...any) {
 	if l == nil {
 		return
 	}
+	detail := fmt.Sprintf(format, args...)
 	l.events = append(l.events, Event{
 		T:      l.clock.Now(),
 		Step:   step,
-		Detail: fmt.Sprintf(format, args...),
+		Detail: detail,
 	})
+	if l.sink != nil {
+		l.sink.Event(step, detail)
+	}
 }
 
 // Events returns the recorded events in order.
@@ -82,16 +109,31 @@ func (l *Log) Steps() []string {
 	return out
 }
 
+// WriteTo streams the log as aligned text, one event per write — the
+// allocation-friendly path for tpctl -v, which previously built the
+// whole rendering in one string. It implements io.WriterTo.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	if l == nil {
+		return 0, nil
+	}
+	var total int64
+	for _, e := range l.events {
+		n, err := fmt.Fprintf(w, "%13.6fs  %-12s %s\n", e.T.Seconds(), e.Step, e.Detail)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
 // Render returns the log as aligned text.
 func (l *Log) Render() string {
 	if l == nil || len(l.events) == 0 {
 		return ""
 	}
 	var b strings.Builder
-	for _, e := range l.events {
-		b.WriteString(e.String())
-		b.WriteByte('\n')
-	}
+	l.WriteTo(&b)
 	return b.String()
 }
 

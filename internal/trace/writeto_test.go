@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hypertp/internal/simtime"
+)
+
+// TestEventStringAlignment: sub-millisecond timestamps must produce the
+// same column layout as seconds-scale ones (the old %13v formatting
+// printed "500µs" and "1.5s" at different widths).
+func TestEventStringAlignment(t *testing.T) {
+	short := Event{T: 500 * time.Microsecond, Step: StepPause, Detail: "x"}
+	long := Event{T: 90 * time.Second, Step: StepTranslate, Detail: "y"}
+	si := strings.Index(short.String(), short.Step)
+	li := strings.Index(long.String(), long.Step)
+	if si < 0 || si != li {
+		t.Fatalf("step columns misaligned:\n%q\n%q", short.String(), long.String())
+	}
+	if !strings.HasPrefix(short.String(), "     0.000500s") {
+		t.Fatalf("sub-ms timestamp rendered as %q", short.String())
+	}
+}
+
+func TestWriteToMatchesRender(t *testing.T) {
+	clock := simtime.NewClock()
+	l := New(clock)
+	l.Emit(StepPause, "vm %d", 1)
+	clock.Advance(time.Second)
+	l.Emit(StepResume, "vm %d", 1)
+	var sb strings.Builder
+	n, err := l.WriteTo(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != l.Render() {
+		t.Fatalf("WriteTo != Render:\n%q\n%q", sb.String(), l.Render())
+	}
+	if n != int64(len(sb.String())) {
+		t.Fatalf("WriteTo returned %d for %d bytes", n, len(sb.String()))
+	}
+	if lines := strings.Count(sb.String(), "\n"); lines != 2 {
+		t.Fatalf("want 2 lines, got %d", lines)
+	}
+}
+
+func TestNilLogWriteTo(t *testing.T) {
+	var l *Log
+	var sb strings.Builder
+	n, err := l.WriteTo(&sb)
+	if err != nil || n != 0 || sb.Len() != 0 {
+		t.Fatalf("nil WriteTo: n=%d err=%v out=%q", n, err, sb.String())
+	}
+}
+
+type sinkRecorder struct{ steps []string }
+
+func (s *sinkRecorder) Event(step, detail string) { s.steps = append(s.steps, step+":"+detail) }
+
+func TestSinkMirroring(t *testing.T) {
+	clock := simtime.NewClock()
+	l := New(clock)
+	sink := &sinkRecorder{}
+	l.Attach(sink)
+	l.Emit(StepKexec, "wiping %d frames", 3)
+	if len(sink.steps) != 1 || sink.steps[0] != StepKexec+":wiping 3 frames" {
+		t.Fatalf("sink saw %v", sink.steps)
+	}
+	l.Attach(nil)
+	l.Emit(StepBoot, "up")
+	if len(sink.steps) != 1 {
+		t.Fatal("detached sink still fed")
+	}
+	// Attaching to a nil log must not panic (tpctl does this when -v is
+	// off but tracing is on).
+	var nilLog *Log
+	nilLog.Attach(sink)
+	nilLog.Emit(StepBoot, "ignored")
+}
