@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check bench benchfig trace-demo
+.PHONY: all build vet fmt-check test race check bench benchfig trace-demo fault-matrix
 
 all: check
 
@@ -28,6 +28,15 @@ check: fmt-check
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# fault-matrix runs the recovery matrix under the race detector: every
+# registered fault-injection site x {InPlaceTP, MigrationTP} must end in
+# a checksum-verified full rollback or full completion, plus the
+# fault-seed determinism check across worker-pool sizes.
+fault-matrix:
+	$(GO) test -race -count=1 \
+		-run 'TestRecoveryMatrix|TestFaultDeterminismAcrossWorkers' \
+		./internal/core/
 
 benchfig:
 	$(GO) run ./cmd/benchfig

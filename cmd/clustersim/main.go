@@ -6,9 +6,15 @@
 //
 //	clustersim -hosts 10 -vms-per-host 10 -group 1
 //	clustersim -trace-out upgrade.json -trace-frac 0.8
+//	clustersim -fault-seed 7 -fault-rate 0.2 -fault-sites cluster.host
 //
 // -trace-out writes a Chrome trace_event file of the upgrade at the
 // -trace-frac compatibility fraction (open in Perfetto).
+//
+// -fault-seed/-fault-rate/-fault-sites switch the upgrade to the
+// degradation-capable executor: hosts whose in-place upgrade fails are
+// quarantined, their VMs re-planned onto healthy hosts, and the table
+// gains outcome columns.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"time"
 
 	"hypertp/internal/cluster"
+	"hypertp/internal/fault"
 	"hypertp/internal/metrics"
 	"hypertp/internal/obs"
 )
@@ -31,15 +38,45 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file of one upgrade")
 		traceFrac  = flag.Float64("trace-frac", 0.8, "InPlaceTP-compatible fraction for the traced upgrade")
 		metricsOut = flag.String("metrics-out", "", "write the traced upgrade's metrics registry as JSON")
+		faultSeed  = flag.Uint64("fault-seed", 0, "fault-injection seed (deterministic)")
+		faultRate  = flag.Float64("fault-rate", 0, "per-site fault probability in [0,1]")
+		faultSites = flag.String("fault-sites", "", "comma-separated injection sites (empty = all registered sites)")
 	)
 	flag.Parse()
-	if err := run(*hosts, *vmsPerHost, *group, *traceOut, *traceFrac, *metricsOut); err != nil {
+	fc := faultConfig{Seed: *faultSeed, Rate: *faultRate, Sites: *faultSites}
+	if err := run(*hosts, *vmsPerHost, *group, *traceOut, *traceFrac, *metricsOut, fc); err != nil {
 		fmt.Fprintln(os.Stderr, "clustersim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(hosts, vmsPerHost, group int, traceOut string, traceFrac float64, metricsOut string) error {
+// faultConfig carries the fault-injection flags.
+type faultConfig struct {
+	Seed  uint64
+	Rate  float64
+	Sites string
+}
+
+func (fc faultConfig) enabled() bool { return fc.Rate > 0 || fc.Seed != 0 || fc.Sites != "" }
+
+// plan materializes a fresh fault plan (fresh per run, so every
+// compatibility fraction sees the same deterministic shot sequence).
+func (fc faultConfig) plan() (*fault.Plan, error) {
+	if !fc.enabled() {
+		return nil, nil
+	}
+	sites, err := fault.ParseSites(fc.Sites)
+	if err != nil {
+		return nil, err
+	}
+	p := fault.NewPlan(fc.Seed, fc.Rate)
+	if len(sites) > 0 {
+		p.Restrict(sites...)
+	}
+	return p, nil
+}
+
+func run(hosts, vmsPerHost, group int, traceOut string, traceFrac float64, metricsOut string, fc faultConfig) error {
 	model := cluster.DefaultExecutionModel()
 	runOnce := func(frac float64, rec *obs.Recorder) (cluster.Result, error) {
 		c, err := cluster.New(cluster.Config{
@@ -49,6 +86,17 @@ func run(hosts, vmsPerHost, group int, traceOut string, traceFrac float64, metri
 			return cluster.Result{}, err
 		}
 		c.SetInPlaceCompatibleFraction(frac, 42)
+		if fc.enabled() {
+			p, err := fc.plan()
+			if err != nil {
+				return cluster.Result{}, err
+			}
+			_, res, err := c.ExecuteRollingUpgrade(group, model, rec, p)
+			if err != nil {
+				return cluster.Result{}, err
+			}
+			return res, nil
+		}
 		plan, err := c.PlanUpgrade(group)
 		if err != nil {
 			return cluster.Result{}, err
@@ -63,11 +111,15 @@ func run(hosts, vmsPerHost, group int, traceOut string, traceFrac float64, metri
 	if err != nil {
 		return err
 	}
+	headers := []string{"InPlaceTP-compatible %", "# migrations", "Migration time",
+		"Total time", "Time gain %"}
+	if fc.enabled() {
+		headers = append(headers, "Outcome", "Quarantined", "Replanned")
+	}
 	tab := &metrics.Table{
 		Title: fmt.Sprintf("Cluster upgrade: %d hosts x %d VMs, offline groups of %d (Fig. 13)",
 			hosts, vmsPerHost, group),
-		Headers: []string{"InPlaceTP-compatible %", "# migrations", "Migration time",
-			"Total time", "Time gain %"},
+		Headers: headers,
 	}
 	for _, pct := range []int{0, 20, 40, 60, 80, 100} {
 		if pct == 100 && group > 1 {
@@ -78,12 +130,21 @@ func run(hosts, vmsPerHost, group int, traceOut string, traceFrac float64, metri
 			return err
 		}
 		gain := (1 - float64(res.TotalTime)/float64(base.TotalTime)) * 100
-		tab.AddRow(fmt.Sprint(pct), fmt.Sprint(res.Migrations),
+		row := []string{fmt.Sprint(pct), fmt.Sprint(res.Migrations),
 			res.MigrationTime.Round(time.Second).String(),
 			res.TotalTime.Round(time.Second).String(),
-			fmt.Sprintf("%.0f", gain))
+			fmt.Sprintf("%.0f", gain)}
+		if fc.enabled() {
+			row = append(row, string(res.Outcome),
+				fmt.Sprint(len(res.FailedHosts)), fmt.Sprint(res.ReplannedVMs))
+		}
+		tab.AddRow(row...)
 	}
 	fmt.Println(tab.Render())
+	if fc.enabled() {
+		fmt.Printf("fault injection: seed %d, rate %.2f, sites %s\n",
+			fc.Seed, fc.Rate, orAll(fc.Sites))
+	}
 
 	if traceOut == "" && metricsOut == "" {
 		return nil
@@ -109,6 +170,14 @@ func run(hosts, vmsPerHost, group int, traceOut string, traceFrac float64, metri
 		fmt.Printf("metrics: wrote %s\n", metricsOut)
 	}
 	return nil
+}
+
+// orAll renders an empty site restriction as "all".
+func orAll(s string) string {
+	if s == "" {
+		return "all"
+	}
+	return s
 }
 
 // writeFileWith creates path and streams fn's output into it.

@@ -8,23 +8,37 @@ import (
 )
 
 func TestRunDefaults(t *testing.T) {
-	if err := run(10, 10, 1, "", 0.8, ""); err != nil {
+	if err := run(10, 10, 1, "", 0.8, "", faultConfig{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSmallCluster(t *testing.T) {
-	if err := run(4, 3, 2, "", 0.8, ""); err != nil {
+	if err := run(4, 3, 2, "", 0.8, "", faultConfig{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadShape(t *testing.T) {
-	if err := run(1, 10, 1, "", 0.8, ""); err == nil {
+	if err := run(1, 10, 1, "", 0.8, "", faultConfig{}); err == nil {
 		t.Fatal("single-host cluster accepted")
 	}
-	if err := run(10, 10, 10, "", 0.8, ""); err == nil {
+	if err := run(10, 10, 10, "", 0.8, "", faultConfig{}); err == nil {
 		t.Fatal("group size = cluster accepted")
+	}
+}
+
+// The -fault-seed/-fault-rate/-fault-sites path: the degradation-capable
+// executor quarantines failed hosts and the run still completes.
+func TestRunWithFaultInjection(t *testing.T) {
+	fc := faultConfig{Seed: 7, Rate: 0.5, Sites: "cluster.host"}
+	if err := run(6, 3, 1, "", 0.8, "", fc); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown site rejected.
+	bad := faultConfig{Seed: 1, Rate: 1, Sites: "no.such.site"}
+	if err := run(4, 3, 1, "", 0.8, "", bad); err == nil {
+		t.Fatal("unknown fault site accepted")
 	}
 }
 
@@ -32,7 +46,7 @@ func TestRunTraceOut(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "upgrade.json")
 	metricsPath := filepath.Join(dir, "metrics.json")
-	if err := run(4, 3, 1, tracePath, 0.5, metricsPath); err != nil {
+	if err := run(4, 3, 1, tracePath, 0.5, metricsPath, faultConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	var tr struct {

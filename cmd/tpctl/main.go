@@ -8,10 +8,17 @@
 //	tpctl -mode migration -from xen -to kvm -vms 2 -mem-gib 1
 //	tpctl -mode inplace -from xen -to kvm -cve CVE-2016-6258   # policy check first
 //	tpctl -mode inplace -trace-out trace.json -metrics-out metrics.json
+//	tpctl -mode inplace -fault-seed 42 -fault-rate 1 -fault-sites kexec.handover -fault-plan
 //
 // -trace-out writes a Chrome trace_event file (open in Perfetto or
 // chrome://tracing); -metrics-out writes the metrics registry as JSON.
 // Both are deterministic: byte-identical for any -workers count.
+//
+// -fault-seed/-fault-rate/-fault-sites arm deterministic fault
+// injection at the named phase boundaries; the engine's recovery paths
+// (rollback-to-source before the kexec point, crash recovery after it,
+// bounded migration retry) ride the faults out. -fault-plan prints the
+// shots that actually fired.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"time"
 
 	"hypertp/internal/core"
+	"hypertp/internal/fault"
 	"hypertp/internal/hv"
 	"hypertp/internal/hw"
 	"hypertp/internal/metrics"
@@ -52,6 +60,10 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run")
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry as JSON")
 		profLabels = flag.Bool("pprof-labels", false, "annotate pool workers with pprof labels")
+		faultSeed  = flag.Uint64("fault-seed", 0, "fault-injection seed (deterministic; 0 with rate 0 disables)")
+		faultRate  = flag.Float64("fault-rate", 0, "per-site fault probability in [0,1]")
+		faultSites = flag.String("fault-sites", "", "comma-separated injection sites (empty = all registered sites)")
+		faultPlan  = flag.Bool("fault-plan", false, "print the fault shots that fired during the run")
 		verbose    = flag.Bool("v", false, "print the Fig. 3 workflow trace")
 	)
 	flag.Parse()
@@ -68,6 +80,10 @@ func main() {
 		},
 		TraceOut:   *traceOut,
 		MetricsOut: *metricsOut,
+		FaultSeed:  *faultSeed,
+		FaultRate:  *faultRate,
+		FaultSites: *faultSites,
+		FaultPlan:  *faultPlan,
 		Verbose:    *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "tpctl:", err)
@@ -104,6 +120,10 @@ type runConfig struct {
 	CVE                     string
 	Opts                    core.Options
 	TraceOut, MetricsOut    string
+	FaultSeed               uint64
+	FaultRate               float64
+	FaultSites              string
+	FaultPlan               bool
 	Verbose                 bool
 }
 
@@ -150,6 +170,20 @@ func run(cfg runConfig) error {
 		engine.Trace = trace.New(clock)
 		engine.Trace.Attach(rec) // nil-safe: a nil sink is ignored
 	}
+	var plan *fault.Plan
+	if cfg.FaultRate > 0 || cfg.FaultSeed != 0 || cfg.FaultSites != "" {
+		sites, err := fault.ParseSites(cfg.FaultSites)
+		if err != nil {
+			return err
+		}
+		plan = fault.NewPlan(cfg.FaultSeed, cfg.FaultRate).SetClock(clock).SetRecorder(rec)
+		if len(sites) > 0 {
+			plan.Restrict(sites...)
+		}
+		engine.Fault = plan
+		fmt.Printf("fault injection: seed %d, rate %.2f, sites %s\n\n",
+			cfg.FaultSeed, cfg.FaultRate, orAll(cfg.FaultSites))
+	}
 	src, err := engine.BootHypervisor(fromKind)
 	if err != nil {
 		return err
@@ -190,6 +224,8 @@ func run(cfg runConfig) error {
 		fmt.Println(tab.Render())
 		fmt.Printf("overheads: PRAM %d B, UISR %d B, wiped %d frames\n",
 			rep.PRAMMetadataBytes, rep.UISRBytes, rep.WipedFrames)
+		fmt.Printf("outcome: %s (attempts %d, faults absorbed %d)\n",
+			rep.Outcome, rep.Summary().Attempts, rep.Faults)
 		if cfg.Verbose {
 			fmt.Printf("\nworkflow trace:\n")
 			if _, err := engine.Trace.WriteTo(os.Stdout); err != nil {
@@ -208,17 +244,23 @@ func run(cfg runConfig) error {
 		recv := migration.NewReceiver(clock, dst, 1)
 		tab := &metrics.Table{
 			Title:   fmt.Sprintf("MigrationTP %s → %s over 1 Gbps", cfg.From, cfg.To),
-			Headers: []string{"VM", "Rounds", "Bytes sent", "Downtime", "Total"},
+			Headers: []string{"VM", "Rounds", "Bytes sent", "Downtime", "Total", "Attempts", "Outcome"},
+		}
+		var retry fault.RetryPolicy
+		if plan != nil {
+			retry = fault.DefaultRetryPolicy()
 		}
 		for _, id := range vmIDs {
 			rep, err := core.MigrationTP(clock, core.MigrationTPParams{
 				Link: link, Source: src, Dest: recv, VMID: id, Obs: rec,
+				Fault: plan, Retry: retry,
 			})
 			if err != nil {
 				return err
 			}
 			tab.AddRow(rep.VMName, fmt.Sprint(rep.Rounds), fmt.Sprint(rep.BytesSent),
-				rep.Downtime.String(), rep.TotalTime.String())
+				rep.Downtime.String(), rep.TotalTime.String(),
+				fmt.Sprint(rep.Attempts), string(rep.Outcome))
 		}
 		fmt.Println(tab.Render())
 	default:
@@ -237,7 +279,26 @@ func run(cfg runConfig) error {
 		}
 		fmt.Printf("metrics: wrote %s\n", cfg.MetricsOut)
 	}
+	if cfg.FaultPlan && plan != nil {
+		shots := plan.Shots()
+		if len(shots) == 0 {
+			fmt.Println("fault plan: no shots fired")
+		} else {
+			fmt.Printf("fault plan: %d shot(s) fired:\n", len(shots))
+			for _, s := range shots {
+				fmt.Println("  " + s.String())
+			}
+		}
+	}
 	return nil
+}
+
+// orAll renders an empty site restriction as "all".
+func orAll(s string) string {
+	if s == "" {
+		return "all"
+	}
+	return s
 }
 
 // writeFileWith creates path and streams fn's output into it.

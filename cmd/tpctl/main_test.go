@@ -2,11 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"hypertp/internal/core"
+	"hypertp/internal/hterr"
 	"hypertp/internal/hv"
 )
 
@@ -88,6 +90,41 @@ func TestRunErrors(t *testing.T) {
 		if err := run(c); err == nil {
 			t.Fatalf("bad config %d accepted", i)
 		}
+	}
+}
+
+// The -fault-seed/-fault-rate/-fault-sites path for both modes: forced
+// crash recovery for inplace, a lossy link for migration — both runs
+// complete (recovered), and an unrecoverable site combination surfaces
+// a classified error.
+func TestRunWithFaultInjection(t *testing.T) {
+	c := cfg("inplace")
+	c.FaultSeed, c.FaultRate, c.FaultSites = 42, 1, "kexec.handover"
+	c.FaultPlan = true
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+
+	c = cfg("migration")
+	c.FaultSeed, c.FaultRate, c.FaultSites = 42, 1, "link.loss"
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+
+	// Severing every attempt exhausts the retry budget: the migration
+	// aborts to the source with a classified error.
+	c = cfg("migration")
+	c.FaultSeed, c.FaultRate, c.FaultSites = 42, 1, "link.abort"
+	err := run(c)
+	if !errors.Is(err, hterr.ErrAborted) || !errors.Is(err, hterr.ErrInjected) {
+		t.Fatalf("err = %v, want aborted+injected", err)
+	}
+
+	// Unknown site rejected.
+	c = cfg("inplace")
+	c.FaultSites = "no.such.site"
+	if err := run(c); err == nil {
+		t.Fatal("unknown fault site accepted")
 	}
 }
 

@@ -1,0 +1,37 @@
+package hypertp
+
+import "hypertp/internal/hterr"
+
+// The error taxonomy of the transplant stack. Every error returned by
+// the public API carries zero or more of these classes; test them with
+// errors.Is. One error may carry several classes at once — an injected
+// link sever, for example, satisfies both ErrInjected and ErrRetryable.
+var (
+	// ErrAborted: the operation was abandoned and fully rolled back.
+	// Every affected VM still runs on the source hypervisor with its
+	// state intact.
+	ErrAborted = hterr.ErrAborted
+	// ErrRetryable: a transient failure; re-running the operation may
+	// succeed. The engine's retry loops key off this class.
+	ErrRetryable = hterr.ErrRetryable
+	// ErrVMLost: at least one VM's state could not be preserved. This
+	// is the only class that indicates actual data loss; it dominates
+	// every other class and is never retryable.
+	ErrVMLost = hterr.ErrVMLost
+	// ErrIncompatibleTarget: the requested source/target combination
+	// violates a precondition (same-kind transplant, passthrough
+	// devices, non-transplantable driver). Nothing was attempted.
+	ErrIncompatibleTarget = hterr.ErrIncompatibleTarget
+	// ErrInjected: the root cause was a deterministic injected fault
+	// rather than an organic failure.
+	ErrInjected = hterr.ErrInjected
+)
+
+// IsRetryable reports whether err is worth retrying: it carries
+// ErrRetryable and does not carry ErrVMLost.
+func IsRetryable(err error) bool { return hterr.IsRetryable(err) }
+
+// ErrorClass returns the dominant class sentinel carried by err
+// (ErrVMLost > ErrAborted > ErrRetryable > ErrIncompatibleTarget >
+// ErrInjected), or nil for unclassified errors.
+func ErrorClass(err error) error { return hterr.Class(err) }

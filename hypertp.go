@@ -41,6 +41,10 @@ type (
 	// VM is a running virtual machine handle.
 	VM = hv.VM
 	// Options toggles the §4.2.5 transplant optimizations.
+	//
+	// Deprecated: the toggles live on Config now; use Default() /
+	// NewConfig with Host.TransplantWith. Kept so existing callers
+	// keep compiling.
 	Options = core.Options
 	// InPlaceReport is the phase breakdown of one InPlaceTP.
 	InPlaceReport = core.InPlaceReport
@@ -73,6 +77,9 @@ var (
 )
 
 // DefaultOptions returns the paper's optimized transplant configuration.
+//
+// Deprecated: use Default(), which carries the same toggles plus the
+// fault-injection and recovery controls.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
 // LoadVulnDB loads the §2 vulnerability dataset.
@@ -150,6 +157,23 @@ func (h *Host) Transplant(target Kind, opts Options) (*InPlaceReport, error) {
 	return report, nil
 }
 
+// TransplantWith performs InPlaceTP under a unified Config: the
+// config's fault plan is armed across the kexec/PRAM/UISR sites and
+// post-handover crashes are recovered under its retry policy. On a
+// rolled-back transplant both the report (Outcome: rolled-back) and an
+// ErrAborted-classified error are returned, and the host keeps running
+// its source hypervisor with every VM intact.
+func (h *Host) TransplantWith(target Kind, cfg Config) (*InPlaceReport, error) {
+	h.engine.Fault = cfg.faultPlan(h.sim.clock)
+	h.engine.Retry = cfg.Retry
+	defer func() { h.engine.Fault = nil }()
+	newHyp, report, err := h.engine.InPlace(h.hyp, target, cfg.engineOptions())
+	if newHyp != nil {
+		h.hyp = newHyp
+	}
+	return report, err
+}
+
 // Checkpoint suspends a VM and serializes it — UISR platform state plus
 // every touched guest page — into a durable, self-validating image (the
 // §4.5.2 guest-state-saving operation). The VM is destroyed afterwards;
@@ -201,12 +225,23 @@ func (h *Host) RestoreCheckpoint(data []byte, g *guest.Guest) (*VM, error) {
 // to the destination host (which may run a different hypervisor). The
 // call completes in virtual time before returning.
 func (h *Host) MigrateVM(vm *VM, link *Link, dest *Host) (*MigrationReport, error) {
+	return h.MigrateVMWith(vm, link, dest, Config{})
+}
+
+// MigrateVMWith performs MigrationTP under a unified Config: the
+// config's fault plan is armed on the link (loss and sever sites) and
+// severed attempts are retried under its retry policy, rolling back to
+// the source between attempts. An exhausted retry budget aborts to the
+// source (ErrAborted): the VM keeps running where it was.
+func (h *Host) MigrateVMWith(vm *VM, link *Link, dest *Host, cfg Config) (*MigrationReport, error) {
 	h.sim.seed++
 	return core.MigrationTP(h.sim.clock, core.MigrationTPParams{
 		Link:   link.link,
 		Source: h.hyp,
 		Dest:   migration.NewReceiver(h.sim.clock, dest.hyp, h.sim.seed),
 		VMID:   vm.ID,
+		Fault:  cfg.faultPlan(h.sim.clock),
+		Retry:  cfg.Retry,
 	})
 }
 

@@ -15,8 +15,10 @@ import (
 	"sort"
 	"time"
 
+	"hypertp/internal/fault"
 	"hypertp/internal/hw"
 	"hypertp/internal/obs"
+	rpt "hypertp/internal/report"
 	"hypertp/internal/simtime"
 )
 
@@ -51,7 +53,12 @@ type Host struct {
 	CapVCPUs int
 	CapMem   uint64
 	Upgraded bool
-	vms      map[int]*VM
+	// Quarantined marks a host whose in-place upgrade failed during a
+	// fault-injected rolling upgrade: it keeps running its old
+	// hypervisor, accepts no new placements, and its VMs are re-planned
+	// elsewhere when capacity allows.
+	Quarantined bool
+	vms         map[int]*VM
 }
 
 // VMs returns the host's VM ids, sorted.
@@ -265,12 +272,13 @@ func (c *Cluster) PlanUpgrade(groupSize int) (*Plan, error) {
 
 // nextOnline picks the next online host in rotation that fits the VM,
 // starting from *cursor. It falls back to the least-loaded fitting host
-// when the rotation target is full.
+// when the rotation target is full. Quarantined hosts never receive
+// placements.
 func (c *Cluster) nextOnline(offline map[int]bool, vm *VM, cursor *int) *Host {
 	n := len(c.hosts)
 	for tries := 0; tries < n; tries++ {
 		h := c.hosts[(*cursor+tries)%n]
-		if offline[h.ID] || !h.fits(vm) {
+		if offline[h.ID] || h.Quarantined || !h.fits(vm) {
 			continue
 		}
 		*cursor = (*cursor + tries + 1) % n
@@ -311,6 +319,36 @@ type Result struct {
 	MigrationTime time.Duration
 	InPlaceTime   time.Duration
 	TotalTime     time.Duration
+
+	// Degradation record (fault-injected upgrades only; see
+	// Cluster.ExecuteRollingUpgrade). A failed host is quarantined, not
+	// fatal: the upgrade completes around it.
+	Outcome rpt.Outcome
+	// FailedHosts lists quarantined host ids in failure order.
+	FailedHosts []int
+	// ReplannedVMs counts VMs moved off quarantined hosts.
+	ReplannedVMs int
+	// StrandedVMs counts VMs that could not be re-planned for lack of
+	// capacity; they keep running on their quarantined host's old
+	// hypervisor (degraded, never lost).
+	StrandedVMs int
+	// Faults is the number of injected host failures absorbed.
+	Faults int
+}
+
+// Summary implements report.Report.
+func (r Result) Summary() rpt.Summary {
+	out := r.Outcome
+	if out == "" {
+		out = rpt.OutcomeCompleted
+	}
+	return rpt.Summary{
+		Kind:           "cluster",
+		Outcome:        out,
+		Attempts:       1,
+		VirtualElapsed: r.TotalTime,
+		Faults:         r.Faults,
+	}
 }
 
 // Execute times the plan under the model.
@@ -364,6 +402,140 @@ func (p *Plan) ExecuteTraced(m ExecutionModel, rec *obs.Recorder) Result {
 	}
 	root.EndAt(cursor)
 	return res
+}
+
+// ExecuteRollingUpgrade plans and times a rolling upgrade in one pass
+// with graceful degradation: it follows PlanUpgrade's group mechanics,
+// but each host's in-place upgrade consults the fault plan at the
+// cluster.host injection site. A host whose upgrade fails is
+// quarantined — it keeps running its old hypervisor — and its remaining
+// VMs are re-planned onto healthy online hosts (counted as extra
+// migrations and charged migration time); VMs that do not fit anywhere
+// stay on the quarantined host and are reported as stranded. The
+// upgrade never fails the fleet: the Result says exactly how degraded
+// it is.
+func (c *Cluster) ExecuteRollingUpgrade(groupSize int, m ExecutionModel, rec *obs.Recorder, faults *fault.Plan) (*Plan, Result, error) {
+	var res Result
+	if groupSize < 1 || groupSize >= len(c.hosts) {
+		return nil, res, fmt.Errorf("cluster: group size %d out of range", groupSize)
+	}
+	mets := rec.Metrics()
+	plan := &Plan{}
+	var cursorTime time.Duration
+	root := rec.StartAt(nil, "rolling-upgrade", 0, obs.A("fault_injected", faults != nil))
+	root.SetTrack("cluster")
+	migTime := func(bytes uint64) time.Duration {
+		return time.Duration(float64(bytes)/float64(m.LinkByteRate)*float64(time.Second)) + m.PerMigrationOverhead
+	}
+	for lo, gi := 0, 0; lo < len(c.hosts); lo, gi = lo+groupSize, gi+1 {
+		hi := lo + groupSize
+		if hi > len(c.hosts) {
+			hi = len(c.hosts)
+		}
+		group := c.hosts[lo:hi]
+		gp := GroupPlan{}
+		gStart := cursorTime
+		gSpan := root.ChildAt(fmt.Sprintf("group-%d", gi), gStart, obs.A("hosts", len(group)))
+		offline := map[int]bool{}
+		for _, h := range group {
+			gp.Hosts = append(gp.Hosts, h.ID)
+			offline[h.ID] = true
+		}
+		var groupMig time.Duration
+		evacuate := func(h *Host, vmID int, cursor *int, replanned bool) bool {
+			vm := h.vms[vmID]
+			dest := c.nextOnline(offline, vm, cursor)
+			if dest == nil {
+				return false
+			}
+			delete(h.vms, vm.ID)
+			dest.vms[vm.ID] = vm
+			vm.Host = dest.ID
+			vm.Migrations++
+			gp.Migrations = append(gp.Migrations, Migration{
+				VMID: vm.ID, From: h.ID, To: dest.ID, Bytes: vm.MemBytes,
+			})
+			dur := migTime(vm.MemBytes)
+			name := fmt.Sprintf("migrate:vm-%03d", vm.ID)
+			if replanned {
+				name = fmt.Sprintf("replan:vm-%03d", vm.ID)
+			}
+			sp := gSpan.ChildAt(name, gStart+groupMig,
+				obs.A("from", h.ID), obs.A("to", dest.ID))
+			groupMig += dur
+			sp.EndAt(gStart + groupMig)
+			mets.Counter("cluster.bytes_migrated", "bytes").Add(int64(vm.MemBytes))
+			return true
+		}
+		// Phase 1: evacuate the migration-requiring VMs (as PlanUpgrade).
+		cursor := 0
+		for _, h := range group {
+			for _, vmID := range h.VMs() {
+				if h.vms[vmID].InPlaceCompatible {
+					continue
+				}
+				if !evacuate(h, vmID, &cursor, false) {
+					root.EndAt(gStart + groupMig)
+					return nil, res, fmt.Errorf("cluster: no capacity to evacuate VM %d", vmID)
+				}
+			}
+		}
+		// Phase 2: in-place upgrade each host, with per-host fault arms.
+		// Healthy hosts upgrade in parallel (one window); a failed host
+		// is quarantined and its survivors re-planned sequentially after
+		// the window.
+		inplace := time.Duration(0)
+		for _, h := range group {
+			if fired, _ := faults.Arm(fault.SiteClusterHost); fired {
+				res.Faults++
+				h.Quarantined = true
+				res.FailedHosts = append(res.FailedHosts, h.ID)
+				mets.Counter("cluster.hosts_quarantined", "hosts").Add(1)
+				continue
+			}
+			h.Upgraded = true
+			gp.InPlaceVMs += len(h.vms)
+		}
+		if len(group) > 0 {
+			inplace = m.InPlaceHostTime // attempt window, healthy or not
+			sp := gSpan.ChildAt("inplace-upgrade", gStart+groupMig,
+				obs.A("hosts", len(group)), obs.A("vms", gp.InPlaceVMs))
+			sp.EndAt(gStart + groupMig + inplace)
+		}
+		// Phase 3: drain quarantined hosts' VMs onto healthy capacity.
+		for _, h := range group {
+			if !h.Quarantined {
+				continue
+			}
+			rsp := gSpan.ChildAt(fmt.Sprintf("quarantine:host-%02d", h.ID), gStart+groupMig+inplace,
+				obs.A("vms", len(h.vms)))
+			delete(offline, h.ID) // it is "online" (old hypervisor), just unusable as a target
+			for _, vmID := range h.VMs() {
+				if evacuate(h, vmID, &cursor, true) {
+					res.ReplannedVMs++
+				} else {
+					res.StrandedVMs++
+				}
+			}
+			rsp.EndAt(gStart + groupMig + inplace)
+		}
+		mets.Counter("cluster.migrations", "migrations").Add(int64(len(gp.Migrations)))
+		mets.Counter("cluster.inplace_vms", "vms").Add(int64(gp.InPlaceVMs))
+		res.Migrations += len(gp.Migrations)
+		res.MigrationTime += groupMig
+		res.InPlaceTime += inplace
+		res.TotalTime += groupMig + inplace
+		cursorTime = gStart + groupMig + inplace
+		gSpan.EndAt(cursorTime)
+		plan.Groups = append(plan.Groups, gp)
+	}
+	res.Outcome = rpt.OutcomeCompleted
+	if res.Faults > 0 {
+		res.Outcome = rpt.OutcomeDegraded
+	}
+	root.SetAttr("outcome", string(res.Outcome))
+	root.EndAt(cursorTime)
+	return plan, res, nil
 }
 
 // Validate checks cluster invariants: every VM placed exactly once, no

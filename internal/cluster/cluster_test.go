@@ -3,6 +3,8 @@ package cluster
 import (
 	"testing"
 	"time"
+
+	"hypertp/internal/fault"
 )
 
 func paperCluster(t *testing.T) *Cluster {
@@ -233,5 +235,95 @@ func TestMigrationCountPerVM(t *testing.T) {
 		if vm.Migrations < 1 {
 			t.Fatalf("VM %d never migrated in a 0%%-compatible upgrade", id)
 		}
+	}
+}
+
+// A fault-free ExecuteRollingUpgrade behaves exactly like the two-step
+// PlanUpgrade + Execute pipeline.
+func TestExecuteRollingUpgradeMatchesPlanExecute(t *testing.T) {
+	mk := func() *Cluster {
+		c, err := New(Config{Hosts: 8, VMsPerHost: 10, StreamFrac: 0.3, CPUFrac: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetInPlaceCompatibleFraction(0.5, 1)
+		return c
+	}
+	m := DefaultExecutionModel()
+	a := mk()
+	planA, err := a.PlanUpgrade(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA := planA.Execute(m)
+	b := mk()
+	planB, resB, err := b.ExecuteRollingUpgrade(2, m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planB.TotalMigrations() != planA.TotalMigrations() {
+		t.Fatalf("migrations %d != %d", planB.TotalMigrations(), planA.TotalMigrations())
+	}
+	if resB.Migrations != resA.Migrations || resB.MigrationTime != resA.MigrationTime {
+		t.Fatalf("result diverged: %+v vs %+v", resB, resA)
+	}
+	if resB.Outcome != "completed" || len(resB.FailedHosts) != 0 {
+		t.Fatalf("clean upgrade reported %+v", resB)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An injected host failure quarantines the host and re-plans its VMs;
+// the fleet upgrade completes degraded with every VM still placed.
+func TestExecuteRollingUpgradeQuarantinesFailedHost(t *testing.T) {
+	c, err := New(Config{Hosts: 8, VMsPerHost: 6, StreamFrac: 0.3, CPUFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetInPlaceCompatibleFraction(0.5, 1)
+	total := c.VMCount()
+	plan := fault.NewPlan(3, 0).ForceAt(fault.SiteClusterHost, 3)
+	_, res, err := c.ExecuteRollingUpgrade(2, DefaultExecutionModel(), nil, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != "degraded" || res.Faults != 1 || len(res.FailedHosts) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	failed := res.FailedHosts[0]
+	var quarantined *Host
+	upgraded := 0
+	for _, h := range c.Hosts() {
+		if h.ID == failed {
+			quarantined = h
+		}
+		if h.Upgraded {
+			upgraded++
+		}
+	}
+	if quarantined == nil || !quarantined.Quarantined || quarantined.Upgraded {
+		t.Fatalf("failed host %d not quarantined", failed)
+	}
+	if upgraded != len(c.Hosts())-1 {
+		t.Fatalf("%d hosts upgraded, want %d", upgraded, len(c.Hosts())-1)
+	}
+	if res.ReplannedVMs == 0 {
+		t.Fatal("no VMs re-planned off the quarantined host")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every VM is still placed exactly once: none lost.
+	placed := 0
+	for _, h := range c.Hosts() {
+		placed += len(h.VMs())
+	}
+	if placed != total {
+		t.Fatalf("%d VMs placed, want %d", placed, total)
+	}
+	if s := res.Summary(); s.Kind != "cluster" || s.Outcome != "degraded" || s.Faults != 1 {
+		t.Fatalf("summary = %+v", s)
 	}
 }

@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"time"
 
+	"hypertp/internal/fault"
 	"hypertp/internal/guest"
+	"hypertp/internal/hterr"
 	"hypertp/internal/hv"
 	"hypertp/internal/hv/kvm"
 	"hypertp/internal/hv/nova"
@@ -23,6 +25,7 @@ import (
 	"hypertp/internal/obs"
 	"hypertp/internal/par"
 	"hypertp/internal/pram"
+	rpt "hypertp/internal/report"
 	"hypertp/internal/simtime"
 	"hypertp/internal/trace"
 	"hypertp/internal/uisr"
@@ -95,6 +98,37 @@ type InPlaceReport struct {
 	WipedFrames       int
 
 	VMs []VMResult
+
+	// Outcome is the terminal state: completed (clean run), recovered
+	// (at least one injected fault was absorbed by crash recovery), or
+	// rolled-back (a pre-kexec failure undid the transplant and every
+	// VM still runs on the source).
+	Outcome rpt.Outcome
+	// Attempts counts runs of the failing stage (boot/parse/restore
+	// retries included); 1 on a clean pass.
+	Attempts int
+	// Faults is the number of injected faults absorbed.
+	Faults int
+}
+
+// Summary implements report.Report.
+func (r *InPlaceReport) Summary() rpt.Summary {
+	out := r.Outcome
+	if out == "" {
+		out = rpt.OutcomeCompleted
+	}
+	attempts := r.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	return rpt.Summary{
+		Kind:           "inplace",
+		Outcome:        out,
+		Attempts:       attempts,
+		Downtime:       r.Downtime,
+		VirtualElapsed: r.Total,
+		Faults:         r.Faults,
+	}
 }
 
 // Engine drives transplants on one machine.
@@ -108,6 +142,15 @@ type Engine struct {
 	// plus page/byte/latency metrics. A nil Obs is valid and free (the
 	// no-op fast path), so uninstrumented runs pay nothing.
 	Obs *obs.Recorder
+	// Fault, when non-nil, is consulted at every registered injection
+	// site of the InPlaceTP workflow (kexec.load, pram.build,
+	// uisr.translate, kexec.handover, hv.boot, pram.parse,
+	// uisr.restore). A nil Fault is valid and free.
+	Fault *fault.Plan
+	// Retry bounds the post-kexec crash-recovery loops (hypervisor
+	// boot, PRAM re-parse, per-VM restore). Crash recovery is the
+	// paper's semantic, so the zero value takes DefaultRetryPolicy.
+	Retry fault.RetryPolicy
 }
 
 // NewEngine creates an engine for the given machine.
@@ -126,7 +169,7 @@ func (e *Engine) BootHypervisor(kind hv.Kind) (hv.Hypervisor, error) {
 	case hv.KindNOVA:
 		return nova.Boot(e.Machine)
 	default:
-		return nil, fmt.Errorf("core: unknown hypervisor kind %v", kind)
+		return nil, hterr.Incompatible(fmt.Errorf("core: unknown hypervisor kind %v", kind))
 	}
 }
 
@@ -136,18 +179,18 @@ func (e *Engine) BootHypervisor(kind hv.Kind) (hv.Hypervisor, error) {
 // not be used afterwards.
 func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hypervisor, *InPlaceReport, error) {
 	if src.Machine() != e.Machine {
-		return nil, nil, fmt.Errorf("core: source hypervisor is not on this machine")
+		return nil, nil, hterr.Incompatible(fmt.Errorf("core: source hypervisor is not on this machine"))
 	}
 	if src.Kind() == target {
-		return nil, nil, fmt.Errorf("core: transplant to the same hypervisor kind %v", target)
+		return nil, nil, hterr.Incompatible(fmt.Errorf("core: transplant to the same hypervisor kind %v", target))
 	}
 	vms := src.VMs()
 	if len(vms) == 0 {
-		return nil, nil, fmt.Errorf("core: no VMs to transplant")
+		return nil, nil, hterr.Incompatible(fmt.Errorf("core: no VMs to transplant"))
 	}
 	for _, vm := range vms {
 		if vm.Paused() {
-			return nil, nil, fmt.Errorf("core: VM %q already paused", vm.Config.Name)
+			return nil, nil, hterr.Incompatible(fmt.Errorf("core: VM %q already paused", vm.Config.Name))
 		}
 	}
 	cost := e.Machine.Profile.Cost
@@ -161,12 +204,87 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	defer root.End()
 	mets := e.Obs.Metrics()
 	mets.Counter("tp.vms_transplanted", "vms").Add(int64(len(vms)))
+	report.Attempts = 1
+	retry := e.Retry
+	if retry.MaxAttempts == 0 {
+		retry = fault.DefaultRetryPolicy()
+	}
+
+	// Rollback bookkeeping: everything the pre-kexec phases ❶-❸ touch is
+	// recorded here so that any failure before the point of no return
+	// (VM_i State release) can be fully undone — blobs freed, PRAM
+	// released, the staged image unloaded, VMs resumed with the device
+	// protocol completed — leaving the source exactly as it was.
+	var (
+		img            *kexec.Image
+		ps             *pram.Structure
+		guests         map[string]*guest.Guest
+		blobFrames     [][]hw.MFN
+		pausedVMs      []*hv.VM
+		preparedGuests []*guest.Guest
+		err            error
+	)
+	rollback := func(cause error) (hv.Hypervisor, *InPlaceReport, error) {
+		rb := e.Obs.Start("rollback", obs.A("cause", cause.Error()))
+		for _, frames := range blobFrames {
+			for _, f := range frames {
+				_ = e.Machine.Mem.Free(f)
+			}
+		}
+		if ps != nil {
+			_ = ps.Release(e.Machine.Mem)
+			ps = nil
+		}
+		if img != nil {
+			_ = img.Unload(e.Machine)
+			img = nil
+		}
+		for i := len(pausedVMs) - 1; i >= 0; i-- {
+			_ = src.Resume(pausedVMs[i].ID)
+		}
+		for i := len(preparedGuests) - 1; i >= 0; i-- {
+			_ = preparedGuests[i].CompleteTransplant()
+		}
+		rb.End()
+		e.Trace.Emit(trace.StepCleanup, "transplant aborted; rolled back to %s", src.Name())
+		mets.Counter("tp.rollbacks", "transplants").Add(1)
+		report.Outcome = rpt.OutcomeRolledBack
+		report.Total = e.Clock.Now() - start
+		root.SetAttr("outcome", string(rpt.OutcomeRolledBack))
+		return nil, report, hterr.Abort(cause)
+	}
+	// lost marks a failure past the point of no return that forward
+	// recovery could not absorb. The recovery matrix forbids any
+	// registered injection site from ever reaching it.
+	lost := func(cause error) (hv.Hypervisor, *InPlaceReport, error) {
+		mets.Counter("tp.vms_lost", "vms").Add(int64(len(vms)))
+		root.SetAttr("outcome", "lost")
+		return nil, nil, hterr.VMLost(cause)
+	}
+	// recovered charges one recovery pass: the crash is absorbed, the
+	// named stage re-runs, and the report records the extra attempt.
+	recovered := func(site fault.Site, extra time.Duration) {
+		rec := e.Obs.Start("recovery:"+string(site), obs.A("charge", extra))
+		report.Faults++
+		report.Attempts++
+		report.Reboot += extra
+		e.Clock.Advance(extra)
+		rec.End()
+		mets.Counter("tp.recoveries", "recoveries").Add(1)
+		e.Trace.Emit(trace.StepKexec, "crash at %s absorbed; stage re-run (+%v)", site, extra)
+	}
 
 	// ❶ Load the target hypervisor image ahead of time.
 	sp := e.Obs.Start(trace.StepLoadImage)
-	img, err := kexec.Load(e.Machine, target)
+	if ferr := e.Fault.Fire(fault.SiteKexecLoad); ferr != nil {
+		report.Faults++
+		sp.End()
+		return rollback(ferr)
+	}
+	img, err = kexec.Load(e.Machine, target)
 	if err != nil {
-		return nil, nil, err
+		sp.End()
+		return rollback(err)
 	}
 	e.Trace.Emit(trace.StepLoadImage, "%s image staged (%d MiB)", target, img.Bytes>>20)
 	sp.End()
@@ -177,6 +295,10 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	buildPRAM := func() (*pram.Structure, map[string]*guest.Guest, error) {
 		sp := e.Obs.Start(trace.StepPRAMBuild)
 		defer sp.End()
+		if ferr := e.Fault.Fire(fault.SitePRAMBuild); ferr != nil {
+			report.Faults++
+			return nil, nil, ferr
+		}
 		files := make([]pram.File, 0, len(vms))
 		guests := make(map[string]*guest.Guest, len(vms))
 		costs := make([]time.Duration, 0, len(vms))
@@ -215,11 +337,9 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		return ps, guests, nil
 	}
 
-	var ps *pram.Structure
-	var guests map[string]*guest.Guest
 	if opts.PrepareBeforePause {
 		if ps, guests, err = buildPRAM(); err != nil {
-			return nil, nil, err
+			return rollback(err)
 		}
 	}
 
@@ -230,17 +350,19 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	for _, vm := range vms {
 		if vm.Guest != nil {
 			if err := vm.Guest.PrepareTransplant(); err != nil {
-				return nil, nil, err
+				return rollback(err)
 			}
+			preparedGuests = append(preparedGuests, vm.Guest)
 		}
 		if err := src.Pause(vm.ID); err != nil {
-			return nil, nil, err
+			return rollback(err)
 		}
+		pausedVMs = append(pausedVMs, vm)
 	}
 	sp.End()
 	if !opts.PrepareBeforePause {
 		if ps, guests, err = buildPRAM(); err != nil {
-			return nil, nil, err
+			return rollback(err)
 		}
 	}
 
@@ -268,9 +390,13 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	states := make([]*uisr.VMState, 0, len(vms))
 	costs := make([]time.Duration, 0, len(vms))
 	for _, vm := range vms {
+		if ferr := e.Fault.Fire(fault.SiteUISRTranslate); ferr != nil {
+			report.Faults++
+			return rollback(ferr)
+		}
 		st, err := src.SaveUISR(vm.ID)
 		if err != nil {
-			return nil, nil, err
+			return rollback(err)
 		}
 		// The memory map travels via the PRAM "mem" file, not the UISR
 		// blob — Fig. 14 accounts the two overheads separately.
@@ -290,7 +416,7 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		return blob, err
 	})
 	if err != nil {
-		return nil, nil, err
+		return rollback(err)
 	}
 	saved := make([]savedVM, 0, len(vms))
 	blobFiles := make([]pram.File, 0, len(vms))
@@ -298,8 +424,9 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		blob := blobs[i]
 		frames, err := writeBlob(e.Machine.Mem, blob)
 		if err != nil {
-			return nil, nil, err
+			return rollback(err)
 		}
+		blobFrames = append(blobFrames, frames)
 		saved = append(saved, savedVM{
 			res: VMResult{
 				Name: vm.Config.Name, OldID: vm.ID,
@@ -317,12 +444,14 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	// nothing — we rebuild one structure holding both memory maps and
 	// blobs for the handover.
 	allFiles := append(append([]pram.File(nil), ps.Files...), blobFiles...)
-	if err := ps.Release(e.Machine.Mem); err != nil {
-		return nil, nil, err
+	relErr := ps.Release(e.Machine.Mem)
+	ps = nil
+	if relErr != nil {
+		return rollback(relErr)
 	}
 	ps, err = pram.Build(e.Machine.Mem, allFiles, pram.BuildOptions{SplitHugePages: !opts.HugePages})
 	if err != nil {
-		return nil, nil, err
+		return rollback(err)
 	}
 	report.Translation = e.elapsed(costs, opts.Parallel)
 	e.Clock.Advance(report.Translation)
@@ -334,9 +463,12 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	sp.End()
 
 	// Source-side teardown: release VM_i State (guest memory stays).
+	// This is the point of no return — past it, the UISR blobs in
+	// preserved RAM are the only copy of the VMs' platform state, so
+	// recovery can only go forward.
 	for _, vm := range vms {
 		if err := releaseVMState(src, vm.ID); err != nil {
-			return nil, nil, err
+			return lost(err)
 		}
 	}
 
@@ -346,7 +478,7 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	sp = e.Obs.Start(trace.StepKexec)
 	res, err := kexec.Exec(e.Machine, img, ps.Pointer, ps.FrameRanges())
 	if err != nil {
-		return nil, nil, err
+		return lost(err)
 	}
 	report.WipedFrames = res.WipedFrames
 	var totalGiB float64
@@ -368,6 +500,14 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	mets.Counter("tp.wiped_frames", "frames").Add(int64(res.WipedFrames))
 	report.Reboot = bootBase + parseCost + time.Duration(len(vms))*cost.PRAMParsePerVM
 	e.Clock.Advance(report.Reboot)
+	if ferr := e.Fault.Fire(fault.SiteKexecHandover); ferr != nil {
+		// The micro-reboot crashed during the handover, after the wipe:
+		// the machine comes back up with nothing but PRAM. The watchdog
+		// reboot charges a second boot; preserved RAM — and with it
+		// every guest page and UISR blob — is untouched, so the
+		// workflow continues forward.
+		recovered(fault.SiteKexecHandover, bootBase)
+	}
 	sp.SetAttr("wiped_frames", res.WipedFrames)
 	sp.SetAttr("preserved_frames", res.PreservedFrames)
 	sp.End()
@@ -375,20 +515,46 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	// ❺ Boot the target hypervisor and re-parse PRAM from the command
 	// line pointer — the real handover.
 	sp = e.Obs.Start(trace.StepBoot)
-	dst, err := e.BootHypervisor(target)
-	if err != nil {
-		return nil, nil, err
+	var dst hv.Hypervisor
+	for attempt := 1; ; attempt++ {
+		if ferr := e.Fault.Fire(fault.SiteHVBoot); ferr != nil {
+			if attempt >= retry.Attempts() {
+				return lost(fmt.Errorf("core: target hypervisor failed to boot %d times: %w", attempt, ferr))
+			}
+			// The target hypervisor crashed during boot; PRAM survives
+			// and the watchdog reboot retries, charging a full boot.
+			recovered(fault.SiteHVBoot, bootBase)
+			continue
+		}
+		if dst, err = e.BootHypervisor(target); err != nil {
+			return lost(err)
+		}
+		break
 	}
 	e.Trace.Emit(trace.StepBoot, "%s up (generation %d)", dst.Name(), e.Machine.Generation())
 	sp.End()
 	sp = e.Obs.Start(trace.StepPRAMParse)
 	ptr, err := kexec.ParseCmdline(e.Machine.Cmdline)
 	if err != nil {
-		return nil, nil, err
+		return lost(err)
 	}
-	parsed, err := pram.Parse(e.Machine.Mem, ptr)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: PRAM lost across reboot: %w", err)
+	reparseCost := parseCost + time.Duration(len(vms))*cost.PRAMParsePerVM
+	var parsed *pram.Structure
+	for attempt := 1; ; attempt++ {
+		if ferr := e.Fault.Fire(fault.SitePRAMParse); ferr != nil {
+			if attempt >= retry.Attempts() {
+				return lost(fmt.Errorf("core: PRAM parse failed %d times: %w", attempt, ferr))
+			}
+			// The boot-time parse crashed partway. The structure in
+			// preserved RAM is read-only during parsing, so recovery
+			// simply walks it again.
+			recovered(fault.SitePRAMParse, reparseCost)
+			continue
+		}
+		if parsed, err = pram.Parse(e.Machine.Mem, ptr); err != nil {
+			return lost(fmt.Errorf("core: PRAM lost across reboot: %w", err))
+		}
+		break
 	}
 	e.Trace.Emit(trace.StepPRAMParse, "%d files recovered from cmdline pointer", len(parsed.Files))
 	sp.SetAttr("files", len(parsed.Files))
@@ -432,29 +598,43 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		return st, nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return lost(err)
 	}
 	costs = costs[:0]
 	for i := range saved {
 		s := &saved[i]
 		mf, ok := memFiles[s.res.Name]
 		if !ok {
-			return nil, nil, fmt.Errorf("core: memory map for %q missing after reboot", s.res.Name)
+			return lost(fmt.Errorf("core: memory map for %q missing after reboot", s.res.Name))
 		}
 		st := restored[i]
 		st.MemMap = mf.Extents
-		newVM, err := dst.RestoreUISR(st, hv.RestoreOptions{
-			Mode:              hv.RestoreAdopt,
-			InPlaceCompatible: s.inPl,
-		})
-		if err != nil {
-			return nil, nil, err
+		var newVM *hv.VM
+		for attempt := 1; ; attempt++ {
+			if ferr := e.Fault.Fire(fault.SiteUISRRestore); ferr != nil {
+				if attempt >= retry.Attempts() {
+					return lost(fmt.Errorf("core: restore of %q failed %d times: %w", s.res.Name, attempt, ferr))
+				}
+				// Crash mid-restoration (§3.2: failure after the kexec
+				// point): the target re-parses the intact PRAM
+				// metadata and completes the restore where it stopped.
+				// Already-restored VMs keep their adopted memory.
+				recovered(fault.SiteUISRRestore, reparseCost)
+				continue
+			}
+			if newVM, err = dst.RestoreUISR(st, hv.RestoreOptions{
+				Mode:              hv.RestoreAdopt,
+				InPlaceCompatible: s.inPl,
+			}); err != nil {
+				return lost(err)
+			}
+			break
 		}
 		s.res.NewID = newVM.ID
 		e.Trace.Emit(trace.StepRestore, "%s restored as id %d", s.res.Name, newVM.ID)
 		if g := guests[s.res.Name]; g != nil {
 			if err := dst.AttachGuest(newVM.ID, g); err != nil {
-				return nil, nil, err
+				return lost(err)
 			}
 			e.Trace.Emit(trace.StepAttachGuest, "%s guest rebound", s.res.Name)
 		}
@@ -475,16 +655,16 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	for i := range saved {
 		s := &saved[i]
 		if err := dst.Resume(s.res.NewID); err != nil {
-			return nil, nil, err
+			return lost(err)
 		}
 		if g := guests[s.res.Name]; g != nil {
 			if err := g.CompleteTransplant(); err != nil {
-				return nil, nil, err
+				return lost(err)
 			}
 		}
 		for _, f := range s.frames {
 			if err := e.Machine.Mem.Free(f); err != nil {
-				return nil, nil, err
+				return lost(err)
 			}
 		}
 		report.VMs = append(report.VMs, s.res)
@@ -493,7 +673,7 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	sp.End()
 	sp = e.Obs.Start(trace.StepCleanup)
 	if err := releaseParsedMetadata(e.Machine.Mem, parsed); err != nil {
-		return nil, nil, err
+		return lost(err)
 	}
 	e.Trace.Emit(trace.StepCleanup, "ephemeral PRAM metadata and UISR blobs freed")
 	sp.End()
@@ -502,8 +682,13 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	report.Total = e.Clock.Now() - start
 	report.Network = cost.NICReinit
 	report.NetworkDowntime = report.Downtime + cost.NICReinit
+	report.Outcome = rpt.OutcomeCompleted
+	if report.Faults > 0 {
+		report.Outcome = rpt.OutcomeRecovered
+	}
 	root.SetAttr("downtime", report.Downtime)
 	root.SetAttr("total", report.Total)
+	root.SetAttr("outcome", string(report.Outcome))
 	return dst, report, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hypertp/internal/fault"
 	"hypertp/internal/hv"
 	"hypertp/internal/migration"
 	"hypertp/internal/obs"
@@ -21,6 +22,13 @@ type MigrationTPParams struct {
 	// Obs, when non-nil, records the migration's span tree (pre-copy
 	// rounds, stop-and-copy, finalize) and byte/round metrics.
 	Obs *obs.Recorder
+	// Fault, when non-nil, is attached to the link for the duration of
+	// the call: the per-transfer link.abort and link.loss injection
+	// sites become live.
+	Fault *fault.Plan
+	// Retry bounds recovery from severed streams; the zero value keeps
+	// single-attempt semantics (see migration.Params.Retry).
+	Retry fault.RetryPolicy
 }
 
 // MigrationTP performs one migration-based transplant and blocks (in
@@ -30,6 +38,10 @@ func MigrationTP(clock *simtime.Clock, p MigrationTPParams) (*migration.Report, 
 	var report *migration.Report
 	var err error
 	root := p.Obs.Start("migration-tp")
+	if p.Fault != nil {
+		p.Link.SetFaults(p.Fault)
+		defer p.Link.SetFaults(nil)
+	}
 	migration.Run(clock, migration.Params{
 		Link:                 p.Link,
 		Source:               p.Source,
@@ -37,6 +49,7 @@ func MigrationTP(clock *simtime.Clock, p MigrationTPParams) (*migration.Report, 
 		VMID:                 p.VMID,
 		DirtyRatePagesPerSec: p.DirtyRatePagesPerSec,
 		Obs:                  p.Obs,
+		Retry:                p.Retry,
 	}, func(r *migration.Report, e error) { report, err = r, e })
 	clock.Run()
 	root.End()

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"hypertp/internal/fault"
+	"hypertp/internal/hterr"
+	"hypertp/internal/hv"
+	"hypertp/internal/hw"
+	"hypertp/internal/migration"
+	"hypertp/internal/obs"
+	"hypertp/internal/par"
+	rpt "hypertp/internal/report"
+	"hypertp/internal/simnet"
+	"hypertp/internal/simtime"
+)
+
+// bootSmallVMs boots a hypervisor with n small (64 MiB) VMs: the matrix
+// sweeps 20 transplants — and runs under -race in `make fault-matrix` —
+// so what matters is the recovery state machine, not the copy volume.
+func bootSmallVMs(t *testing.T, b *bench, kind hv.Kind, n int) hv.Hypervisor {
+	t.Helper()
+	h, err := b.engine.BootHypervisor(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		vm, err := h.CreateVM(hv.Config{
+			Name: vmName(i), VCPUs: 1, MemBytes: 64 << 20,
+			HugePages: true, Seed: uint64(1000 + i), InPlaceCompatible: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.Guest.WriteWorkingSet(0, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+// checksumVMs captures every VM's full-space checksum keyed by name.
+func checksumVMs(t *testing.T, vms []*hv.VM) map[string]uint64 {
+	t.Helper()
+	sums := make(map[string]uint64, len(vms))
+	for _, vm := range vms {
+		sum, err := vm.Space.ChecksumAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[vm.Config.Name] = sum
+	}
+	return sums
+}
+
+// spanNames flattens a recorder's span forest into name → count.
+func spanNames(rec *obs.Recorder) map[string]int {
+	names := map[string]int{}
+	var walk func(s *obs.Span)
+	walk = func(s *obs.Span) {
+		names[s.Name]++
+		for _, k := range s.Children() {
+			walk(k)
+		}
+	}
+	for _, r := range rec.Roots() {
+		walk(r)
+	}
+	return names
+}
+
+// TestRecoveryMatrix is the paper's safety claim, mechanized: for every
+// registered injection site, a fault forced at its first occurrence must
+// end in either a verified full rollback (source checksums unchanged,
+// nothing paused) or a verified full completion (target checksums match),
+// never a half-state — for both transplant mechanisms. The recovery path
+// must also be visible in the span tree.
+func TestRecoveryMatrix(t *testing.T) {
+	inplaceWant := map[fault.Site]rpt.Outcome{
+		// Before releaseVMState the engine can still roll back.
+		fault.SiteKexecLoad:     rpt.OutcomeRolledBack,
+		fault.SitePRAMBuild:     rpt.OutcomeRolledBack,
+		fault.SiteUISRTranslate: rpt.OutcomeRolledBack,
+		// Past the point of no return, recovery goes forward via PRAM.
+		fault.SiteKexecHandover: rpt.OutcomeRecovered,
+		fault.SiteHVBoot:        rpt.OutcomeRecovered,
+		fault.SitePRAMParse:     rpt.OutcomeRecovered,
+		fault.SiteUISRRestore:   rpt.OutcomeRecovered,
+		// Never armed by InPlaceTP: the plan stays quiet.
+		fault.SiteLinkAbort:   rpt.OutcomeCompleted,
+		fault.SiteLinkLoss:    rpt.OutcomeCompleted,
+		fault.SiteClusterHost: rpt.OutcomeCompleted,
+	}
+	for _, site := range fault.Sites() {
+		site := site
+		t.Run("inplace/"+string(site), func(t *testing.T) {
+			want, ok := inplaceWant[site]
+			if !ok {
+				t.Fatalf("site %s missing from matrix expectations", site)
+			}
+			b := newBench(t, hw.M1())
+			rec := obs.NewRecorder(b.clock)
+			b.engine.Obs = rec
+			src := bootSmallVMs(t, b, hv.KindXen, 2)
+			pre := checksumVMs(t, src.VMs())
+			b.engine.Fault = fault.NewPlan(1, 0).ForceAt(site, 1).
+				SetClock(b.clock).SetRecorder(rec)
+
+			dst, rep, err := b.engine.InPlace(src, hv.KindKVM, DefaultOptions())
+			switch want {
+			case rpt.OutcomeRolledBack:
+				if !errors.Is(err, hterr.ErrAborted) || !errors.Is(err, hterr.ErrInjected) {
+					t.Fatalf("err = %v, want aborted+injected", err)
+				}
+				if dst != nil {
+					t.Fatal("rollback produced a target hypervisor")
+				}
+				if rep == nil || rep.Outcome != rpt.OutcomeRolledBack {
+					t.Fatalf("report = %+v", rep)
+				}
+				if len(src.VMs()) != 2 {
+					t.Fatalf("%d VMs on source after rollback, want 2", len(src.VMs()))
+				}
+				for _, vm := range src.VMs() {
+					if vm.Paused() {
+						t.Fatalf("VM %q left paused after rollback", vm.Config.Name)
+					}
+				}
+				if got := checksumVMs(t, src.VMs()); !reflect.DeepEqual(got, pre) {
+					t.Fatal("source checksums changed across rollback")
+				}
+				if spanNames(rec)["rollback"] == 0 {
+					t.Fatal("no rollback span recorded")
+				}
+			default:
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Outcome != want {
+					t.Fatalf("outcome = %s, want %s", rep.Outcome, want)
+				}
+				if len(dst.VMs()) != 2 {
+					t.Fatalf("%d VMs on target, want 2", len(dst.VMs()))
+				}
+				for _, vm := range dst.VMs() {
+					if vm.Paused() {
+						t.Fatalf("VM %q left paused on target", vm.Config.Name)
+					}
+				}
+				if got := checksumVMs(t, dst.VMs()); !reflect.DeepEqual(got, pre) {
+					t.Fatal("target checksums do not match the source")
+				}
+				if want == rpt.OutcomeRecovered {
+					if rep.Faults < 1 || rep.Attempts < 2 {
+						t.Fatalf("faults = %d attempts = %d after recovery", rep.Faults, rep.Attempts)
+					}
+					if spanNames(rec)["recovery:"+string(site)] == 0 {
+						t.Fatalf("no recovery:%s span recorded", site)
+					}
+				}
+			}
+		})
+	}
+
+	for _, site := range fault.Sites() {
+		site := site
+		t.Run("migration/"+string(site), func(t *testing.T) {
+			clock := simtime.NewClock()
+			srcE := NewEngine(clock, hw.NewMachine(clock, hw.M1()))
+			src, err := srcE.BootHypervisor(hv.KindXen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vm, err := src.CreateVM(hv.Config{
+				Name: "mx", VCPUs: 1, MemBytes: 64 << 20, HugePages: true,
+				Seed: 9, InPlaceCompatible: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vm.Guest.WriteWorkingSet(0, 64); err != nil {
+				t.Fatal(err)
+			}
+			pre, err := vm.Space.ChecksumAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dstE := NewEngine(clock, hw.NewMachine(clock, hw.M1()))
+			dst, err := dstE.BootHypervisor(hv.KindKVM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			link := simnet.NewLink(clock, "pair", simnet.Gbps1, 100*time.Microsecond)
+			rec := obs.NewRecorder(clock)
+			plan := fault.NewPlan(1, 0).ForceAt(site, 1).SetClock(clock).SetRecorder(rec)
+
+			rep, err := MigrationTP(clock, MigrationTPParams{
+				Link: link, Source: src, Dest: migration.NewReceiver(clock, dst, 1),
+				VMID: vm.ID, Obs: rec, Fault: plan, Retry: fault.DefaultRetryPolicy(),
+			})
+			// A single forced shot is always recoverable under the
+			// default policy: full completion, never a half-state.
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dst.VMs()) != 1 || len(src.VMs()) != 0 {
+				t.Fatalf("half-state: %d VMs on dest, %d on source", len(dst.VMs()), len(src.VMs()))
+			}
+			sum, err := dst.VMs()[0].Space.ChecksumAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum != pre {
+				t.Fatal("dest checksum does not match pre-migration source")
+			}
+			switch site {
+			case fault.SiteLinkAbort:
+				if rep.Outcome != rpt.OutcomeRecovered || rep.Attempts != 2 {
+					t.Fatalf("outcome = %s attempts = %d, want recovered/2", rep.Outcome, rep.Attempts)
+				}
+				if spanNames(rec)["rollback"] == 0 {
+					t.Fatal("no rollback span between attempts")
+				}
+			case fault.SiteLinkLoss:
+				// Lossy, not severed: one (slower) attempt completes.
+				if rep.Attempts != 1 || len(plan.Shots()) != 1 {
+					t.Fatalf("attempts = %d shots = %v", rep.Attempts, plan.Shots())
+				}
+			default:
+				if rep.Outcome != rpt.OutcomeCompleted {
+					t.Fatalf("outcome = %s, want completed", rep.Outcome)
+				}
+				if len(plan.Shots()) != 0 {
+					t.Fatalf("site %s unexpectedly fired during migration: %v", site, plan.Shots())
+				}
+			}
+		})
+	}
+}
+
+// TestFaultDeterminismAcrossWorkers: the same fault seed must yield
+// byte-identical reports and shot lists regardless of the -workers
+// count — faults are armed only from single-threaded simulation code,
+// so host scheduling must not leak into what fires or when.
+func TestFaultDeterminismAcrossWorkers(t *testing.T) {
+	defer par.SetWorkers(0)
+	type run struct {
+		report string
+		shots  string
+	}
+	grab := func(workers int) run {
+		par.SetWorkers(workers)
+		b := newBench(t, hw.M1())
+		clock, e := b.clock, b.engine
+		src := bootSmallVMs(t, b, hv.KindXen, 4)
+		plan := fault.NewPlan(9, 0).
+			ForceAt(fault.SiteKexecHandover, 1).
+			ForceAt(fault.SiteUISRRestore, 2).
+			SetClock(clock)
+		e.Fault = plan
+		_, rep, err := e.InPlace(src, hv.KindKVM, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run{fmt.Sprintf("%+v", *rep), fmt.Sprintf("%v", plan.Shots())}
+	}
+	one := grab(1)
+	eight := grab(8)
+	if one.report != eight.report {
+		t.Fatalf("reports differ between -workers 1 and 8:\n%s\nvs\n%s", one.report, eight.report)
+	}
+	if one.shots != eight.shots {
+		t.Fatalf("fired shots differ between -workers 1 and 8:\n%s\nvs\n%s", one.shots, eight.shots)
+	}
+	again := grab(8)
+	if eight.report != again.report || eight.shots != again.shots {
+		t.Fatal("identical wide runs differ")
+	}
+}

@@ -1,0 +1,49 @@
+package fault
+
+import "time"
+
+// RetryPolicy bounds the recovery loops: how many attempts an operation
+// gets and how long (in virtual time) to back off between them. The
+// zero value means "one attempt, no backoff" — existing callers that
+// never opted into retry keep their old semantics.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget (first try included).
+	// Values below 1 behave as 1.
+	MaxAttempts int
+	// BaseBackoff is the virtual-time wait before the second attempt.
+	BaseBackoff time.Duration
+	// Multiplier grows the backoff exponentially per extra attempt
+	// (values below 1 behave as 1 — constant backoff).
+	Multiplier float64
+}
+
+// DefaultRetryPolicy is the paper-faithful recovery budget: three
+// attempts with 50 ms base backoff doubling each round.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 50 * time.Millisecond, Multiplier: 2}
+}
+
+// Attempts returns the effective attempt budget (at least 1).
+func (r RetryPolicy) Attempts() int {
+	if r.MaxAttempts < 1 {
+		return 1
+	}
+	return r.MaxAttempts
+}
+
+// Backoff returns the wait before the (attempt+1)-th try, where attempt
+// counts completed failed attempts (1-based): Base * Multiplier^(attempt-1).
+func (r RetryPolicy) Backoff(attempt int) time.Duration {
+	if attempt < 1 || r.BaseBackoff <= 0 {
+		return 0
+	}
+	m := r.Multiplier
+	if m < 1 {
+		m = 1
+	}
+	d := float64(r.BaseBackoff)
+	for i := 1; i < attempt; i++ {
+		d *= m
+	}
+	return time.Duration(d)
+}

@@ -1,0 +1,103 @@
+// Package hterr is the error taxonomy of the transplant stack. Every
+// failure a transplant operation can surface is classified against a
+// small set of sentinel errors so that callers — up to and including the
+// public hypertp API — can route on errors.Is instead of string
+// matching:
+//
+//	ErrAborted            the operation was cancelled and fully rolled
+//	                      back; the VM(s) still run where they started
+//	ErrRetryable          transient; the same call may succeed if retried
+//	ErrVMLost             recovery failed and a VM is unreachable — the
+//	                      one outcome the paper's design rules out and the
+//	                      recovery matrix test forbids
+//	ErrIncompatibleTarget the requested target cannot host the workload
+//	                      (same-kind transplant, unknown kind, pinned
+//	                      pass-through device, ...)
+//	ErrInjected           the proximate cause was a deterministic fault
+//	                      injection (internal/fault), composable with any
+//	                      of the classes above
+//
+// Classification wraps rather than replaces: Abort(Retry(err)) satisfies
+// errors.Is for ErrAborted, ErrRetryable, and everything err itself
+// wraps, because the classified error unwraps to both branches
+// (Go 1.20 multi-error unwrapping).
+package hterr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The sentinel classes. They carry no state; identity is the contract.
+var (
+	// ErrAborted marks an operation that was cancelled and rolled back
+	// with all VM state intact on the source.
+	ErrAborted = errors.New("transplant aborted")
+	// ErrRetryable marks a transient failure; retrying the operation is
+	// expected to succeed.
+	ErrRetryable = errors.New("retryable failure")
+	// ErrVMLost marks an unrecoverable failure that left a VM
+	// unreachable.
+	ErrVMLost = errors.New("vm lost")
+	// ErrIncompatibleTarget marks a transplant target that cannot host
+	// the workload.
+	ErrIncompatibleTarget = errors.New("incompatible transplant target")
+	// ErrInjected marks a deliberately injected fault.
+	ErrInjected = errors.New("injected fault")
+)
+
+// classified attaches one sentinel class to an underlying cause. Both
+// arms are visible to errors.Is/As via multi-error Unwrap.
+type classified struct {
+	class error
+	err   error
+}
+
+func (c *classified) Error() string { return fmt.Sprintf("%v: %v", c.class, c.err) }
+
+func (c *classified) Unwrap() []error { return []error{c.class, c.err} }
+
+// Classify wraps err with class. A nil err returns nil; wrapping with a
+// class err already carries is a no-op.
+func Classify(class, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, class) {
+		return err
+	}
+	return &classified{class: class, err: err}
+}
+
+// Abort marks err as a clean, fully-rolled-back cancellation.
+func Abort(err error) error { return Classify(ErrAborted, err) }
+
+// Retryable marks err as transient.
+func Retryable(err error) error { return Classify(ErrRetryable, err) }
+
+// VMLost marks err as an unrecoverable VM loss.
+func VMLost(err error) error { return Classify(ErrVMLost, err) }
+
+// Incompatible marks err as a target-compatibility failure.
+func Incompatible(err error) error { return Classify(ErrIncompatibleTarget, err) }
+
+// Injected marks err as caused by deterministic fault injection.
+func Injected(err error) error { return Classify(ErrInjected, err) }
+
+// Class reports the highest-priority sentinel err carries, or nil. The
+// priority order puts the terminal outcome first: a lost VM dominates
+// everything, a clean abort dominates retryability.
+func Class(err error) error {
+	for _, class := range []error{ErrVMLost, ErrAborted, ErrRetryable, ErrIncompatibleTarget, ErrInjected} {
+		if errors.Is(err, class) {
+			return class
+		}
+	}
+	return nil
+}
+
+// IsRetryable reports whether err is safe to retry: explicitly marked
+// retryable and not a terminal loss.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrRetryable) && !errors.Is(err, ErrVMLost)
+}

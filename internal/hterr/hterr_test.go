@@ -1,0 +1,56 @@
+package hterr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassifyNilAndIdempotent(t *testing.T) {
+	if Abort(nil) != nil {
+		t.Fatal("classifying nil should stay nil")
+	}
+	base := errors.New("boom")
+	once := Abort(base)
+	twice := Abort(once)
+	if twice != once {
+		t.Fatal("re-classifying with the same class should be a no-op")
+	}
+}
+
+func TestMultiClassUnwrap(t *testing.T) {
+	base := fmt.Errorf("round 3: %w", errors.New("link severed"))
+	err := Abort(Retryable(Injected(base)))
+	for _, class := range []error{ErrAborted, ErrRetryable, ErrInjected} {
+		if !errors.Is(err, class) {
+			t.Fatalf("err does not carry %v", class)
+		}
+	}
+	if errors.Is(err, ErrVMLost) || errors.Is(err, ErrIncompatibleTarget) {
+		t.Fatal("err carries classes it was never given")
+	}
+}
+
+func TestClassPriority(t *testing.T) {
+	if got := Class(VMLost(Retryable(errors.New("x")))); got != ErrVMLost {
+		t.Fatalf("Class = %v, want ErrVMLost", got)
+	}
+	if got := Class(Abort(Injected(errors.New("x")))); got != ErrAborted {
+		t.Fatalf("Class = %v, want ErrAborted", got)
+	}
+	if got := Class(errors.New("plain")); got != nil {
+		t.Fatalf("Class = %v, want nil", got)
+	}
+}
+
+func TestIsRetryable(t *testing.T) {
+	if !IsRetryable(Retryable(errors.New("x"))) {
+		t.Fatal("retryable error not retryable")
+	}
+	if IsRetryable(VMLost(Retryable(errors.New("x")))) {
+		t.Fatal("lost VM must never be retryable")
+	}
+	if IsRetryable(errors.New("plain")) {
+		t.Fatal("unclassified error treated as retryable")
+	}
+}

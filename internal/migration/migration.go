@@ -23,10 +23,13 @@ import (
 	"fmt"
 	"time"
 
+	"hypertp/internal/fault"
 	"hypertp/internal/guest"
+	"hypertp/internal/hterr"
 	"hypertp/internal/hv"
 	"hypertp/internal/hw"
 	"hypertp/internal/obs"
+	"hypertp/internal/report"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
 	"hypertp/internal/uisr"
@@ -126,6 +129,15 @@ type Params struct {
 	// are detached (callback-driven work cannot use the current-span
 	// stack), so concurrent migrations each get their own subtree.
 	Obs *obs.Recorder
+
+	// Retry bounds recovery from retryable stream failures (an injected
+	// link sever): a failed attempt is rolled back — destination VM
+	// destroyed, source resumed — and the whole pre-copy restarts after
+	// an exponential virtual-time backoff. The zero value keeps the old
+	// single-attempt semantics. Non-retryable failures, and exhausted
+	// budgets, abort to source: the final error wraps hterr.ErrAborted
+	// and the VM keeps running where it started.
+	Retry fault.RetryPolicy
 }
 
 // Report describes one completed migration.
@@ -148,6 +160,34 @@ type Report struct {
 	// Heterogeneous records whether a UISR translation was involved
 	// (MigrationTP) or the stream stayed in native format (Xen→Xen).
 	Heterogeneous bool
+	// Attempts is how many pre-copy attempts the retry layer ran (≥ 1).
+	Attempts int
+	// Faults is the number of injected stream faults the migration
+	// absorbed on its way to completing.
+	Faults int
+	// Outcome is the terminal state: OutcomeCompleted on a clean first
+	// attempt, OutcomeRecovered when retries rode through faults.
+	Outcome report.Outcome
+}
+
+// Summary implements report.Report.
+func (r *Report) Summary() report.Summary {
+	out := r.Outcome
+	if out == "" {
+		out = report.OutcomeCompleted
+	}
+	attempts := r.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	return report.Summary{
+		Kind:           "migration",
+		Outcome:        out,
+		Attempts:       attempts,
+		Downtime:       r.Downtime,
+		VirtualElapsed: r.TotalTime,
+		Faults:         r.Faults,
+	}
 }
 
 // Run migrates one VM and calls done with the report at the virtual time
@@ -182,11 +222,11 @@ func Run(clock *simtime.Clock, p Params, done func(*Report, error)) {
 	}
 	vm, ok := p.Source.LookupVM(p.VMID)
 	if !ok {
-		fail(fmt.Errorf("migration: no VM %d on source", p.VMID))
+		fail(hterr.Incompatible(fmt.Errorf("migration: no VM %d on source", p.VMID)))
 		return
 	}
 	if vm.Paused() {
-		fail(fmt.Errorf("migration: VM %q is paused", vm.Config.Name))
+		fail(hterr.Incompatible(fmt.Errorf("migration: VM %q is paused", vm.Config.Name)))
 		return
 	}
 	// Pass-through devices pin the VM to its hardware: live migration is
@@ -194,28 +234,78 @@ func Run(clock *simtime.Clock, p Params, done func(*Report, error)) {
 	if g := vm.Guest; g != nil {
 		for _, d := range g.Drivers() {
 			if d.Class == guest.DevicePassthrough {
-				fail(fmt.Errorf("migration: VM %q has pass-through device %q and cannot be live-migrated",
-					vm.Config.Name, d.Name))
+				fail(hterr.Incompatible(fmt.Errorf("migration: VM %q has pass-through device %q and cannot be live-migrated",
+					vm.Config.Name, d.Name)))
 				return
 			}
 		}
 	}
-	if err := p.Source.EnableDirtyLog(p.VMID); err != nil {
-		fail(err)
-		return
-	}
-
 	root.SetAttr("vm", vm.Config.Name)
-	m := &migrator{
-		clock:  clock,
-		p:      p,
-		vm:     vm,
-		span:   root,
-		start:  clock.Now(),
-		report: &Report{VMName: vm.Config.Name, Heterogeneous: p.Source.Kind() != p.Dest.HV.Kind()},
-		done:   done,
+
+	// The retry layer: each attempt is a complete pre-copy; a failed
+	// attempt is rolled back by the migrator (source resumed, partial
+	// destination VM destroyed) before the callback fires, so between
+	// attempts — and after a final abort — the VM runs on the source.
+	overallStart := clock.Now()
+	attempt := 1
+	var cumRounds int
+	var cumBytes int64
+	var runAttempt func()
+	runAttempt = func() {
+		aspan := root.Child("attempt", obs.A("attempt", attempt))
+		if err := p.Source.EnableDirtyLog(p.VMID); err != nil {
+			aspan.End()
+			fail(err)
+			return
+		}
+		m := &migrator{
+			clock:  clock,
+			p:      p,
+			vm:     vm,
+			span:   aspan,
+			start:  overallStart,
+			report: &Report{VMName: vm.Config.Name, Heterogeneous: p.Source.Kind() != p.Dest.HV.Kind()},
+		}
+		m.done = func(r *Report, err error) {
+			if err != nil {
+				aspan.SetAttr("error", err.Error())
+			}
+			aspan.End()
+			if err == nil {
+				r.Attempts = attempt
+				r.Faults = attempt - 1
+				r.Rounds += cumRounds
+				r.BytesSent += cumBytes
+				r.Outcome = report.OutcomeCompleted
+				if attempt > 1 {
+					r.Outcome = report.OutcomeRecovered
+				}
+				done(r, nil)
+				return
+			}
+			cumRounds += m.report.Rounds
+			cumBytes += m.report.BytesSent
+			if hterr.IsRetryable(err) && attempt < p.Retry.Attempts() {
+				backoff := p.Retry.Backoff(attempt)
+				attempt++
+				p.Obs.Event("migration.retry",
+					fmt.Sprintf("%s: attempt %d in %v after: %v", vm.Config.Name, attempt, backoff, err))
+				p.Obs.Metrics().Counter("migration.retries", "attempts").Add(1)
+				clock.After(backoff, "mig-retry:"+vm.Config.Name, func(*simtime.Clock) { runAttempt() })
+				return
+			}
+			if hterr.Class(err) == hterr.ErrVMLost {
+				// Past migration's point of no return (source VM
+				// already destroyed): calling this a clean abort
+				// would be a lie.
+				fail(err)
+				return
+			}
+			fail(hterr.Abort(err))
+		}
+		m.round(int64(vm.Space.NumPages()))
 	}
-	m.round(int64(vm.Space.NumPages()))
+	runAttempt()
 }
 
 type migrator struct {
@@ -224,11 +314,44 @@ type migrator struct {
 	vm         *hv.VM
 	span       *obs.Span
 	roundSpan  *obs.Span
+	scSpan     *obs.Span
 	start      time.Duration
 	roundStart time.Duration
 	report     *Report
 	done       func(*Report, error)
 	prevDirty  int64
+
+	// Rollback bookkeeping: what this attempt has to undo on failure.
+	paused     bool   // source VM paused by stop-and-copy
+	destVM     *hv.VM // partially-restored destination VM
+	sourceGone bool   // source VM destroyed — the point of no return
+}
+
+// fail abandons the attempt. Before the point of no return it rolls the
+// attempt back so the VM keeps running on the source — destroy any
+// partially-restored destination VM, resume the source, stop dirty
+// tracking — and reports the cause for the retry layer to route. Past
+// it, nothing can be undone: the error is classified ErrVMLost.
+func (m *migrator) fail(err error) {
+	m.roundSpan.End()
+	m.scSpan.End()
+	if m.sourceGone {
+		m.done(nil, hterr.VMLost(err))
+		return
+	}
+	rb := m.span.Child("rollback")
+	if m.destVM != nil {
+		_ = m.p.Dest.HV.DestroyVM(m.destVM.ID)
+		m.destVM = nil
+	}
+	if m.paused {
+		_ = m.p.Source.Resume(m.p.VMID)
+		m.paused = false
+	}
+	_ = m.p.Source.DisableDirtyLog(m.p.VMID)
+	rb.End()
+	m.p.Obs.Metrics().Counter("migration.rollbacks", "attempts").Add(1)
+	m.done(nil, err)
 }
 
 // maxThrottleLevels caps auto-converge escalation (matching QEMU's
@@ -246,7 +369,7 @@ func (m *migrator) round(npages int64) {
 	m.p.Link.Start(fmt.Sprintf("precopy:%s:r%d", m.vm.Config.Name, m.report.Rounds), bytes,
 		func(err error) {
 			if err != nil {
-				m.done(nil, fmt.Errorf("migration: %s: %w", m.vm.Config.Name, err))
+				m.fail(fmt.Errorf("migration: %s: %w", m.vm.Config.Name, err))
 				return
 			}
 			m.afterRound()
@@ -261,7 +384,7 @@ func (m *migrator) afterRound() {
 	elapsed := (m.clock.Now() - m.roundStart).Seconds()
 	logged, err := m.p.Source.FetchAndClearDirty(m.p.VMID)
 	if err != nil {
-		m.done(nil, err)
+		m.fail(err)
 		return
 	}
 	// Auto-converge throttling scales the guest's effective write rate.
@@ -294,15 +417,17 @@ func (m *migrator) afterRound() {
 func (m *migrator) stopAndCopy(dirtyPages int64) {
 	pausedAt := m.clock.Now()
 	sc := m.span.Child("stop-and-copy", obs.A("dirty_pages", dirtyPages))
+	m.scSpan = sc
 	if err := m.p.Source.Pause(m.p.VMID); err != nil {
-		m.done(nil, err)
+		m.fail(err)
 		return
 	}
+	m.paused = true
 	// Final transfer: remaining dirty pages + the serialized platform
 	// state (a few KB; see Fig. 14's UISR sizes).
 	st, err := m.p.Source.SaveUISR(m.p.VMID)
 	if err != nil {
-		m.done(nil, err)
+		m.fail(err)
 		return
 	}
 	stateBytes := int64(4096 + 3800*len(st.VCPUs)) // header+devices, per-vCPU sections
@@ -310,7 +435,7 @@ func (m *migrator) stopAndCopy(dirtyPages int64) {
 	m.report.BytesSent += bytes
 	m.p.Link.Start("stopcopy:"+m.vm.Config.Name, bytes, func(err error) {
 		if err != nil {
-			m.done(nil, err)
+			m.fail(err)
 			return
 		}
 		// Destination restore, possibly queued behind other VMs.
@@ -333,33 +458,36 @@ func (m *migrator) finish(pausedAt time.Duration, st *uisr.VMState) {
 		InPlaceCompatible: m.vm.Config.InPlaceCompatible,
 	})
 	if err != nil {
-		m.done(nil, err)
+		m.fail(err)
 		return
 	}
+	m.destVM = destVM
 	// Replay the final guest image (the net effect of all pre-copy
 	// rounds plus the stop-and-copy).
 	if err := m.vm.Space.CopyContentsTo(destVM.Space); err != nil {
-		m.done(nil, err)
+		m.fail(err)
 		return
 	}
 	// Hand the guest software stack over and resume.
 	g := m.vm.Guest
 	if err := m.p.Source.DisableDirtyLog(m.p.VMID); err != nil {
-		m.done(nil, err)
+		m.fail(err)
 		return
 	}
 	if err := m.p.Source.DestroyVM(m.p.VMID); err != nil {
-		m.done(nil, err)
+		m.fail(err)
 		return
 	}
+	m.sourceGone = true
+	m.paused = false
 	if g != nil {
 		if err := m.p.Dest.HV.AttachGuest(destVM.ID, g); err != nil {
-			m.done(nil, err)
+			m.fail(err)
 			return
 		}
 	}
 	if err := m.p.Dest.HV.Resume(destVM.ID); err != nil {
-		m.done(nil, err)
+		m.fail(err)
 		return
 	}
 	m.report.DestVM = destVM

@@ -1,13 +1,17 @@
 package migration
 
 import (
+	"errors"
 	"testing"
 	"time"
 
+	"hypertp/internal/fault"
+	"hypertp/internal/hterr"
 	"hypertp/internal/hv"
 	"hypertp/internal/hv/kvm"
 	"hypertp/internal/hv/xen"
 	"hypertp/internal/hw"
+	"hypertp/internal/report"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
 )
@@ -395,5 +399,103 @@ func TestAutoConvergeShrinksDowntime(t *testing.T) {
 	// downtime.
 	if throttled.Rounds <= plain.Rounds {
 		t.Fatal("auto-converge did not buy extra rounds")
+	}
+}
+
+// An injected link sever mid-stream must be absorbed by the retry layer:
+// the attempt rolls back (source resumed, partial destination destroyed)
+// and the restarted pre-copy completes with the guest image intact.
+func TestRetryRecoversFromSeveredLink(t *testing.T) {
+	r := newRig(t)
+	vm := r.createVM(t, "flaky", 2, 1)
+	sumBefore, err := vm.Space.ChecksumAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.link.SetFaults(fault.NewPlan(1, 0).ForceAt(fault.SiteLinkAbort, 1).SetClock(r.clock))
+	recv := NewReceiver(r.clock, r.destK, 7)
+	var rep *Report
+	var gotErr error
+	Run(r.clock, Params{
+		Link: r.link, Source: r.src, Dest: recv, VMID: vm.ID,
+		Retry: fault.DefaultRetryPolicy(),
+	}, func(rr *Report, e error) { rep, gotErr = rr, e })
+	r.clock.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if rep.Attempts != 2 || rep.Outcome != report.OutcomeRecovered {
+		t.Fatalf("attempts=%d outcome=%q, want 2/recovered", rep.Attempts, rep.Outcome)
+	}
+	sumAfter, err := rep.DestVM.Space.ChecksumAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumAfter != sumBefore {
+		t.Fatal("guest image changed across fault + retry")
+	}
+	if _, ok := r.src.LookupVM(vm.ID); ok {
+		t.Fatal("source VM still present after completed migration")
+	}
+	if s := rep.Summary(); s.Kind != "migration" || s.Attempts != 2 || s.Faults != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+// When every attempt's stream is severed, the migration aborts to
+// source: the error wraps ErrAborted, and the VM still runs on the
+// source, unpaused, with its memory untouched.
+func TestExhaustedRetriesAbortToSource(t *testing.T) {
+	r := newRig(t)
+	vm := r.createVM(t, "doomed", 2, 1)
+	sumBefore, _ := vm.Space.ChecksumAll()
+	plan := fault.NewPlan(1, 0).
+		ForceAt(fault.SiteLinkAbort, 1).
+		ForceAt(fault.SiteLinkAbort, 2).
+		SetClock(r.clock)
+	r.link.SetFaults(plan)
+	recv := NewReceiver(r.clock, r.destK, 7)
+	var gotErr error
+	Run(r.clock, Params{
+		Link: r.link, Source: r.src, Dest: recv, VMID: vm.ID,
+		Retry: fault.RetryPolicy{MaxAttempts: 2, BaseBackoff: 10 * time.Millisecond, Multiplier: 2},
+	}, func(_ *Report, e error) { gotErr = e })
+	r.clock.Run()
+	if !errors.Is(gotErr, hterr.ErrAborted) || !errors.Is(gotErr, hterr.ErrInjected) {
+		t.Fatalf("err = %v, want aborted+injected", gotErr)
+	}
+	got, ok := r.src.LookupVM(vm.ID)
+	if !ok || got.Paused() {
+		t.Fatalf("source VM not running after abort (ok=%v)", ok)
+	}
+	sumAfter, _ := vm.Space.ChecksumAll()
+	if sumAfter != sumBefore {
+		t.Fatal("source memory changed by aborted migration")
+	}
+	if n := len(r.destK.VMs()); n != 0 {
+		t.Fatalf("%d orphan VMs left on destination after abort", n)
+	}
+}
+
+// Precondition failures are classified incompatible, not retryable.
+func TestPassthroughClassifiedIncompatible(t *testing.T) {
+	r := newRig(t)
+	vm, err := r.src.CreateVM(hv.Config{
+		Name: "pinned", VCPUs: 1, MemBytes: 1 << 30,
+		HugePages: true, Seed: 42, PassthroughDevices: []string{"nic0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := NewReceiver(r.clock, r.destK, 7)
+	var gotErr error
+	Run(r.clock, Params{Link: r.link, Source: r.src, Dest: recv, VMID: vm.ID},
+		func(_ *Report, e error) { gotErr = e })
+	r.clock.Run()
+	if !errors.Is(gotErr, hterr.ErrIncompatibleTarget) {
+		t.Fatalf("err = %v, want ErrIncompatibleTarget", gotErr)
+	}
+	if hterr.IsRetryable(gotErr) {
+		t.Fatal("incompatible target must not be retryable")
 	}
 }

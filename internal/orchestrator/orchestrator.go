@@ -13,6 +13,8 @@ import (
 
 	"hypertp/internal/checkpoint"
 	"hypertp/internal/core"
+	"hypertp/internal/fault"
+	"hypertp/internal/hterr"
 	"hypertp/internal/hv"
 	"hypertp/internal/hw"
 	"hypertp/internal/migration"
@@ -109,6 +111,15 @@ func (d *LibvirtDriver) Capacity() (int, uint64) {
 // node's in-place transplants record their span trees there.
 func (d *LibvirtDriver) SetRecorder(rec *obs.Recorder) { d.engine.Obs = rec }
 
+// SetFaults points the wrapped engine at a fault plan and retry policy,
+// so in-place transplants on this host arm the kexec/PRAM/UISR sites
+// and ride out post-handover crashes under the given policy. A nil plan
+// detaches injection but keeps the policy.
+func (d *LibvirtDriver) SetFaults(p *fault.Plan, retry fault.RetryPolicy) {
+	d.engine.Fault = p
+	d.engine.Retry = retry
+}
+
 // HostLiveUpgrade implements ComputeDriver: the one-click in-place
 // transplant.
 func (d *LibvirtDriver) HostLiveUpgrade(target hv.Kind, opts core.Options) (*core.InPlaceReport, error) {
@@ -131,13 +142,16 @@ type VMRecord struct {
 
 // Nova is the cloud manager.
 type Nova struct {
-	clock  *simtime.Clock
-	fabric *simnet.Link
-	nodes  map[string]*ComputeNode
-	order  []string
-	db     map[string]*VMRecord
-	seed   uint64
-	obs    *obs.Recorder
+	clock       *simtime.Clock
+	fabric      *simnet.Link
+	nodes       map[string]*ComputeNode
+	order       []string
+	db          map[string]*VMRecord
+	seed        uint64
+	obs         *obs.Recorder
+	faults      *fault.Plan
+	retry       fault.RetryPolicy
+	quarantined map[string]bool
 }
 
 // ComputeNode is one managed host.
@@ -149,11 +163,12 @@ type ComputeNode struct {
 // NewNova creates a manager over the given fabric link.
 func NewNova(clock *simtime.Clock, fabric *simnet.Link) *Nova {
 	return &Nova{
-		clock:  clock,
-		fabric: fabric,
-		nodes:  make(map[string]*ComputeNode),
-		db:     make(map[string]*VMRecord),
-		seed:   1,
+		clock:       clock,
+		fabric:      fabric,
+		nodes:       make(map[string]*ComputeNode),
+		db:          make(map[string]*VMRecord),
+		seed:        1,
+		quarantined: make(map[string]bool),
 	}
 }
 
@@ -170,8 +185,50 @@ func (n *Nova) AddNode(name string, driver ComputeDriver) error {
 			rd.SetRecorder(n.obs)
 		}
 	}
+	if n.faults != nil {
+		if fd, ok := driver.(interface {
+			SetFaults(*fault.Plan, fault.RetryPolicy)
+		}); ok {
+			fd.SetFaults(n.faults, n.retry)
+		}
+	}
 	return nil
 }
+
+// SetFaults attaches a deterministic fault plan to the whole cloud: the
+// fabric link arms its loss/sever sites on every migration stream, node
+// drivers arm the in-place transplant sites, and fleet operations arm
+// fault.SiteClusterHost per host so quarantine-and-replan degradation is
+// exercised. Attaching a plan also enables the default retry policy for
+// live migrations (override with SetRetry). A nil plan detaches.
+func (n *Nova) SetFaults(p *fault.Plan) {
+	n.faults = p
+	n.fabric.SetFaults(p)
+	if p != nil && n.retry == (fault.RetryPolicy{}) {
+		n.retry = fault.DefaultRetryPolicy()
+	}
+	for _, name := range n.order {
+		if fd, ok := n.nodes[name].Driver.(interface {
+			SetFaults(*fault.Plan, fault.RetryPolicy)
+		}); ok {
+			fd.SetFaults(p, n.retry)
+		}
+	}
+}
+
+// SetRetry overrides the retry policy live migrations and host
+// transplants run under. The zero policy means a single attempt.
+func (n *Nova) SetRetry(retry fault.RetryPolicy) {
+	n.retry = retry
+	if n.faults != nil {
+		n.SetFaults(n.faults) // re-propagate to drivers
+	}
+}
+
+// Quarantined reports whether a node has been quarantined by a degraded
+// fleet operation. Quarantined nodes are skipped by the scheduler, by
+// evacuation-target selection, and by subsequent fleet sweeps.
+func (n *Nova) Quarantined(name string) bool { return n.quarantined[name] }
 
 // SetRecorder attaches an observability recorder to the manager and to
 // every registered (and future) driver that supports one, plus the
@@ -228,6 +285,9 @@ func (n *Nova) BootVM(cfg hv.Config) (string, error) {
 	var best *ComputeNode
 	bestScore := -1 << 30
 	for _, name := range n.order {
+		if n.quarantined[name] {
+			continue
+		}
 		node := n.nodes[name]
 		vcpus, mem := node.Driver.Capacity()
 		if vcpus < cfg.VCPUs || mem < cfg.MemBytes {
@@ -294,6 +354,7 @@ func (n *Nova) LiveMigrate(vmName, destNode string) (*migration.Report, error) {
 		Dest:   recv,
 		VMID:   rec.ID,
 		Obs:    n.obs,
+		Retry:  n.retry,
 	}, func(r *migration.Report, e error) { report, err = r, e })
 	n.clock.Run()
 	if err != nil {
@@ -326,7 +387,7 @@ func (n *Nova) ColdMigrate(vmName, destNode string) error {
 	srcHyp := src.Driver.Hypervisor()
 	vm, ok := srcHyp.LookupVM(rec.ID)
 	if !ok {
-		return fmt.Errorf("nova: VM %q missing from node %q", vmName, rec.Node)
+		return hterr.VMLost(fmt.Errorf("nova: VM %q missing from node %q", vmName, rec.Node))
 	}
 	sp := n.obs.Start("nova.cold-migrate",
 		obs.A("vm", vmName), obs.A("from", rec.Node), obs.A("to", destNode))
@@ -390,7 +451,7 @@ func (n *Nova) HostLiveUpgrade(nodeName string, target hv.Kind, opts core.Option
 		return nil, fmt.Errorf("nova: unknown node %q", nodeName)
 	}
 	if node.Driver.HypervisorKind() == target {
-		return nil, fmt.Errorf("nova: node %q already runs %v", nodeName, target)
+		return nil, hterr.Incompatible(fmt.Errorf("nova: node %q already runs %v", nodeName, target))
 	}
 	start := n.clock.Now()
 	rec := &UpgradeRecord{Node: nodeName, Target: target}
@@ -405,7 +466,9 @@ func (n *Nova) HostLiveUpgrade(nodeName string, target hv.Kind, opts core.Option
 		}
 		dest := n.pickEvacuationTarget(nodeName, vm)
 		if dest == "" {
-			return nil, fmt.Errorf("nova: no evacuation target for VM %q", vm.Config.Name)
+			// Nothing has been touched on this host yet: the upgrade is
+			// abandoned cleanly, every VM keeps running where it was.
+			return nil, hterr.Abort(fmt.Errorf("nova: no evacuation target for VM %q", vm.Config.Name))
 		}
 		if _, err := n.LiveMigrate(vm.Config.Name, dest); err != nil {
 			return nil, err
@@ -443,7 +506,7 @@ func (n *Nova) pickEvacuationTarget(exclude string, vm *hv.VM) string {
 	best := ""
 	bestCPU := -1
 	for _, name := range n.order {
-		if name == exclude {
+		if name == exclude || n.quarantined[name] {
 			continue
 		}
 		vcpus, mem := n.nodes[name].Driver.Capacity()
@@ -461,7 +524,7 @@ func (n *Nova) pickEvacuationTarget(exclude string, vm *hv.VM) string {
 func rebootEmptyHost(d ComputeDriver, target hv.Kind) error {
 	ld, ok := d.(*LibvirtDriver)
 	if !ok {
-		return fmt.Errorf("nova: driver %T cannot reboot empty host", d)
+		return hterr.Incompatible(fmt.Errorf("nova: driver %T cannot reboot empty host", d))
 	}
 	// A plain reboot: wipe and boot the target. No state to preserve.
 	ld.engine.Machine.MicroReboot("fresh-boot", nil)

@@ -1,12 +1,16 @@
 package orchestrator
 
 import (
+	"errors"
 	"testing"
 	"time"
 
 	"hypertp/internal/core"
+	"hypertp/internal/fault"
+	"hypertp/internal/hterr"
 	"hypertp/internal/hv"
 	"hypertp/internal/hw"
+	"hypertp/internal/report"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
 	"hypertp/internal/vulndb"
@@ -324,6 +328,132 @@ func TestRespondToCVERefusals(t *testing.T) {
 	// KVM-only flaw on a Xen fleet: nothing to do.
 	if _, err := c.nova.RespondToCVE(db, "CVE-2017-12188", []string{"xen", "kvm"}, core.DefaultOptions()); err == nil {
 		t.Fatal("irrelevant flaw produced a response")
+	}
+}
+
+// An injected link sever mid-migration: with a fault plan attached the
+// manager retries under the default policy and the migration recovers.
+func TestLiveMigrateRetriesUnderFaultPlan(t *testing.T) {
+	c := newCloud(t, 2, hv.KindXen)
+	c.nova.SetFaults(fault.NewPlan(7, 0).ForceAt(fault.SiteLinkAbort, 1))
+	if _, err := c.nova.BootVM(vmCfg("mover", true)); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := c.nova.Record("mover")
+	dest := nodeName(0)
+	if rec.Node == dest {
+		dest = nodeName(1)
+	}
+	rep, err := c.nova.LiveMigrate("mover", dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attempts != 2 || rep.Faults != 1 {
+		t.Fatalf("attempts = %d faults = %d, want 2 and 1", rep.Attempts, rep.Faults)
+	}
+	if rep.Outcome != report.OutcomeRecovered {
+		t.Fatalf("outcome = %s, want recovered", rep.Outcome)
+	}
+	rec, _ = c.nova.Record("mover")
+	if rec.Node != dest {
+		t.Fatalf("record node = %s, want %s", rec.Node, dest)
+	}
+	node, _ := c.nova.Node(dest)
+	for _, vm := range node.Driver.VMs() {
+		if err := vm.Guest.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// An injected host failure during a fleet response: the node is
+// quarantined, its VMs are re-planned onto healthy hosts, and the
+// response completes degraded instead of failing.
+func TestRespondToCVEDegradesOnHostFault(t *testing.T) {
+	c := newCloud(t, 3, hv.KindXen)
+	for i := 0; i < 3; i++ {
+		if _, err := c.nova.BootVM(vmCfg("d"+string(rune('0'+i)), true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Affinity packs all three VMs onto the first node; quarantine it.
+	rec0, _ := c.nova.Record("d0")
+	c.nova.SetFaults(fault.NewPlan(11, 0).ForceAt(fault.SiteClusterHost, 1))
+
+	db := vulndb.Load()
+	resp, err := c.nova.RespondToCVE(db, "CVE-2016-6258", []string{"xen", "kvm"}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != report.OutcomeDegraded || resp.Faults != 1 {
+		t.Fatalf("outcome = %s faults = %d", resp.Outcome, resp.Faults)
+	}
+	if s := resp.Summary(); s.Kind != "fleet" || s.Outcome != report.OutcomeDegraded || s.Faults != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if len(resp.QuarantinedNodes) != 1 || resp.QuarantinedNodes[0] != rec0.Node {
+		t.Fatalf("quarantined = %v, want [%s]", resp.QuarantinedNodes, rec0.Node)
+	}
+	if !c.nova.Quarantined(rec0.Node) {
+		t.Fatal("node not marked quarantined")
+	}
+	if len(resp.ReplannedVMs) != 3 || len(resp.StrandedVMs) != 0 {
+		t.Fatalf("replanned = %v stranded = %v", resp.ReplannedVMs, resp.StrandedVMs)
+	}
+	// The quarantined node still runs the old hypervisor and is empty;
+	// the rest of the fleet is secured.
+	for _, name := range []string{nodeName(0), nodeName(1), nodeName(2)} {
+		node, _ := c.nova.Node(name)
+		want := hv.KindKVM
+		if name == rec0.Node {
+			want = hv.KindXen
+			if len(node.Driver.VMs()) != 0 {
+				t.Fatalf("quarantined node still hosts %d VMs", len(node.Driver.VMs()))
+			}
+		}
+		if node.Driver.HypervisorKind() != want {
+			t.Fatalf("node %s on %v, want %v", name, node.Driver.HypervisorKind(), want)
+		}
+	}
+	// Every VM is reachable where its database row says, with state intact.
+	for i := 0; i < 3; i++ {
+		r, ok := c.nova.Record("d" + string(rune('0'+i)))
+		if !ok || r.Node == rec0.Node {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+		node, _ := c.nova.Node(r.Node)
+		vm, ok := node.Driver.Hypervisor().LookupVM(r.ID)
+		if !ok {
+			t.Fatalf("VM %s unreachable on %s", r.Name, r.Node)
+		}
+		if r.Kind != node.Driver.HypervisorKind() {
+			t.Fatalf("record %s kind %v, node runs %v", r.Name, r.Kind, node.Driver.HypervisorKind())
+		}
+		if err := vm.Guest.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// A database row whose VM has vanished from its node is a lost-VM error,
+// not a generic failure.
+func TestColdMigrateLostVMClassified(t *testing.T) {
+	c := newCloud(t, 2, hv.KindXen)
+	if _, err := c.nova.BootVM(vmCfg("gone", true)); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := c.nova.Record("gone")
+	node, _ := c.nova.Node(rec.Node)
+	if err := node.Driver.Destroy(rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	dest := nodeName(0)
+	if rec.Node == dest {
+		dest = nodeName(1)
+	}
+	err := c.nova.ColdMigrate("gone", dest)
+	if !errors.Is(err, hterr.ErrVMLost) {
+		t.Fatalf("err = %v, want ErrVMLost classification", err)
 	}
 }
 

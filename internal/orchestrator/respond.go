@@ -6,7 +6,11 @@ import (
 	"time"
 
 	"hypertp/internal/core"
+	"hypertp/internal/fault"
+	"hypertp/internal/hterr"
 	"hypertp/internal/hv"
+	"hypertp/internal/obs"
+	"hypertp/internal/report"
 	"hypertp/internal/vulndb"
 )
 
@@ -20,10 +24,34 @@ type FleetResponse struct {
 	// SkippedNodes lists nodes that already ran an unaffected
 	// hypervisor.
 	SkippedNodes []string
+	// QuarantinedNodes lists nodes that failed their upgrade and were
+	// quarantined instead of failing the whole response.
+	QuarantinedNodes []string
+	// ReplannedVMs lists VMs evacuated off quarantined nodes.
+	ReplannedVMs []string
+	// StrandedVMs lists VMs that could not be evacuated off a
+	// quarantined node (no capacity). They keep running on the old,
+	// still-vulnerable hypervisor — degraded, never lost.
+	StrandedVMs []string
 	// Records are the per-node upgrade reports.
 	Records []*UpgradeRecord
+	// Faults counts the injected faults the response absorbed.
+	Faults int
+	// Outcome is completed, or degraded when any node was quarantined.
+	Outcome report.Outcome
 	// Elapsed is the virtual time from alert to fleet-secured.
 	Elapsed time.Duration
+}
+
+// Summary implements report.Report.
+func (r *FleetResponse) Summary() report.Summary {
+	return report.Summary{
+		Kind:           "fleet",
+		Outcome:        r.Outcome,
+		Attempts:       1,
+		VirtualElapsed: r.Elapsed,
+		Faults:         r.Faults,
+	}
 }
 
 // RespondToCVE is the paper's end-to-end scenario as a single operation:
@@ -42,7 +70,7 @@ func (n *Nova) RespondToCVE(db *vulndb.Database, cveID string, pool []string, op
 			cveID, rec.Severity())
 	}
 	start := n.clock.Now()
-	resp := &FleetResponse{CVE: cveID}
+	resp := &FleetResponse{CVE: cveID, Outcome: report.OutcomeCompleted}
 
 	// Determine affected nodes and a common safe target. Processing in
 	// name order keeps the response deterministic.
@@ -53,6 +81,9 @@ func (n *Nova) RespondToCVE(db *vulndb.Database, cveID string, pool []string, op
 	sort.Strings(names)
 
 	for _, name := range names {
+		if n.quarantined[name] {
+			continue
+		}
 		node := n.nodes[name]
 		current := node.Driver.HypervisorKind().String()
 		if !rec.Affected(current) {
@@ -74,17 +105,62 @@ func (n *Nova) RespondToCVE(db *vulndb.Database, cveID string, pool []string, op
 		default:
 			return nil, fmt.Errorf("nova: policy chose unknown hypervisor %q", targetName)
 		}
+		if fired, _ := n.faults.Arm(fault.SiteClusterHost); fired {
+			// Injected host failure during the upgrade window: degrade
+			// instead of failing the fleet response.
+			resp.Faults++
+			n.quarantineNode(name, resp)
+			continue
+		}
 		up, err := n.HostLiveUpgrade(name, target, opts)
 		if err != nil {
-			return nil, fmt.Errorf("nova: node %s: %w", name, err)
+			if hterr.Class(err) == hterr.ErrVMLost {
+				// Unrecoverable: surface the partial response alongside
+				// the error so the operator sees what did complete.
+				resp.Elapsed = n.clock.Now() - start
+				resp.Outcome = report.OutcomeDegraded
+				return resp, err
+			}
+			n.quarantineNode(name, resp)
+			continue
 		}
 		resp.Target = target
 		resp.UpgradedNodes = append(resp.UpgradedNodes, name)
 		resp.Records = append(resp.Records, up)
 	}
-	if len(resp.UpgradedNodes) == 0 {
+	if len(resp.UpgradedNodes) == 0 && len(resp.QuarantinedNodes) == 0 {
 		return nil, fmt.Errorf("nova: no node runs a hypervisor affected by %s", cveID)
+	}
+	if len(resp.QuarantinedNodes) > 0 {
+		resp.Outcome = report.OutcomeDegraded
 	}
 	resp.Elapsed = n.clock.Now() - start
 	return resp, nil
+}
+
+// quarantineNode marks a node failed and drains it: every VM still on
+// the node is re-planned onto a healthy host via live migration. VMs
+// with no viable destination are stranded — they keep running on the
+// quarantined host's old hypervisor rather than being lost.
+func (n *Nova) quarantineNode(name string, resp *FleetResponse) {
+	n.quarantined[name] = true
+	sp := n.obs.Start("nova.quarantine", obs.A("node", name))
+	defer sp.End()
+	n.obs.Metrics().Counter("nova.hosts_quarantined", "hosts").Add(1)
+	node := n.nodes[name]
+	vms := append([]*hv.VM(nil), node.Driver.VMs()...)
+	for _, vm := range vms {
+		dest := n.pickEvacuationTarget(name, vm)
+		if dest == "" {
+			resp.StrandedVMs = append(resp.StrandedVMs, vm.Config.Name)
+			continue
+		}
+		if _, err := n.LiveMigrate(vm.Config.Name, dest); err != nil {
+			resp.StrandedVMs = append(resp.StrandedVMs, vm.Config.Name)
+			continue
+		}
+		resp.ReplannedVMs = append(resp.ReplannedVMs, vm.Config.Name)
+	}
+	sp.SetAttr("replanned", len(resp.ReplannedVMs))
+	resp.QuarantinedNodes = append(resp.QuarantinedNodes, name)
 }

@@ -1,0 +1,52 @@
+// Package report is the shared result vocabulary of the transplant
+// stack. The three operation reports — core.InPlaceReport,
+// migration.Report, cluster.Result — grew up independently; this
+// package gives them one Summary shape and one Outcome scale so
+// callers (and the public hypertp API) can treat any transplant result
+// uniformly without losing the operation-specific detail each concrete
+// type still carries.
+package report
+
+import "time"
+
+// Outcome is the terminal state of a transplant-class operation.
+type Outcome string
+
+const (
+	// OutcomeCompleted: the operation finished on the first attempt with
+	// no recovery involved.
+	OutcomeCompleted Outcome = "completed"
+	// OutcomeRecovered: the operation finished, but only after riding
+	// through at least one fault (retry, crash-recovery restore, ...).
+	OutcomeRecovered Outcome = "recovered"
+	// OutcomeRolledBack: the operation was abandoned and fully undone —
+	// every VM still runs on the source with its state intact.
+	OutcomeRolledBack Outcome = "rolled-back"
+	// OutcomeDegraded: a fleet-level operation completed partially —
+	// failed hosts were quarantined and their work re-planned, and the
+	// report says which.
+	OutcomeDegraded Outcome = "degraded"
+)
+
+// Summary is the operation-independent view of a report.
+type Summary struct {
+	// Kind names the operation: "inplace", "migration", "cluster".
+	Kind string
+	// Outcome is the terminal state.
+	Outcome Outcome
+	// Attempts is how many times the operation (or its failing stage)
+	// ran, ≥ 1.
+	Attempts int
+	// Downtime is the virtual time during which affected VMs ran
+	// nowhere.
+	Downtime time.Duration
+	// VirtualElapsed is the operation's total virtual duration.
+	VirtualElapsed time.Duration
+	// Faults is the number of injected faults the operation absorbed.
+	Faults int
+}
+
+// Report is implemented by every operation report in the stack.
+type Report interface {
+	Summary() Summary
+}

@@ -15,8 +15,11 @@ package simnet
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
+	"hypertp/internal/fault"
+	"hypertp/internal/hterr"
 	"hypertp/internal/obs"
 	"hypertp/internal/simtime"
 )
@@ -31,6 +34,13 @@ const (
 // cancelled before finishing.
 var ErrTransferAborted = errors.New("simnet: transfer aborted")
 
+// ErrTransferSevered is delivered when an injected link fault (the
+// fault.SiteLinkAbort site) cuts a transfer mid-flight. It unwraps to
+// ErrTransferAborted — callers that only distinguish "aborted" keep
+// working — and is additionally classified retryable and injected, so
+// the migration retry loop can route on errors.Is.
+var ErrTransferSevered = hterr.Retryable(hterr.Injected(ErrTransferAborted))
+
 // Link is a shared-medium network link. All transfers on the link divide its
 // line rate equally.
 type Link struct {
@@ -41,6 +51,7 @@ type Link struct {
 	active     map[*Transfer]struct{}
 	lastUpdate time.Duration
 	rec        *obs.Recorder
+	faults     *fault.Plan
 }
 
 // Transfer is one in-flight bulk transfer (e.g. a migration stream).
@@ -53,6 +64,7 @@ type Transfer struct {
 	done      func(err error)
 	finished  bool
 	event     *simtime.Event
+	sever     *simtime.Event
 	span      *obs.Span
 }
 
@@ -74,6 +86,13 @@ func NewLink(clock *simtime.Clock, name string, byteRate int64, latency time.Dur
 // detached span on the "simnet" track plus transfer/byte counters and a
 // virtual-duration histogram. A nil recorder detaches.
 func (l *Link) SetRecorder(rec *obs.Recorder) { l.rec = rec }
+
+// SetFaults attaches a fault plan. Every Start then arms two sites:
+// fault.SiteLinkLoss (retransmissions inflate the bytes the transfer
+// must move, slowing it without killing it) and fault.SiteLinkAbort
+// (the transfer is severed mid-flight with ErrTransferSevered). A nil
+// plan detaches.
+func (l *Link) SetFaults(p *fault.Plan) { l.faults = p }
 
 // Name returns the link's label.
 func (l *Link) Name() string { return l.name }
@@ -109,6 +128,24 @@ func (l *Link) Start(name string, size int64, done func(err error)) *Transfer {
 			obs.A("link", l.name), obs.A("bytes", size))
 		tr.span.SetTrack("simnet")
 		l.rec.Metrics().Counter("simnet.transfers", "transfers").Add(1)
+	}
+	if fired, sev := l.faults.Arm(fault.SiteLinkLoss); fired {
+		// Retransmissions inflate the bytes to move by up to 50%,
+		// scaled by the deterministic severity sample.
+		tr.remaining *= 1 + 0.5*sev
+		if tr.span != nil {
+			tr.span.SetAttr("lossy", true)
+		}
+	}
+	if fired, sev := l.faults.Arm(fault.SiteLinkAbort); fired && size > 0 {
+		// Sever the stream partway through: between 10% and 90% of the
+		// ideal (uncontended) transfer time, position set by severity.
+		ideal := time.Duration(tr.remaining / l.byteRate * float64(time.Second))
+		at := time.Duration(float64(ideal) * (0.1 + 0.8*sev))
+		tr.sever = l.clock.After(at, "simnet:sever:"+name, func(*simtime.Clock) {
+			tr.sever = nil
+			l.abortWith(tr, ErrTransferSevered)
+		})
 	}
 	l.reschedule()
 	return tr
@@ -171,6 +208,10 @@ func (l *Link) complete(tr *Transfer) {
 	l.settle()
 	tr.finished = true
 	tr.remaining = 0
+	if tr.sever != nil {
+		l.clock.Cancel(tr.sever)
+		tr.sever = nil
+	}
 	delete(l.active, tr)
 	l.reschedule()
 	if tr.span != nil {
@@ -187,7 +228,9 @@ func (l *Link) complete(tr *Transfer) {
 }
 
 // Abort cancels an in-flight transfer. It is a no-op on finished transfers.
-func (l *Link) Abort(tr *Transfer) {
+func (l *Link) Abort(tr *Transfer) { l.abortWith(tr, ErrTransferAborted) }
+
+func (l *Link) abortWith(tr *Transfer, cause error) {
 	if tr.finished {
 		return
 	}
@@ -195,6 +238,10 @@ func (l *Link) Abort(tr *Transfer) {
 	if tr.event != nil {
 		l.clock.Cancel(tr.event)
 		tr.event = nil
+	}
+	if tr.sever != nil {
+		l.clock.Cancel(tr.sever)
+		tr.sever = nil
 	}
 	tr.finished = true
 	delete(l.active, tr)
@@ -205,18 +252,32 @@ func (l *Link) Abort(tr *Transfer) {
 		l.rec.Metrics().Counter("simnet.aborts", "transfers").Add(1)
 	}
 	if tr.done != nil {
-		tr.done(ErrTransferAborted)
+		tr.done(cause)
 	}
 }
 
 // AbortAll severs every in-flight transfer — a link failure. Each
 // transfer's done callback receives ErrTransferAborted.
+//
+// Only transfers in flight when AbortAll is called are severed: the
+// active set is snapshotted first, so a done callback that Starts a
+// replacement transfer (the migration retry loop does exactly this)
+// neither gets its new transfer severed nor corrupts the iteration.
+// The snapshot is processed in start order to keep callback order
+// deterministic.
 func (l *Link) AbortAll() {
-	for len(l.active) > 0 {
-		for tr := range l.active {
-			l.Abort(tr)
-			break
+	snap := make([]*Transfer, 0, len(l.active))
+	for tr := range l.active {
+		snap = append(snap, tr)
+	}
+	sort.Slice(snap, func(i, j int) bool {
+		if snap[i].started != snap[j].started {
+			return snap[i].started < snap[j].started
 		}
+		return snap[i].name < snap[j].name
+	})
+	for _, tr := range snap {
+		l.Abort(tr) // no-op if a prior callback already finished it
 	}
 }
 

@@ -1,10 +1,13 @@
 package simnet
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"hypertp/internal/fault"
+	"hypertp/internal/hterr"
 	"hypertp/internal/simtime"
 )
 
@@ -261,4 +264,76 @@ func TestAbortAll(t *testing.T) {
 		t.Fatal("transfers survive AbortAll")
 	}
 	c.Run()
+}
+
+// Regression: a done callback that starts a replacement transfer while
+// AbortAll is severing the link must not have the replacement severed
+// too (and must not corrupt or livelock the iteration). The old
+// implementation re-read l.active each round, so it did both.
+func TestAbortAllCallbackReentrancy(t *testing.T) {
+	c := simtime.NewClock()
+	l := NewLink(c, "lan", Gbps1, 0)
+	var replacement *Transfer
+	var replacementErr = errors.New("unset")
+	l.Start("victim-a", gb, func(err error) {
+		if !errors.Is(err, ErrTransferAborted) {
+			t.Errorf("victim-a err = %v", err)
+		}
+		// Retry from inside the abort callback, as the migration
+		// retry loop does.
+		replacement = l.Start("retry-a", gb, func(err error) { replacementErr = err })
+	})
+	l.Start("victim-b", gb, func(err error) {
+		if !errors.Is(err, ErrTransferAborted) {
+			t.Errorf("victim-b err = %v", err)
+		}
+	})
+	l.AbortAll()
+	if replacement == nil || replacement.Finished() {
+		t.Fatalf("replacement transfer was severed by AbortAll (tr=%v)", replacement)
+	}
+	if l.ActiveTransfers() != 1 {
+		t.Fatalf("active transfers after AbortAll = %d, want 1", l.ActiveTransfers())
+	}
+	c.Run()
+	if replacementErr != nil {
+		t.Fatalf("replacement finished with err = %v", replacementErr)
+	}
+}
+
+func TestInjectedSeverIsRetryable(t *testing.T) {
+	c := simtime.NewClock()
+	l := NewLink(c, "wan", Gbps1, 0)
+	l.SetFaults(fault.NewPlan(1, 0).ForceAt(fault.SiteLinkAbort, 1).SetClock(c))
+	var got error
+	l.Start("vm0", gb, func(err error) { got = err })
+	c.Run()
+	if !errors.Is(got, ErrTransferAborted) || !errors.Is(got, hterr.ErrInjected) || !hterr.IsRetryable(got) {
+		t.Fatalf("severed transfer err = %v; want aborted+injected+retryable", got)
+	}
+}
+
+func TestInjectedLossSlowsTransfer(t *testing.T) {
+	baseline := func(p *fault.Plan) time.Duration {
+		c := simtime.NewClock()
+		l := NewLink(c, "wan", Gbps1, 0)
+		l.SetFaults(p)
+		var doneAt time.Duration
+		l.Start("vm0", gb, func(err error) {
+			if err != nil {
+				t.Fatalf("done err = %v", err)
+			}
+			doneAt = c.Now()
+		})
+		c.Run()
+		return doneAt
+	}
+	clean := baseline(nil)
+	lossy := baseline(fault.NewPlan(1, 0).ForceAt(fault.SiteLinkLoss, 1))
+	if lossy <= clean {
+		t.Fatalf("lossy transfer (%v) not slower than clean (%v)", lossy, clean)
+	}
+	if lossy > clean*2 {
+		t.Fatalf("lossy transfer (%v) more than 2x clean (%v)", lossy, clean)
+	}
 }

@@ -1,0 +1,47 @@
+package hypertp
+
+import (
+	"hypertp/internal/cluster"
+	"hypertp/internal/core"
+	"hypertp/internal/migration"
+	"hypertp/internal/orchestrator"
+	"hypertp/internal/report"
+)
+
+// The unified result vocabulary: every transplant-class operation —
+// InPlaceTP, MigrationTP, a cluster rolling upgrade, a fleet CVE
+// response — returns a concrete report that also implements Report, so
+// callers can treat any outcome uniformly via Summary().
+type (
+	// Report is implemented by every operation report in the stack.
+	Report = report.Report
+	// Summary is the operation-independent view of a report.
+	Summary = report.Summary
+	// Outcome is the terminal state of an operation.
+	Outcome = report.Outcome
+	// ClusterResult summarizes an executed cluster upgrade.
+	ClusterResult = cluster.Result
+)
+
+// Outcome values.
+const (
+	// OutcomeCompleted: finished on the first attempt, no faults.
+	OutcomeCompleted = report.OutcomeCompleted
+	// OutcomeRecovered: finished, but only after absorbing at least one
+	// fault (retry, crash recovery).
+	OutcomeRecovered = report.OutcomeRecovered
+	// OutcomeRolledBack: abandoned and fully undone; every VM still
+	// runs on the source with its state intact.
+	OutcomeRolledBack = report.OutcomeRolledBack
+	// OutcomeDegraded: a fleet operation completed partially — failed
+	// hosts were quarantined and their VMs re-planned.
+	OutcomeDegraded = report.OutcomeDegraded
+)
+
+// Compile-time proof that every operation report satisfies Report.
+var (
+	_ Report = (*core.InPlaceReport)(nil)
+	_ Report = (*migration.Report)(nil)
+	_ Report = cluster.Result{}
+	_ Report = (*orchestrator.FleetResponse)(nil)
+)
