@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check bench benchfig trace-demo fault-matrix
+.PHONY: all build vet fmt-check test race check bench benchfig trace-demo fault-matrix soak soak-short
 
 all: check
 
@@ -10,10 +10,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-# fmt-check fails (listing the offenders) if any file is not gofmt-clean.
+# fmt-check fails (listing the offenders) if any file is not gofmt-clean,
+# and runs vet so style and static checks gate together.
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
@@ -22,9 +24,11 @@ race:
 	$(GO) test -race ./...
 
 # check is the PR gate: formatting + vet + build + the full suite under
-# the race detector (the determinism and pool-stress tests rely on it).
+# the race detector (the determinism and pool-stress tests rely on it),
+# plus the short chaos soak and the parser fuzz seeds.
 check: fmt-check
 	$(GO) vet ./... && $(GO) build ./... && $(GO) test -race ./...
+	$(MAKE) soak-short
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
@@ -37,6 +41,23 @@ fault-matrix:
 	$(GO) test -race -count=1 \
 		-run 'TestRecoveryMatrix|TestFaultDeterminismAcrossWorkers' \
 		./internal/core/
+
+# soak runs a long randomized chaos scenario: 500 fleet operations under
+# fault injection with every global invariant audited after each step.
+# On a violation it exits 2 and writes a shrunk replay bundle.
+soak:
+	$(GO) run ./cmd/chaoscheck -seed 1 -ops 500 -fault-rate 0.15
+
+# soak-short is the tier-1 slice of the chaos harness: the short soak
+# under the race detector plus ten seconds of real fuzzing on each
+# network-facing parser (UISR state, Xen HVM context, KVM MSR block,
+# migration stream framing).
+soak-short:
+	$(GO) test -race -count=1 -run TestChaosSoakShort ./internal/chaos/
+	$(GO) test -race -fuzz FuzzDecode -fuzztime 10s ./internal/uisr/
+	$(GO) test -race -fuzz FuzzParseContext -fuzztime 10s ./internal/hv/xen/
+	$(GO) test -race -fuzz FuzzMSRBlock -fuzztime 10s ./internal/hv/kvm/
+	$(GO) test -race -fuzz FuzzStreamFraming -fuzztime 10s ./internal/migration/
 
 benchfig:
 	$(GO) run ./cmd/benchfig

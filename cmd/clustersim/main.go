@@ -26,6 +26,7 @@ import (
 
 	"hypertp/internal/cluster"
 	"hypertp/internal/fault"
+	"hypertp/internal/hterr"
 	"hypertp/internal/metrics"
 	"hypertp/internal/obs"
 )
@@ -45,9 +46,23 @@ func main() {
 	flag.Parse()
 	fc := faultConfig{Seed: *faultSeed, Rate: *faultRate, Sites: *faultSites}
 	if err := run(*hosts, *vmsPerHost, *group, *traceOut, *traceFrac, *metricsOut, fc); err != nil {
-		fmt.Fprintln(os.Stderr, "clustersim:", err)
-		os.Exit(1)
+		os.Exit(exitWithLabel("clustersim", err))
 	}
+}
+
+// exitWithLabel prints the error with its hterr class label and picks
+// the exit status: 2 for broken invariants and blown watchdogs (the
+// outcomes a CI soak must not swallow), 1 for everything else.
+func exitWithLabel(tool string, err error) int {
+	if class := hterr.Class(err); class != nil {
+		fmt.Fprintf(os.Stderr, "%s: %s: %v\n", tool, hterr.Label(class), err)
+		if class == hterr.ErrInvariantViolated || class == hterr.ErrWatchdogExpired {
+			return 2
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	return 1
 }
 
 // faultConfig carries the fault-injection flags.

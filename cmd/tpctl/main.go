@@ -30,6 +30,7 @@ import (
 
 	"hypertp/internal/core"
 	"hypertp/internal/fault"
+	"hypertp/internal/hterr"
 	"hypertp/internal/hv"
 	"hypertp/internal/hw"
 	"hypertp/internal/metrics"
@@ -86,9 +87,23 @@ func main() {
 		FaultPlan:  *faultPlan,
 		Verbose:    *verbose,
 	}); err != nil {
-		fmt.Fprintln(os.Stderr, "tpctl:", err)
-		os.Exit(1)
+		os.Exit(exitWithLabel("tpctl", err))
 	}
+}
+
+// exitWithLabel prints the error with its hterr class label and picks
+// the exit status: 2 for broken invariants and blown watchdogs (the
+// outcomes a CI soak must not swallow), 1 for everything else.
+func exitWithLabel(tool string, err error) int {
+	if class := hterr.Class(err); class != nil {
+		fmt.Fprintf(os.Stderr, "%s: %s: %v\n", tool, hterr.Label(class), err)
+		if class == hterr.ErrInvariantViolated || class == hterr.ErrWatchdogExpired {
+			return 2
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	return 1
 }
 
 func parseKind(s string) (hv.Kind, error) {

@@ -25,6 +25,15 @@ var (
 	// ErrInjected: the root cause was a deterministic injected fault
 	// rather than an organic failure.
 	ErrInjected = hterr.ErrInjected
+	// ErrInvariantViolated: an auditor found a broken global invariant
+	// (frame ownership, guest memory integrity, fleet bookkeeping, span
+	// structure). Indicates a bug in the stack, not a recoverable
+	// condition.
+	ErrInvariantViolated = hterr.ErrInvariantViolated
+	// ErrWatchdogExpired: an operation exceeded its virtual-time or
+	// attempt budget. A retry loop that would otherwise spin forever
+	// surfaces this instead of hanging.
+	ErrWatchdogExpired = hterr.ErrWatchdogExpired
 )
 
 // IsRetryable reports whether err is worth retrying: it carries
@@ -32,6 +41,7 @@ var (
 func IsRetryable(err error) bool { return hterr.IsRetryable(err) }
 
 // ErrorClass returns the dominant class sentinel carried by err
-// (ErrVMLost > ErrAborted > ErrRetryable > ErrIncompatibleTarget >
-// ErrInjected), or nil for unclassified errors.
+// (ErrVMLost > ErrInvariantViolated > ErrWatchdogExpired > ErrAborted >
+// ErrRetryable > ErrIncompatibleTarget > ErrInjected), or nil for
+// unclassified errors.
 func ErrorClass(err error) error { return hterr.Class(err) }

@@ -1,0 +1,65 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// bundleVersion gates replay compatibility: a bundle written by one
+// build replays only on builds that understand its layout.
+const bundleVersion = 1
+
+// Bundle is a self-contained, replayable record of a failing run: the
+// exact config, the (shrunk) op list, and what broke. Serialized as
+// indented JSON with struct-ordered fields, so identical failures
+// produce byte-identical bundles.
+type Bundle struct {
+	Version   int      `json:"version"`
+	Config    Config   `json:"config"`
+	Ops       []Op     `json:"ops"`
+	Invariant string   `json:"invariant"`
+	Detail    string   `json:"detail"`
+	Trace     []string `json:"trace,omitempty"`
+}
+
+// NewBundle packages a failing run (typically after Shrink) for replay.
+func NewBundle(cfg Config, ops []Op, fail *Failure, trace []string) *Bundle {
+	return &Bundle{
+		Version:   bundleVersion,
+		Config:    cfg.withDefaults(),
+		Ops:       append([]Op(nil), ops...),
+		Invariant: fail.Invariant,
+		Detail:    fail.Detail,
+		Trace:     append([]string(nil), trace...),
+	}
+}
+
+// Marshal renders the bundle deterministically.
+func (b *Bundle) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseBundle validates and decodes a replay bundle.
+func ParseBundle(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("chaos: bad bundle: %w", err)
+	}
+	if b.Version != bundleVersion {
+		return nil, fmt.Errorf("chaos: bundle version %d, want %d", b.Version, bundleVersion)
+	}
+	if len(b.Ops) == 0 {
+		return nil, fmt.Errorf("chaos: bundle has no ops")
+	}
+	return &b, nil
+}
+
+// Replay re-executes the bundle's ops under its config on a fresh
+// fleet. The caller inspects Result.Failure to confirm reproduction.
+func (b *Bundle) Replay() (*Result, error) {
+	return RunOps(b.Config, b.Ops)
+}

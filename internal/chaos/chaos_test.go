@@ -1,0 +1,235 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"hypertp/internal/par"
+)
+
+// soakConfig is the shared short-soak shape: enough ops to hit every op
+// kind and plenty of injected faults, small enough for tier-1.
+func soakConfig() Config {
+	return Config{Seed: 20210426, Ops: 80, Hosts: 4, VMs: 6, FaultRate: 0.15}
+}
+
+// TestChaosSoakShort is the tier-1 soak: a randomized scenario under
+// fault injection must end with every invariant intact.
+func TestChaosSoakShort(t *testing.T) {
+	res, err := Run(soakConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure != nil {
+		t.Fatalf("invariant violated:\n%s", res.Summary())
+	}
+	if res.Executed != res.Config.Ops {
+		t.Fatalf("executed %d of %d ops", res.Executed, res.Config.Ops)
+	}
+	if res.OpErrors == 0 {
+		t.Fatal("soak with fault injection recorded no op errors — injection is not reaching the stack")
+	}
+	if res.Faulted == 0 {
+		t.Fatal("no op carried a fault plan")
+	}
+	kinds := map[string]bool{}
+	for _, op := range res.Ops {
+		kinds[op.Kind] = true
+	}
+	for _, k := range []string{OpWorkload, OpMigrate, OpUpgrade, OpRespond, OpQuarantine, OpReturn, OpLinkDown, OpLinkUp, OpSweep} {
+		if !kinds[k] {
+			t.Errorf("generated stream never produced op kind %q", k)
+		}
+	}
+}
+
+// TestGenerateDeterministic: the op stream is a pure function of the
+// seed — and independent of the fault rate, so a fault-free replay of a
+// faulty run executes the same operations.
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := soakConfig()
+	a, b := Generate(cfg), Generate(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs across identical generations: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	noFaults := cfg
+	noFaults.FaultRate = 0
+	c := Generate(noFaults)
+	for i := range a {
+		ac := a[i]
+		ac.Fault = 0
+		if ac != c[i] {
+			t.Fatalf("op %d depends on the fault rate: %+v vs %+v", i, a[i], c[i])
+		}
+		if c[i].Fault != 0 {
+			t.Fatalf("op %d carries a fault seed at rate 0", i)
+		}
+	}
+	other := Generate(Config{Seed: cfg.Seed + 1, Ops: cfg.Ops, Hosts: cfg.Hosts, VMs: cfg.VMs})
+	same := 0
+	for i := range a {
+		if a[i].Kind == other[i].Kind {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds generated identical op streams")
+	}
+}
+
+// TestRunDeterministicAcrossWorkers: the whole run — trace, summary,
+// virtual time — must be identical at any worker-pool size.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	defer par.SetWorkers(0)
+	var summaries []string
+	var traces [][]string
+	for _, w := range []int{1, 4, 8} {
+		par.SetWorkers(w)
+		res, err := Run(soakConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		summaries = append(summaries, res.Summary())
+		traces = append(traces, res.Trace)
+	}
+	for i := 1; i < len(summaries); i++ {
+		if summaries[i] != summaries[0] {
+			t.Fatalf("summary differs between workers=1 and workers=%d:\n%s\nvs\n%s",
+				[]int{1, 4, 8}[i], summaries[0], summaries[i])
+		}
+		for j := range traces[0] {
+			if traces[i][j] != traces[0][j] {
+				t.Fatalf("trace line %d differs across worker counts:\n%s\nvs\n%s",
+					j, traces[0][j], traces[i][j])
+			}
+		}
+	}
+}
+
+// brokenRun runs a soak with the given deliberate breaker armed and
+// returns the run; it fails the test if no violation is caught.
+func brokenRun(t *testing.T, breaker, wantInvariant string) *Result {
+	t.Helper()
+	cfg := soakConfig()
+	cfg.FaultRate = 0 // keep the breaker's trigger ops error-free
+	cfg.Break = breaker
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure == nil {
+		t.Fatalf("breaker %q not caught by any audit", breaker)
+	}
+	if res.Failure.Invariant != wantInvariant {
+		t.Fatalf("breaker %q flagged as %q, want %q (%s)",
+			breaker, res.Failure.Invariant, wantInvariant, res.Failure.Detail)
+	}
+	return res
+}
+
+// TestBreakerLeakFrameCaughtShrunkReplayed is the end-to-end negative
+// path: a planted frame leak is caught, shrunk to a handful of ops, and
+// the bundle replays to the same violation.
+func TestBreakerLeakFrameCaughtShrunkReplayed(t *testing.T) {
+	cfg := soakConfig()
+	cfg.FaultRate = 0
+	cfg.Break = "leak-frame"
+	res := brokenRun(t, "leak-frame", "frame-ownership")
+
+	ops, fail := Shrink(cfg, res.Ops, res.Failure)
+	if len(ops) > 10 {
+		t.Fatalf("shrunk reproduction has %d ops, want <= 10", len(ops))
+	}
+	if fail.Invariant != "frame-ownership" {
+		t.Fatalf("shrinking drifted to invariant %q", fail.Invariant)
+	}
+
+	b := NewBundle(cfg, ops, fail, nil)
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := parsed.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Failure == nil || replay.Failure.Invariant != "frame-ownership" {
+		t.Fatalf("replayed bundle did not reproduce the violation: %+v", replay.Failure)
+	}
+}
+
+// TestBreakerCorruptMemoryCaught: a byte flipped behind the guest's
+// write journal trips the memory-integrity audit.
+func TestBreakerCorruptMemoryCaught(t *testing.T) {
+	brokenRun(t, "corrupt-memory", "memory-integrity")
+}
+
+// TestShrinkerDeterministicAcrossWorkers: acceptance criterion — same
+// seed and violation shrink to a byte-identical bundle at any
+// worker-pool size.
+func TestShrinkerDeterministicAcrossWorkers(t *testing.T) {
+	defer par.SetWorkers(0)
+	cfg := soakConfig()
+	cfg.Ops = 40
+	cfg.FaultRate = 0
+	cfg.Break = "leak-frame"
+	var bundles [][]byte
+	for _, w := range []int{1, 4, 8} {
+		par.SetWorkers(w)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failure == nil {
+			t.Fatal("breaker not caught")
+		}
+		ops, fail := Shrink(cfg, res.Ops, res.Failure)
+		data, err := NewBundle(cfg, ops, fail, nil).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bundles = append(bundles, data)
+	}
+	for i := 1; i < len(bundles); i++ {
+		if !bytes.Equal(bundles[i], bundles[0]) {
+			t.Fatalf("bundle differs between workers=1 and workers=%d:\n%s\nvs\n%s",
+				[]int{1, 4, 8}[i], bundles[0], bundles[i])
+		}
+	}
+}
+
+// TestWatchdogBudgetViolation: an op that charges more virtual time
+// than the per-op budget is flagged as a livelock by the audit.
+func TestWatchdogBudgetViolation(t *testing.T) {
+	cfg := soakConfig()
+	cfg.OpBudget = 1 // nanosecond budget: the first real op blows it
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure == nil || res.Failure.Invariant != "watchdog" {
+		t.Fatalf("watchdog budget not enforced: %+v", res.Failure)
+	}
+	if err := res.Failure.Err(); err == nil {
+		t.Fatal("watchdog failure renders a nil error")
+	}
+}
+
+// TestBundleParseRejects covers the bundle validation paths.
+func TestBundleParseRejects(t *testing.T) {
+	if _, err := ParseBundle([]byte("not json")); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+	if _, err := ParseBundle([]byte(`{"version": 99, "ops": [{"kind":"workload"}]}`)); err == nil {
+		t.Fatal("accepted unknown version")
+	}
+	if _, err := ParseBundle([]byte(`{"version": 1, "ops": []}`)); err == nil {
+		t.Fatal("accepted empty op list")
+	}
+}

@@ -1,0 +1,227 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"hypertp/internal/cluster"
+	"hypertp/internal/core"
+	"hypertp/internal/fault"
+	"hypertp/internal/hterr"
+	"hypertp/internal/hv"
+	"hypertp/internal/hw"
+)
+
+// deadVMID is the never-allocated VM id the "leak-frame" breaker tags
+// its planted frame with.
+const deadVMID = 1 << 20
+
+// step runs one op to quiescence: arm the op's fault plan, apply, drain
+// the event queue, detach the plan, reconcile losses, and apply the
+// deliberate breaker (if armed). Returns the deterministic trace line.
+func (h *harness) step(op *Op) string {
+	start := h.clock.Now()
+	mets := h.rec.Metrics()
+	mets.Counter("chaos.ops", "ops").Add(1)
+	preQ := make(map[string]bool)
+	for _, name := range h.hosts {
+		preQ[name] = h.nova.Quarantined(name)
+	}
+	if op.Fault != 0 && h.cfg.FaultRate > 0 {
+		h.nova.SetFaults(fault.NewPlan(op.Fault, h.cfg.FaultRate))
+	}
+	line, err := h.apply(op)
+	h.clock.Run()
+	h.nova.SetFaults(nil)
+	h.lastErr = err
+	h.lastElapsed = h.clock.Now() - start
+	if err != nil {
+		mets.Counter("chaos.op_errors", "ops").Add(1)
+		line = fmt.Sprintf("error[%s]: %v", hterr.Label(hterr.Class(err)), err)
+		if errors.Is(err, hterr.ErrVMLost) {
+			// A host died mid-transplant. Nova reconciles by fencing it
+			// and purging its rows; any freshly fenced host whose
+			// machine truth no longer matches the database is declared
+			// dead so later audits skip the wreck. The loss itself is a
+			// recorded outcome — Nova forgetting to reconcile is what
+			// the bookkeeping audit would catch.
+			for _, name := range h.hosts {
+				if !h.dead[name] && !preQ[name] && h.nova.Quarantined(name) &&
+					h.checkBookkeeping(name) != "" {
+					h.dead[name] = true
+					mets.Counter("chaos.hosts_lost", "hosts").Add(1)
+				}
+			}
+		}
+	}
+	h.applyBreak(op, err)
+	h.syncVMs()
+	return line
+}
+
+// apply executes one op. A nil error with a "skip:" line means the op
+// no longer applies to the current fleet state (its VM or host is
+// gone) — a recorded outcome, deliberately not a failure, so shrinking
+// can drop earlier ops without invalidating later ones.
+func (h *harness) apply(op *Op) (string, error) {
+	switch op.Kind {
+	case OpWorkload:
+		vm := h.lookupVM(op.VM)
+		if vm == nil || vm.Guest == nil {
+			return "skip: vm gone", nil
+		}
+		pages := op.Pages
+		if pages <= 0 {
+			pages = 8
+		}
+		if err := vm.Guest.WriteWorkingSet(hw.GFN(pages%64), pages); err != nil {
+			return "", err
+		}
+		if err := h.refreshBaseline(op.VM); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s wrote %d pages", op.VM, pages), nil
+
+	case OpMigrate:
+		rec, ok := h.nova.Record(op.VM)
+		if !ok {
+			return "skip: vm gone", nil
+		}
+		if h.dead[op.Target] {
+			return "skip: target dead", nil
+		}
+		if rec.Node == op.Target {
+			return "skip: already placed", nil
+		}
+		if _, err := h.nova.LiveMigrate(op.VM, op.Target); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s %s→%s", op.VM, rec.Node, op.Target), nil
+
+	case OpUpgrade:
+		if h.dead[op.Host] {
+			return "skip: host dead", nil
+		}
+		node, ok := h.nova.Node(op.Host)
+		if !ok {
+			return "", fmt.Errorf("chaos: unknown host %q", op.Host)
+		}
+		target := hv.KindKVM
+		if node.Driver.HypervisorKind() == hv.KindKVM {
+			target = hv.KindXen
+		}
+		up, err := h.nova.HostLiveUpgrade(op.Host, target, core.DefaultOptions())
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s → %v (evacuated %d)", op.Host, target, len(up.EvacuatedVMs)), nil
+
+	case OpQuarantine:
+		if h.dead[op.Host] {
+			return "skip: host dead", nil
+		}
+		replanned, stranded, err := h.nova.Quarantine(op.Host)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s fenced (replanned %d, stranded %d)", op.Host, len(replanned), len(stranded)), nil
+
+	case OpReturn:
+		if h.dead[op.Host] {
+			return "skip: host dead", nil
+		}
+		if err := h.nova.Return(op.Host); err != nil {
+			return "", err
+		}
+		return op.Host + " returned", nil
+
+	case OpLinkDown:
+		h.fabric.SetDown(true)
+		return "fabric severed", nil
+
+	case OpLinkUp:
+		h.fabric.SetDown(false)
+		return "fabric restored", nil
+
+	case OpRespond:
+		resp, err := h.nova.RespondToCVE(h.db, op.Target, []string{"xen", "kvm"}, core.DefaultOptions())
+		if err != nil {
+			return "", err
+		}
+		h.lastRespond = op.Target
+		return fmt.Sprintf("%s: upgraded %d, skipped %d, quarantined %d",
+			op.Target, len(resp.UpgradedNodes), len(resp.SkippedNodes), len(resp.QuarantinedNodes)), nil
+
+	case OpSweep:
+		return h.sweep(op)
+	}
+	return "", fmt.Errorf("chaos: unknown op kind %q", op.Kind)
+}
+
+// sweep runs the clock-less BtrPlace-style rolling-upgrade planner on a
+// self-contained cluster and self-validates the result — the cluster
+// package's consistency exercised under the same fault seeds.
+func (h *harness) sweep(op *Op) (string, error) {
+	c, err := cluster.New(cluster.Config{Hosts: 6, VMsPerHost: 4, StreamFrac: 0.3, CPUFrac: 0.3})
+	if err != nil {
+		return "", err
+	}
+	c.SetInPlaceCompatibleFraction(0.7, op.Fault)
+	var plan *fault.Plan
+	if op.Fault != 0 && h.cfg.FaultRate > 0 {
+		plan = fault.NewPlan(op.Fault, h.cfg.FaultRate).Restrict(fault.SiteClusterHost)
+	}
+	_, res, err := c.ExecuteRollingUpgrade(2, cluster.DefaultExecutionModel(), nil, plan)
+	if err != nil {
+		return "", err
+	}
+	if err := c.Validate(); err != nil {
+		return "", hterr.InvariantViolated(fmt.Errorf("chaos: planner sweep left the cluster invalid: %w", err))
+	}
+	return fmt.Sprintf("planned %d migrations (%s)", res.Migrations, res.Outcome), nil
+}
+
+// applyBreak is the deliberate invariant breaker behind Config.Break —
+// the harness's own negative test, proving the auditor catches what it
+// claims to.
+func (h *harness) applyBreak(op *Op, opErr error) {
+	if h.cfg.Break == "" || opErr != nil {
+		return
+	}
+	switch h.cfg.Break {
+	case "leak-frame":
+		if op.Kind != OpUpgrade || h.dead[op.Host] {
+			return
+		}
+		node, ok := h.nova.Node(op.Host)
+		if !ok {
+			return
+		}
+		// One VM_i State frame tagged to a VM id that never existed:
+		// the residue of a forgotten teardown path.
+		_, _ = node.Driver.Hypervisor().Machine().Mem.Alloc(1, hw.OwnerVMState, deadVMID)
+	case "corrupt-memory":
+		if op.Kind != OpWorkload {
+			return
+		}
+		vm := h.lookupVM(op.VM)
+		if vm == nil {
+			return
+		}
+		exts := vm.Space.Extents()
+		if len(exts) == 0 {
+			return
+		}
+		rec, ok := h.nova.Record(op.VM)
+		if !ok {
+			return
+		}
+		node, ok := h.nova.Node(rec.Node)
+		if !ok {
+			return
+		}
+		// Flip a guest byte directly in physical memory, behind the
+		// guest's write journal.
+		_ = node.Driver.Hypervisor().Machine().Mem.Write(hw.MFN(exts[0].MFN), 13, []byte{0xAA})
+	}
+}

@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"fmt"
+
+	"hypertp/internal/simtime"
+)
+
+// The operation vocabulary. Ops reference hosts and VMs by name; the
+// executor resolves names against the current fleet state, so a
+// generated op stays meaningful (or degrades to a recorded skip) when
+// shrinking removes the ops before it.
+const (
+	// OpWorkload makes a guest write a working set and re-baselines its
+	// memory checksum.
+	OpWorkload = "workload"
+	// OpMigrate live-migrates a VM to a target host.
+	OpMigrate = "migrate"
+	// OpUpgrade transplants a host in place to the other hypervisor
+	// kind (Xen↔KVM, whichever direction applies at execution time).
+	OpUpgrade = "upgrade"
+	// OpRespond runs the fleet-wide CVE response for the CVE in Target.
+	OpRespond = "respond-cve"
+	// OpQuarantine drains and fences a host; OpReturn brings it back.
+	OpQuarantine = "quarantine"
+	OpReturn     = "return"
+	// OpLinkDown severs the fabric link; OpLinkUp restores it.
+	OpLinkDown = "link-down"
+	OpLinkUp   = "link-up"
+	// OpSweep runs the clock-less rolling-upgrade planner (the cluster
+	// package) as a self-contained consistency exercise.
+	OpSweep = "cluster-sweep"
+)
+
+// Op is one generated operation. The zero fields are omitted from
+// bundles to keep them readable.
+type Op struct {
+	Kind   string `json:"kind"`
+	Host   string `json:"host,omitempty"`
+	VM     string `json:"vm,omitempty"`
+	Target string `json:"target,omitempty"`
+	Pages  int    `json:"pages,omitempty"`
+	// Fault seeds this op's fault plan (0 = no injection for this op).
+	Fault uint64 `json:"fault,omitempty"`
+}
+
+// respondCVEs are the named critical vulnerabilities the generator draws
+// from: one affecting both pool members (the VENOM refusal path), one
+// Xen-only and two KVM-only (the upgrade paths in each direction).
+var respondCVEs = []string{"CVE-2015-3456", "CVE-2016-6258", "CVE-2017-12188", "CVE-2013-0311"}
+
+// Generate derives cfg.Ops operations from cfg.Seed via SplitMix64 — the
+// same stream every time, on every platform, at any worker count.
+func Generate(cfg Config) []Op {
+	cfg = cfg.withDefaults()
+	rng := simtime.NewRand(cfg.Seed)
+	host := func() string { return fmt.Sprintf("host-%02d", rng.Intn(cfg.Hosts)) }
+	vm := func() string { return fmt.Sprintf("vm-%02d", rng.Intn(cfg.VMs)) }
+	ops := make([]Op, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		var op Op
+		switch w := rng.Intn(100); {
+		case w < 30:
+			op = Op{Kind: OpWorkload, VM: vm(), Pages: 1 + rng.Intn(64)}
+		case w < 50:
+			op = Op{Kind: OpMigrate, VM: vm(), Target: host()}
+		case w < 68:
+			op = Op{Kind: OpUpgrade, Host: host()}
+		case w < 75:
+			op = Op{Kind: OpQuarantine, Host: host()}
+		case w < 82:
+			op = Op{Kind: OpReturn, Host: host()}
+		case w < 86:
+			op = Op{Kind: OpLinkDown}
+		case w < 90:
+			op = Op{Kind: OpLinkUp}
+		case w < 96:
+			op = Op{Kind: OpRespond, Target: respondCVEs[rng.Intn(len(respondCVEs))]}
+		default:
+			op = Op{Kind: OpSweep}
+		}
+		// Half the ops run under a fresh deterministic fault plan when
+		// injection is enabled; the seed is drawn unconditionally so
+		// the op stream does not depend on the fault rate.
+		if seed := rng.Uint64() | 1; rng.Float64() < 0.5 && cfg.FaultRate > 0 {
+			op.Fault = seed
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}

@@ -1,0 +1,31 @@
+package chaos
+
+// Shrink reduces a failing op list to a locally minimal prefix that
+// still violates the same invariant: first truncate everything after
+// the failing op, then greedily drop single ops, re-running the
+// deterministic harness on each candidate, until no single removal
+// preserves the failure. Every candidate run is a fresh fleet, so the
+// result is exact, not heuristic. Returns the minimal ops and the
+// failure they reproduce.
+func Shrink(cfg Config, ops []Op, fail *Failure) ([]Op, *Failure) {
+	cfg = cfg.withDefaults()
+	cur := append([]Op(nil), ops[:fail.OpIndex+1]...)
+	curFail := fail
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			cand := make([]Op, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			res, err := RunOps(cfg, cand)
+			if err != nil || res.Failure == nil || res.Failure.Invariant != curFail.Invariant {
+				continue
+			}
+			cur = cand[:res.Failure.OpIndex+1]
+			curFail = res.Failure
+			changed = true
+			i--
+		}
+	}
+	return cur, curFail
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"hypertp/internal/fault"
+	"hypertp/internal/hterr"
 	"hypertp/internal/hw"
 	"hypertp/internal/obs"
 	rpt "hypertp/internal/report"
@@ -539,24 +540,25 @@ func (c *Cluster) ExecuteRollingUpgrade(groupSize int, m ExecutionModel, rec *ob
 }
 
 // Validate checks cluster invariants: every VM placed exactly once, no
-// host over capacity.
+// host over capacity. Failures are classified hterr.ErrInvariantViolated
+// so callers (clustersim, the chaos auditor) can route on the class.
 func (c *Cluster) Validate() error {
 	seen := map[int]int{}
 	for _, h := range c.hosts {
 		v, mem := h.Load()
 		if v > h.CapVCPUs || mem > h.CapMem {
-			return fmt.Errorf("cluster: host %d over capacity (%d vCPUs, %d bytes)", h.ID, v, mem)
+			return hterr.InvariantViolated(fmt.Errorf("cluster: host %d over capacity (%d vCPUs, %d bytes)", h.ID, v, mem))
 		}
 		for id, vm := range h.vms {
 			if vm.Host != h.ID {
-				return fmt.Errorf("cluster: VM %d host field %d != %d", id, vm.Host, h.ID)
+				return hterr.InvariantViolated(fmt.Errorf("cluster: VM %d host field %d != %d", id, vm.Host, h.ID))
 			}
 			seen[id]++
 		}
 	}
 	for id := range c.vms {
 		if seen[id] != 1 {
-			return fmt.Errorf("cluster: VM %d placed %d times", id, seen[id])
+			return hterr.InvariantViolated(fmt.Errorf("cluster: VM %d placed %d times", id, seen[id]))
 		}
 	}
 	return nil

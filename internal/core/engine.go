@@ -516,10 +516,14 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	// line pointer — the real handover.
 	sp = e.Obs.Start(trace.StepBoot)
 	var dst hv.Hypervisor
+	bootStart := e.Clock.Now()
 	for attempt := 1; ; attempt++ {
 		if ferr := e.Fault.Fire(fault.SiteHVBoot); ferr != nil {
 			if attempt >= retry.Attempts() {
 				return lost(fmt.Errorf("core: target hypervisor failed to boot %d times: %w", attempt, ferr))
+			}
+			if werr := retry.Exceeded(attempt, e.Clock.Now()-bootStart); werr != nil {
+				return lost(fmt.Errorf("core: target hypervisor boot: %w", werr))
 			}
 			// The target hypervisor crashed during boot; PRAM survives
 			// and the watchdog reboot retries, charging a full boot.
@@ -540,10 +544,14 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	}
 	reparseCost := parseCost + time.Duration(len(vms))*cost.PRAMParsePerVM
 	var parsed *pram.Structure
+	parseStart := e.Clock.Now()
 	for attempt := 1; ; attempt++ {
 		if ferr := e.Fault.Fire(fault.SitePRAMParse); ferr != nil {
 			if attempt >= retry.Attempts() {
 				return lost(fmt.Errorf("core: PRAM parse failed %d times: %w", attempt, ferr))
+			}
+			if werr := retry.Exceeded(attempt, e.Clock.Now()-parseStart); werr != nil {
+				return lost(fmt.Errorf("core: PRAM parse: %w", werr))
 			}
 			// The boot-time parse crashed partway. The structure in
 			// preserved RAM is read-only during parsing, so recovery
@@ -610,10 +618,14 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		st := restored[i]
 		st.MemMap = mf.Extents
 		var newVM *hv.VM
+		restoreStart := e.Clock.Now()
 		for attempt := 1; ; attempt++ {
 			if ferr := e.Fault.Fire(fault.SiteUISRRestore); ferr != nil {
 				if attempt >= retry.Attempts() {
 					return lost(fmt.Errorf("core: restore of %q failed %d times: %w", s.res.Name, attempt, ferr))
+				}
+				if werr := retry.Exceeded(attempt, e.Clock.Now()-restoreStart); werr != nil {
+					return lost(fmt.Errorf("core: restore of %q: %w", s.res.Name, werr))
 				}
 				// Crash mid-restoration (§3.2: failure after the kexec
 				// point): the target re-parses the intact PRAM

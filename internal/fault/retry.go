@@ -1,20 +1,73 @@
 package fault
 
-import "time"
+import (
+	"fmt"
+	"time"
+
+	"hypertp/internal/hterr"
+)
 
 // RetryPolicy bounds the recovery loops: how many attempts an operation
 // gets and how long (in virtual time) to back off between them. The
 // zero value means "one attempt, no backoff" — existing callers that
 // never opted into retry keep their old semantics.
+//
+// Independent of MaxAttempts, every retry loop runs under a hard
+// watchdog (Exceeded): no configuration — not even MaxAttempts set to
+// MaxInt — can make a loop spin unbounded. Blowing the watchdog
+// surfaces hterr.ErrWatchdogExpired instead of hanging.
 type RetryPolicy struct {
 	// MaxAttempts is the total attempt budget (first try included).
-	// Values below 1 behave as 1.
+	// Values below 1 behave as 1; values above HardAttemptCap are
+	// clamped by the watchdog.
 	MaxAttempts int
 	// BaseBackoff is the virtual-time wait before the second attempt.
 	BaseBackoff time.Duration
 	// Multiplier grows the backoff exponentially per extra attempt
 	// (values below 1 behave as 1 — constant backoff).
 	Multiplier float64
+	// MaxElapsed bounds the total virtual time a retry loop may consume
+	// from its first attempt, regardless of how many attempts remain.
+	// Zero takes DefaultMaxElapsed; it cannot be disabled.
+	MaxElapsed time.Duration
+}
+
+// HardAttemptCap is the absolute ceiling on retry attempts, applied on
+// top of MaxAttempts. It is far above any sane policy — its only job is
+// turning a misconfigured "infinite" retry into a watchdog error.
+const HardAttemptCap = 256
+
+// DefaultMaxElapsed is the virtual-time watchdog budget a retry loop
+// gets when the policy does not set one: generous against the slowest
+// calibrated machine profile (multi-second boots, multi-GB PRAM
+// parses), but finite.
+const DefaultMaxElapsed = 15 * time.Minute
+
+// ElapsedCap returns the effective virtual-time budget (MaxElapsed, or
+// DefaultMaxElapsed when unset).
+func (r RetryPolicy) ElapsedCap() time.Duration {
+	if r.MaxElapsed > 0 {
+		return r.MaxElapsed
+	}
+	return DefaultMaxElapsed
+}
+
+// Exceeded is the retry watchdog: attempt counts completed attempts and
+// elapsed is the virtual time since the loop's first attempt began. It
+// returns nil while another attempt is within budget, and an error
+// classified hterr.ErrWatchdogExpired once the hard attempt cap or the
+// elapsed-virtual-time cap is blown. Retry loops must consult it before
+// every re-attempt, after their ordinary MaxAttempts check.
+func (r RetryPolicy) Exceeded(attempt int, elapsed time.Duration) error {
+	if attempt >= HardAttemptCap {
+		return hterr.WatchdogExpired(fmt.Errorf(
+			"fault: retry watchdog: %d attempts reached the hard cap %d", attempt, HardAttemptCap))
+	}
+	if budget := r.ElapsedCap(); elapsed >= budget {
+		return hterr.WatchdogExpired(fmt.Errorf(
+			"fault: retry watchdog: %v of virtual time spent retrying, budget %v", elapsed, budget))
+	}
+	return nil
 }
 
 // DefaultRetryPolicy is the paper-faithful recovery budget: three

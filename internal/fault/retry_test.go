@@ -1,0 +1,53 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hypertp/internal/hterr"
+)
+
+func TestRetryWatchdogWithinBudget(t *testing.T) {
+	r := DefaultRetryPolicy()
+	if err := r.Exceeded(0, 0); err != nil {
+		t.Fatalf("fresh loop exceeded: %v", err)
+	}
+	if err := r.Exceeded(HardAttemptCap-1, DefaultMaxElapsed-1); err != nil {
+		t.Fatalf("loop inside both caps exceeded: %v", err)
+	}
+}
+
+func TestRetryWatchdogAttemptCap(t *testing.T) {
+	// Even a policy configured for effectively infinite attempts hits
+	// the hard cap — misconfiguration cannot buy an unbounded loop.
+	r := RetryPolicy{MaxAttempts: 1 << 30}
+	err := r.Exceeded(HardAttemptCap, 0)
+	if err == nil || !errors.Is(err, hterr.ErrWatchdogExpired) {
+		t.Fatalf("attempt cap err = %v, want ErrWatchdogExpired", err)
+	}
+}
+
+func TestRetryWatchdogElapsedCap(t *testing.T) {
+	r := RetryPolicy{MaxElapsed: time.Minute}
+	if r.ElapsedCap() != time.Minute {
+		t.Fatalf("ElapsedCap = %v", r.ElapsedCap())
+	}
+	err := r.Exceeded(1, time.Minute)
+	if err == nil || !errors.Is(err, hterr.ErrWatchdogExpired) {
+		t.Fatalf("elapsed cap err = %v, want ErrWatchdogExpired", err)
+	}
+	if err := r.Exceeded(1, time.Minute-1); err != nil {
+		t.Fatalf("inside elapsed cap: %v", err)
+	}
+}
+
+func TestRetryWatchdogDefaultElapsed(t *testing.T) {
+	var r RetryPolicy // zero policy still carries the default budget
+	if r.ElapsedCap() != DefaultMaxElapsed {
+		t.Fatalf("zero policy ElapsedCap = %v, want %v", r.ElapsedCap(), DefaultMaxElapsed)
+	}
+	if err := r.Exceeded(1, DefaultMaxElapsed+1); err == nil {
+		t.Fatal("default elapsed budget not enforced")
+	}
+}

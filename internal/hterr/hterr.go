@@ -16,6 +16,12 @@
 //	ErrInjected           the proximate cause was a deterministic fault
 //	                      injection (internal/fault), composable with any
 //	                      of the classes above
+//	ErrInvariantViolated  a global invariant the correctness argument
+//	                      rests on (frame ownership, guest integrity,
+//	                      fleet bookkeeping, span structure) was broken
+//	ErrWatchdogExpired    an operation failed to complete or roll back
+//	                      within its virtual-time budget — a livelock
+//	                      turned into a failure instead of a silent hang
 //
 // Classification wraps rather than replaces: Abort(Retry(err)) satisfies
 // errors.Is for ErrAborted, ErrRetryable, and everything err itself
@@ -44,6 +50,13 @@ var (
 	ErrIncompatibleTarget = errors.New("incompatible transplant target")
 	// ErrInjected marks a deliberately injected fault.
 	ErrInjected = errors.New("injected fault")
+	// ErrInvariantViolated marks a broken global invariant detected by
+	// an auditor (internal/chaos, hw.AuditOwners).
+	ErrInvariantViolated = errors.New("invariant violated")
+	// ErrWatchdogExpired marks an operation that blew its virtual-time
+	// or attempt budget: a retry loop or transplant that would otherwise
+	// spin forever.
+	ErrWatchdogExpired = errors.New("watchdog expired")
 )
 
 // classified attaches one sentinel class to an underlying cause. Both
@@ -84,16 +97,48 @@ func Incompatible(err error) error { return Classify(ErrIncompatibleTarget, err)
 // Injected marks err as caused by deterministic fault injection.
 func Injected(err error) error { return Classify(ErrInjected, err) }
 
+// InvariantViolated marks err as a broken global invariant.
+func InvariantViolated(err error) error { return Classify(ErrInvariantViolated, err) }
+
+// WatchdogExpired marks err as a blown virtual-time or attempt budget.
+func WatchdogExpired(err error) error { return Classify(ErrWatchdogExpired, err) }
+
 // Class reports the highest-priority sentinel err carries, or nil. The
 // priority order puts the terminal outcome first: a lost VM dominates
-// everything, a clean abort dominates retryability.
+// everything, a broken invariant or blown watchdog dominates the
+// recoverable classes, and a clean abort dominates retryability.
 func Class(err error) error {
-	for _, class := range []error{ErrVMLost, ErrAborted, ErrRetryable, ErrIncompatibleTarget, ErrInjected} {
+	for _, class := range []error{ErrVMLost, ErrInvariantViolated, ErrWatchdogExpired,
+		ErrAborted, ErrRetryable, ErrIncompatibleTarget, ErrInjected} {
 		if errors.Is(err, class) {
 			return class
 		}
 	}
 	return nil
+}
+
+// Label renders a class sentinel (as returned by Class) as a short
+// stable token for command-line exit messages; unclassified errors
+// label as "unclassified".
+func Label(class error) string {
+	switch class {
+	case ErrVMLost:
+		return "vm-lost"
+	case ErrInvariantViolated:
+		return "invariant-violated"
+	case ErrWatchdogExpired:
+		return "watchdog-expired"
+	case ErrAborted:
+		return "aborted"
+	case ErrRetryable:
+		return "retryable"
+	case ErrIncompatibleTarget:
+		return "incompatible-target"
+	case ErrInjected:
+		return "injected"
+	default:
+		return "unclassified"
+	}
 }
 
 // IsRetryable reports whether err is safe to retry: explicitly marked

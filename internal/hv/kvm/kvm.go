@@ -147,6 +147,14 @@ func (k *KVM) instantiate(id hv.VMID, cfg hv.Config, st *uisr.VMState,
 	if err != nil {
 		return nil, err
 	}
+	// Nothing below may leak the space on failure: freshly allocated
+	// guest memory is released, adopted PRAM memory is left intact
+	// (still guest-tagged) for the restore retry to adopt again.
+	undoSpace := func() {
+		if opts.Mode == hv.RestoreAllocate {
+			_ = space.Release()
+		}
+	}
 
 	weight := int(st.Weight)
 	if weight == 0 {
@@ -160,6 +168,7 @@ func (k *KVM) instantiate(id hv.VMID, cfg hv.Config, st *uisr.VMState,
 	for i := range st.VCPUs {
 		vs, err := vcpuFromUISR(&st.VCPUs[i])
 		if err != nil {
+			undoSpace()
 			return nil, fmt.Errorf("kvm: vCPU %d: %w", i, err)
 		}
 		proc.vcpus = append(proc.vcpus, vs)
@@ -188,6 +197,7 @@ func (k *KVM) instantiate(id hv.VMID, cfg hv.Config, st *uisr.VMState,
 		len(proc.memslots)*32 + 1024 // irqchip + pit
 	proc.stateFrames, err = k.machine.Mem.Alloc(framesFor(stateBytes), hw.OwnerVMState, int(id))
 	if err != nil {
+		undoSpace()
 		return nil, err
 	}
 

@@ -1,0 +1,38 @@
+package kvm
+
+import (
+	"testing"
+
+	"hypertp/internal/hv"
+	"hypertp/internal/hw"
+	"hypertp/internal/simtime"
+	"hypertp/internal/uisr"
+)
+
+// TestRestoreFailureLeaksNoFrames mirrors the xen regression: a restore
+// that allocates guest memory and then fails (no room for the per-vCPU
+// state frames) must release the address space on the way out.
+func TestRestoreFailureLeaksNoFrames(t *testing.T) {
+	prof := hw.M1()
+	prof.RAMBytes = 512 << 20
+	m := hw.NewMachine(simtime.NewClock(), prof)
+	k, err := Boot(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := m.Mem.FreeFrames()
+	st := uisr.SyntheticVM("too-big", 1, 2, freeBefore*hw.PageSize4K, 11)
+	if _, err := k.RestoreUISR(st, hv.RestoreOptions{Mode: hv.RestoreAllocate}); err == nil {
+		t.Fatal("restore with no room for VM state succeeded")
+	}
+	if free := m.Mem.FreeFrames(); free != freeBefore {
+		t.Fatalf("failed restore leaked %d frames", freeBefore-free)
+	}
+	if vs := m.Mem.AuditOwners(map[int]bool{}); vs != nil {
+		t.Fatalf("failed restore left violations: %v", vs)
+	}
+	ok := uisr.SyntheticVM("fits", 2, 1, 64<<20, 12)
+	if _, err := k.RestoreUISR(ok, hv.RestoreOptions{Mode: hv.RestoreAllocate}); err != nil {
+		t.Fatal(err)
+	}
+}

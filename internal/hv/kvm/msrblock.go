@@ -1,0 +1,58 @@
+package kvm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The KVM_GET_MSRS/KVM_SET_MSRS wire image: struct kvm_msrs — a u32
+// count, u32 pad, then 16-byte kvm_msr_entry records (u32 index, u32
+// reserved, u64 value). MigrationTP ships this block inside the UISR
+// state; the parser below is the boundary that consumes bytes produced
+// by another host's toolstack, so it rejects rather than trusts.
+
+// maxMsrEntries bounds the count field (KVM's own KVM_MAX_MSR_ENTRIES
+// ceiling), so a corrupt header fails parsing instead of allocating.
+const maxMsrEntries = 4096
+
+// marshalMsrs renders an MSR array to its ioctl wire image.
+func marshalMsrs(entries []kvmMsrEntry) []byte {
+	out := make([]byte, 0, 8+16*len(entries))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(entries)))
+	out = binary.LittleEndian.AppendUint32(out, 0)
+	for _, e := range entries {
+		out = binary.LittleEndian.AppendUint32(out, e.Index)
+		out = binary.LittleEndian.AppendUint32(out, 0)
+		out = binary.LittleEndian.AppendUint64(out, e.Value)
+	}
+	return out
+}
+
+// parseMsrs decodes an ioctl wire image back to the entry array,
+// rejecting truncation, trailing bytes, oversized counts, and nonzero
+// reserved fields.
+func parseMsrs(data []byte) ([]kvmMsrEntry, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("kvm: MSR block: %d bytes, need at least 8", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if pad := binary.LittleEndian.Uint32(data[4:]); pad != 0 {
+		return nil, fmt.Errorf("kvm: MSR block: header pad %#x nonzero", pad)
+	}
+	if n > maxMsrEntries {
+		return nil, fmt.Errorf("kvm: MSR block: %d entries exceeds cap %d", n, maxMsrEntries)
+	}
+	if want := 8 + 16*int(n); len(data) != want {
+		return nil, fmt.Errorf("kvm: MSR block: %d bytes, header promises %d", len(data), want)
+	}
+	entries := make([]kvmMsrEntry, n)
+	for i := range entries {
+		off := 8 + 16*i
+		entries[i].Index = binary.LittleEndian.Uint32(data[off:])
+		if pad := binary.LittleEndian.Uint32(data[off+4:]); pad != 0 {
+			return nil, fmt.Errorf("kvm: MSR block: entry %d pad %#x nonzero", i, pad)
+		}
+		entries[i].Value = binary.LittleEndian.Uint64(data[off+8:])
+	}
+	return entries, nil
+}

@@ -251,6 +251,11 @@ func (n *NOVA) instantiate(id hv.VMID, cfg hv.Config, st *uisr.VMState,
 	}
 	pd.stateFrames, err = n.machine.Mem.Alloc(frames, hw.OwnerVMState, int(id))
 	if err != nil {
+		// Don't leak the guest space: free fresh allocations, leave
+		// adopted PRAM memory intact for the restore retry.
+		if opts.Mode == hv.RestoreAllocate {
+			_ = space.Release()
+		}
 		return nil, err
 	}
 

@@ -1,0 +1,42 @@
+package xen
+
+import (
+	"testing"
+
+	"hypertp/internal/hv"
+	"hypertp/internal/hw"
+	"hypertp/internal/simtime"
+	"hypertp/internal/uisr"
+)
+
+// TestRestoreFailureLeaksNoFrames is the regression for the chaos
+// finding: a restore that fails after guest memory was allocated (here:
+// VM_i State frames do not fit) must release everything it took, or
+// every failed restore retry leaks a VM's worth of frames.
+func TestRestoreFailureLeaksNoFrames(t *testing.T) {
+	prof := hw.M1()
+	prof.RAMBytes = 512 << 20
+	m := hw.NewMachine(simtime.NewClock(), prof)
+	x, err := Boot(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := m.Mem.FreeFrames()
+	// The guest image exactly fills free memory: the address space
+	// allocates, the context frames afterwards cannot.
+	st := uisr.SyntheticVM("too-big", 1, 2, freeBefore*hw.PageSize4K, 11)
+	if _, err := x.RestoreUISR(st, hv.RestoreOptions{Mode: hv.RestoreAllocate}); err == nil {
+		t.Fatal("restore with no room for VM state succeeded")
+	}
+	if free := m.Mem.FreeFrames(); free != freeBefore {
+		t.Fatalf("failed restore leaked %d frames", freeBefore-free)
+	}
+	if vs := m.Mem.AuditOwners(map[int]bool{}); vs != nil {
+		t.Fatalf("failed restore left violations: %v", vs)
+	}
+	// The host is still usable: a reasonable VM restores fine.
+	ok := uisr.SyntheticVM("fits", 2, 1, 64<<20, 12)
+	if _, err := x.RestoreUISR(ok, hv.RestoreOptions{Mode: hv.RestoreAllocate}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -158,11 +158,22 @@ func (x *Xen) instantiate(id hv.VMID, cfg hv.Config, st *uisr.VMState,
 	if err != nil {
 		return nil, err
 	}
+	// From here on the space (and any VM_i State frames already
+	// allocated) must not leak on failure. Freshly allocated guest
+	// memory is released; adopted memory keeps its PRAM-preserved
+	// contents and guest tag so the engine's restore retry can adopt
+	// it again.
+	undoSpace := func() {
+		if opts.Mode == hv.RestoreAllocate {
+			_ = space.Release()
+		}
+	}
 
 	// 2. Platform state: UISR → Xen HVM context blob (from_uisr path),
 	// with the §4.2.1 IOAPIC widening fix applied as needed.
 	ctx, err := fromUISR(st)
 	if err != nil {
+		undoSpace()
 		return nil, err
 	}
 	blob := marshalContext(ctx)
@@ -184,11 +195,16 @@ func (x *Xen) instantiate(id hv.VMID, cfg hv.Config, st *uisr.VMState,
 	// census (Fig. 2) and PRAM wipe semantics are real.
 	dom.ctxFrames, err = x.writeToFrames(blob, int(id))
 	if err != nil {
+		undoSpace()
 		return nil, err
 	}
 	p2mBytes := len(dom.p2m) * 8 // one 8-byte entry per extent in Xen's table
 	dom.p2mFrames, err = x.machine.Mem.Alloc(framesFor(p2mBytes), hw.OwnerVMState, int(id))
 	if err != nil {
+		for _, f := range dom.ctxFrames {
+			_ = x.machine.Mem.Free(f)
+		}
+		undoSpace()
 		return nil, err
 	}
 	// 4. Event channels: store ports for console, xenstore and one
@@ -226,6 +242,9 @@ func (x *Xen) writeToFrames(blob []byte, vmid int) ([]hw.MFN, error) {
 			end = len(blob)
 		}
 		if err := x.machine.Mem.Write(frames[i/hw.PageSize4K], 0, blob[i:end]); err != nil {
+			for _, f := range frames {
+				_ = x.machine.Mem.Free(f)
+			}
 			return nil, err
 		}
 	}

@@ -91,9 +91,13 @@ type PhysMem struct {
 	owner       []Owner
 	vm          []int32
 	data        map[MFN][]byte
-	next        MFN // bump cursor for allocation
-	allocated   uint64
-	byOwner     [numOwners]uint64
+	// sums caches per-frame CRC-64s so audit-style full-memory checksums
+	// only re-hash frames written since the last pass. Entries are
+	// invalidated on Write/Free/Wipe under pm.mu.
+	sums      map[MFN]uint64
+	next      MFN // bump cursor for allocation
+	allocated uint64
+	byOwner   [numOwners]uint64
 }
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
@@ -107,6 +111,7 @@ func NewPhysMem(size uint64) *PhysMem {
 		owner:       make([]Owner, n),
 		vm:          make([]int32, n),
 		data:        make(map[MFN][]byte),
+		sums:        make(map[MFN]uint64),
 	}
 }
 
@@ -210,6 +215,7 @@ func (pm *PhysMem) Free(m MFN) error {
 	pm.vm[m] = 0
 	pm.allocated--
 	delete(pm.data, m)
+	delete(pm.sums, m)
 	return nil
 }
 
@@ -278,6 +284,7 @@ func (pm *PhysMem) Write(m MFN, off int, data []byte) error {
 		page = make([]byte, PageSize4K)
 		pm.data[m] = page
 	}
+	delete(pm.sums, m)
 	pm.mu.Unlock()
 	copy(page[off:], data)
 	return nil
@@ -335,22 +342,36 @@ func (pm *PhysMem) Touched(m MFN) bool {
 }
 
 // Checksum returns a CRC-64 of the frame's contents. Untouched frames
-// checksum as all-zero pages.
+// checksum as all-zero pages. Results are cached per frame until the
+// next write, so repeated full-memory sweeps only pay for dirty frames.
 func (pm *PhysMem) Checksum(m MFN) (uint64, error) {
 	pm.mu.Lock()
 	if m >= MFN(pm.totalFrames) || pm.owner[m] == OwnerFree {
 		pm.mu.Unlock()
 		return 0, fmt.Errorf("hw: checksum of unallocated frame %#x", uint64(m))
 	}
+	if sum, ok := pm.sums[m]; ok {
+		pm.mu.Unlock()
+		return sum, nil
+	}
 	page := pm.data[m]
 	pm.mu.Unlock()
-	if page != nil {
-		return crc64.Checksum(page, crcTable), nil
+	if page == nil {
+		return zeroPageSum, nil
 	}
-	return crc64.Checksum(zeroPage[:], crcTable), nil
+	// The hash runs outside the lock; the same distinct-frames contract
+	// that makes the payload copy in Write safe applies here.
+	sum := crc64.Checksum(page, crcTable)
+	pm.mu.Lock()
+	pm.sums[m] = sum
+	pm.mu.Unlock()
+	return sum, nil
 }
 
-var zeroPage [PageSize4K]byte
+var (
+	zeroPage    [PageSize4K]byte
+	zeroPageSum = crc64.Checksum(zeroPage[:], crcTable)
+)
 
 // Wipe zeroes and frees every allocated frame whose MFN is not in keep.
 // It returns the number of frames wiped. This is the destructive half of
@@ -368,6 +389,7 @@ func (pm *PhysMem) Wipe(keep map[MFN]bool) int {
 		pm.vm[m] = 0
 		pm.allocated--
 		delete(pm.data, m)
+		delete(pm.sums, m)
 		wiped++
 	}
 	return wiped
@@ -396,6 +418,7 @@ func (pm *PhysMem) WipeRanges(keep []FrameRange) int {
 		pm.vm[m] = 0
 		pm.allocated--
 		delete(pm.data, m)
+		delete(pm.sums, m)
 		wiped++
 	}
 	return wiped

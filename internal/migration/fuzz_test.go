@@ -1,0 +1,49 @@
+package migration
+
+import (
+	"bytes"
+	"testing"
+
+	"hypertp/internal/uisr"
+)
+
+// FuzzStreamFraming: the stop-and-copy control frame is parsed by the
+// receiving proxy from network bytes, so the parser must never panic on
+// arbitrary input and anything it accepts must re-marshal to the exact
+// bytes it was parsed from.
+func FuzzStreamFraming(f *testing.F) {
+	st := uisr.SyntheticVM("seed", 1, 2, 64<<20, 5)
+	blob, err := uisr.Encode(st)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := marshalStreamFrame(&StreamFrame{VMName: "vm-0", Pages: 64, State: blob})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:9])
+	empty, err := marshalStreamFrame(&StreamFrame{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	mutated := append([]byte(nil), valid...)
+	mutated[8] ^= 0xff // corrupt the name length
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := parseStreamFrame(data)
+		if err != nil {
+			return
+		}
+		re, err := marshalStreamFrame(frame)
+		if err != nil {
+			t.Fatalf("accepted frame failed to marshal: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatal("parse/marshal round trip not byte-identical")
+		}
+	})
+}

@@ -286,6 +286,14 @@ func Run(clock *simtime.Clock, p Params, done func(*Report, error)) {
 			cumRounds += m.report.Rounds
 			cumBytes += m.report.BytesSent
 			if hterr.IsRetryable(err) && attempt < p.Retry.Attempts() {
+				if werr := p.Retry.Exceeded(attempt, clock.Now()-overallStart); werr != nil {
+					// The watchdog turns a would-be endless retry loop
+					// into a failure: the attempt was already rolled
+					// back, so the VM still runs on the source.
+					fail(hterr.Abort(fmt.Errorf("migration: %s: %w (last error: %v)",
+						vm.Config.Name, werr, err)))
+					return
+				}
 				backoff := p.Retry.Backoff(attempt)
 				attempt++
 				p.Obs.Event("migration.retry",
@@ -430,8 +438,21 @@ func (m *migrator) stopAndCopy(dirtyPages int64) {
 		m.fail(err)
 		return
 	}
-	stateBytes := int64(4096 + 3800*len(st.VCPUs)) // header+devices, per-vCPU sections
-	bytes := dirtyPages*hw.PageSize4K + stateBytes
+	// The control frame carries the actually-encoded platform state, so
+	// its wire size tracks the real UISR blob (Fig. 14's sizes) rather
+	// than an estimate; the dirty pages are the data plane behind it.
+	blob, err := uisr.Encode(st)
+	if err != nil {
+		m.fail(err)
+		return
+	}
+	frame, err := marshalStreamFrame(&StreamFrame{
+		VMName: m.vm.Config.Name, Pages: uint32(dirtyPages), State: blob})
+	if err != nil {
+		m.fail(err)
+		return
+	}
+	bytes := dirtyPages*hw.PageSize4K + int64(len(frame))
 	m.report.BytesSent += bytes
 	m.p.Link.Start("stopcopy:"+m.vm.Config.Name, bytes, func(err error) {
 		if err != nil {

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hypertp/internal/simtime"
+)
+
+func TestAuditSpansCleanTree(t *testing.T) {
+	clock := simtime.NewClock()
+	rec := NewRecorder(clock)
+	root := rec.Start("root")
+	clock.Advance(time.Millisecond)
+	child := root.Child("child")
+	clock.Advance(time.Millisecond)
+	child.End()
+	sib := root.Child("sibling")
+	clock.Advance(time.Millisecond)
+	sib.End()
+	root.End()
+	open := rec.Start("still-open") // open spans are fine
+	_ = open
+	if vs := rec.AuditSpans(); vs != nil {
+		t.Fatalf("clean forest reported %v", vs)
+	}
+}
+
+func TestAuditSpansNilRecorder(t *testing.T) {
+	var rec *Recorder
+	if vs := rec.AuditSpans(); vs != nil {
+		t.Fatalf("nil recorder reported %v", vs)
+	}
+}
+
+func TestAuditSpansNegativeDuration(t *testing.T) {
+	clock := simtime.NewClock()
+	rec := NewRecorder(clock)
+	clock.Advance(time.Second)
+	s := rec.Start("backwards")
+	s.EndAt(time.Millisecond) // ends before it started
+	vs := rec.AuditSpans()
+	if len(vs) != 1 || vs[0].Kind != "negative-duration" {
+		t.Fatalf("violations = %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "backwards") {
+		t.Fatalf("String() = %q", vs[0].String())
+	}
+}
+
+func TestAuditSpansChildOutsideParent(t *testing.T) {
+	clock := simtime.NewClock()
+	rec := NewRecorder(clock)
+	clock.Advance(time.Second)
+	parent := rec.Start("parent")
+	early := parent.ChildAt("early", time.Millisecond) // before parent start
+	early.EndAt(2 * time.Second)
+	parent.EndAt(3 * time.Second)
+	vs := rec.AuditSpans()
+	if len(vs) != 1 || vs[0].Kind != "child-early" {
+		t.Fatalf("violations = %v", vs)
+	}
+
+	rec2 := NewRecorder(clock)
+	p2 := rec2.StartAt(nil, "parent", time.Second)
+	late := p2.ChildAt("late", 2*time.Second)
+	late.EndAt(5 * time.Second)
+	p2.EndAt(3 * time.Second) // parent closes before its child
+	vs = rec2.AuditSpans()
+	if len(vs) != 1 || vs[0].Kind != "child-late" {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestAuditSpansSiblingRegression(t *testing.T) {
+	clock := simtime.NewClock()
+	rec := NewRecorder(clock)
+	parent := rec.StartAt(nil, "parent", 0)
+	a := parent.ChildAt("a", 2*time.Second)
+	a.EndAt(3 * time.Second)
+	b := parent.ChildAt("b", time.Second) // starts before its elder sibling
+	b.EndAt(4 * time.Second)
+	parent.EndAt(5 * time.Second)
+	vs := rec.AuditSpans()
+	if len(vs) != 1 || vs[0].Kind != "sibling-regress" {
+		t.Fatalf("violations = %v", vs)
+	}
+}

@@ -230,6 +230,82 @@ func (n *Nova) SetRetry(retry fault.RetryPolicy) {
 // evacuation-target selection, and by subsequent fleet sweeps.
 func (n *Nova) Quarantined(name string) bool { return n.quarantined[name] }
 
+// Nodes returns the registered node names in sorted order.
+func (n *Nova) Nodes() []string { return append([]string(nil), n.order...) }
+
+// Quarantine marks a node failed and drains it: every VM still on the
+// node is re-planned onto a healthy host via live migration, and VMs
+// with no viable destination are stranded — they keep running on the
+// quarantined host rather than being lost. The node is then skipped by
+// the scheduler and by fleet sweeps until Return.
+func (n *Nova) Quarantine(name string) (replanned, stranded []string, err error) {
+	if _, ok := n.nodes[name]; !ok {
+		return nil, nil, fmt.Errorf("nova: unknown node %q", name)
+	}
+	if n.quarantined[name] {
+		return nil, nil, fmt.Errorf("nova: node %q already quarantined", name)
+	}
+	n.quarantined[name] = true
+	sp := n.obs.Start("nova.quarantine", obs.A("node", name))
+	defer sp.End()
+	n.obs.Metrics().Counter("nova.hosts_quarantined", "hosts").Add(1)
+	replanned, stranded = n.drainNode(name)
+	sp.SetAttr("replanned", len(replanned))
+	return replanned, stranded, nil
+}
+
+// Return brings a quarantined node back into scheduling — the operator
+// repaired or replaced it. VMs stranded on the node simply stay; the
+// scheduler may place new work there again.
+func (n *Nova) Return(name string) error {
+	if _, ok := n.nodes[name]; !ok {
+		return fmt.Errorf("nova: unknown node %q", name)
+	}
+	if !n.quarantined[name] {
+		return fmt.Errorf("nova: node %q is not quarantined", name)
+	}
+	delete(n.quarantined, name)
+	return nil
+}
+
+// drainNode live-migrates every VM off a node, best-effort: VMs with no
+// viable destination (or whose migration fails) are stranded in place.
+func (n *Nova) drainNode(name string) (replanned, stranded []string) {
+	node := n.nodes[name]
+	vms := append([]*hv.VM(nil), node.Driver.VMs()...)
+	for _, vm := range vms {
+		dest := n.pickEvacuationTarget(name, vm)
+		if dest == "" {
+			stranded = append(stranded, vm.Config.Name)
+			continue
+		}
+		if _, err := n.LiveMigrate(vm.Config.Name, dest); err != nil {
+			stranded = append(stranded, vm.Config.Name)
+			continue
+		}
+		replanned = append(replanned, vm.Config.Name)
+	}
+	return replanned, stranded
+}
+
+// reconcileLostHost reconciles the database after a host-level VM loss:
+// every row placed on the node is purged — the host died mid-transplant,
+// so its VMs no longer run anywhere — and the node is quarantined so the
+// scheduler stops placing work on it. Without this, dead rows keep
+// pointing operators (and the chaos auditor's bookkeeping invariant) at
+// VMs that do not exist.
+func (n *Nova) reconcileLostHost(name string) {
+	for vmName, rec := range n.db {
+		if rec.Node == name {
+			delete(n.db, vmName)
+		}
+	}
+	if !n.quarantined[name] {
+		n.quarantined[name] = true
+		n.obs.Metrics().Counter("nova.hosts_quarantined", "hosts").Add(1)
+	}
+}
+
 // SetRecorder attaches an observability recorder to the manager and to
 // every registered (and future) driver that supports one, plus the
 // fabric link. Nova operations then record nova.* spans with the driver
@@ -358,6 +434,11 @@ func (n *Nova) LiveMigrate(vmName, destNode string) (*migration.Report, error) {
 	}, func(r *migration.Report, e error) { report, err = r, e })
 	n.clock.Run()
 	if err != nil {
+		// A lost VM was destroyed mid-stream; keeping its row would place
+		// a VM that no host runs.
+		if hterr.Class(err) == hterr.ErrVMLost {
+			delete(n.db, vmName)
+		}
 		return nil, err
 	}
 	rec.Node = destNode
@@ -409,22 +490,28 @@ func (n *Nova) ColdMigrate(vmName, destNode string) error {
 	if err := srcHyp.DestroyVM(rec.ID); err != nil {
 		return err
 	}
+	// Past this point the source copy is gone: a failure is a real loss,
+	// and the database row must not keep pointing at a dead VM.
+	lost := func(e error) error {
+		delete(n.db, vmName)
+		return hterr.VMLost(e)
+	}
 	img, err = checkpoint.Deserialize(data)
 	if err != nil {
-		return err
+		return lost(err)
 	}
 	destHyp := dest.Driver.Hypervisor()
 	restored, err := checkpoint.Restore(destHyp, img)
 	if err != nil {
-		return err
+		return lost(err)
 	}
 	if g != nil {
 		if err := destHyp.AttachGuest(restored.ID, g); err != nil {
-			return err
+			return lost(err)
 		}
 	}
 	if err := destHyp.Resume(restored.ID); err != nil {
-		return err
+		return lost(err)
 	}
 	rec.Node = destNode
 	rec.ID = restored.ID
@@ -482,6 +569,9 @@ func (n *Nova) HostLiveUpgrade(nodeName string, target hv.Kind, opts core.Option
 	if len(node.Driver.VMs()) > 0 {
 		report, err := node.Driver.HostLiveUpgrade(target, opts)
 		if err != nil {
+			if hterr.Class(err) == hterr.ErrVMLost {
+				n.reconcileLostHost(nodeName)
+			}
 			return nil, err
 		}
 		rec.Report = report

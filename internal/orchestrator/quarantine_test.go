@@ -1,0 +1,133 @@
+package orchestrator
+
+import (
+	"errors"
+	"testing"
+
+	"hypertp/internal/core"
+	"hypertp/internal/fault"
+	"hypertp/internal/hterr"
+	"hypertp/internal/hv"
+)
+
+func TestQuarantineDrainsAndReturn(t *testing.T) {
+	c := newCloud(t, 3, hv.KindXen)
+	for _, name := range []string{"q-0", "q-1", "q-2", "q-3"} {
+		if _, err := c.nova.BootVM(vmCfg(name, true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pick the node carrying at least one VM.
+	var target string
+	for _, rec := range c.nova.Records() {
+		target = rec.Node
+		break
+	}
+	replanned, stranded, err := c.nova.Quarantine(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stranded) != 0 {
+		t.Fatalf("stranded %v with two healthy nodes available", stranded)
+	}
+	if len(replanned) == 0 {
+		t.Fatal("no VMs replanned off the quarantined node")
+	}
+	if !c.nova.Quarantined(target) {
+		t.Fatal("node not marked quarantined")
+	}
+	for _, rec := range c.nova.Records() {
+		if rec.Node == target {
+			t.Fatalf("record %s still placed on quarantined node", rec.Name)
+		}
+	}
+	node, _ := c.nova.Node(target)
+	if n := len(node.Driver.VMs()); n != 0 {
+		t.Fatalf("quarantined node still runs %d VMs", n)
+	}
+	// Quarantine is not idempotent: a second fence is an operator error.
+	if _, _, err := c.nova.Quarantine(target); err == nil {
+		t.Fatal("double quarantine accepted")
+	}
+	if _, _, err := c.nova.Quarantine("no-such-node"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	// The scheduler must not place new VMs on the fenced node.
+	for i := 0; i < 3; i++ {
+		placed, err := c.nova.BootVM(vmCfg("post-"+string(rune('a'+i)), true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if placed == target {
+			t.Fatal("scheduler placed a VM on a quarantined node")
+		}
+	}
+	if err := c.nova.Return(target); err != nil {
+		t.Fatal(err)
+	}
+	if c.nova.Quarantined(target) {
+		t.Fatal("node still quarantined after Return")
+	}
+	if err := c.nova.Return(target); err == nil {
+		t.Fatal("returning a healthy node accepted")
+	}
+	if err := c.nova.Return("no-such-node"); err == nil {
+		t.Fatal("returning an unknown node accepted")
+	}
+}
+
+func TestNodesListsFleetInOrder(t *testing.T) {
+	c := newCloud(t, 3, hv.KindXen)
+	names := c.nova.Nodes()
+	if len(names) != 3 {
+		t.Fatalf("Nodes() = %v", names)
+	}
+	for i, name := range names {
+		if name != nodeName(i) {
+			t.Fatalf("Nodes()[%d] = %q, want %q", i, name, nodeName(i))
+		}
+	}
+	// The returned slice is a copy — mutating it must not corrupt Nova.
+	names[0] = "mutated"
+	if c.nova.Nodes()[0] != nodeName(0) {
+		t.Fatal("Nodes() exposed internal state")
+	}
+}
+
+// TestHostLiveUpgradeLostHostReconciled is the regression for the chaos
+// finding: a host whose in-place upgrade dies past the kexec point (all
+// boots fail, VMs unrecoverable) must not leave stale placement rows —
+// the database would otherwise place VMs on a dead host forever.
+func TestHostLiveUpgradeLostHostReconciled(t *testing.T) {
+	c := newCloud(t, 2, hv.KindXen)
+	if _, err := c.nova.BootVM(vmCfg("doomed", true)); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := c.nova.Record("doomed")
+	other := nodeName(0)
+	if rec.Node == other {
+		other = nodeName(1)
+	}
+	// Every target boot fails: the engine exhausts its retry budget past
+	// the point of no return and reports the host's VMs lost.
+	c.nova.SetFaults(fault.NewPlan(1, 1).Restrict(fault.SiteHVBoot).SetClock(c.clock))
+	_, err := c.nova.HostLiveUpgrade(rec.Node, hv.KindKVM, core.DefaultOptions())
+	if !errors.Is(err, hterr.ErrVMLost) {
+		t.Fatalf("err = %v, want ErrVMLost", err)
+	}
+	if _, ok := c.nova.Record("doomed"); ok {
+		t.Fatal("stale placement row survived the lost host")
+	}
+	if !c.nova.Quarantined(rec.Node) {
+		t.Fatal("lost host not quarantined")
+	}
+	// The surviving node keeps working: the fleet still boots VMs.
+	c.nova.SetFaults(nil)
+	placed, err := c.nova.BootVM(vmCfg("fresh", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed != other {
+		t.Fatalf("fresh VM placed on %q, want healthy node %q", placed, other)
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"hypertp/internal/fault"
 	"hypertp/internal/hterr"
 	"hypertp/internal/hv"
-	"hypertp/internal/obs"
 	"hypertp/internal/report"
 	"hypertp/internal/vulndb"
 )
@@ -138,29 +137,14 @@ func (n *Nova) RespondToCVE(db *vulndb.Database, cveID string, pool []string, op
 	return resp, nil
 }
 
-// quarantineNode marks a node failed and drains it: every VM still on
-// the node is re-planned onto a healthy host via live migration. VMs
-// with no viable destination are stranded — they keep running on the
-// quarantined host's old hypervisor rather than being lost.
+// quarantineNode marks a node failed and drains it (see Quarantine),
+// folding the outcome into the fleet response.
 func (n *Nova) quarantineNode(name string, resp *FleetResponse) {
-	n.quarantined[name] = true
-	sp := n.obs.Start("nova.quarantine", obs.A("node", name))
-	defer sp.End()
-	n.obs.Metrics().Counter("nova.hosts_quarantined", "hosts").Add(1)
-	node := n.nodes[name]
-	vms := append([]*hv.VM(nil), node.Driver.VMs()...)
-	for _, vm := range vms {
-		dest := n.pickEvacuationTarget(name, vm)
-		if dest == "" {
-			resp.StrandedVMs = append(resp.StrandedVMs, vm.Config.Name)
-			continue
-		}
-		if _, err := n.LiveMigrate(vm.Config.Name, dest); err != nil {
-			resp.StrandedVMs = append(resp.StrandedVMs, vm.Config.Name)
-			continue
-		}
-		resp.ReplannedVMs = append(resp.ReplannedVMs, vm.Config.Name)
+	replanned, stranded, err := n.Quarantine(name)
+	if err != nil {
+		return // already quarantined: nothing left to drain
 	}
-	sp.SetAttr("replanned", len(resp.ReplannedVMs))
+	resp.ReplannedVMs = append(resp.ReplannedVMs, replanned...)
+	resp.StrandedVMs = append(resp.StrandedVMs, stranded...)
 	resp.QuarantinedNodes = append(resp.QuarantinedNodes, name)
 }

@@ -1,0 +1,90 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hypertp/internal/hterr"
+	"hypertp/internal/obs"
+	"hypertp/internal/simtime"
+)
+
+// TestSetDownSeversInFlight: cutting the link delivers ErrTransferSevered
+// (retryable) to every in-flight transfer.
+func TestSetDownSeversInFlight(t *testing.T) {
+	c := simtime.NewClock()
+	l := NewLink(c, "lan", Gbps1, 0)
+	errs := make(map[string]error)
+	l.Start("a", gb, func(err error) { errs["a"] = err })
+	l.Start("b", gb, func(err error) { errs["b"] = err })
+	c.RunUntil(time.Second)
+	l.SetDown(true)
+	c.Run()
+	if !l.Down() {
+		t.Fatal("link not reported down")
+	}
+	for name, err := range errs {
+		if !errors.Is(err, ErrTransferSevered) {
+			t.Fatalf("transfer %s err = %v, want ErrTransferSevered", name, err)
+		}
+		if !hterr.IsRetryable(err) {
+			t.Fatalf("severed transfer %s not retryable", name)
+		}
+	}
+	if l.ActiveTransfers() != 0 {
+		t.Fatalf("%d transfers still active on a down link", l.ActiveTransfers())
+	}
+}
+
+// TestStartWhileDownRefused: a transfer started on a down link fails
+// after one propagation latency (the sender times out, it does not hang)
+// and bumps the refusal counter.
+func TestStartWhileDownRefused(t *testing.T) {
+	c := simtime.NewClock()
+	rec := obs.NewRecorder(c)
+	lat := 100 * time.Microsecond
+	l := NewLink(c, "lan", Gbps1, lat)
+	l.SetRecorder(rec)
+	l.SetDown(true)
+	var gotErr error
+	var doneAt time.Duration
+	tr := l.Start("refused", gb, func(err error) { gotErr, doneAt = err, c.Now() })
+	c.Run()
+	if !errors.Is(gotErr, ErrTransferSevered) {
+		t.Fatalf("err = %v, want ErrTransferSevered", gotErr)
+	}
+	if doneAt != lat {
+		t.Fatalf("refusal delivered at %v, want one latency (%v)", doneAt, lat)
+	}
+	if !tr.Finished() {
+		t.Fatal("refused transfer not marked finished")
+	}
+	if got := rec.Metrics().Counter("simnet.refused", "transfers").Value(); got != 1 {
+		t.Fatalf("simnet.refused = %d, want 1", got)
+	}
+}
+
+// TestLinkRestoreCarriesTraffic: after SetDown(false) the link behaves
+// exactly like a fresh one.
+func TestLinkRestoreCarriesTraffic(t *testing.T) {
+	c := simtime.NewClock()
+	l := NewLink(c, "lan", Gbps1, 0)
+	l.SetDown(true)
+	l.SetDown(true) // idempotent
+	l.SetDown(false)
+	if l.Down() {
+		t.Fatal("link still down after restore")
+	}
+	var err error
+	start := c.Now()
+	l.Start("after", gb, func(e error) { err = e })
+	c.Run()
+	if err != nil {
+		t.Fatalf("transfer on restored link failed: %v", err)
+	}
+	want := time.Duration(float64(gb) / float64(Gbps1) * float64(time.Second))
+	if got := c.Now() - start; got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Fatalf("restored link transfer took %v, want ~%v", got, want)
+	}
+}

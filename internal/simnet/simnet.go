@@ -52,6 +52,7 @@ type Link struct {
 	lastUpdate time.Duration
 	rec        *obs.Recorder
 	faults     *fault.Plan
+	down       bool
 }
 
 // Transfer is one in-flight bulk transfer (e.g. a migration stream).
@@ -94,6 +95,37 @@ func (l *Link) SetRecorder(rec *obs.Recorder) { l.rec = rec }
 // plan detaches.
 func (l *Link) SetFaults(p *fault.Plan) { l.faults = p }
 
+// Down reports whether the link is administratively severed.
+func (l *Link) Down() bool { return l.down }
+
+// SetDown severs or restores the link. Severing aborts every in-flight
+// transfer with ErrTransferSevered; while the link stays down, new
+// transfers fail the same way after one propagation latency (the time a
+// real stream takes to notice the dead peer). Restoring brings the link
+// back for subsequent transfers — nothing resumes automatically, which
+// matches TCP streams: a severed migration must be retried end to end.
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	if down {
+		snap := make([]*Transfer, 0, len(l.active))
+		for tr := range l.active {
+			snap = append(snap, tr)
+		}
+		sort.Slice(snap, func(i, j int) bool {
+			if snap[i].started != snap[j].started {
+				return snap[i].started < snap[j].started
+			}
+			return snap[i].name < snap[j].name
+		})
+		for _, tr := range snap {
+			l.abortWith(tr, ErrTransferSevered)
+		}
+	}
+}
+
 // Name returns the link's label.
 func (l *Link) Name() string { return l.name }
 
@@ -112,6 +144,21 @@ func (l *Link) ActiveTransfers() int { return len(l.active) }
 func (l *Link) Start(name string, size int64, done func(err error)) *Transfer {
 	if size < 0 {
 		panic(fmt.Sprintf("simnet: transfer %q: negative size %d", name, size))
+	}
+	if l.down {
+		// The peer is unreachable: the stream dies after one latency,
+		// without ever contending for bandwidth.
+		tr := &Transfer{link: l, name: name, total: size, started: l.clock.Now(),
+			done: done, finished: true}
+		if l.rec != nil {
+			l.rec.Metrics().Counter("simnet.refused", "transfers").Add(1)
+		}
+		l.clock.After(l.latency, "simnet:down:"+name, func(*simtime.Clock) {
+			if tr.done != nil {
+				tr.done(ErrTransferSevered)
+			}
+		})
+		return tr
 	}
 	l.settle()
 	tr := &Transfer{
