@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check bench benchfig trace-demo fault-matrix soak soak-short
+# Packages with fuzz targets and checked-in seed corpora.
+FUZZ_PKGS = ./internal/uisr/ ./internal/hv/xen/ ./internal/hv/kvm/ \
+	./internal/migration/ ./internal/checkpoint/ ./internal/pram/
+
+.PHONY: all build vet fmt-check test race check bench benchdiff benchfig \
+	trace-demo fault-matrix soak soak-short race-check fuzz-seeds
 
 all: check
 
@@ -30,8 +35,17 @@ check: fmt-check
 	$(GO) vet ./... && $(GO) build ./... && $(GO) test -race ./...
 	$(MAKE) soak-short
 
+# bench runs every benchmark in the repo (not just the root package)
+# with allocation stats; -run '^$$' keeps plain tests out of the timing.
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# benchdiff reruns the benchmark suite and gates it against the
+# checked-in BENCH_BASELINE.json: >15% ns/op regressions and any
+# allocs/op increase fail. Refresh the baseline with
+# `go run ./cmd/benchdiff -update` (see cmd/benchdiff).
+benchdiff:
+	$(GO) run ./cmd/benchdiff -baseline BENCH_BASELINE.json
 
 # fault-matrix runs the recovery matrix under the race detector: every
 # registered fault-injection site x {InPlaceTP, MigrationTP} must end in
@@ -48,11 +62,27 @@ fault-matrix:
 soak:
 	$(GO) run ./cmd/chaoscheck -seed 1 -ops 500 -fault-rate 0.15
 
+# race-check fails fast, with a readable message, when the toolchain
+# cannot run `go test -race` (no CGO, or an unsupported platform) —
+# otherwise the soak dies minutes in with an opaque linker error.
+race-check:
+	@$(GO) test -race -count=1 -run '^$$' ./internal/simtime/ >/dev/null 2>&1 || { \
+		echo "error: this toolchain cannot run 'go test -race'" >&2; \
+		echo "       the race detector needs CGO and a supported platform;" >&2; \
+		echo "       run 'CGO_ENABLED=1 $(GO) test -race ./internal/simtime/' to see the underlying failure" >&2; \
+		exit 1; }
+
+# fuzz-seeds regenerates the checked-in seed corpora under each fuzz
+# package's testdata/fuzz/ from the targets' own f.Add seed lists.
+# Commit the result; TestFuzzSeedCorpus fails when they drift.
+fuzz-seeds:
+	HYPERTP_WRITE_FUZZ_SEEDS=1 $(GO) test -count=1 -run TestFuzzSeedCorpus $(FUZZ_PKGS)
+
 # soak-short is the tier-1 slice of the chaos harness: the short soak
 # under the race detector plus ten seconds of real fuzzing on each
 # network-facing parser (UISR state, Xen HVM context, KVM MSR block,
 # migration stream framing).
-soak-short:
+soak-short: race-check
 	$(GO) test -race -count=1 -run TestChaosSoakShort ./internal/chaos/
 	$(GO) test -race -fuzz FuzzDecode -fuzztime 10s ./internal/uisr/
 	$(GO) test -race -fuzz FuzzParseContext -fuzztime 10s ./internal/hv/xen/

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: hypertp
+cpu: Some CPU @ 2.10GHz
+BenchmarkInPlaceTransplant-8   	      10	 100000000 ns/op	 5000000 B/op	   40000 allocs/op
+BenchmarkMigrationTP-8         	       5	 200000000 ns/op	 9000000 B/op	   80000 allocs/op
+PASS
+ok  	hypertp	3.000s
+`
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	e := got["BenchmarkInPlaceTransplant"]
+	if e.NsOp != 100000000 || e.AllocsOp != 40000 {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+// With -count > 1 each benchmark repeats; the minimum of every measure
+// must win, independently per column.
+func TestParseBenchKeepsMinAcrossCounts(t *testing.T) {
+	got, err := parseBench(strings.NewReader(
+		"BenchmarkX-8  10  500 ns/op  64 B/op  9 allocs/op\n" +
+			"BenchmarkX-8  10  300 ns/op  64 B/op  12 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := got["BenchmarkX"]
+	if e.NsOp != 300 || e.AllocsOp != 9 {
+		t.Fatalf("entry = %+v, want min ns/op 300 and min allocs/op 9", e)
+	}
+}
+
+func TestMatchingRunPasses(t *testing.T) {
+	input := writeFile(t, "bench.txt", benchOutput)
+	basePath := writeFile(t, "base.json", `{"benchmarks":{
+		"BenchmarkInPlaceTransplant":{"ns_op":100000000,"allocs_op":40000},
+		"BenchmarkMigrationTP":{"ns_op":210000000,"allocs_op":80000}}}`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-input", input, "-baseline", basePath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d; stdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+}
+
+// The synthetically regressed fixture: the baseline promises half the
+// ns/op the run delivers. The gate must exit non-zero.
+func TestSyntheticNsOpRegressionFails(t *testing.T) {
+	input := writeFile(t, "bench.txt", benchOutput)
+	basePath := writeFile(t, "base.json", `{"benchmarks":{
+		"BenchmarkInPlaceTransplant":{"ns_op":50000000,"allocs_op":40000},
+		"BenchmarkMigrationTP":{"ns_op":200000000,"allocs_op":80000}}}`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-input", input, "-baseline", basePath}, &out, &errOut); code == 0 {
+		t.Fatalf("2x ns/op regression passed the gate; stdout:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESS") {
+		t.Fatalf("no REGRESS line:\n%s", out.String())
+	}
+}
+
+// allocs/op is a hard gate: growth beyond the 0.1% rounding slack
+// fails, regardless of ns/op staying flat.
+func TestAllocRegressionFails(t *testing.T) {
+	input := writeFile(t, "bench.txt", benchOutput)
+	basePath := writeFile(t, "base.json", `{"benchmarks":{
+		"BenchmarkInPlaceTransplant":{"ns_op":100000000,"allocs_op":39000},
+		"BenchmarkMigrationTP":{"ns_op":200000000,"allocs_op":80000}}}`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-input", input, "-baseline", basePath}, &out, &errOut); code == 0 {
+		t.Fatalf("allocs/op growth passed the gate; stdout:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op grew") {
+		t.Fatalf("no allocs/op gate line:\n%s", out.String())
+	}
+}
+
+// For lean benchmarks the rounding slack is zero: one extra allocation
+// fails. For six-figure allocation counts, growth within 0.1% is
+// measurement jitter and passes.
+func TestAllocSlackBoundaries(t *testing.T) {
+	_, failed := compare(
+		map[string]entry{"BenchmarkLean": {NsOp: 100, AllocsOp: 10}},
+		map[string]entry{"BenchmarkLean": {NsOp: 100, AllocsOp: 11}}, 0.15)
+	if !failed {
+		t.Fatal("one extra allocation on a lean benchmark passed the gate")
+	}
+	_, failed = compare(
+		map[string]entry{"BenchmarkBig": {NsOp: 100, AllocsOp: 100000}},
+		map[string]entry{"BenchmarkBig": {NsOp: 100, AllocsOp: 100050}}, 0.15)
+	if failed {
+		t.Fatal("0.05% allocs jitter on a big benchmark failed the gate")
+	}
+}
+
+// A benchmark that vanished from the suite fails the gate (the baseline
+// must be refreshed deliberately, not silently shrink).
+func TestMissingBenchmarkFails(t *testing.T) {
+	input := writeFile(t, "bench.txt", benchOutput)
+	basePath := writeFile(t, "base.json", `{"benchmarks":{
+		"BenchmarkInPlaceTransplant":{"ns_op":100000000,"allocs_op":40000},
+		"BenchmarkMigrationTP":{"ns_op":200000000,"allocs_op":80000},
+		"BenchmarkDeleted":{"ns_op":1,"allocs_op":1}}}`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-input", input, "-baseline", basePath}, &out, &errOut); code == 0 {
+		t.Fatalf("missing benchmark passed the gate; stdout:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Fatalf("no MISSING line:\n%s", out.String())
+	}
+}
+
+// New benchmarks warn but do not fail — they enter the gate when the
+// baseline is refreshed.
+func TestNewBenchmarkPasses(t *testing.T) {
+	input := writeFile(t, "bench.txt", benchOutput)
+	basePath := writeFile(t, "base.json", `{"benchmarks":{
+		"BenchmarkInPlaceTransplant":{"ns_op":100000000,"allocs_op":40000}}}`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-input", input, "-baseline", basePath}, &out, &errOut); code != 0 {
+		t.Fatalf("new benchmark failed the gate; stderr:\n%s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "NEW") {
+		t.Fatalf("no NEW line:\n%s", out.String())
+	}
+}
+
+// -update writes a baseline the same input then passes against.
+func TestUpdateRoundTrip(t *testing.T) {
+	input := writeFile(t, "bench.txt", benchOutput)
+	basePath := filepath.Join(t.TempDir(), "base.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-input", input, "-baseline", basePath, "-update"}, &out, &errOut); code != 0 {
+		t.Fatalf("update failed: %s", errOut.String())
+	}
+	if code := run([]string{"-input", input, "-baseline", basePath}, &out, &errOut); code != 0 {
+		t.Fatalf("freshly updated baseline does not pass: %s\n%s", out.String(), errOut.String())
+	}
+}

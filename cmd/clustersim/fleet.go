@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hypertp/internal/core"
+	"hypertp/internal/hterr"
+	"hypertp/internal/hv"
+	"hypertp/internal/hw"
+	"hypertp/internal/metrics"
+	"hypertp/internal/orchestrator"
+	"hypertp/internal/sched"
+	"hypertp/internal/simnet"
+	"hypertp/internal/simtime"
+	"hypertp/internal/vulndb"
+)
+
+// fleetCVE is the critical Xen flaw the -fleet scenario responds to.
+const fleetCVE = "CVE-2016-6258"
+
+// buildFleet stands up an all-Xen fleet: M1-class hosts (6 usable
+// vCPUs each) and small 1-vCPU VMs, every fourth one
+// InPlaceTP-incompatible, so the CVE response mixes in-place
+// transplants with evacuations.
+func buildFleet(hosts, vms int) (*orchestrator.Nova, error) {
+	clock := simtime.NewClock()
+	fabric := simnet.NewLink(clock, "fabric", simnet.Gbps10, 100*time.Microsecond)
+	nova := orchestrator.NewNova(clock, fabric)
+	for i := 0; i < hosts; i++ {
+		name := fmt.Sprintf("host-%03d", i)
+		prof := hw.M1()
+		prof.Name = name
+		prof.RAMBytes = 2 * hw.GiB
+		d, err := orchestrator.NewLibvirtDriver(clock, hw.NewMachine(clock, prof), hv.KindXen)
+		if err != nil {
+			return nil, err
+		}
+		if err := nova.AddNode(name, d); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < vms; i++ {
+		_, err := nova.BootVM(hv.Config{
+			Name: fmt.Sprintf("vm-%04d", i), VCPUs: 1, MemBytes: 64 << 20,
+			HugePages: true, Seed: 7 + uint64(i), InPlaceCompatible: i%4 != 3,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("boot vm %d: %w", i, err)
+		}
+	}
+	return nova, nil
+}
+
+// respondOnce builds a fresh fleet and runs the CVE response under the
+// given limits, returning the response and the final VM placement.
+func respondOnce(hosts, vms int, limits sched.Limits) (*orchestrator.FleetResponse, []string, error) {
+	nova, err := buildFleet(hosts, vms)
+	if err != nil {
+		return nil, nil, err
+	}
+	nova.SetFleetLimits(&limits)
+	resp, err := nova.RespondToCVE(vulndb.Load(), fleetCVE, []string{"xen", "kvm"}, core.DefaultOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	var placement []string
+	for _, rec := range nova.Records() {
+		placement = append(placement, fmt.Sprintf("%s@%s:%v", rec.Name, rec.Node, rec.Kind))
+	}
+	return resp, placement, nil
+}
+
+// runFleet runs the cluster-wide CVE response twice — once on the
+// serial baseline scheduler and once concurrently under the capacity
+// limits — and reports the makespan reduction. The final placement must
+// be identical between the two runs (same planner, different timeline);
+// a divergence is an invariant violation and exits non-zero.
+func runFleet(w io.Writer, hosts, vms int, sc schedConfig) error {
+	defer sc.apply()()
+	limits := sc.limits()
+	if !sc.enabled() {
+		limits = sched.Limits{MaxKexecs: 4, LinkStreams: 4}
+	}
+
+	serial, placeSerial, err := respondOnce(hosts, vms, sched.Serial())
+	if err != nil {
+		return err
+	}
+	conc, placeConc, err := respondOnce(hosts, vms, limits)
+	if err != nil {
+		return err
+	}
+	if fmt.Sprint(placeSerial) != fmt.Sprint(placeConc) {
+		return hterr.InvariantViolated(fmt.Errorf(
+			"clustersim: concurrent schedule changed VM placement:\nserial:     %v\nconcurrent: %v",
+			placeSerial, placeConc))
+	}
+
+	tab := &metrics.Table{
+		Title: fmt.Sprintf("Fleet CVE response: %s, %d hosts x %d VMs (kexecs %d, streams %d)",
+			fleetCVE, hosts, vms, limits.MaxKexecs, limits.LinkStreams),
+		Headers: []string{"Schedule", "Upgraded", "Skipped", "Quarantined", "Makespan", "Speedup"},
+	}
+	row := func(name string, r *orchestrator.FleetResponse) {
+		tab.AddRow(name, fmt.Sprint(len(r.UpgradedNodes)), fmt.Sprint(len(r.SkippedNodes)),
+			fmt.Sprint(len(r.QuarantinedNodes)), r.Elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", float64(serial.Elapsed)/float64(r.Elapsed)))
+	}
+	row("serial", serial)
+	row("concurrent", conc)
+	fmt.Fprintln(w, tab.Render())
+	fmt.Fprintf(w, "placement: identical across schedules (%d VMs)\n", vms)
+	return nil
+}

@@ -29,6 +29,8 @@ import (
 	"hypertp/internal/hterr"
 	"hypertp/internal/metrics"
 	"hypertp/internal/obs"
+	"hypertp/internal/par"
+	"hypertp/internal/sched"
 )
 
 func main() {
@@ -42,12 +44,48 @@ func main() {
 		faultSeed  = flag.Uint64("fault-seed", 0, "fault-injection seed (deterministic)")
 		faultRate  = flag.Float64("fault-rate", 0, "per-site fault probability in [0,1]")
 		faultSites = flag.String("fault-sites", "", "comma-separated injection sites (empty = all registered sites)")
+		workers    = flag.Int("workers", 0, "worker-pool width for concurrent schedules (0 = library default; results are identical for any width)")
+		streams    = flag.Int("streams", 0, "fabric migration-stream cap for the concurrent schedule columns (0 = off)")
+		kexecs     = flag.Int("kexecs", 0, "simultaneous-kexec cap for the concurrent schedule columns (0 = unlimited)")
+		fleet      = flag.Bool("fleet", false, "run the fleet CVE-response scenario on the concurrent scheduler instead of the Fig. 13 sweep")
+		fleetVMs   = flag.Int("fleet-vms", 32, "VM population for -fleet")
 	)
 	flag.Parse()
 	fc := faultConfig{Seed: *faultSeed, Rate: *faultRate, Sites: *faultSites}
-	if err := run(*hosts, *vmsPerHost, *group, *traceOut, *traceFrac, *metricsOut, fc); err != nil {
+	sc := schedConfig{Workers: *workers, Streams: *streams, Kexecs: *kexecs}
+	var err error
+	if *fleet {
+		err = runFleet(os.Stdout, *hosts, *fleetVMs, sc)
+	} else {
+		err = run(*hosts, *vmsPerHost, *group, *traceOut, *traceFrac, *metricsOut, fc, sc)
+	}
+	if err != nil {
 		os.Exit(exitWithLabel("clustersim", err))
 	}
+}
+
+// schedConfig carries the concurrent-scheduling flags.
+type schedConfig struct {
+	Workers int
+	Streams int
+	Kexecs  int
+}
+
+func (sc schedConfig) enabled() bool { return sc.Streams > 0 || sc.Kexecs > 0 }
+
+func (sc schedConfig) limits() sched.Limits {
+	return sched.Limits{LinkStreams: sc.Streams, MaxKexecs: sc.Kexecs}
+}
+
+// apply sets the worker-pool width for the run and returns a restore
+// function. Width only changes wall-clock speed, never results.
+func (sc schedConfig) apply() func() {
+	if sc.Workers <= 0 {
+		return func() {}
+	}
+	old := par.Workers()
+	par.SetWorkers(sc.Workers)
+	return func() { par.SetWorkers(old) }
 }
 
 // exitWithLabel prints the error with its hterr class label and picks
@@ -91,38 +129,43 @@ func (fc faultConfig) plan() (*fault.Plan, error) {
 	return p, nil
 }
 
-func run(hosts, vmsPerHost, group int, traceOut string, traceFrac float64, metricsOut string, fc faultConfig) error {
+func run(hosts, vmsPerHost, group int, traceOut string, traceFrac float64, metricsOut string, fc faultConfig, sc schedConfig) error {
+	defer sc.apply()()
 	model := cluster.DefaultExecutionModel()
-	runOnce := func(frac float64, rec *obs.Recorder) (cluster.Result, error) {
+	runOnce := func(frac float64, rec *obs.Recorder) (cluster.Result, *cluster.Plan, error) {
 		c, err := cluster.New(cluster.Config{
 			Hosts: hosts, VMsPerHost: vmsPerHost, StreamFrac: 0.3, CPUFrac: 0.3,
 		})
 		if err != nil {
-			return cluster.Result{}, err
+			return cluster.Result{}, nil, err
 		}
 		c.SetInPlaceCompatibleFraction(frac, 42)
 		if fc.enabled() {
 			p, err := fc.plan()
 			if err != nil {
-				return cluster.Result{}, err
+				return cluster.Result{}, nil, err
 			}
-			_, res, err := c.ExecuteRollingUpgrade(group, model, rec, p)
+			plan, res, err := c.ExecuteRollingUpgrade(group, model, rec, p)
 			if err != nil {
-				return cluster.Result{}, err
+				return cluster.Result{}, nil, err
 			}
-			return res, nil
+			return res, plan, nil
 		}
 		plan, err := c.PlanUpgrade(group)
 		if err != nil {
-			return cluster.Result{}, err
+			return cluster.Result{}, nil, err
 		}
 		if err := c.Validate(); err != nil {
-			return cluster.Result{}, err
+			return cluster.Result{}, nil, err
 		}
-		return plan.ExecuteTraced(model, rec), nil
+		return plan.ExecuteTraced(model, rec), plan, nil
 	}
+	// Concurrent columns re-time the same plan under the capacity limits;
+	// the fault-injected executor interleaves planning and execution, so
+	// the comparison is only defined for the fault-free sweep.
+	schedCols := sc.enabled() && !fc.enabled()
 
-	base, err := runOnce(0, nil)
+	base, _, err := runOnce(0, nil)
 	if err != nil {
 		return err
 	}
@@ -130,6 +173,9 @@ func run(hosts, vmsPerHost, group int, traceOut string, traceFrac float64, metri
 		"Total time", "Time gain %"}
 	if fc.enabled() {
 		headers = append(headers, "Outcome", "Quarantined", "Replanned")
+	}
+	if schedCols {
+		headers = append(headers, "Sched total", "Speedup")
 	}
 	tab := &metrics.Table{
 		Title: fmt.Sprintf("Cluster upgrade: %d hosts x %d VMs, offline groups of %d (Fig. 13)",
@@ -140,7 +186,7 @@ func run(hosts, vmsPerHost, group int, traceOut string, traceFrac float64, metri
 		if pct == 100 && group > 1 {
 			continue
 		}
-		res, err := runOnce(float64(pct)/100, nil)
+		res, plan, err := runOnce(float64(pct)/100, nil)
 		if err != nil {
 			return err
 		}
@@ -152,6 +198,14 @@ func run(hosts, vmsPerHost, group int, traceOut string, traceFrac float64, metri
 		if fc.enabled() {
 			row = append(row, string(res.Outcome),
 				fmt.Sprint(len(res.FailedHosts)), fmt.Sprint(res.ReplannedVMs))
+		}
+		if schedCols {
+			sres, err := plan.ExecuteScheduled(model, nil, sc.limits())
+			if err != nil {
+				return err
+			}
+			row = append(row, sres.TotalTime.Round(time.Second).String(),
+				fmt.Sprintf("%.2fx", float64(res.TotalTime)/float64(sres.TotalTime)))
 		}
 		tab.AddRow(row...)
 	}
@@ -167,7 +221,7 @@ func run(hosts, vmsPerHost, group int, traceOut string, traceFrac float64, metri
 	// The planner is clock-less: spans carry explicit virtual times from
 	// the execution model, so the trace is deterministic.
 	rec := obs.NewRecorder(nil)
-	if _, err := runOnce(traceFrac, rec); err != nil {
+	if _, _, err := runOnce(traceFrac, rec); err != nil {
 		return err
 	}
 	if traceOut != "" {

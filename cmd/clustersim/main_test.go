@@ -1,29 +1,32 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestRunDefaults(t *testing.T) {
-	if err := run(10, 10, 1, "", 0.8, "", faultConfig{}); err != nil {
+	if err := run(10, 10, 1, "", 0.8, "", faultConfig{}, schedConfig{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSmallCluster(t *testing.T) {
-	if err := run(4, 3, 2, "", 0.8, "", faultConfig{}); err != nil {
+	if err := run(4, 3, 2, "", 0.8, "", faultConfig{}, schedConfig{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadShape(t *testing.T) {
-	if err := run(1, 10, 1, "", 0.8, "", faultConfig{}); err == nil {
+	if err := run(1, 10, 1, "", 0.8, "", faultConfig{}, schedConfig{}); err == nil {
 		t.Fatal("single-host cluster accepted")
 	}
-	if err := run(10, 10, 10, "", 0.8, "", faultConfig{}); err == nil {
+	if err := run(10, 10, 10, "", 0.8, "", faultConfig{}, schedConfig{}); err == nil {
 		t.Fatal("group size = cluster accepted")
 	}
 }
@@ -32,12 +35,12 @@ func TestRunBadShape(t *testing.T) {
 // executor quarantines failed hosts and the run still completes.
 func TestRunWithFaultInjection(t *testing.T) {
 	fc := faultConfig{Seed: 7, Rate: 0.5, Sites: "cluster.host"}
-	if err := run(6, 3, 1, "", 0.8, "", fc); err != nil {
+	if err := run(6, 3, 1, "", 0.8, "", fc, schedConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown site rejected.
 	bad := faultConfig{Seed: 1, Rate: 1, Sites: "no.such.site"}
-	if err := run(4, 3, 1, "", 0.8, "", bad); err == nil {
+	if err := run(4, 3, 1, "", 0.8, "", bad, schedConfig{}); err == nil {
 		t.Fatal("unknown fault site accepted")
 	}
 }
@@ -46,7 +49,7 @@ func TestRunTraceOut(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "upgrade.json")
 	metricsPath := filepath.Join(dir, "metrics.json")
-	if err := run(4, 3, 1, tracePath, 0.5, metricsPath, faultConfig{}); err != nil {
+	if err := run(4, 3, 1, tracePath, 0.5, metricsPath, faultConfig{}, schedConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	var tr struct {
@@ -70,5 +73,49 @@ func TestRunTraceOut(t *testing.T) {
 	}
 	if _, err := os.Stat(metricsPath); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The -streams/-kexecs columns: the concurrent re-timing of the same
+// plan appears alongside the serial sweep.
+func TestRunScheduledColumns(t *testing.T) {
+	if err := run(6, 3, 2, "", 0.8, "", faultConfig{}, schedConfig{Streams: 4, Kexecs: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The -fleet scenario: concurrent response at least halves the serial
+// makespan, keeps placement identical, and its output is byte-identical
+// for any worker-pool width.
+func TestRunFleetDeterministicAcrossWorkers(t *testing.T) {
+	out := func(workers int) string {
+		var buf bytes.Buffer
+		if err := runFleet(&buf, 10, 32, schedConfig{Workers: workers, Streams: 4, Kexecs: 4}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	w1 := out(1)
+	w8 := out(8)
+	if w1 != w8 {
+		t.Fatalf("-fleet output differs across workers:\n-workers 1:\n%s\n-workers 8:\n%s", w1, w8)
+	}
+	if !strings.Contains(w1, "identical across schedules") {
+		t.Fatalf("missing placement check line:\n%s", w1)
+	}
+	// The speedup column of the concurrent row must be >= 2.00x.
+	var speedup string
+	for _, line := range strings.Split(w1, "\n") {
+		if strings.Contains(line, "concurrent") {
+			fields := strings.Fields(line)
+			speedup = fields[len(fields)-1]
+		}
+	}
+	if speedup == "" {
+		t.Fatalf("no concurrent row in output:\n%s", w1)
+	}
+	var x float64
+	if _, err := fmt.Sscanf(speedup, "%fx", &x); err != nil || x < 2 {
+		t.Fatalf("concurrent speedup %q below 2x target", speedup)
 	}
 }

@@ -36,7 +36,7 @@ func TestChaosSoakShort(t *testing.T) {
 	for _, op := range res.Ops {
 		kinds[op.Kind] = true
 	}
-	for _, k := range []string{OpWorkload, OpMigrate, OpUpgrade, OpRespond, OpQuarantine, OpReturn, OpLinkDown, OpLinkUp, OpSweep} {
+	for _, k := range []string{OpWorkload, OpMigrate, OpUpgrade, OpRespond, OpRespondFleet, OpQuarantine, OpReturn, OpLinkDown, OpLinkUp, OpSweep} {
 		if !kinds[k] {
 			t.Errorf("generated stream never produced op kind %q", k)
 		}

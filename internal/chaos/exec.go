@@ -10,6 +10,7 @@ import (
 	"hypertp/internal/hterr"
 	"hypertp/internal/hv"
 	"hypertp/internal/hw"
+	"hypertp/internal/sched"
 )
 
 // deadVMID is the never-allocated VM id the "leak-frame" breaker tags
@@ -150,6 +151,21 @@ func (h *harness) apply(op *Op) (string, error) {
 		}
 		h.lastRespond = op.Target
 		return fmt.Sprintf("%s: upgraded %d, skipped %d, quarantined %d",
+			op.Target, len(resp.UpgradedNodes), len(resp.SkippedNodes), len(resp.QuarantinedNodes)), nil
+
+	case OpRespondFleet:
+		// The concurrent scheduler path: same response, DAG execution
+		// under capacity limits. Limits are restored before returning so
+		// later OpRespond ops keep exercising the serial path.
+		limits := sched.Limits{MaxKexecs: 2, LinkStreams: 2}
+		h.nova.SetFleetLimits(&limits)
+		resp, err := h.nova.RespondToCVE(h.db, op.Target, []string{"xen", "kvm"}, core.DefaultOptions())
+		h.nova.SetFleetLimits(nil)
+		if err != nil {
+			return "", err
+		}
+		h.lastRespond = op.Target
+		return fmt.Sprintf("fleet %s: upgraded %d, skipped %d, quarantined %d",
 			op.Target, len(resp.UpgradedNodes), len(resp.SkippedNodes), len(resp.QuarantinedNodes)), nil
 
 	case OpSweep:

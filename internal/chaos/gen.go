@@ -21,6 +21,10 @@ const (
 	OpUpgrade = "upgrade"
 	// OpRespond runs the fleet-wide CVE response for the CVE in Target.
 	OpRespond = "respond-cve"
+	// OpRespondFleet runs the same CVE response on the concurrent fleet
+	// scheduler (internal/sched) under capacity limits, exercising the
+	// DAG path against the same invariant audits as the serial one.
+	OpRespondFleet = "respond-fleet"
 	// OpQuarantine drains and fences a host; OpReturn brings it back.
 	OpQuarantine = "quarantine"
 	OpReturn     = "return"
@@ -74,8 +78,10 @@ func Generate(cfg Config) []Op {
 			op = Op{Kind: OpLinkDown}
 		case w < 90:
 			op = Op{Kind: OpLinkUp}
-		case w < 96:
+		case w < 93:
 			op = Op{Kind: OpRespond, Target: respondCVEs[rng.Intn(len(respondCVEs))]}
+		case w < 96:
+			op = Op{Kind: OpRespondFleet, Target: respondCVEs[rng.Intn(len(respondCVEs))]}
 		default:
 			op = Op{Kind: OpSweep}
 		}

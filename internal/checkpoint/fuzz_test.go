@@ -3,40 +3,52 @@ package checkpoint
 import (
 	"testing"
 
+	"hypertp/internal/fuzzseed"
 	"hypertp/internal/hv"
 	"hypertp/internal/hv/xen"
 	"hypertp/internal/hw"
 	"hypertp/internal/simtime"
 )
 
-// FuzzDeserialize: the checkpoint parser must never panic and never
-// accept a corrupted image (the trailing CRC covers the whole body, so
-// any mutation must be rejected).
-func FuzzDeserialize(f *testing.F) {
+// fuzzDeserializeSeeds is the shared seed list: f.Add'ed by the fuzz
+// target and mirrored into testdata/fuzz/ by TestFuzzSeedCorpus.
+func fuzzDeserializeSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
 	clock := simtime.NewClock()
 	x, err := xen.Boot(hw.NewMachine(clock, hw.M1()))
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
 	vm, err := x.CreateVM(hv.Config{
 		Name: "seed", VCPUs: 1, MemBytes: 32 << 20, HugePages: true, Seed: 3,
 	})
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
 	vm.Guest.WriteWorkingSet(0, 8)
 	x.Pause(vm.ID)
 	img, err := Save(x, vm.ID)
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
 	valid, err := Serialize(img)
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
-	f.Add(valid)
-	f.Add([]byte{})
-	f.Add(valid[:24])
+	return [][]byte{valid, {}, valid[:24]}
+}
+
+func TestFuzzSeedCorpus(t *testing.T) {
+	fuzzseed.Check(t, "FuzzDeserialize", fuzzDeserializeSeeds(t)...)
+}
+
+// FuzzDeserialize: the checkpoint parser must never panic and never
+// accept a corrupted image (the trailing CRC covers the whole body, so
+// any mutation must be rejected).
+func FuzzDeserialize(f *testing.F) {
+	for _, seed := range fuzzDeserializeSeeds(f) {
+		f.Add(seed)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Deserialize(data)

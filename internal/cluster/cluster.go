@@ -20,6 +20,7 @@ import (
 	"hypertp/internal/hw"
 	"hypertp/internal/obs"
 	rpt "hypertp/internal/report"
+	"hypertp/internal/sched"
 	"hypertp/internal/simtime"
 )
 
@@ -358,51 +359,148 @@ func (p *Plan) Execute(m ExecutionModel) Result {
 }
 
 // ExecuteTraced times the plan under the model and, when rec is non-nil,
-// records the upgrade's span tree. The planner has no simulation clock,
-// so spans carry explicit virtual times from the model's own time cursor
-// (StartAt/EndAt): one root per upgrade, one child per host group, and
-// grandchildren for each migration and for the group's parallel in-place
-// window.
+// records the upgrade's span tree. It is the serial baseline of
+// ExecuteScheduled: migrations execute one at a time in plan order,
+// which reproduces BtrPlace's serialized reconfiguration actions (and
+// the historical behaviour of this function) exactly.
 func (p *Plan) ExecuteTraced(m ExecutionModel, rec *obs.Recorder) Result {
+	res, err := p.ExecuteScheduled(m, rec, sched.Serial())
+	if err != nil {
+		// A serial cost-mode schedule of a freshly built rolling DAG has
+		// no contention and no cycles; an error here is a programming
+		// bug, not an input condition.
+		panic(err)
+	}
+	return res
+}
+
+// hostName renders a host id the way New names hosts, so scheduler
+// host-exclusivity lines up with the modeled fleet.
+func hostName(id int) string { return fmt.Sprintf("host-%02d", id) }
+
+// ExecuteScheduled times the plan on the dependency-aware fleet
+// scheduler (internal/sched) in cost mode: every migration and every
+// group's in-place window becomes a DAG node with a precomputed virtual
+// cost and no Run body. The rolling structure is preserved by gating
+// each group on the previous group's in-place completion; within a
+// group, migrations parallelize up to the limits (per-host exclusivity,
+// LinkStreams fabric cap) and the in-place window waits for the group's
+// evacuations. Serial limits reproduce the legacy sequential timing and
+// span tree byte for byte; concurrent limits compress the makespan
+// without changing the plan.
+//
+// A group's in-place node claims one kexec slot per group host (the
+// hosts really do kexec simultaneously), so limits.MaxKexecs must be 0
+// or at least the group size — otherwise the schedule is starved and an
+// ErrStarved-wrapped error is returned.
+func (p *Plan) ExecuteScheduled(m ExecutionModel, rec *obs.Recorder, limits sched.Limits) (Result, error) {
 	var res Result
+	g := sched.NewGraph()
+	type migNode struct {
+		node *sched.Node
+		mig  Migration
+	}
+	type groupNodes struct {
+		migs    []migNode
+		inplace *sched.Node
+	}
+	groups := make([]groupNodes, len(p.Groups))
+	var gate *sched.Node // previous group's in-place node: rolling order
+	for gi := range p.Groups {
+		gp := &p.Groups[gi]
+		gn := &groups[gi]
+		for _, mig := range gp.Migrations {
+			transfer := time.Duration(float64(mig.Bytes) / float64(m.LinkByteRate) * float64(time.Second))
+			n := g.Add(&sched.Node{
+				Name:    fmt.Sprintf("migrate:vm-%03d", mig.VMID),
+				Hosts:   []string{hostName(mig.From), hostName(mig.To)},
+				Streams: 1,
+				Cost:    transfer + m.PerMigrationOverhead,
+			})
+			if gate != nil {
+				g.Dep(n, gate)
+			}
+			gn.migs = append(gn.migs, migNode{node: n, mig: mig})
+		}
+		if gp.InPlaceVMs > 0 || len(gp.Migrations) > 0 {
+			hosts := make([]string, len(gp.Hosts))
+			for i, id := range gp.Hosts {
+				hosts[i] = hostName(id)
+			}
+			inp := g.Add(&sched.Node{
+				Name:   fmt.Sprintf("inplace:group-%d", gi),
+				Hosts:  hosts,
+				Kexecs: len(gp.Hosts),
+				Cost:   m.InPlaceHostTime,
+			})
+			for _, mn := range gn.migs {
+				g.Dep(inp, mn.node)
+			}
+			if len(gn.migs) == 0 && gate != nil {
+				g.Dep(inp, gate)
+			}
+			gn.inplace = inp
+			gate = inp
+		}
+	}
+	schedule, err := sched.Execute(g, limits, sched.Options{})
+	if err != nil {
+		return res, err
+	}
+
+	// Walk the schedule back into the legacy accounting and span tree:
+	// one root, one child per group, grandchildren per migration and per
+	// in-place window, all carrying the scheduler's virtual times.
 	mets := rec.Metrics()
-	var cursor time.Duration
 	root := rec.StartAt(nil, "rolling-upgrade", 0, obs.A("groups", len(p.Groups)))
 	root.SetTrack("cluster")
-	for gi, g := range p.Groups {
+	var cursor time.Duration
+	for gi := range p.Groups {
+		gp := &p.Groups[gi]
+		gn := &groups[gi]
 		gStart := cursor
 		gSpan := root.ChildAt(fmt.Sprintf("group-%d", gi), gStart,
-			obs.A("hosts", len(g.Hosts)),
-			obs.A("migrations", len(g.Migrations)),
-			obs.A("inplace_vms", g.InPlaceVMs))
-		var groupMig time.Duration
-		for _, mig := range g.Migrations {
-			transfer := time.Duration(float64(mig.Bytes) / float64(m.LinkByteRate) * float64(time.Second))
-			dur := transfer + m.PerMigrationOverhead
-			sp := gSpan.ChildAt(fmt.Sprintf("migrate:vm-%03d", mig.VMID), gStart+groupMig,
-				obs.A("from", mig.From), obs.A("to", mig.To), obs.A("bytes", mig.Bytes))
-			groupMig += dur
-			sp.EndAt(gStart + groupMig)
-			mets.Counter("cluster.bytes_migrated", "bytes").Add(int64(mig.Bytes))
+			obs.A("hosts", len(gp.Hosts)),
+			obs.A("migrations", len(gp.Migrations)),
+			obs.A("inplace_vms", gp.InPlaceVMs))
+		// Attach migration spans in start order: sibling starts must be
+		// monotone for the span auditor. Serial schedules are already
+		// ordered; concurrent ones interleave.
+		ordered := make([]migNode, len(gn.migs))
+		copy(ordered, gn.migs)
+		sort.SliceStable(ordered, func(i, j int) bool {
+			return schedule.Result(ordered[i].node).Start < schedule.Result(ordered[j].node).Start
+		})
+		migEnd := gStart
+		for _, mn := range ordered {
+			r := schedule.Result(mn.node)
+			sp := gSpan.ChildAt(mn.node.Name, r.Start,
+				obs.A("from", mn.mig.From), obs.A("to", mn.mig.To), obs.A("bytes", mn.mig.Bytes))
+			sp.EndAt(r.End)
+			if r.End > migEnd {
+				migEnd = r.End
+			}
+			mets.Counter("cluster.bytes_migrated", "bytes").Add(int64(mn.mig.Bytes))
 		}
-		mets.Counter("cluster.migrations", "migrations").Add(int64(len(g.Migrations)))
-		mets.Counter("cluster.inplace_vms", "vms").Add(int64(g.InPlaceVMs))
-		res.Migrations += len(g.Migrations)
-		res.MigrationTime += groupMig
-		inplace := time.Duration(0)
-		if g.InPlaceVMs > 0 || len(g.Migrations) > 0 {
-			inplace = m.InPlaceHostTime // hosts in a group upgrade in parallel
-			sp := gSpan.ChildAt("inplace-upgrade", gStart+groupMig,
-				obs.A("hosts", len(g.Hosts)), obs.A("vms", g.InPlaceVMs))
-			sp.EndAt(gStart + groupMig + inplace)
+		mets.Counter("cluster.migrations", "migrations").Add(int64(len(gp.Migrations)))
+		mets.Counter("cluster.inplace_vms", "vms").Add(int64(gp.InPlaceVMs))
+		end := migEnd
+		if gn.inplace != nil {
+			r := schedule.Result(gn.inplace)
+			sp := gSpan.ChildAt("inplace-upgrade", r.Start,
+				obs.A("hosts", len(gp.Hosts)), obs.A("vms", gp.InPlaceVMs))
+			sp.EndAt(r.End)
+			end = r.End
+			res.InPlaceTime += r.End - r.Start
 		}
-		res.InPlaceTime += inplace
-		res.TotalTime += groupMig + inplace
-		cursor = gStart + groupMig + inplace
-		gSpan.EndAt(cursor)
+		res.Migrations += len(gp.Migrations)
+		res.MigrationTime += migEnd - gStart
+		gSpan.EndAt(end)
+		cursor = end
 	}
-	root.EndAt(cursor)
-	return res
+	res.TotalTime = schedule.Makespan
+	root.EndAt(schedule.Makespan)
+	return res, nil
 }
 
 // ExecuteRollingUpgrade plans and times a rolling upgrade in one pass

@@ -1,10 +1,15 @@
 package cluster
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 	"time"
 
 	"hypertp/internal/fault"
+	"hypertp/internal/obs"
+	"hypertp/internal/sched"
+	"hypertp/internal/simtime"
 )
 
 func paperCluster(t *testing.T) *Cluster {
@@ -235,6 +240,85 @@ func TestMigrationCountPerVM(t *testing.T) {
 		if vm.Migrations < 1 {
 			t.Fatalf("VM %d never migrated in a 0%%-compatible upgrade", id)
 		}
+	}
+}
+
+// Concurrent scheduling compresses the upgrade makespan without
+// changing the plan's migration count or in-place accounting, and the
+// emitted span tree stays well-nested.
+func TestExecuteScheduledCompressesMakespan(t *testing.T) {
+	c := paperCluster(t)
+	c.SetInPlaceCompatibleFraction(0.5, 42)
+	plan, err := c.PlanUpgrade(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultExecutionModel()
+	serial := plan.Execute(m)
+
+	rec := obs.NewRecorder(simtime.NewClock())
+	conc, err := plan.ExecuteScheduled(m, rec, sched.Limits{LinkStreams: 8, MaxKexecs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Migrations != serial.Migrations {
+		t.Fatalf("migrations %d != %d", conc.Migrations, serial.Migrations)
+	}
+	if conc.InPlaceTime != serial.InPlaceTime {
+		t.Fatalf("inplace time %v != %v", conc.InPlaceTime, serial.InPlaceTime)
+	}
+	if conc.TotalTime >= serial.TotalTime {
+		t.Fatalf("concurrent %v not faster than serial %v", conc.TotalTime, serial.TotalTime)
+	}
+	if vs := rec.AuditSpans(); vs != nil {
+		t.Fatalf("span violations: %v", vs)
+	}
+}
+
+// ExecuteScheduled is deterministic: identical limits give identical
+// results on repeat runs, and the serial limits reproduce Execute.
+func TestExecuteScheduledSerialMatchesExecute(t *testing.T) {
+	c := paperCluster(t)
+	c.SetInPlaceCompatibleFraction(0.5, 42)
+	plan, err := c.PlanUpgrade(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultExecutionModel()
+	legacy := plan.Execute(m)
+	scheduled, err := plan.ExecuteScheduled(m, nil, sched.Serial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", scheduled) != fmt.Sprintf("%+v", legacy) {
+		t.Fatalf("serial scheduled result %+v != Execute %+v", scheduled, legacy)
+	}
+	again, err := plan.ExecuteScheduled(m, nil, sched.Limits{LinkStreams: 8, MaxKexecs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again2, err := plan.ExecuteScheduled(m, nil, sched.Limits{LinkStreams: 8, MaxKexecs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", again) != fmt.Sprintf("%+v", again2) {
+		t.Fatalf("concurrent schedule not deterministic: %+v vs %+v", again, again2)
+	}
+}
+
+// A kexec budget below the group size can never admit the group's
+// parallel in-place window: ExecuteScheduled reports starvation rather
+// than hanging or silently serializing the kexecs.
+func TestExecuteScheduledStarvedKexecBudget(t *testing.T) {
+	c := paperCluster(t)
+	c.SetInPlaceCompatibleFraction(1.0, 42)
+	plan, err := c.PlanUpgrade(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = plan.ExecuteScheduled(DefaultExecutionModel(), nil, sched.Limits{MaxKexecs: 2})
+	if !errors.Is(err, sched.ErrStarved) {
+		t.Fatalf("err = %v, want ErrStarved", err)
 	}
 }
 

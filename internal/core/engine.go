@@ -158,6 +158,22 @@ func NewEngine(clock *simtime.Clock, m *hw.Machine) *Engine {
 	return &Engine{Clock: clock, Machine: m}
 }
 
+// SwapClock points the engine and its machine at a private clock and
+// returns a restore function. The fleet scheduler uses this to run one
+// host's transplant on a per-task timeline (advanced to the node's
+// virtual start) while other hosts execute concurrently: the engine only
+// ever calls Advance/Now, so an isolated clock is a faithful stand-in
+// for the shared one. Restore must be called from sequential code.
+func (e *Engine) SwapClock(c *simtime.Clock) (restore func()) {
+	oldE, oldM := e.Clock, e.Machine.Clock
+	e.Clock = c
+	e.Machine.Clock = c
+	return func() {
+		e.Clock = oldE
+		e.Machine.Clock = oldM
+	}
+}
+
 // BootHypervisor boots a hypervisor of the requested kind on the
 // engine's machine.
 func (e *Engine) BootHypervisor(kind hv.Kind) (hv.Hypervisor, error) {

@@ -24,6 +24,7 @@ import (
 
 	"hypertp/internal/hterr"
 	"hypertp/internal/obs"
+	"hypertp/internal/par"
 	"hypertp/internal/simtime"
 )
 
@@ -183,6 +184,30 @@ func (p *Plan) ForceAt(site Site, occurrence int) *Plan {
 	}
 	m[occurrence] = true
 	return p
+}
+
+// Derive returns an independent child plan for concurrent work item i:
+// same rate and site restriction, but a seed mixed from the parent seed
+// and the item index (par.DeriveSeed), a fresh shot log, and no
+// clock/recorder/ForceAt inheritance. Fleet-level schedulers hand each
+// concurrently-executing host its own derived plan so fault draws do not
+// depend on the nondeterministic arming order of a shared stream;
+// ForceAt one-shots stay on the parent, which is only armed from the
+// scheduler's sequential phases.
+func (p *Plan) Derive(i int) *Plan {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	child := NewPlan(par.DeriveSeed(p.seed, i), p.rate)
+	if p.enabled != nil {
+		child.enabled = make(map[Site]bool, len(p.enabled))
+		for s := range p.enabled {
+			child.enabled[s] = true
+		}
+	}
+	return child
 }
 
 // SetClock timestamps future shots with virtual time.

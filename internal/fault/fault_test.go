@@ -165,3 +165,49 @@ func TestRetryPolicy(t *testing.T) {
 		t.Fatal("multiplier<1 should behave as constant backoff")
 	}
 }
+
+func TestDeriveIndependentChildPlans(t *testing.T) {
+	parent := NewPlan(42, 0.5).Restrict(SiteHVBoot, SitePRAMParse)
+	parent.ForceAt(SiteClusterHost, 1)
+
+	// Derivation is a pure function of (parent seed, index): two
+	// derivations with the same index behave identically.
+	a1, a2 := parent.Derive(3), parent.Derive(3)
+	for i := 0; i < 20; i++ {
+		f1, _ := a1.Arm(SiteHVBoot)
+		f2, _ := a2.Arm(SiteHVBoot)
+		if f1 != f2 {
+			t.Fatalf("same-index children diverge at arm %d", i)
+		}
+	}
+
+	// Different indices give independent streams (they must not all
+	// mirror the parent draw-for-draw).
+	same := true
+	b := parent.Derive(7)
+	c := parent.Derive(8)
+	for i := 0; i < 40; i++ {
+		fb, _ := b.Arm(SiteHVBoot)
+		fc, _ := c.Arm(SiteHVBoot)
+		if fb != fc {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("children at different indices produced identical streams")
+	}
+
+	// Restriction is inherited; ForceAt one-shots are not.
+	d := parent.Derive(0)
+	if fired, _ := d.Arm(SiteClusterHost); fired {
+		t.Fatal("derived plan inherited the parent's ForceAt one-shot")
+	}
+	if fired, _ := d.Arm(SiteLinkAbort); fired {
+		t.Fatal("derived plan fired a site outside the inherited restriction")
+	}
+
+	// Child shots stay out of the parent's log.
+	if n := parent.Count(SiteHVBoot); n != 0 {
+		t.Fatalf("parent recorded %d child arms", n)
+	}
+}

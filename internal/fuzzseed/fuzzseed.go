@@ -1,0 +1,66 @@
+// Package fuzzseed keeps checked-in seed corpora for the repo's fuzz
+// targets in lockstep with the seeds the targets f.Add at runtime.
+//
+// Each fuzz target's seeds live under the owning package's
+// testdata/fuzz/<Target>/ directory in the standard Go fuzzing v1
+// encoding, so `go test` exercises them on every plain run and `go test
+// -fuzz` starts from a meaningful corpus instead of an empty one. The
+// corpora are generated — the seeds derive from the packages' own
+// encoders — so a TestFuzzSeedCorpus in each package calls Check to
+// fail loudly when an encoder change makes the checked-in files stale;
+// `make fuzz-seeds` regenerates them.
+package fuzzseed
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// WriteEnv is the environment variable that switches Check from
+// verifying the corpus to rewriting it (the `make fuzz-seeds` mode).
+const WriteEnv = "HYPERTP_WRITE_FUZZ_SEEDS"
+
+// File renders one []byte seed in the Go fuzzing v1 corpus encoding.
+func File(data []byte) []byte {
+	return []byte(fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data))
+}
+
+// Check verifies (or, with WriteEnv set, rewrites) the seed corpus for
+// the named fuzz target under testdata/fuzz/<target>/. The seeds must
+// be the exact list the fuzz target passes to f.Add, in order.
+func Check(tb testing.TB, target string, seeds ...[]byte) {
+	tb.Helper()
+	dir := filepath.Join("testdata", "fuzz", target)
+	write := os.Getenv(WriteEnv) != ""
+	if write {
+		if err := os.RemoveAll(dir); err != nil {
+			tb.Fatal(err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for i, seed := range seeds {
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		want := File(seed)
+		if write {
+			if err := os.WriteFile(path, want, 0o644); err != nil {
+				tb.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			tb.Fatalf("fuzz seed corpus missing (run `make fuzz-seeds` and commit): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			tb.Fatalf("fuzz seed corpus stale: %s no longer matches the target's f.Add seeds (run `make fuzz-seeds` and commit)", path)
+		}
+	}
+	if write {
+		tb.Logf("wrote %d seeds to %s", len(seeds), dir)
+	}
+}

@@ -4,27 +4,37 @@ import (
 	"bytes"
 	"testing"
 
+	"hypertp/internal/fuzzseed"
 	"hypertp/internal/uisr"
 )
+
+// fuzzMSRBlockSeeds is the shared seed list: f.Add'ed by the fuzz
+// target and mirrored into testdata/fuzz/ by TestFuzzSeedCorpus.
+func fuzzMSRBlockSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	st := uisr.SyntheticVM("seed", 1, 2, 64<<20, 5)
+	vs, err := vcpuFromUISR(&st.VCPUs[0])
+	if err != nil {
+		tb.Fatal(err)
+	}
+	valid := marshalMsrs(vs.msrs)
+	mutated := append([]byte(nil), valid...)
+	mutated[0] ^= 0x80 // corrupt the count
+	return [][]byte{valid, {}, valid[:7], marshalMsrs(nil), mutated}
+}
+
+func TestFuzzSeedCorpus(t *testing.T) {
+	fuzzseed.Check(t, "FuzzMSRBlock", fuzzMSRBlockSeeds(t)...)
+}
 
 // FuzzMSRBlock: the KVM_SET_MSRS wire parser consumes bytes produced by
 // another host's toolstack (the MigrationTP stream), so it must never
 // panic on arbitrary input, anything it accepts must re-marshal stably,
 // and the MTRR/APIC-base split must be idempotent on canonical blocks.
 func FuzzMSRBlock(f *testing.F) {
-	st := uisr.SyntheticVM("seed", 1, 2, 64<<20, 5)
-	vs, err := vcpuFromUISR(&st.VCPUs[0])
-	if err != nil {
-		f.Fatal(err)
+	for _, seed := range fuzzMSRBlockSeeds(f) {
+		f.Add(seed)
 	}
-	valid := marshalMsrs(vs.msrs)
-	f.Add(valid)
-	f.Add([]byte{})
-	f.Add(valid[:7])
-	f.Add(marshalMsrs(nil))
-	mutated := append([]byte(nil), valid...)
-	mutated[0] ^= 0x80 // corrupt the count
-	f.Add(mutated)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		entries, err := parseMsrs(data)

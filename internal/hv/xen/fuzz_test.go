@@ -4,26 +4,37 @@ import (
 	"bytes"
 	"testing"
 
+	"hypertp/internal/fuzzseed"
 	"hypertp/internal/uisr"
 )
+
+// fuzzParseContextSeeds is the shared seed list: f.Add'ed by the fuzz
+// target and mirrored into testdata/fuzz/ by TestFuzzSeedCorpus.
+func fuzzParseContextSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	st := uisr.SyntheticVM("seed", 1, 2, 64<<20, 5)
+	st.IOAPIC.NumPins = uisr.XenIOAPICPins
+	ctx, err := fromUISR(st)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	valid := marshalContext(ctx)
+	mutated := append([]byte(nil), valid...)
+	mutated[4] ^= 0x80 // corrupt the first record's length
+	return [][]byte{valid, {}, valid[:9], mutated}
+}
+
+func TestFuzzSeedCorpus(t *testing.T) {
+	fuzzseed.Check(t, "FuzzParseContext", fuzzParseContextSeeds(t)...)
+}
 
 // FuzzParseContext: the HVM context blob parser (the path that consumes
 // state written by another hypervisor's toolstack) must never panic on
 // arbitrary bytes, and anything it accepts must re-marshal stably.
 func FuzzParseContext(f *testing.F) {
-	st := uisr.SyntheticVM("seed", 1, 2, 64<<20, 5)
-	st.IOAPIC.NumPins = uisr.XenIOAPICPins
-	ctx, err := fromUISR(st)
-	if err != nil {
-		f.Fatal(err)
+	for _, seed := range fuzzParseContextSeeds(f) {
+		f.Add(seed)
 	}
-	valid := marshalContext(ctx)
-	f.Add(valid)
-	f.Add([]byte{})
-	f.Add(valid[:9])
-	mutated := append([]byte(nil), valid...)
-	mutated[4] ^= 0x80 // corrupt the first record's length
-	f.Add(mutated)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		parsed, err := parseContext(data)

@@ -4,34 +4,44 @@ import (
 	"bytes"
 	"testing"
 
+	"hypertp/internal/fuzzseed"
 	"hypertp/internal/uisr"
 )
+
+// fuzzStreamFramingSeeds is the shared seed list: f.Add'ed by the fuzz
+// target and mirrored into testdata/fuzz/ by TestFuzzSeedCorpus.
+func fuzzStreamFramingSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	st := uisr.SyntheticVM("seed", 1, 2, 64<<20, 5)
+	blob, err := uisr.Encode(st)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	valid, err := marshalStreamFrame(&StreamFrame{VMName: "vm-0", Pages: 64, State: blob})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	empty, err := marshalStreamFrame(&StreamFrame{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mutated := append([]byte(nil), valid...)
+	mutated[8] ^= 0xff // corrupt the name length
+	return [][]byte{valid, {}, valid[:9], empty, mutated}
+}
+
+func TestFuzzSeedCorpus(t *testing.T) {
+	fuzzseed.Check(t, "FuzzStreamFraming", fuzzStreamFramingSeeds(t)...)
+}
 
 // FuzzStreamFraming: the stop-and-copy control frame is parsed by the
 // receiving proxy from network bytes, so the parser must never panic on
 // arbitrary input and anything it accepts must re-marshal to the exact
 // bytes it was parsed from.
 func FuzzStreamFraming(f *testing.F) {
-	st := uisr.SyntheticVM("seed", 1, 2, 64<<20, 5)
-	blob, err := uisr.Encode(st)
-	if err != nil {
-		f.Fatal(err)
+	for _, seed := range fuzzStreamFramingSeeds(f) {
+		f.Add(seed)
 	}
-	valid, err := marshalStreamFrame(&StreamFrame{VMName: "vm-0", Pages: 64, State: blob})
-	if err != nil {
-		f.Fatal(err)
-	}
-	f.Add(valid)
-	f.Add([]byte{})
-	f.Add(valid[:9])
-	empty, err := marshalStreamFrame(&StreamFrame{})
-	if err != nil {
-		f.Fatal(err)
-	}
-	f.Add(empty)
-	mutated := append([]byte(nil), valid...)
-	mutated[8] ^= 0xff // corrupt the name length
-	f.Add(mutated)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		frame, err := parseStreamFrame(data)

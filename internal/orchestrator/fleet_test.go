@@ -1,0 +1,250 @@
+package orchestrator
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"hypertp/internal/core"
+	"hypertp/internal/fault"
+	"hypertp/internal/hv"
+	"hypertp/internal/hw"
+	"hypertp/internal/obs"
+	"hypertp/internal/par"
+	"hypertp/internal/report"
+	"hypertp/internal/sched"
+	"hypertp/internal/simnet"
+	"hypertp/internal/simtime"
+	"hypertp/internal/vulndb"
+)
+
+// fleetSpec sizes a synthetic all-Xen fleet. Hosts use a slimmed M1
+// profile so even 200-host fleets stay cheap to build; every fourth VM
+// is InPlaceTP-incompatible so responses mix evacuations with
+// transplants the way the chaos harness does.
+type fleetSpec struct {
+	hosts   int
+	vms     int
+	vmMem   uint64
+	hostRAM uint64
+	threads int
+}
+
+func stockFleet() fleetSpec {
+	// The stock 8-host/2-spare scenario: 32 one-vCPU VMs pack eight
+	// 6-vCPU hosts (affinity + capacity), leaving two hosts empty as
+	// spares.
+	return fleetSpec{hosts: 10, vms: 32, vmMem: 64 << 20, hostRAM: 2 * hw.GiB, threads: 8}
+}
+
+func bigFleet() fleetSpec {
+	// The 200-host/1600-VM benchmark scale; small VMs keep the dense
+	// frame tables affordable.
+	return fleetSpec{hosts: 200, vms: 1600, vmMem: 16 << 20, hostRAM: hw.GiB / 2, threads: 12}
+}
+
+func newFleet(tb testing.TB, spec fleetSpec) *cloud {
+	tb.Helper()
+	clock := simtime.NewClock()
+	fabric := simnet.NewLink(clock, "fabric", simnet.Gbps10, 100*time.Microsecond)
+	nova := NewNova(clock, fabric)
+	for i := 0; i < spec.hosts; i++ {
+		name := fmt.Sprintf("host-%03d", i)
+		prof := hw.M1()
+		prof.Name = name
+		prof.RAMBytes = spec.hostRAM
+		prof.Threads = spec.threads
+		d, err := NewLibvirtDriver(clock, hw.NewMachine(clock, prof), hv.KindXen)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := nova.AddNode(name, d); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for i := 0; i < spec.vms; i++ {
+		name := fmt.Sprintf("vm-%04d", i)
+		_, err := nova.BootVM(hv.Config{
+			Name: name, VCPUs: 1, MemBytes: spec.vmMem, HugePages: true,
+			Seed: 7 + uint64(i), InPlaceCompatible: i%4 != 3,
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return &cloud{clock: clock, nova: nova}
+}
+
+// respondFleet runs the stock CVE response under the given limits.
+func respondFleet(tb testing.TB, c *cloud, limits sched.Limits) *FleetResponse {
+	tb.Helper()
+	c.nova.SetFleetLimits(&limits)
+	resp, err := c.nova.RespondToCVE(vulndb.Load(), "CVE-2016-6258", []string{"xen", "kvm"}, core.DefaultOptions())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return resp
+}
+
+// placement flattens the database into comparable placement lines.
+func placement(n *Nova) []string {
+	var out []string
+	for _, rec := range n.Records() {
+		out = append(out, fmt.Sprintf("%s@%s:%v", rec.Name, rec.Node, rec.Kind))
+	}
+	return out
+}
+
+func TestFleetResponseConcurrentSpeedupAndPlacement(t *testing.T) {
+	serial := newFleet(t, stockFleet())
+	rSerial := respondFleet(t, serial, sched.Serial())
+
+	conc := newFleet(t, stockFleet())
+	rConc := respondFleet(t, conc, sched.Limits{MaxKexecs: 4, LinkStreams: 4})
+
+	if rSerial.Outcome != report.OutcomeCompleted || rConc.Outcome != report.OutcomeCompleted {
+		t.Fatalf("outcomes: serial %s, concurrent %s", rSerial.Outcome, rConc.Outcome)
+	}
+	if len(rConc.UpgradedNodes) != stockFleet().hosts {
+		t.Fatalf("concurrent upgraded %d hosts, want %d", len(rConc.UpgradedNodes), stockFleet().hosts)
+	}
+	// Same planner, same placement decisions: the final world must be
+	// identical; only the timeline compresses.
+	ps, pc := placement(serial.nova), placement(conc.nova)
+	if fmt.Sprint(ps) != fmt.Sprint(pc) {
+		t.Fatalf("placement diverged:\nserial:     %v\nconcurrent: %v", ps, pc)
+	}
+	if rConc.Elapsed*2 > rSerial.Elapsed {
+		t.Fatalf("makespan %v not >=2x better than serial %v", rConc.Elapsed, rSerial.Elapsed)
+	}
+	// Whole fleet secured with guest state intact.
+	for _, name := range conc.nova.Nodes() {
+		node, _ := conc.nova.Node(name)
+		if node.Driver.HypervisorKind() != hv.KindKVM {
+			t.Fatalf("node %s still on %v", name, node.Driver.HypervisorKind())
+		}
+		for _, vm := range node.Driver.VMs() {
+			if err := vm.Guest.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestFleetResponseSpansWellNested(t *testing.T) {
+	c := newFleet(t, stockFleet())
+	rec := obs.NewRecorder(c.clock)
+	c.nova.SetRecorder(rec)
+	respondFleet(t, c, sched.Limits{MaxKexecs: 4, LinkStreams: 4})
+	if vs := rec.AuditSpans(); vs != nil {
+		t.Fatalf("span violations after concurrent response: %v", vs)
+	}
+	roots := rec.Roots()
+	var found bool
+	for _, r := range roots {
+		if r.Name == "nova.respond-cve" {
+			found = true
+			if len(r.Children()) == 0 {
+				t.Fatal("respond-cve span has no children")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no nova.respond-cve root span")
+	}
+}
+
+// An injected host failure mid-schedule: the host is quarantined, its
+// VMs replan as drain migrations through the same scheduler, and the
+// response completes degraded — the scheduled twin of
+// TestRespondToCVEDegradesOnHostFault.
+func TestFleetResponseHostFaultReplansMidSchedule(t *testing.T) {
+	c := newFleet(t, stockFleet())
+	c.nova.SetFaults(fault.NewPlan(11, 0).ForceAt(fault.SiteClusterHost, 1))
+	c.nova.SetFleetLimits(&sched.Limits{MaxKexecs: 4, LinkStreams: 4})
+	resp, err := c.nova.RespondToCVE(vulndb.Load(), "CVE-2016-6258", []string{"xen", "kvm"}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != report.OutcomeDegraded || resp.Faults != 1 {
+		t.Fatalf("outcome = %s faults = %d, want degraded/1", resp.Outcome, resp.Faults)
+	}
+	if len(resp.QuarantinedNodes) != 1 {
+		t.Fatalf("quarantined = %v, want exactly one host", resp.QuarantinedNodes)
+	}
+	q := resp.QuarantinedNodes[0]
+	if !c.nova.Quarantined(q) {
+		t.Fatal("host not marked quarantined")
+	}
+	// Every database row still points at a live VM on a healthy host.
+	for _, rec := range c.nova.Records() {
+		if rec.Node == q {
+			t.Fatalf("VM %s still recorded on quarantined host", rec.Name)
+		}
+		node, _ := c.nova.Node(rec.Node)
+		vm, ok := node.Driver.Hypervisor().LookupVM(rec.ID)
+		if !ok {
+			t.Fatalf("VM %s unreachable on %s", rec.Name, rec.Node)
+		}
+		if err := vm.Guest.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(resp.ReplannedVMs)+len(resp.StrandedVMs) == 0 && vmCount(c.nova, q) > 0 {
+		t.Fatal("quarantined host had VMs but none were replanned or stranded")
+	}
+}
+
+func vmCount(n *Nova, host string) int {
+	node, _ := n.Node(host)
+	return len(node.Driver.VMs())
+}
+
+// fleetReportBytes serializes everything observable about a response:
+// the report itself, the final placement, and the virtual makespan.
+func fleetReportBytes(tb testing.TB, c *cloud, resp *FleetResponse) []byte {
+	tb.Helper()
+	blob, err := json.Marshal(struct {
+		Resp      *FleetResponse
+		Placement []string
+		Now       time.Duration
+	}{resp, placement(c.nova), c.clock.Now()})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return blob
+}
+
+// The 200-host fleet report must be byte-identical for any worker-pool
+// width — the same contract every prior layer holds.
+func TestFleetResponseDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-host fleet in -short mode")
+	}
+	run := func(workers int) []byte {
+		old := par.Workers()
+		par.SetWorkers(workers)
+		defer par.SetWorkers(old)
+		c := newFleet(t, bigFleet())
+		resp := respondFleet(t, c, sched.Limits{MaxKexecs: 8, LinkStreams: 8})
+		return fleetReportBytes(t, c, resp)
+	}
+	b1 := run(1)
+	b8 := run(8)
+	if string(b1) != string(b8) {
+		t.Fatalf("fleet report differs across workers:\n-workers 1: %s\n-workers 8: %s", b1, b8)
+	}
+}
+
+func BenchmarkFleetResponse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := newFleet(b, bigFleet())
+		b.StartTimer()
+		resp := respondFleet(b, c, sched.Limits{MaxKexecs: 8, LinkStreams: 8})
+		if len(resp.UpgradedNodes) != bigFleet().hosts {
+			b.Fatalf("upgraded %d hosts, want %d", len(resp.UpgradedNodes), bigFleet().hosts)
+		}
+	}
+}

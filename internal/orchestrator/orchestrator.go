@@ -19,6 +19,7 @@ import (
 	"hypertp/internal/hw"
 	"hypertp/internal/migration"
 	"hypertp/internal/obs"
+	"hypertp/internal/sched"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
 )
@@ -152,6 +153,9 @@ type Nova struct {
 	faults      *fault.Plan
 	retry       fault.RetryPolicy
 	quarantined map[string]bool
+	// fleetLimits, when non-nil, routes RespondToCVE through the
+	// dependency-aware concurrent scheduler (see SetFleetLimits).
+	fleetLimits *sched.Limits
 }
 
 // ComputeNode is one managed host.

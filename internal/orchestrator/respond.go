@@ -68,6 +68,12 @@ func (n *Nova) RespondToCVE(db *vulndb.Database, cveID string, pool []string, op
 		return nil, fmt.Errorf("nova: %s is %s; transplant is reserved for critical flaws",
 			cveID, rec.Severity())
 	}
+	if n.fleetLimits != nil {
+		// Concurrent fleet response: plan the whole response as a DAG
+		// of host-level operations and execute it under the configured
+		// capacity limits (see SetFleetLimits).
+		return n.respondScheduled(db, rec, cveID, pool, opts)
+	}
 	start := n.clock.Now()
 	resp := &FleetResponse{CVE: cveID, Outcome: report.OutcomeCompleted}
 

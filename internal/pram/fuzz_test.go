@@ -3,29 +3,41 @@ package pram
 import (
 	"testing"
 
+	"hypertp/internal/fuzzseed"
 	"hypertp/internal/hw"
 	"hypertp/internal/uisr"
 )
 
-// FuzzParse: the boot-time PRAM parser reads whatever survived the
-// micro-reboot; it must never panic, hang, or accept a structure whose
-// internal accounting is inconsistent, no matter what bytes it finds.
-func FuzzParse(f *testing.F) {
+// fuzzParseSeeds is the shared seed list: f.Add'ed by the fuzz target
+// and mirrored into testdata/fuzz/ by TestFuzzSeedCorpus.
+func fuzzParseSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
 	// Seed: a valid structure's first metadata pages.
 	mem := hw.NewPhysMem(64 << 20)
 	fr := hugeSeedFile(mem)
 	s, err := Build(mem, []File{fr}, BuildOptions{})
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
 	var seed []byte
 	for _, m := range s.MetaFrames {
 		page, _ := mem.Read(m, 0, hw.PageSize4K)
 		seed = append(seed, page...)
 	}
-	f.Add(seed)
-	f.Add([]byte{})
-	f.Add(seed[:100])
+	return [][]byte{seed, {}, seed[:100]}
+}
+
+func TestFuzzSeedCorpus(t *testing.T) {
+	fuzzseed.Check(t, "FuzzParse", fuzzParseSeeds(t)...)
+}
+
+// FuzzParse: the boot-time PRAM parser reads whatever survived the
+// micro-reboot; it must never panic, hang, or accept a structure whose
+// internal accounting is inconsistent, no matter what bytes it finds.
+func FuzzParse(f *testing.F) {
+	for _, seed := range fuzzParseSeeds(f) {
+		f.Add(seed)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Lay the fuzz bytes out as consecutive frames starting at 0 of

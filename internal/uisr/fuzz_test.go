@@ -3,23 +3,35 @@ package uisr
 import (
 	"bytes"
 	"testing"
+
+	"hypertp/internal/fuzzseed"
 )
+
+// fuzzDecodeSeeds is the shared seed list: f.Add'ed by the fuzz target
+// and mirrored into testdata/fuzz/ by TestFuzzSeedCorpus.
+func fuzzDecodeSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	valid, err := Encode(SyntheticVM("seed", 1, 2, 1<<30, 7))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mutated := append([]byte(nil), valid...)
+	mutated[20] ^= 0xff
+	return [][]byte{valid, {}, valid[:16], mutated}
+}
+
+func TestFuzzSeedCorpus(t *testing.T) {
+	fuzzseed.Check(t, "FuzzDecode", fuzzDecodeSeeds(t)...)
+}
 
 // FuzzDecode: the UISR decoder must never panic on arbitrary bytes, and
 // anything it accepts must re-encode to a decodable blob (decode/encode
 // stability). Run with `go test -fuzz=FuzzDecode ./internal/uisr`; in
 // normal test runs the seed corpus executes.
 func FuzzDecode(f *testing.F) {
-	valid, err := Encode(SyntheticVM("seed", 1, 2, 1<<30, 7))
-	if err != nil {
-		f.Fatal(err)
+	for _, seed := range fuzzDecodeSeeds(f) {
+		f.Add(seed)
 	}
-	f.Add(valid)
-	f.Add([]byte{})
-	f.Add(valid[:16])
-	mutated := append([]byte(nil), valid...)
-	mutated[20] ^= 0xff
-	f.Add(mutated)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		st, err := Decode(data)
