@@ -5,7 +5,7 @@ FUZZ_PKGS = ./internal/uisr/ ./internal/hv/xen/ ./internal/hv/kvm/ \
 	./internal/migration/ ./internal/checkpoint/ ./internal/pram/
 
 .PHONY: all build vet fmt-check test race check bench benchdiff benchfig \
-	trace-demo fault-matrix soak soak-short race-check fuzz-seeds
+	trace-demo slo-demo fault-matrix soak soak-short race-check fuzz-seeds
 
 all: check
 
@@ -57,10 +57,13 @@ fault-matrix:
 		./internal/core/
 
 # soak runs a long randomized chaos scenario: 500 fleet operations under
-# fault injection with every global invariant audited after each step.
-# On a violation it exits 2 and writes a shrunk replay bundle.
+# fault injection with every global invariant audited after each step,
+# on the bounded-memory streaming observability pipeline (-stream). On a
+# violation it exits 2 and writes a shrunk replay bundle plus the
+# metrics/flight-recorder artifacts (chaos-metrics.json,
+# chaos-flight.jsonl).
 soak:
-	$(GO) run ./cmd/chaoscheck -seed 1 -ops 500 -fault-rate 0.15
+	$(GO) run ./cmd/chaoscheck -seed 1 -ops 500 -fault-rate 0.15 -stream
 
 # race-check fails fast, with a readable message, when the toolchain
 # cannot run `go test -race` (no CGO, or an unsupported platform) —
@@ -94,10 +97,20 @@ benchfig:
 
 # trace-demo runs one Figure-7 in-place transplant with tracing on and
 # verifies the emitted Chrome trace parses, is non-empty, and covers
-# every Fig. 3 workflow step. The trace lands in /tmp for opening in
-# Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+# every Fig. 3 workflow step — and that the streamed JSONL span export
+# and Prometheus metrics dump validate too. The trace lands in /tmp for
+# opening in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 trace-demo:
 	$(GO) run ./cmd/tpctl -mode inplace -from xen -to kvm -machine M1 \
 		-vms 4 -vcpus 2 -mem-gib 2 \
-		-trace-out /tmp/hypertp-trace.json -metrics-out /tmp/hypertp-metrics.json
+		-trace-out /tmp/hypertp-trace.json -metrics-out /tmp/hypertp-metrics.json \
+		-spans-out /tmp/hypertp-spans.jsonl -prom-out /tmp/hypertp-metrics.prom
 	$(GO) run ./cmd/tracecheck -require-steps /tmp/hypertp-trace.json
+	$(GO) run ./cmd/tracecheck -jsonl /tmp/hypertp-spans.jsonl
+
+# slo-demo runs the fleet CVE response with vulnerability-window SLO
+# tracking and prints the remediation-latency report and burn-rate
+# verdict; -strict makes a blown SLO a non-zero exit.
+slo-demo:
+	$(GO) run ./cmd/sloreport -hosts 20 -vms 40 -strict \
+		-prom-out /tmp/hypertp-slo.prom

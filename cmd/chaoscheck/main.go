@@ -11,6 +11,14 @@
 //	chaoscheck -seed 7 -ops 500 -fault-rate 0.2 -bundle-out fail.json
 //	chaoscheck -replay fail.json
 //	chaoscheck -seed 1 -ops 200 -break leak-frame     # auditor self-test
+//	chaoscheck -seed 1 -ops 500 -stream -flight-cap 256
+//
+// -stream runs the soak on the bounded-memory streaming pipeline: span
+// trees are released as they end and the last -flight-cap of them are
+// kept in a flight recorder, which the structural audit consumes. On a
+// violation, the run's metrics registry (chaos-metrics.json) and the
+// flight-recorder spans (chaos-flight.jsonl) are written to
+// -artifact-dir alongside the replay bundle.
 //
 // The run is deterministic: identical flags produce an identical
 // summary, trace, and (on failure) a byte-identical bundle at any
@@ -23,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"hypertp/internal/chaos"
@@ -41,6 +50,9 @@ func main() {
 		breaker   = flag.String("break", "", "arm a deliberate invariant breaker: leak-frame or corrupt-memory")
 		noShrink  = flag.Bool("no-shrink", false, "skip shrinking on violation (report the raw failure)")
 		bundleOut = flag.String("bundle-out", "chaos-bundle.json", "replay bundle path written on violation")
+		stream    = flag.Bool("stream", false, "bounded-memory streaming observability: span trees flow into a flight recorder instead of being retained")
+		flightCap = flag.Int("flight-cap", 0, "flight-recorder capacity for -stream (0 = default)")
+		artDir    = flag.String("artifact-dir", ".", "directory for violation artifacts (chaos-metrics.json, chaos-flight.jsonl)")
 		replay    = flag.String("replay", "", "replay a previously written bundle instead of generating")
 		workers   = flag.Int("workers", 0, "host worker pool size (0 = GOMAXPROCS); results are identical for any value")
 		verbose   = flag.Bool("v", false, "print the per-op trace")
@@ -51,8 +63,10 @@ func main() {
 		Config: chaos.Config{
 			Seed: *seed, Ops: *ops, Hosts: *hosts, VMs: *vms,
 			FaultRate: *faultRate, OpBudget: *opBudget, Break: *breaker,
+			Stream: *stream, FlightCap: *flightCap,
 		},
-		Shrink: !*noShrink, BundleOut: *bundleOut, Replay: *replay, Verbose: *verbose,
+		Shrink: !*noShrink, BundleOut: *bundleOut, Replay: *replay,
+		ArtifactDir: *artDir, Verbose: *verbose,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaoscheck:", err)
@@ -62,10 +76,49 @@ func main() {
 
 type runConfig struct {
 	chaos.Config
-	Shrink    bool
-	BundleOut string
-	Replay    string
-	Verbose   bool
+	Shrink      bool
+	BundleOut   string
+	Replay      string
+	ArtifactDir string
+	Verbose     bool
+}
+
+// writeArtifacts dumps the failing run's metrics registry and (when
+// streaming) its flight-recorder contents next to the bundle, so a CI
+// violation ships with the observability state that surrounds it.
+func writeArtifacts(dir string, res *chaos.Result) error {
+	if res.Obs != nil {
+		path := filepath.Join(dir, "chaos-metrics.json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := res.Obs.Metrics().WriteMetricsJSON(f, false); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("artifact: wrote %s\n", path)
+	}
+	if res.Flight != nil {
+		path := filepath.Join(dir, "chaos-flight.jsonl")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := res.Flight.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("artifact: wrote %s (%d span records, %d evicted)\n",
+			path, res.Flight.Len(), res.Flight.Evicted())
+	}
+	return nil
 }
 
 func run(cfg runConfig) (int, error) {
@@ -108,6 +161,11 @@ func run(cfg runConfig) (int, error) {
 	}
 
 	ferr := res.Failure.Err()
+	if cfg.ArtifactDir != "" {
+		if aerr := writeArtifacts(cfg.ArtifactDir, res); aerr != nil {
+			return 1, aerr
+		}
+	}
 	if cfg.Replay == "" && cfg.Shrink {
 		ops, fail := chaos.Shrink(res.Config, res.Ops, res.Failure)
 		fmt.Printf("shrunk: %d op(s) reproduce the %s violation\n", len(ops), fail.Invariant)

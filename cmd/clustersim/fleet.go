@@ -10,10 +10,12 @@ import (
 	"hypertp/internal/hv"
 	"hypertp/internal/hw"
 	"hypertp/internal/metrics"
+	"hypertp/internal/obs"
 	"hypertp/internal/orchestrator"
 	"hypertp/internal/sched"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
+	"hypertp/internal/slo"
 	"hypertp/internal/vulndb"
 )
 
@@ -53,49 +55,68 @@ func buildFleet(hosts, vms int) (*orchestrator.Nova, error) {
 	return nova, nil
 }
 
+// fleetRun is one CVE response's worth of outcome: the response, the
+// final VM placement, and the SLO tracker fed by the orchestrator.
+type fleetRun struct {
+	resp      *orchestrator.FleetResponse
+	placement []string
+	slo       *slo.Tracker
+	rec       *obs.Recorder
+	now       time.Duration
+}
+
 // respondOnce builds a fresh fleet and runs the CVE response under the
-// given limits, returning the response and the final VM placement.
-func respondOnce(hosts, vms int, limits sched.Limits) (*orchestrator.FleetResponse, []string, error) {
+// given limits, with vulnerability-window SLO tracking attached.
+func respondOnce(hosts, vms int, limits sched.Limits) (*fleetRun, error) {
 	nova, err := buildFleet(hosts, vms)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
+	clock := nova.Clock()
+	rec := obs.NewRecorder(clock)
+	nova.SetRecorder(rec)
+	tracker := slo.NewTracker()
+	tracker.SetRegistry(rec.Metrics())
+	nova.SetSLO(tracker)
 	nova.SetFleetLimits(&limits)
 	resp, err := nova.RespondToCVE(vulndb.Load(), fleetCVE, []string{"xen", "kvm"}, core.DefaultOptions())
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	var placement []string
+	run := &fleetRun{resp: resp, slo: tracker, rec: rec, now: clock.Now()}
 	for _, rec := range nova.Records() {
-		placement = append(placement, fmt.Sprintf("%s@%s:%v", rec.Name, rec.Node, rec.Kind))
+		run.placement = append(run.placement, fmt.Sprintf("%s@%s:%v", rec.Name, rec.Node, rec.Kind))
 	}
-	return resp, placement, nil
+	return run, nil
 }
 
 // runFleet runs the cluster-wide CVE response twice — once on the
 // serial baseline scheduler and once concurrently under the capacity
-// limits — and reports the makespan reduction. The final placement must
-// be identical between the two runs (same planner, different timeline);
-// a divergence is an invariant violation and exits non-zero.
-func runFleet(w io.Writer, hosts, vms int, sc schedConfig) error {
+// limits — and reports the makespan reduction plus the fleet's
+// vulnerability-window SLO report (remediation latency vs disclosure,
+// burn rate, PASS/FAIL verdict). The final placement must be identical
+// between the two runs (same planner, different timeline); a divergence
+// is an invariant violation and exits non-zero. The whole report is
+// byte-identical for any -workers count.
+func runFleet(w io.Writer, hosts, vms int, sc schedConfig, ec exportConfig) error {
 	defer sc.apply()()
 	limits := sc.limits()
 	if !sc.enabled() {
 		limits = sched.Limits{MaxKexecs: 4, LinkStreams: 4}
 	}
 
-	serial, placeSerial, err := respondOnce(hosts, vms, sched.Serial())
+	serial, err := respondOnce(hosts, vms, sched.Serial())
 	if err != nil {
 		return err
 	}
-	conc, placeConc, err := respondOnce(hosts, vms, limits)
+	conc, err := respondOnce(hosts, vms, limits)
 	if err != nil {
 		return err
 	}
-	if fmt.Sprint(placeSerial) != fmt.Sprint(placeConc) {
+	if fmt.Sprint(serial.placement) != fmt.Sprint(conc.placement) {
 		return hterr.InvariantViolated(fmt.Errorf(
 			"clustersim: concurrent schedule changed VM placement:\nserial:     %v\nconcurrent: %v",
-			placeSerial, placeConc))
+			serial.placement, conc.placement))
 	}
 
 	tab := &metrics.Table{
@@ -106,11 +127,26 @@ func runFleet(w io.Writer, hosts, vms int, sc schedConfig) error {
 	row := func(name string, r *orchestrator.FleetResponse) {
 		tab.AddRow(name, fmt.Sprint(len(r.UpgradedNodes)), fmt.Sprint(len(r.SkippedNodes)),
 			fmt.Sprint(len(r.QuarantinedNodes)), r.Elapsed.Round(time.Millisecond).String(),
-			fmt.Sprintf("%.2fx", float64(serial.Elapsed)/float64(r.Elapsed)))
+			fmt.Sprintf("%.2fx", float64(serial.resp.Elapsed)/float64(r.Elapsed)))
 	}
-	row("serial", serial)
-	row("concurrent", conc)
+	row("serial", serial.resp)
+	row("concurrent", conc.resp)
 	fmt.Fprintln(w, tab.Render())
-	fmt.Fprintf(w, "placement: identical across schedules (%d VMs)\n", vms)
+	fmt.Fprintf(w, "placement: identical across schedules (%d VMs)\n\n", vms)
+	// The concurrent run is the production shape: its vulnerability
+	// window is the one the fleet would actually see.
+	if err := conc.slo.WriteReport(w, conc.now); err != nil {
+		return err
+	}
+	if ec.PromOut != "" {
+		write := func(pw io.Writer) error { return conc.rec.Metrics().WritePrometheus(pw, false) }
+		if err := writeFileWith(ec.PromOut, write); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics: wrote %s (Prometheus text format)\n", ec.PromOut)
+	}
+	if !conc.slo.Pass(conc.now) {
+		return fmt.Errorf("clustersim: fleet SLO violated (see report above)")
+	}
 	return nil
 }

@@ -9,7 +9,16 @@
 //	clustersim -fault-seed 7 -fault-rate 0.2 -fault-sites cluster.host
 //
 // -trace-out writes a Chrome trace_event file of the upgrade at the
-// -trace-frac compatibility fraction (open in Perfetto).
+// -trace-frac compatibility fraction (open in Perfetto); -metrics-out /
+// -prom-out dump the same run's metrics as JSON / Prometheus text;
+// -stream-out streams its span records to JSONL through seed-keyed head
+// sampling (-trace-sample, -sample-seed) — all byte-identical for any
+// -workers count.
+//
+// -fleet runs the cluster-wide CVE response instead and appends the
+// fleet's vulnerability-window SLO report: per-host remediation latency
+// vs disclosure (p50/p95/max), burn rate, and a PASS/FAIL verdict; a
+// failed SLO exits non-zero.
 //
 // -fault-seed/-fault-rate/-fault-sites switch the upgrade to the
 // degradation-capable executor: hosts whose in-place upgrade fails are
@@ -35,29 +44,37 @@ import (
 
 func main() {
 	var (
-		hosts      = flag.Int("hosts", 10, "number of physical hosts")
-		vmsPerHost = flag.Int("vms-per-host", 10, "VMs per host (1 vCPU / 4 GiB each)")
-		group      = flag.Int("group", 1, "hosts taken offline per upgrade group")
-		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file of one upgrade")
-		traceFrac  = flag.Float64("trace-frac", 0.8, "InPlaceTP-compatible fraction for the traced upgrade")
-		metricsOut = flag.String("metrics-out", "", "write the traced upgrade's metrics registry as JSON")
-		faultSeed  = flag.Uint64("fault-seed", 0, "fault-injection seed (deterministic)")
-		faultRate  = flag.Float64("fault-rate", 0, "per-site fault probability in [0,1]")
-		faultSites = flag.String("fault-sites", "", "comma-separated injection sites (empty = all registered sites)")
-		workers    = flag.Int("workers", 0, "worker-pool width for concurrent schedules (0 = library default; results are identical for any width)")
-		streams    = flag.Int("streams", 0, "fabric migration-stream cap for the concurrent schedule columns (0 = off)")
-		kexecs     = flag.Int("kexecs", 0, "simultaneous-kexec cap for the concurrent schedule columns (0 = unlimited)")
-		fleet      = flag.Bool("fleet", false, "run the fleet CVE-response scenario on the concurrent scheduler instead of the Fig. 13 sweep")
-		fleetVMs   = flag.Int("fleet-vms", 32, "VM population for -fleet")
+		hosts       = flag.Int("hosts", 10, "number of physical hosts")
+		vmsPerHost  = flag.Int("vms-per-host", 10, "VMs per host (1 vCPU / 4 GiB each)")
+		group       = flag.Int("group", 1, "hosts taken offline per upgrade group")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON file of one upgrade")
+		traceFrac   = flag.Float64("trace-frac", 0.8, "InPlaceTP-compatible fraction for the traced upgrade")
+		metricsOut  = flag.String("metrics-out", "", "write the traced upgrade's metrics registry as JSON")
+		promOut     = flag.String("prom-out", "", "write the traced upgrade's (or the fleet run's) metrics in Prometheus text format")
+		streamOut   = flag.String("stream-out", "", "stream the traced upgrade's span records to a JSONL file as roots end")
+		traceSample = flag.Float64("trace-sample", 1, "head-sampling fraction for -stream-out in [0,1] (seed-keyed, deterministic)")
+		sampleSeed  = flag.Uint64("sample-seed", 1, "seed for -trace-sample head sampling")
+		faultSeed   = flag.Uint64("fault-seed", 0, "fault-injection seed (deterministic)")
+		faultRate   = flag.Float64("fault-rate", 0, "per-site fault probability in [0,1]")
+		faultSites  = flag.String("fault-sites", "", "comma-separated injection sites (empty = all registered sites)")
+		workers     = flag.Int("workers", 0, "worker-pool width for concurrent schedules (0 = library default; results are identical for any width)")
+		streams     = flag.Int("streams", 0, "fabric migration-stream cap for the concurrent schedule columns (0 = off)")
+		kexecs      = flag.Int("kexecs", 0, "simultaneous-kexec cap for the concurrent schedule columns (0 = unlimited)")
+		fleet       = flag.Bool("fleet", false, "run the fleet CVE-response scenario on the concurrent scheduler instead of the Fig. 13 sweep")
+		fleetVMs    = flag.Int("fleet-vms", 32, "VM population for -fleet")
 	)
 	flag.Parse()
 	fc := faultConfig{Seed: *faultSeed, Rate: *faultRate, Sites: *faultSites}
 	sc := schedConfig{Workers: *workers, Streams: *streams, Kexecs: *kexecs}
+	ec := exportConfig{
+		TraceOut: *traceOut, MetricsOut: *metricsOut, PromOut: *promOut,
+		StreamOut: *streamOut, TraceSample: *traceSample, SampleSeed: *sampleSeed,
+	}
 	var err error
 	if *fleet {
-		err = runFleet(os.Stdout, *hosts, *fleetVMs, sc)
+		err = runFleet(os.Stdout, *hosts, *fleetVMs, sc, ec)
 	} else {
-		err = run(*hosts, *vmsPerHost, *group, *traceOut, *traceFrac, *metricsOut, fc, sc)
+		err = run(*hosts, *vmsPerHost, *group, *traceFrac, fc, sc, ec)
 	}
 	if err != nil {
 		os.Exit(exitWithLabel("clustersim", err))
@@ -103,6 +120,20 @@ func exitWithLabel(tool string, err error) int {
 	return 1
 }
 
+// exportConfig carries the observability-export flags.
+type exportConfig struct {
+	TraceOut, MetricsOut, PromOut, StreamOut string
+	// TraceSample/SampleSeed drive seed-keyed head sampling of StreamOut:
+	// the kept set is a pure function of (seed, root name, root start),
+	// so the file is byte-identical for any worker count.
+	TraceSample float64
+	SampleSeed  uint64
+}
+
+func (ec exportConfig) enabled() bool {
+	return ec.TraceOut != "" || ec.MetricsOut != "" || ec.PromOut != "" || ec.StreamOut != ""
+}
+
 // faultConfig carries the fault-injection flags.
 type faultConfig struct {
 	Seed  uint64
@@ -129,7 +160,7 @@ func (fc faultConfig) plan() (*fault.Plan, error) {
 	return p, nil
 }
 
-func run(hosts, vmsPerHost, group int, traceOut string, traceFrac float64, metricsOut string, fc faultConfig, sc schedConfig) error {
+func run(hosts, vmsPerHost, group int, traceFrac float64, fc faultConfig, sc schedConfig, ec exportConfig) error {
 	defer sc.apply()()
 	model := cluster.DefaultExecutionModel()
 	runOnce := func(frac float64, rec *obs.Recorder) (cluster.Result, *cluster.Plan, error) {
@@ -215,28 +246,66 @@ func run(hosts, vmsPerHost, group int, traceOut string, traceFrac float64, metri
 			fc.Seed, fc.Rate, orAll(fc.Sites))
 	}
 
-	if traceOut == "" && metricsOut == "" {
+	if !ec.enabled() {
 		return nil
 	}
 	// The planner is clock-less: spans carry explicit virtual times from
-	// the execution model, so the trace is deterministic.
+	// the execution model, so every export below is deterministic.
 	rec := obs.NewRecorder(nil)
+	var streamFile *os.File
+	var jsonl *obs.JSONLSink
+	if ec.StreamOut != "" {
+		f, err := os.Create(ec.StreamOut)
+		if err != nil {
+			return err
+		}
+		streamFile = f
+		jsonl = obs.NewJSONLSink(f)
+		// Sampling keys on the root span, so a 100k-host stream exports
+		// O(sampled roots), not O(fleet).
+		if ec.TraceSample < 1 {
+			rec.AddSink(obs.NewHeadSampler(ec.SampleSeed, ec.TraceSample, jsonl))
+		} else {
+			rec.AddSink(jsonl)
+		}
+	}
 	if _, _, err := runOnce(traceFrac, rec); err != nil {
+		if streamFile != nil {
+			streamFile.Close()
+		}
 		return err
 	}
-	if traceOut != "" {
-		if err := writeFileWith(traceOut, rec.WriteChromeTrace); err != nil {
+	if streamFile != nil {
+		if err := jsonl.Err(); err != nil {
+			streamFile.Close()
+			return err
+		}
+		if err := streamFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("stream: wrote %s (JSONL, sample %.2f, seed %d)\n",
+			ec.StreamOut, ec.TraceSample, ec.SampleSeed)
+	}
+	if ec.TraceOut != "" {
+		if err := writeFileWith(ec.TraceOut, rec.WriteChromeTrace); err != nil {
 			return err
 		}
 		fmt.Printf("trace: wrote %s for compatible fraction %.2f (open in Perfetto)\n",
-			traceOut, traceFrac)
+			ec.TraceOut, traceFrac)
 	}
-	if metricsOut != "" {
+	if ec.MetricsOut != "" {
 		write := func(w io.Writer) error { return rec.Metrics().WriteMetricsJSON(w, false) }
-		if err := writeFileWith(metricsOut, write); err != nil {
+		if err := writeFileWith(ec.MetricsOut, write); err != nil {
 			return err
 		}
-		fmt.Printf("metrics: wrote %s\n", metricsOut)
+		fmt.Printf("metrics: wrote %s\n", ec.MetricsOut)
+	}
+	if ec.PromOut != "" {
+		write := func(w io.Writer) error { return rec.Metrics().WritePrometheus(w, false) }
+		if err := writeFileWith(ec.PromOut, write); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: wrote %s (Prometheus text format)\n", ec.PromOut)
 	}
 	return nil
 }

@@ -11,22 +11,22 @@ import (
 )
 
 func TestRunDefaults(t *testing.T) {
-	if err := run(10, 10, 1, "", 0.8, "", faultConfig{}, schedConfig{}); err != nil {
+	if err := run(10, 10, 1, 0.8, faultConfig{}, schedConfig{}, exportConfig{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSmallCluster(t *testing.T) {
-	if err := run(4, 3, 2, "", 0.8, "", faultConfig{}, schedConfig{}); err != nil {
+	if err := run(4, 3, 2, 0.8, faultConfig{}, schedConfig{}, exportConfig{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadShape(t *testing.T) {
-	if err := run(1, 10, 1, "", 0.8, "", faultConfig{}, schedConfig{}); err == nil {
+	if err := run(1, 10, 1, 0.8, faultConfig{}, schedConfig{}, exportConfig{}); err == nil {
 		t.Fatal("single-host cluster accepted")
 	}
-	if err := run(10, 10, 10, "", 0.8, "", faultConfig{}, schedConfig{}); err == nil {
+	if err := run(10, 10, 10, 0.8, faultConfig{}, schedConfig{}, exportConfig{}); err == nil {
 		t.Fatal("group size = cluster accepted")
 	}
 }
@@ -35,12 +35,12 @@ func TestRunBadShape(t *testing.T) {
 // executor quarantines failed hosts and the run still completes.
 func TestRunWithFaultInjection(t *testing.T) {
 	fc := faultConfig{Seed: 7, Rate: 0.5, Sites: "cluster.host"}
-	if err := run(6, 3, 1, "", 0.8, "", fc, schedConfig{}); err != nil {
+	if err := run(6, 3, 1, 0.8, fc, schedConfig{}, exportConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown site rejected.
 	bad := faultConfig{Seed: 1, Rate: 1, Sites: "no.such.site"}
-	if err := run(4, 3, 1, "", 0.8, "", bad, schedConfig{}); err == nil {
+	if err := run(4, 3, 1, 0.8, bad, schedConfig{}, exportConfig{}); err == nil {
 		t.Fatal("unknown fault site accepted")
 	}
 }
@@ -49,7 +49,7 @@ func TestRunTraceOut(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "upgrade.json")
 	metricsPath := filepath.Join(dir, "metrics.json")
-	if err := run(4, 3, 1, tracePath, 0.5, metricsPath, faultConfig{}, schedConfig{}); err != nil {
+	if err := run(4, 3, 1, 0.5, faultConfig{}, schedConfig{}, exportConfig{TraceOut: tracePath, MetricsOut: metricsPath, TraceSample: 1}); err != nil {
 		t.Fatal(err)
 	}
 	var tr struct {
@@ -79,7 +79,7 @@ func TestRunTraceOut(t *testing.T) {
 // The -streams/-kexecs columns: the concurrent re-timing of the same
 // plan appears alongside the serial sweep.
 func TestRunScheduledColumns(t *testing.T) {
-	if err := run(6, 3, 2, "", 0.8, "", faultConfig{}, schedConfig{Streams: 4, Kexecs: 4}); err != nil {
+	if err := run(6, 3, 2, 0.8, faultConfig{}, schedConfig{Streams: 4, Kexecs: 4}, exportConfig{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -90,7 +90,7 @@ func TestRunScheduledColumns(t *testing.T) {
 func TestRunFleetDeterministicAcrossWorkers(t *testing.T) {
 	out := func(workers int) string {
 		var buf bytes.Buffer
-		if err := runFleet(&buf, 10, 32, schedConfig{Workers: workers, Streams: 4, Kexecs: 4}); err != nil {
+		if err := runFleet(&buf, 10, 32, schedConfig{Workers: workers, Streams: 4, Kexecs: 4}, exportConfig{}); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()
@@ -102,6 +102,13 @@ func TestRunFleetDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if !strings.Contains(w1, "identical across schedules") {
 		t.Fatalf("missing placement check line:\n%s", w1)
+	}
+	// The fleet report must carry the vulnerability-window SLO verdict.
+	if !strings.Contains(w1, "slo report") || !strings.Contains(w1, "remediation latency p50=") {
+		t.Fatalf("missing SLO window report:\n%s", w1)
+	}
+	if !strings.Contains(w1, "PASS") {
+		t.Fatalf("fleet response did not pass its SLO:\n%s", w1)
 	}
 	// The speedup column of the concurrent row must be >= 2.00x.
 	var speedup string
@@ -117,5 +124,51 @@ func TestRunFleetDeterministicAcrossWorkers(t *testing.T) {
 	var x float64
 	if _, err := fmt.Sscanf(speedup, "%fx", &x); err != nil || x < 2 {
 		t.Fatalf("concurrent speedup %q below 2x target", speedup)
+	}
+}
+
+// The -stream-out/-trace-sample pipeline: the streamed, head-sampled
+// JSONL export is byte-identical for the same seed and fraction at any
+// worker count, and the sampling decision really is seed-keyed — the
+// sweep's single root span is kept under one seed and dropped whole
+// under another (decisions are a pure function of seed, root name and
+// root start, so these outcomes are pinned).
+func TestStreamOutSampledDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	streamed := func(workers int, frac float64, seed uint64, name string) []byte {
+		path := filepath.Join(dir, name)
+		ec := exportConfig{StreamOut: path, TraceSample: frac, SampleSeed: seed}
+		sc := schedConfig{Workers: workers, Streams: 4, Kexecs: 4}
+		if err := run(6, 3, 2, 0.5, faultConfig{}, sc, ec); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	// Seed 3 keeps the "rolling-upgrade" root at fraction 0.5; seed 1
+	// drops it.
+	w1 := streamed(1, 0.5, 3, "w1.jsonl")
+	w8 := streamed(8, 0.5, 3, "w8.jsonl")
+	if !bytes.Equal(w1, w8) {
+		t.Fatalf("sampled stream differs across workers:\n-workers 1: %d bytes\n-workers 8: %d bytes", len(w1), len(w8))
+	}
+	full := streamed(1, 1, 3, "full.jsonl")
+	if len(full) == 0 {
+		t.Fatal("unsampled stream is empty")
+	}
+	if !bytes.Equal(w1, full) {
+		t.Fatalf("kept root renders differently sampled vs full (%d vs %d bytes)", len(w1), len(full))
+	}
+	if dropped := streamed(1, 0.5, 1, "dropped.jsonl"); len(dropped) != 0 {
+		t.Fatalf("seed 1 should drop the root whole, got %d bytes", len(dropped))
+	}
+	// Spot-check the line format: every line is one span record.
+	for i, line := range strings.Split(strings.TrimRight(string(full), "\n"), "\n") {
+		if !strings.HasPrefix(line, `{"id":`) || !strings.HasSuffix(line, "}") {
+			t.Fatalf("stream line %d is not a span record: %s", i, line)
+		}
 	}
 }

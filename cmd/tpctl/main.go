@@ -11,8 +11,10 @@
 //	tpctl -mode inplace -fault-seed 42 -fault-rate 1 -fault-sites kexec.handover -fault-plan
 //
 // -trace-out writes a Chrome trace_event file (open in Perfetto or
-// chrome://tracing); -metrics-out writes the metrics registry as JSON.
-// Both are deterministic: byte-identical for any -workers count.
+// chrome://tracing); -metrics-out writes the metrics registry as JSON;
+// -prom-out writes it in Prometheus text exposition format; -spans-out
+// writes the span forest as JSONL. All are deterministic:
+// byte-identical for any -workers count.
 //
 // -fault-seed/-fault-rate/-fault-sites arm deterministic fault
 // injection at the named phase boundaries; the engine's recovery paths
@@ -60,6 +62,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "host worker pool size for wall-clock parallelism (0 = GOMAXPROCS)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run")
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry as JSON")
+		promOut    = flag.String("prom-out", "", "write the metrics registry in Prometheus text format")
+		spansOut   = flag.String("spans-out", "", "write the span forest as JSONL (one span record per line)")
 		profLabels = flag.Bool("pprof-labels", false, "annotate pool workers with pprof labels")
 		faultSeed  = flag.Uint64("fault-seed", 0, "fault-injection seed (deterministic; 0 with rate 0 disables)")
 		faultRate  = flag.Float64("fault-rate", 0, "per-site fault probability in [0,1]")
@@ -81,6 +85,8 @@ func main() {
 		},
 		TraceOut:   *traceOut,
 		MetricsOut: *metricsOut,
+		PromOut:    *promOut,
+		SpansOut:   *spansOut,
 		FaultSeed:  *faultSeed,
 		FaultRate:  *faultRate,
 		FaultSites: *faultSites,
@@ -135,6 +141,7 @@ type runConfig struct {
 	CVE                     string
 	Opts                    core.Options
 	TraceOut, MetricsOut    string
+	PromOut, SpansOut       string
 	FaultSeed               uint64
 	FaultRate               float64
 	FaultSites              string
@@ -175,7 +182,7 @@ func run(cfg runConfig) error {
 	srcMachine := hw.NewMachine(clock, profile)
 	engine := core.NewEngine(clock, srcMachine)
 	var rec *obs.Recorder
-	if cfg.TraceOut != "" || cfg.MetricsOut != "" {
+	if cfg.TraceOut != "" || cfg.MetricsOut != "" || cfg.PromOut != "" || cfg.SpansOut != "" {
 		rec = obs.NewRecorder(clock)
 		engine.Obs = rec
 		par.SetObserver(rec.PoolObserver())
@@ -293,6 +300,19 @@ func run(cfg runConfig) error {
 			return err
 		}
 		fmt.Printf("metrics: wrote %s\n", cfg.MetricsOut)
+	}
+	if cfg.PromOut != "" {
+		write := func(w io.Writer) error { return rec.Metrics().WritePrometheus(w, false) }
+		if err := writeFileWith(cfg.PromOut, write); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: wrote %s (Prometheus text format)\n", cfg.PromOut)
+	}
+	if cfg.SpansOut != "" {
+		if err := writeFileWith(cfg.SpansOut, rec.WriteJSONL); err != nil {
+			return err
+		}
+		fmt.Printf("spans: wrote %s (JSONL, one record per line)\n", cfg.SpansOut)
 	}
 	if cfg.FaultPlan && plan != nil {
 		shots := plan.Shots()

@@ -1,16 +1,26 @@
-// Command tracecheck validates a Chrome trace_event JSON file produced
-// by tpctl/clustersim: it must parse, be non-empty, contain only
-// well-formed complete ("X") and instant ("i") events, and — with
-// -require-steps — cover every Fig. 3 workflow step as a span. The
-// Makefile's trace-demo target uses it as the end-to-end check that the
-// observability pipeline emits something a human can actually open.
+// Command tracecheck validates observability exports produced by
+// tpctl/clustersim. The default mode checks a Chrome trace_event JSON
+// file: it must parse, be non-empty, contain only well-formed complete
+// ("X") and instant ("i") events, and — with -require-steps — cover
+// every Fig. 3 workflow step as a span. The Makefile's trace-demo
+// target uses it as the end-to-end check that the observability
+// pipeline emits something a human can actually open.
+//
+// -jsonl switches to validating a streamed span-record file
+// (-spans-out / -stream-out / a flight-recorder dump): every line must
+// be one span record with end >= start, ids unique, and every child
+// contained in its parent's interval when the parent is present —
+// sampled or evicted parents are tolerated, because streaming exports
+// are allowed to keep or drop whole roots.
 //
 // Usage:
 //
 //	tracecheck -require-steps trace.json
+//	tracecheck -jsonl spans.jsonl
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -47,12 +57,22 @@ var fig3Steps = []string{
 func main() {
 	requireSteps := flag.Bool("require-steps", false,
 		"require every Fig. 3 workflow step to appear as a span")
+	jsonl := flag.Bool("jsonl", false,
+		"validate a streamed span-record JSONL file instead of a Chrome trace")
+	allowEmpty := flag.Bool("allow-empty", false,
+		"accept an empty -jsonl file (aggressive sampling may drop every root)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require-steps] <trace.json>")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require-steps | -jsonl [-allow-empty]] <file>")
 		os.Exit(2)
 	}
-	if err := check(flag.Arg(0), *requireSteps); err != nil {
+	var err error
+	if *jsonl {
+		err = checkJSONL(flag.Arg(0), *allowEmpty)
+	} else {
+		err = check(flag.Arg(0), *requireSteps)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(1)
 	}
@@ -104,5 +124,94 @@ func check(path string, requireSteps bool) error {
 	}
 	fmt.Printf("%s: ok — %d span events, %d instant events, %d distinct span names\n",
 		path, len(tf.TraceEvents)-instants, instants, len(spans))
+	return nil
+}
+
+// spanRecord mirrors the streamed JSONL line format (obs.SpanRecord).
+type spanRecord struct {
+	ID     int               `json:"id"`
+	Parent int               `json:"parent"`
+	Depth  int               `json:"depth"`
+	Name   string            `json:"name"`
+	Track  string            `json:"track"`
+	Start  int64             `json:"start_ns"`
+	End    int64             `json:"end_ns"`
+	Attrs  map[string]string `json:"attrs"`
+	Events []struct {
+		T      int64  `json:"t_ns"`
+		Name   string `json:"name"`
+		Detail string `json:"detail"`
+	} `json:"events"`
+}
+
+// checkJSONL validates a streamed span-record file. Ids restart at 0 on
+// every root (parent -1) line — one flattened root tree is one batch —
+// so structural checks run per batch. Records whose parent is absent
+// from the batch are tolerated: head sampling keeps or drops whole
+// roots, and a flight recorder's ring evicts batch prefixes.
+func checkJSONL(path string, allowEmpty bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var lines, roots, orphans int
+	batch := map[int]spanRecord{}
+	lastID := -1
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			return fmt.Errorf("%s: line %d is empty", path, lines+1)
+		}
+		var rec spanRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("%s: line %d: not a span record: %w", path, lines+1, err)
+		}
+		lines++
+		if rec.Name == "" {
+			return fmt.Errorf("%s: line %d has no span name", path, lines)
+		}
+		if rec.End < rec.Start {
+			return fmt.Errorf("%s: line %d (%q): end %d before start %d", path, lines, rec.Name, rec.End, rec.Start)
+		}
+		// Ids strictly increase within one flattened root; a root line or
+		// an id non-increase (an evicted batch boundary) opens a fresh id
+		// space, which also makes duplicate ids impossible within a batch.
+		if rec.Parent == -1 || rec.ID <= lastID {
+			batch = map[int]spanRecord{}
+			if rec.Parent == -1 {
+				roots++
+				if rec.Depth != 0 {
+					return fmt.Errorf("%s: line %d: root %q has depth %d", path, lines, rec.Name, rec.Depth)
+				}
+			}
+		}
+		lastID = rec.ID
+		if rec.Parent != -1 {
+			p, ok := batch[rec.Parent]
+			if !ok {
+				orphans++ // parent sampled away or evicted: tolerated
+			} else {
+				if rec.Depth != p.Depth+1 {
+					return fmt.Errorf("%s: line %d (%q): depth %d under parent of depth %d", path, lines, rec.Name, rec.Depth, p.Depth)
+				}
+				if rec.Start < p.Start || rec.End > p.End {
+					return fmt.Errorf("%s: line %d (%q): [%d,%d] escapes parent %q [%d,%d]",
+						path, lines, rec.Name, rec.Start, rec.End, p.Name, p.Start, p.End)
+				}
+			}
+		}
+		batch[rec.ID] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lines == 0 && !allowEmpty {
+		return fmt.Errorf("%s: no span records (use -allow-empty if sampling dropped every root)", path)
+	}
+	fmt.Printf("%s: ok — %d span records, %d roots, %d orphaned records\n", path, lines, roots, orphans)
 	return nil
 }

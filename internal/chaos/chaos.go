@@ -28,6 +28,7 @@ package chaos
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"hypertp/internal/fault"
@@ -64,7 +65,22 @@ type Config struct {
 	// tagged to a dead VM after each transplant, "corrupt-memory"
 	// flips a guest byte behind the write journal after each workload.
 	Break string `json:"break,omitempty"`
+	// Stream switches the run onto the bounded streaming observability
+	// pipeline: ended span trees are flattened into a flight recorder of
+	// FlightCap records instead of being retained, so soak memory stays
+	// O(FlightCap) rather than O(ops), and the structural span audit
+	// runs over the flight-recorder snapshot.
+	Stream bool `json:"stream,omitempty"`
+	// FlightCap is the flight-recorder capacity when Stream is set; zero
+	// takes DefaultFlightCap.
+	FlightCap int `json:"flight_cap,omitempty"`
 }
+
+// DefaultFlightCap is the streaming flight-recorder capacity: enough to
+// hold the spans of the last handful of fleet operations next to a
+// violation, small enough that a soak's resident span memory is
+// trivially bounded.
+const DefaultFlightCap = 512
 
 // DefaultOpBudget bounds one fleet operation in virtual time: far above
 // a full CVE response over the default fleet (a dozen multi-second
@@ -86,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OpBudget <= 0 {
 		c.OpBudget = DefaultOpBudget
+	}
+	if c.Stream && c.FlightCap <= 0 {
+		c.FlightCap = DefaultFlightCap
 	}
 	return c
 }
@@ -127,6 +146,13 @@ type Result struct {
 	Trace []string
 	// Failure is the first violation, nil when every audit passed.
 	Failure *Failure
+
+	// Obs and Flight expose the run's recorder and, on streaming runs,
+	// its flight recorder, so callers (cmd/chaoscheck) can dump metrics
+	// and retained spans as artifacts on a violation. Never serialized
+	// into replay bundles.
+	Obs    *obs.Recorder       `json:"-"`
+	Flight *obs.FlightRecorder `json:"-"`
 }
 
 // Summary renders the deterministic run summary — identical for
@@ -173,7 +199,7 @@ func RunOps(cfg Config, ops []Op) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Config: cfg, Ops: ops}
+	res := &Result{Config: cfg, Ops: ops, Obs: h.rec, Flight: h.flight}
 	for i := range ops {
 		line := h.step(&ops[i])
 		res.Executed++
@@ -207,6 +233,7 @@ type harness struct {
 	clock  *simtime.Clock
 	fabric *simnet.Link
 	rec    *obs.Recorder
+	flight *obs.FlightRecorder // non-nil on streaming runs
 	nova   *orchestrator.Nova
 	db     *vulndb.Database
 
@@ -227,6 +254,16 @@ func newHarness(cfg Config) (*harness, error) {
 	clock := simtime.NewClock()
 	fabric := simnet.NewLink(clock, "fabric", simnet.Gbps10, 100*time.Microsecond)
 	rec := obs.NewRecorder(clock)
+	var flight *obs.FlightRecorder
+	if cfg.Stream {
+		// Bounded-memory soak: ended span trees stream into a fixed ring
+		// and are released from the forest. Fault and retry evidence is
+		// pinned so it survives wraparound until the audit reads it.
+		flight = obs.NewFlightRecorder(cfg.FlightCap)
+		flight.SetPin(pinFaultEvidence)
+		rec.AddSink(flight)
+		rec.SetRetain(false)
+	}
 	nova := orchestrator.NewNova(clock, fabric)
 	nova.SetRecorder(rec)
 	// Every retry loop in the stack runs under a tight virtual-time
@@ -236,7 +273,7 @@ func newHarness(cfg Config) (*harness, error) {
 	nova.SetRetry(retry)
 
 	h := &harness{
-		cfg: cfg, clock: clock, fabric: fabric, rec: rec, nova: nova,
+		cfg: cfg, clock: clock, fabric: fabric, rec: rec, flight: flight, nova: nova,
 		db:       vulndb.Load(),
 		dead:     make(map[string]bool),
 		baseline: make(map[string]uint64),
@@ -315,6 +352,22 @@ func (h *harness) refreshBaseline(name string) error {
 	}
 	h.baseline[name] = sum
 	return nil
+}
+
+// pinFaultEvidence is the streaming flight recorder's pin predicate:
+// spans that carry fault injections or retry storms stay resident
+// across ring wraparound, because that is exactly the context an
+// auditor wants next to a violation.
+func pinFaultEvidence(rec obs.SpanRecord) bool {
+	if strings.Contains(rec.Name, "fault") {
+		return true
+	}
+	for _, ev := range rec.Events {
+		if strings.HasPrefix(ev.Name, "fault.") || strings.HasSuffix(ev.Name, ".retry") {
+			return true
+		}
+	}
+	return false
 }
 
 // syncVMs drops tracked VMs whose database row vanished — a legitimate,

@@ -108,6 +108,48 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestChaosStreamingBounded: a streaming soak must hold every invariant
+// while keeping span memory bounded — the forest is released as roots
+// end, and the flight recorder never holds more than pinned+ring
+// records — and stay deterministic across worker counts.
+func TestChaosStreamingBounded(t *testing.T) {
+	defer par.SetWorkers(0)
+	cfg := soakConfig()
+	cfg.Stream = true
+	cfg.FlightCap = 64
+	var summaries []string
+	for _, w := range []int{1, 8} {
+		par.SetWorkers(w)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failure != nil {
+			t.Fatalf("invariant violated on streaming run:\n%s", res.Summary())
+		}
+		if res.Flight == nil {
+			t.Fatal("streaming run carried no flight recorder")
+		}
+		if res.Flight.Total() <= uint64(res.Flight.Cap()) {
+			t.Fatalf("soak streamed only %d records through a cap-%d ring — not exercising eviction",
+				res.Flight.Total(), res.Flight.Cap())
+		}
+		if got, max := res.Flight.Len(), 2*res.Flight.Cap(); got > max {
+			t.Fatalf("flight recorder holds %d records, bound is %d", got, max)
+		}
+		// The forest must not accumulate: ended roots are released, so
+		// only spans still open at run end may remain.
+		if n := len(res.Obs.Roots()); n > 8 {
+			t.Fatalf("streaming run retained %d roots; forest is not being released", n)
+		}
+		summaries = append(summaries, res.Summary())
+	}
+	if summaries[1] != summaries[0] {
+		t.Fatalf("streaming summary differs between workers=1 and workers=8:\n%s\nvs\n%s",
+			summaries[0], summaries[1])
+	}
+}
+
 // brokenRun runs a soak with the given deliberate breaker armed and
 // returns the run; it fails the test if no violation is caught.
 func brokenRun(t *testing.T, breaker, wantInvariant string) *Result {

@@ -443,7 +443,7 @@ func (p *Plan) ExecuteScheduled(m ExecutionModel, rec *obs.Recorder, limits sche
 			gate = inp
 		}
 	}
-	schedule, err := sched.Execute(g, limits, sched.Options{})
+	schedule, err := sched.Execute(g, limits, sched.Options{Metrics: rec.Metrics()})
 	if err != nil {
 		return res, err
 	}

@@ -89,9 +89,30 @@ func StdDev(vs []float64) float64 {
 	return math.Sqrt(sq / float64(len(vs)))
 }
 
+// dropNaN returns vs without NaN samples, reusing the input slice when
+// it is already clean.
+func dropNaN(vs []float64) []float64 {
+	for i, v := range vs {
+		if math.IsNaN(v) {
+			out := make([]float64, i, len(vs))
+			copy(out, vs[:i])
+			for _, v := range vs[i+1:] {
+				if !math.IsNaN(v) {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+	}
+	return vs
+}
+
 // Percentile returns the p-th percentile (0-100) by linear
-// interpolation.
+// interpolation. Empty input yields 0, and NaN samples are dropped
+// first: one undefined observation (a 0/0 rate, say) must not poison
+// the sort order and with it every quantile.
 func Percentile(vs []float64, p float64) float64 {
+	vs = dropNaN(vs)
 	if len(vs) == 0 {
 		return 0
 	}
@@ -120,8 +141,12 @@ type Summary struct {
 	P50, P95, P99  float64
 }
 
-// Summarize computes the digest of vs (zero Summary for empty input).
+// Summarize computes the digest of vs. Empty input — including an
+// unobserved histogram's reservoir — and all-NaN input both yield the
+// well-defined zero Summary; every field of a Summary is always finite,
+// never NaN, so exporters can emit it without poisoning goldens.
 func Summarize(vs []float64) Summary {
+	vs = dropNaN(vs)
 	if len(vs) == 0 {
 		return Summary{}
 	}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +10,51 @@ import (
 func TestSummarizeEmpty(t *testing.T) {
 	if s := Summarize(nil); s != (Summary{}) {
 		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+// TestSummarizeNeverNaN pins the exporter contract: whatever the input
+// — empty, all-NaN, or NaN-contaminated — every Summary field is
+// finite, so a zero-observation histogram renders p50=0, not NaN.
+func TestSummarizeNeverNaN(t *testing.T) {
+	nan := math.NaN()
+	cases := map[string][]float64{
+		"empty":   {},
+		"all-nan": {nan, nan, nan},
+		"mixed":   {3, nan, 1, nan, 2},
+	}
+	for name, vs := range cases {
+		s := Summarize(vs)
+		for field, v := range map[string]float64{
+			"Mean": s.Mean, "Min": s.Min, "Max": s.Max,
+			"P50": s.P50, "P95": s.P95, "P99": s.P99,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: %s = %g", name, field, v)
+			}
+		}
+	}
+	if s := Summarize([]float64{nan, nan}); s != (Summary{}) {
+		t.Fatalf("all-NaN summary = %+v, want zero Summary", s)
+	}
+	// NaN samples are dropped, not zeroed: the finite digest survives.
+	s := Summarize([]float64{3, nan, 1, nan, 2})
+	if s.Count != 3 || s.Min != 1 || s.Max != 3 || s.P50 != 2 {
+		t.Fatalf("mixed summary = %+v", s)
+	}
+}
+
+func TestPercentileNaNInput(t *testing.T) {
+	nan := math.NaN()
+	if p := Percentile([]float64{nan, nan}, 50); p != 0 {
+		t.Fatalf("all-NaN percentile = %g, want 0", p)
+	}
+	if p := Percentile([]float64{5, nan, 1}, 100); p != 5 {
+		t.Fatalf("max over {5, NaN, 1} = %g, want 5", p)
+	}
+	b := Box([]float64{nan, 4, 2})
+	if b.Min != 2 || b.Max != 4 || math.IsNaN(b.Median) {
+		t.Fatalf("box over NaN-contaminated input = %+v", b)
 	}
 }
 

@@ -1,6 +1,9 @@
 package obs
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // SpanViolation is one structural inconsistency in the recorded span
 // forest found by AuditSpans.
@@ -37,6 +40,51 @@ func (r *Recorder) AuditSpans() []SpanViolation {
 	var out []SpanViolation
 	for _, root := range r.roots {
 		auditSpan(root, &out)
+	}
+	return out
+}
+
+// AuditRecords runs the AuditSpans checks over flattened span records —
+// the form a FlightRecorder retains — so violation handlers can audit
+// span structure without the full tree. Records whose parent is absent
+// from the slice (evicted by the ring, or sampled away) are only checked
+// for negative duration: a truncated window is not a violation. Records
+// may arrive in any order; parent/child and sibling relations are
+// reconstructed from the Parent ids.
+func AuditRecords(recs []SpanRecord) []SpanViolation {
+	byID := make(map[int]*SpanRecord, len(recs))
+	for i := range recs {
+		byID[recs[i].ID] = &recs[i]
+	}
+	var out []SpanViolation
+	// prevStart tracks, per present parent, the latest child start seen
+	// so far in slice order — slice order is creation order within one
+	// root batch, which is what sibling monotonicity is defined over.
+	prevStart := make(map[int]time.Duration, len(recs))
+	for i := range recs {
+		rec := &recs[i]
+		if rec.End < rec.Start {
+			out = append(out, SpanViolation{Kind: "negative-duration", Span: rec.Name,
+				Detail: fmt.Sprintf("start %v, end %v", rec.Start, rec.End)})
+		}
+		p, ok := byID[rec.Parent]
+		if !ok {
+			continue
+		}
+		if rec.Start < p.Start {
+			out = append(out, SpanViolation{Kind: "child-early", Span: rec.Name,
+				Detail: fmt.Sprintf("starts %v before parent %q at %v", rec.Start, p.Name, p.Start)})
+		} else if prev, seen := prevStart[rec.Parent]; seen && rec.Start < prev {
+			out = append(out, SpanViolation{Kind: "sibling-regress", Span: rec.Name,
+				Detail: fmt.Sprintf("starts %v before an earlier sibling under %q at %v", rec.Start, p.Name, prev)})
+		}
+		if rec.End > p.End {
+			out = append(out, SpanViolation{Kind: "child-late", Span: rec.Name,
+				Detail: fmt.Sprintf("ends %v after parent %q at %v", rec.End, p.Name, p.End)})
+		}
+		if prev, seen := prevStart[rec.Parent]; !seen || rec.Start > prev {
+			prevStart[rec.Parent] = rec.Start
+		}
 	}
 	return out
 }

@@ -118,43 +118,44 @@ func (s *Span) trackName() string {
 	return ""
 }
 
+// appendJSONL renders the record as one JSON line — the format shared
+// by Recorder.WriteJSONL, JSONLSink and FlightRecorder.WriteJSONL: id,
+// parent id (-1 for roots), depth, name, track, virtual start/end in
+// nanoseconds, attrs and instant events.
+func (rec SpanRecord) appendJSONL(b []byte) []byte {
+	b = append(b, fmt.Sprintf(
+		"{\"id\":%d,\"parent\":%d,\"depth\":%d,\"name\":%s,\"track\":%s,\"start_ns\":%d,\"end_ns\":%d",
+		rec.ID, rec.Parent, rec.Depth, jstr(rec.Name), jstr(rec.Track),
+		rec.Start.Nanoseconds(), rec.End.Nanoseconds())...)
+	if len(rec.Attrs) > 0 {
+		b = append(b, ",\"attrs\":"...)
+		b = append(b, argsJSON(rec.Attrs)...)
+	}
+	if len(rec.Events) > 0 {
+		b = append(b, ",\"events\":["...)
+		for i, ev := range rec.Events {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, fmt.Sprintf("{\"t_ns\":%d,\"name\":%s,\"detail\":%s}",
+				ev.T.Nanoseconds(), jstr(ev.Name), jstr(ev.Detail))...)
+		}
+		b = append(b, ']')
+	}
+	return append(b, "}\n"...)
+}
+
 // WriteJSONL writes one JSON object per span (depth-first, creation
-// order): id, parent id (-1 for roots), depth, name, track, virtual
-// start/end in nanoseconds, attrs and instant events.
+// order) in the SpanRecord line format. A streamed JSONLSink fed by the
+// same run produces byte-identical output.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
-	var werr error
 	for _, root := range r.Roots() {
-		root.Walk(func(s *Span, depth int) {
-			if werr != nil {
-				return
-			}
-			parent := -1
-			if s.parent != nil {
-				parent = s.parent.id
-			}
-			line := fmt.Sprintf(
-				"{\"id\":%d,\"parent\":%d,\"depth\":%d,\"name\":%s,\"track\":%s,\"start_ns\":%d,\"end_ns\":%d",
-				s.id, parent, depth, jstr(s.Name), jstr(s.trackName()),
-				s.StartTime().Nanoseconds(), s.EndTime().Nanoseconds())
-			if len(s.Attrs()) > 0 {
-				line += ",\"attrs\":" + argsJSON(s.Attrs())
-			}
-			if evs := s.Events(); len(evs) > 0 {
-				line += ",\"events\":["
-				for i, ev := range evs {
-					if i > 0 {
-						line += ","
-					}
-					line += fmt.Sprintf("{\"t_ns\":%d,\"name\":%s,\"detail\":%s}",
-						ev.T.Nanoseconds(), jstr(ev.Name), jstr(ev.Detail))
-				}
-				line += "]"
-			}
-			line += "}\n"
-			_, werr = io.WriteString(w, line)
-		})
-		if werr != nil {
-			return werr
+		var b []byte
+		for _, rec := range flattenSpan(root, -1, 0, "", nil) {
+			b = rec.appendJSONL(b)
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
 		}
 	}
 	return nil

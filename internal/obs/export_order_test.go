@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestMetricsJSONSortedKeys pins the golden-stability contract of the
+// JSON exporter: instruments appear in sorted name order per kind
+// regardless of registration order, so map iteration can never reorder
+// a golden file.
+func TestMetricsJSONSortedKeys(t *testing.T) {
+	reg := NewRegistry()
+	// Register deliberately out of order.
+	for _, n := range []string{"zeta", "mid", "alpha"} {
+		reg.Counter(n, "ops").Add(1)
+		reg.Gauge(n+".g", "x").Set(1)
+		reg.Histogram(n+".h", "ns", []float64{1}).Observe(0.5)
+	}
+	var b bytes.Buffer
+	if err := reg.WriteMetricsJSON(&b, false); err != nil {
+		t.Fatalf("WriteMetricsJSON: %v", err)
+	}
+	names := regexp.MustCompile(`"name":"([^"]+)"`).FindAllStringSubmatch(b.String(), -1)
+	var got []string
+	for _, m := range names {
+		got = append(got, m[1])
+	}
+	if len(got) != 9 {
+		t.Fatalf("found %d instruments, want 9: %v", len(got), got)
+	}
+	for _, kind := range [][]string{got[0:3], got[3:6], got[6:9]} {
+		if !sort.StringsAreSorted(kind) {
+			t.Fatalf("instruments not sorted within kind: %v", kind)
+		}
+	}
+}
+
+// TestMetricsJSONEmptyHistogramNoNaN checks a registered-but-unobserved
+// histogram exports zero quantiles, never NaN (the Summarize contract).
+func TestMetricsJSONEmptyHistogramNoNaN(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("untouched", "ns", []float64{10, 100})
+	var b bytes.Buffer
+	if err := reg.WriteMetricsJSON(&b, false); err != nil {
+		t.Fatalf("WriteMetricsJSON: %v", err)
+	}
+	out := b.String()
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("NaN leaked into metrics JSON:\n%s", out)
+	}
+	for _, want := range []string{`"count":0`, `"p50":0`, `"p95":0`, `"p99":0`, `"max":0`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("empty histogram export missing %q:\n%s", want, out)
+		}
+	}
+
+	var p bytes.Buffer
+	if err := reg.WritePrometheus(&p, false); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if strings.Contains(p.String(), "NaN") {
+		t.Fatalf("NaN leaked into Prometheus dump:\n%s", p.String())
+	}
+	if !strings.Contains(p.String(), "hypertp_untouched_count 0") {
+		t.Fatalf("empty histogram missing from Prometheus dump:\n%s", p.String())
+	}
+}

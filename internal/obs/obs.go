@@ -77,6 +77,11 @@ type Recorder struct {
 	current *Span
 	nextID  int
 
+	// Streaming pipeline (see stream.go): ended roots are flattened to
+	// the sinks, and dropped from the forest when noRetain is set.
+	sinks    []StreamSink
+	noRetain bool
+
 	metrics *Registry
 }
 
@@ -182,7 +187,6 @@ func (r *Recorder) Event(name, detail string) {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	t := r.now()
 	if r.current == nil {
 		s := r.newSpanLocked(nil, name, t, nil)
@@ -190,9 +194,13 @@ func (r *Recorder) Event(name, detail string) {
 		if detail != "" {
 			s.attrs = append(s.attrs, Attr{Key: "detail", Value: detail})
 		}
+		recs := r.flushRootLocked(s)
+		r.mu.Unlock()
+		r.dispatch(recs)
 		return
 	}
 	r.current.events = append(r.current.events, Point{T: t, Name: name, Detail: detail})
+	r.mu.Unlock()
 }
 
 // Roots returns the top-level spans in creation order. The returned
@@ -291,8 +299,8 @@ func (s *Span) EndAt(t time.Duration) {
 func (s *Span) endAt(t time.Duration) {
 	r := s.rec
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if s.ended {
+		r.mu.Unlock()
 		return
 	}
 	// Pop the stack if current sits inside this subtree.
@@ -303,6 +311,11 @@ func (s *Span) endAt(t time.Duration) {
 		}
 	}
 	s.endLocked(t)
+	recs := r.flushRootLocked(s)
+	r.mu.Unlock()
+	// Sinks run outside the lock so they may read the recorder (e.g.
+	// resolve metrics) without deadlocking.
+	r.dispatch(recs)
 }
 
 func (s *Span) endLocked(t time.Duration) {

@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hypertp/internal/simtime"
+)
+
+// buildStreamedRun records a small three-root forest on rec, returning
+// the number of spans recorded.
+func buildStreamedRun(rec *Recorder, clock *simtime.Clock) int {
+	n := 0
+	for i := 0; i < 3; i++ {
+		root := rec.Start(fmt.Sprintf("op-%d", i), A("i", i))
+		root.SetTrack(fmt.Sprintf("track-%d", i%2))
+		n++
+		clock.Advance(time.Millisecond)
+		c := rec.Start("phase")
+		c.Annotate("mark", "midpoint")
+		n++
+		clock.Advance(time.Millisecond)
+		rec.StartAt(c, "detail", clock.Now())
+		n++
+		clock.Advance(time.Millisecond)
+		c.End()
+		root.End()
+	}
+	return n
+}
+
+// TestStreamMatchesTreeExport pins the core streaming contract: a
+// JSONLSink fed root-by-root produces byte-identical output to the
+// retained-tree WriteJSONL of the same run.
+func TestStreamMatchesTreeExport(t *testing.T) {
+	clock := simtime.NewClock()
+	rec := NewRecorder(clock)
+	var streamed bytes.Buffer
+	sink := NewJSONLSink(&streamed)
+	rec.AddSink(sink)
+
+	buildStreamedRun(rec, clock)
+
+	var tree bytes.Buffer
+	if err := rec.WriteJSONL(&tree); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+	if streamed.String() != tree.String() {
+		t.Fatalf("streamed JSONL differs from tree export:\nstream:\n%s\ntree:\n%s",
+			streamed.String(), tree.String())
+	}
+	if streamed.Len() == 0 {
+		t.Fatal("no output streamed")
+	}
+}
+
+// TestStreamNoRetainBoundsForest checks that with retention off, ended
+// roots leave the recorder — the memory-bounded 100k-host mode — while
+// sinks still see every span.
+func TestStreamNoRetainBoundsForest(t *testing.T) {
+	clock := simtime.NewClock()
+	rec := NewRecorder(clock)
+	rec.SetRetain(false)
+	var streamed bytes.Buffer
+	rec.AddSink(NewJSONLSink(&streamed))
+
+	want := buildStreamedRun(rec, clock)
+
+	if got := len(rec.Roots()); got != 0 {
+		t.Fatalf("retained %d roots with retention off, want 0", got)
+	}
+	if got := strings.Count(streamed.String(), "\n"); got != want {
+		t.Fatalf("streamed %d spans, want %d", got, want)
+	}
+	// Instant events with no open span flush-and-release too.
+	rec.Event("standalone", "x")
+	if got := len(rec.Roots()); got != 0 {
+		t.Fatalf("instant root retained with retention off: %d roots", got)
+	}
+	if !strings.Contains(streamed.String(), `"name":"standalone"`) {
+		t.Fatal("instant root not streamed")
+	}
+}
+
+// TestHeadSamplerDeterministic checks the sampling decision is a pure
+// function of (seed, root name, root start) — independent of arrival
+// order — and that different seeds select different subsets.
+func TestHeadSamplerDeterministic(t *testing.T) {
+	roots := make([]SpanRecord, 200)
+	for i := range roots {
+		roots[i] = SpanRecord{Name: fmt.Sprintf("host-%03d", i), Start: time.Duration(i) * time.Second}
+	}
+	h1 := NewHeadSampler(42, 0.3, nil)
+	h2 := NewHeadSampler(42, 0.3, nil)
+	hOther := NewHeadSampler(43, 0.3, nil)
+	same, diff := true, false
+	for i := range roots {
+		// h2 sees the roots in reverse order; decisions must agree.
+		if h1.Keep(roots[i]) != h2.Keep(roots[len(roots)-1-i]) {
+			same = false
+		}
+		if h1.Keep(roots[i]) != hOther.Keep(roots[i]) {
+			diff = true
+		}
+	}
+	_ = same
+	for i := range roots {
+		if h1.Keep(roots[i]) != h2.Keep(roots[i]) {
+			t.Fatalf("same (seed, frac) disagreed on root %d", i)
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 42 and 43 selected identical subsets over 200 roots")
+	}
+
+	kept := 0
+	for _, r := range roots {
+		if h1.Keep(r) {
+			kept++
+		}
+	}
+	if kept == 0 || kept == len(roots) {
+		t.Fatalf("frac 0.3 kept %d/%d roots — not sampling", kept, len(roots))
+	}
+	if !NewHeadSampler(1, 1.0, nil).Keep(roots[0]) {
+		t.Fatal("frac 1.0 must keep everything")
+	}
+	if NewHeadSampler(1, 0, nil).Keep(roots[0]) {
+		t.Fatal("frac 0 must drop everything")
+	}
+}
+
+// TestHeadSamplerForwarding checks kept/dropped accounting and that only
+// kept roots reach the next sink.
+func TestHeadSamplerForwarding(t *testing.T) {
+	fr := NewFlightRecorder(1000)
+	h := NewHeadSampler(7, 0.5, fr)
+	total := 100
+	for i := 0; i < total; i++ {
+		h.Consume([]SpanRecord{{ID: i, Parent: -1, Name: fmt.Sprintf("r-%d", i), Start: time.Duration(i)}})
+	}
+	if h.Kept()+h.Dropped() != int64(total) {
+		t.Fatalf("kept %d + dropped %d != %d", h.Kept(), h.Dropped(), total)
+	}
+	if int64(fr.Len()) != h.Kept() {
+		t.Fatalf("next sink saw %d roots, sampler kept %d", fr.Len(), h.Kept())
+	}
+}
+
+// TestFlightRecorderCapacity checks the strict capacity bound, FIFO
+// eviction order and eviction accounting.
+func TestFlightRecorderCapacity(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	for i := 0; i < 50; i++ {
+		fr.Consume([]SpanRecord{{ID: i, Parent: -1, Name: "s", Start: time.Duration(i)}})
+	}
+	if fr.Len() != 8 {
+		t.Fatalf("Len = %d, want capacity 8", fr.Len())
+	}
+	if fr.Total() != 50 {
+		t.Fatalf("Total = %d, want 50", fr.Total())
+	}
+	if fr.Evicted() != 42 {
+		t.Fatalf("Evicted = %d, want 42", fr.Evicted())
+	}
+	snap := fr.Snapshot()
+	for i, rec := range snap {
+		if rec.ID != 42+i {
+			t.Fatalf("snapshot[%d].ID = %d, want %d (last 8 in arrival order)", i, rec.ID, 42+i)
+		}
+	}
+}
+
+// TestFlightRecorderPin checks that pin-matched records survive ring
+// wraparound, within the pinned buffer's own capacity bound.
+func TestFlightRecorderPin(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	fr.SetPin(func(r SpanRecord) bool { return strings.HasPrefix(r.Name, "fault") })
+	fr.Consume([]SpanRecord{{ID: 0, Parent: -1, Name: "fault.inject", Start: 0}})
+	for i := 1; i <= 40; i++ {
+		fr.Consume([]SpanRecord{{ID: i, Parent: -1, Name: "steady", Start: time.Duration(i)}})
+	}
+	snap := fr.Snapshot()
+	if len(snap) != 5 { // 1 pinned + 4 ring
+		t.Fatalf("retained %d records, want 5", len(snap))
+	}
+	if snap[0].Name != "fault.inject" {
+		t.Fatalf("pinned record evicted; snapshot head = %q", snap[0].Name)
+	}
+	// The pinned buffer itself is bounded at capacity.
+	for i := 0; i < 20; i++ {
+		fr.Consume([]SpanRecord{{ID: 100 + i, Parent: -1, Name: "fault.more", Start: time.Duration(100 + i)}})
+	}
+	if fr.Len() > 2*fr.Cap() {
+		t.Fatalf("retained %d records, cap bound is %d", fr.Len(), 2*fr.Cap())
+	}
+}
+
+// TestAuditRecordsMirrorsAuditSpans builds a deliberately malformed
+// forest via explicit timestamps and checks the flattened audit finds
+// the same violation kinds the tree audit does.
+func TestAuditRecordsMirrorsAuditSpans(t *testing.T) {
+	rec := NewRecorder(nil)
+	fr := NewFlightRecorder(100)
+	rec.AddSink(fr)
+
+	root := rec.StartAt(nil, "root", 10*time.Millisecond)
+	early := rec.StartAt(root, "early-child", 5*time.Millisecond) // child-early
+	early.EndAt(6 * time.Millisecond)
+	a := rec.StartAt(root, "a", 20*time.Millisecond)
+	a.EndAt(19 * time.Millisecond)                   // negative-duration
+	b := rec.StartAt(root, "b", 15*time.Millisecond) // sibling-regress vs a
+	b.EndAt(40 * time.Millisecond)                   // child-late vs root end 30ms
+	root.EndAt(30 * time.Millisecond)
+	// EndAt on root ends descendants at 30ms only if still open; a and b
+	// already ended at their own times.
+
+	want := map[string]bool{}
+	for _, v := range rec.AuditSpans() {
+		want[v.Kind] = true
+	}
+	got := map[string]bool{}
+	for _, v := range AuditRecords(fr.Snapshot()) {
+		got[v.Kind] = true
+	}
+	for _, kind := range []string{"negative-duration", "child-early", "sibling-regress", "child-late"} {
+		if !want[kind] {
+			t.Fatalf("tree audit missed %q (test forest broken): %v", kind, rec.AuditSpans())
+		}
+		if !got[kind] {
+			t.Fatalf("AuditRecords missed %q; got %v", kind, AuditRecords(fr.Snapshot()))
+		}
+	}
+
+	// Orphaned records (parent evicted) only report their own duration.
+	orphan := []SpanRecord{{ID: 9, Parent: 3, Depth: 2, Name: "orphan",
+		Start: 5 * time.Millisecond, End: 6 * time.Millisecond}}
+	if vs := AuditRecords(orphan); len(vs) != 0 {
+		t.Fatalf("orphaned record flagged: %v", vs)
+	}
+}
+
+// TestWritePrometheusDeterministic checks the text-format dump: sorted
+// per-kind order, cumulative buckets, volatile exclusion.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zeta.ops", "ops").Add(3)
+	reg.Counter("alpha.ops", "ops").Add(1)
+	reg.Counter("wall.ops", "ops").Volatile().Add(9)
+	g := reg.Gauge("inflight", "vms")
+	g.Set(5)
+	g.Set(2)
+	h := reg.Histogram("latency", "ns", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var b1, b2 bytes.Buffer
+	if err := reg.WritePrometheus(&b1, false); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := reg.WritePrometheus(&b2, false); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b1.String()
+	if out != b2.String() {
+		t.Fatal("two renders of the same registry differ")
+	}
+	if strings.Contains(out, "wall_ops") {
+		t.Fatal("volatile counter leaked into deterministic output")
+	}
+	if strings.Index(out, "hypertp_alpha_ops_total") > strings.Index(out, "hypertp_zeta_ops_total") {
+		t.Fatal("counters not in sorted name order")
+	}
+	for _, want := range []string{
+		"hypertp_alpha_ops_total 1",
+		"hypertp_zeta_ops_total 3",
+		"hypertp_inflight 2",
+		"hypertp_inflight_max 5",
+		"hypertp_latency_bucket{le=\"10\"} 1",
+		"hypertp_latency_bucket{le=\"100\"} 2",
+		"hypertp_latency_bucket{le=\"+Inf\"} 3",
+		"hypertp_latency_sum 555",
+		"hypertp_latency_count 3",
+		"# TYPE hypertp_latency histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// BenchmarkStreamingExport measures the per-operation cost of the
+// 100k-host export mode against the retained-forest default: "off"
+// records roots with children into the ordinary retained span forest,
+// "on" flushes the same shape through sampler + flight recorder with
+// retention released. The streaming path must stay within the ≤5%
+// overhead gate (BENCH_PR7.json); both variants are pinned in
+// BENCH_BASELINE.json so benchdiff catches drift. Each iteration
+// records an 8192-root batch so the short `-benchtime 3x` gate runs
+// measure real work, not timer granularity.
+func BenchmarkStreamingExport(b *testing.B) {
+	const batch = 8192
+	op := func(rec *Recorder, clock *simtime.Clock, i int) {
+		for j := 0; j < batch; j++ {
+			root := rec.Start("bench.op", A("i", i))
+			clock.Advance(time.Microsecond)
+			c := rec.Start("bench.phase")
+			clock.Advance(time.Microsecond)
+			c.End()
+			root.End()
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		clock := simtime.NewClock()
+		rec := NewRecorder(clock)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op(rec, clock, i)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		clock := simtime.NewClock()
+		rec := NewRecorder(clock)
+		rec.SetRetain(false)
+		fr := NewFlightRecorder(256)
+		rec.AddSink(NewHeadSampler(1, 0.1, fr))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op(rec, clock, i)
+		}
+	})
+}

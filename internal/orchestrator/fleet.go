@@ -16,6 +16,7 @@ import (
 	"hypertp/internal/sched"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
+	"hypertp/internal/slo"
 	"hypertp/internal/vulndb"
 )
 
@@ -102,6 +103,7 @@ func (n *Nova) respondScheduled(db *vulndb.Database, vrec *vulndb.Record, cveID 
 
 	base := n.clock.Now()
 	resp := &FleetResponse{CVE: cveID, Outcome: report.OutcomeCompleted}
+	n.slo.SetTarget(cveID, base, slo.Target{Quantile: slo.DefaultQuantile, Window: vrec.RemediationWindow()})
 
 	// Pass A: affected set and per-host targets, in name order.
 	plans := make(map[string]*fleetHostPlan)
@@ -124,6 +126,7 @@ func (n *Nova) respondScheduled(db *vulndb.Database, vrec *vulndb.Record, cveID 
 		if err != nil {
 			return nil, err
 		}
+		n.slo.Expose(cveID, name, base)
 		hp := &fleetHostPlan{name: name, node: node, target: target, pendingEvacs: make(map[string]bool)}
 		for _, vm := range node.Driver.VMs() {
 			if !vm.Config.InPlaceCompatible {
@@ -259,6 +262,7 @@ func (n *Nova) respondScheduled(db *vulndb.Database, vrec *vulndb.Record, cveID 
 				} else {
 					hp.evacuated = append(hp.evacuated, vmName)
 				}
+				n.slo.AddVMDowntime(vmName, rep.Downtime)
 				spans = append(spans, fleetSpan{
 					name: "nova.live-migrate", start: base + nd.Start(), end: base + end,
 					attrs: []obs.Attr{obs.A("vm", vmName), obs.A("from", hp.name), obs.A("to", dest)},
@@ -366,8 +370,12 @@ func (n *Nova) respondScheduled(db *vulndb.Database, vrec *vulndb.Record, cveID 
 							r.ID = res.NewID
 							r.Kind = hp.target
 						}
+						n.slo.AddVMDowntime(res.Name, hp.report.Downtime)
 					}
 				}
+				// The kexec commit closes this host's vulnerability
+				// window.
+				n.slo.Remediate(cveID, hp.name, base+end)
 				resp.UpgradedNodes = append(resp.UpgradedNodes, hp.name)
 				resp.Records = append(resp.Records, &UpgradeRecord{
 					Node: hp.name, Target: hp.target,
@@ -479,7 +487,7 @@ func (n *Nova) respondScheduled(db *vulndb.Database, vrec *vulndb.Record, cveID 
 		return false
 	}
 
-	schedule, err := sched.Execute(g, *n.fleetLimits, sched.Options{OnFail: onFail})
+	schedule, err := sched.Execute(g, *n.fleetLimits, sched.Options{OnFail: onFail, Metrics: n.obs.Metrics()})
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,7 @@ import (
 	"hypertp/internal/sched"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
+	"hypertp/internal/slo"
 	"hypertp/internal/vulndb"
 )
 
@@ -245,6 +246,34 @@ func BenchmarkFleetResponse(b *testing.B) {
 		resp := respondFleet(b, c, sched.Limits{MaxKexecs: 8, LinkStreams: 8})
 		if len(resp.UpgradedNodes) != bigFleet().hosts {
 			b.Fatalf("upgraded %d hosts, want %d", len(resp.UpgradedNodes), bigFleet().hosts)
+		}
+	}
+}
+
+// BenchmarkFleetResponseSLO is the same 200-host response with the full
+// SLO/streaming observability path attached: recorder with retention
+// released, head-sampled flight recorder sink, and the
+// vulnerability-window tracker. Compared against BenchmarkFleetResponse
+// it is the end-to-end instrumentation tax of the export mode, gated at
+// ≤5% (BENCH_PR7.json).
+func BenchmarkFleetResponseSLO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := newFleet(b, bigFleet())
+		rec := obs.NewRecorder(c.clock)
+		rec.SetRetain(false)
+		rec.AddSink(obs.NewHeadSampler(1, 0.1, obs.NewFlightRecorder(256)))
+		c.nova.SetRecorder(rec)
+		tracker := slo.NewTracker()
+		tracker.SetRegistry(rec.Metrics())
+		c.nova.SetSLO(tracker)
+		b.StartTimer()
+		resp := respondFleet(b, c, sched.Limits{MaxKexecs: 8, LinkStreams: 8})
+		if len(resp.UpgradedNodes) != bigFleet().hosts {
+			b.Fatalf("upgraded %d hosts, want %d", len(resp.UpgradedNodes), bigFleet().hosts)
+		}
+		if !tracker.Pass(c.clock.Now()) {
+			b.Fatal("fleet SLO violated")
 		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"hypertp/internal/sched"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
+	"hypertp/internal/slo"
 )
 
 // ComputeDriver is the generic per-host driver interface (libvirt in the
@@ -156,6 +157,10 @@ type Nova struct {
 	// fleetLimits, when non-nil, routes RespondToCVE through the
 	// dependency-aware concurrent scheduler (see SetFleetLimits).
 	fleetLimits *sched.Limits
+	// slo, when non-nil, receives the vulnerability-window events:
+	// disclosure, per-host exposure, per-host remediation at kexec
+	// commit, and per-VM downtime (see SetSLO).
+	slo *slo.Tracker
 }
 
 // ComputeNode is one managed host.
@@ -175,6 +180,9 @@ func NewNova(clock *simtime.Clock, fabric *simnet.Link) *Nova {
 		quarantined: make(map[string]bool),
 	}
 }
+
+// Clock returns the virtual clock the manager runs on.
+func (n *Nova) Clock() *simtime.Clock { return n.clock }
 
 // AddNode registers a compute node.
 func (n *Nova) AddNode(name string, driver ComputeDriver) error {
@@ -309,6 +317,16 @@ func (n *Nova) reconcileLostHost(name string) {
 		n.obs.Metrics().Counter("nova.hosts_quarantined", "hosts").Add(1)
 	}
 }
+
+// SetSLO attaches a vulnerability-window tracker. RespondToCVE then
+// opens each affected host's exposure interval at disclosure, declares
+// the record's remediation-window target, closes the interval when the
+// host's transplant commits, and feeds per-VM downtime from transplant
+// blackouts and migration stop-and-copy rounds. A nil tracker detaches.
+func (n *Nova) SetSLO(t *slo.Tracker) { n.slo = t }
+
+// SLO returns the attached tracker (nil when detached).
+func (n *Nova) SLO() *slo.Tracker { return n.slo }
 
 // SetRecorder attaches an observability recorder to the manager and to
 // every registered (and future) driver that supports one, plus the
@@ -448,6 +466,7 @@ func (n *Nova) LiveMigrate(vmName, destNode string) (*migration.Report, error) {
 	rec.Node = destNode
 	rec.ID = report.DestVM.ID
 	rec.Kind = dest.Driver.HypervisorKind()
+	n.slo.AddVMDowntime(vmName, report.Downtime)
 	return report, nil
 }
 
@@ -579,12 +598,14 @@ func (n *Nova) HostLiveUpgrade(nodeName string, target hv.Kind, opts core.Option
 			return nil, err
 		}
 		rec.Report = report
-		// Update the database rows of the transplanted VMs.
+		// Update the database rows of the transplanted VMs. Every VM on
+		// the host shares the kexec blackout window.
 		for _, res := range report.VMs {
 			if r, ok := n.db[res.Name]; ok {
 				r.ID = res.NewID
 				r.Kind = target
 			}
+			n.slo.AddVMDowntime(res.Name, report.Downtime)
 		}
 	} else {
 		if err := rebootEmptyHost(node.Driver, target); err != nil {

@@ -10,6 +10,7 @@ import (
 	"hypertp/internal/hterr"
 	"hypertp/internal/hv"
 	"hypertp/internal/report"
+	"hypertp/internal/slo"
 	"hypertp/internal/vulndb"
 )
 
@@ -76,6 +77,7 @@ func (n *Nova) RespondToCVE(db *vulndb.Database, cveID string, pool []string, op
 	}
 	start := n.clock.Now()
 	resp := &FleetResponse{CVE: cveID, Outcome: report.OutcomeCompleted}
+	n.slo.SetTarget(cveID, start, slo.Target{Quantile: slo.DefaultQuantile, Window: rec.RemediationWindow()})
 
 	// Determine affected nodes and a common safe target. Processing in
 	// name order keeps the response deterministic.
@@ -95,6 +97,9 @@ func (n *Nova) RespondToCVE(db *vulndb.Database, cveID string, pool []string, op
 			resp.SkippedNodes = append(resp.SkippedNodes, name)
 			continue
 		}
+		// The host has been vulnerable since disclosure, not since we
+		// noticed: the exposure interval opens at start.
+		n.slo.Expose(cveID, name, start)
 		targetName, err := db.SelectTarget(current, []string{cveID}, pool)
 		if err != nil {
 			return nil, fmt.Errorf("nova: node %s: %w", name, err)
@@ -132,6 +137,7 @@ func (n *Nova) RespondToCVE(db *vulndb.Database, cveID string, pool []string, op
 		resp.Target = target
 		resp.UpgradedNodes = append(resp.UpgradedNodes, name)
 		resp.Records = append(resp.Records, up)
+		n.slo.Remediate(cveID, name, n.clock.Now())
 	}
 	if len(resp.UpgradedNodes) == 0 && len(resp.QuarantinedNodes) == 0 {
 		return nil, fmt.Errorf("nova: no node runs a hypervisor affected by %s", cveID)

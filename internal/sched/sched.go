@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"hypertp/internal/hterr"
+	"hypertp/internal/obs"
 	"hypertp/internal/par"
 	"hypertp/internal/simtime"
 )
@@ -90,6 +91,11 @@ type Node struct {
 	state nodeState
 	start time.Duration
 	err   error
+
+	// readyAt is the virtual time the node first became ready (all deps
+	// done, none failed); admission latency is measured from here.
+	readyAt  time.Duration
+	readySet bool
 }
 
 type nodeState uint8
@@ -197,6 +203,49 @@ type Options struct {
 	// stop=true skips every node that has not started yet (the
 	// unrecoverable-loss case).
 	OnFail func(n *Node, err error) (stop bool)
+	// Metrics, when non-nil, receives per-resource admission-latency
+	// histograms: sched.queue_delay.<res> observes every admitted
+	// node's ready-to-start delay against each resource it demands
+	// (kexec, stream, spare; host when it demands none of the counted
+	// kinds), and sched.starvation.<res> observes only the delayed
+	// admissions — the contention tail. Observations happen in the
+	// sequential admission path, so the histograms are deterministic.
+	Metrics *obs.Registry
+}
+
+// queueBuckets spans 1ms..~4.7h of virtual admission delay.
+var queueBuckets = obs.ExpBuckets(1e6, 4, 12)
+
+// observeAdmission records n's ready-to-start delay per demanded
+// resource. Nil registries no-op (obs convention).
+func observeAdmission(m *obs.Registry, n *Node, delay time.Duration) {
+	if m == nil {
+		return
+	}
+	counted := false
+	observe := func(res string) {
+		m.Histogram("sched.queue_delay."+res, "ns", queueBuckets).
+			Observe(float64(delay.Nanoseconds()))
+		if delay > 0 {
+			m.Histogram("sched.starvation."+res, "ns", queueBuckets).
+				Observe(float64(delay.Nanoseconds()))
+		}
+	}
+	if n.Kexecs > 0 {
+		observe("kexec")
+		counted = true
+	}
+	if n.Streams > 0 {
+		observe("stream")
+		counted = true
+	}
+	if n.Spares > 0 {
+		observe("spare")
+		counted = true
+	}
+	if !counted {
+		observe("host")
+	}
 }
 
 // Execute runs the graph to completion under the limits and returns the
@@ -210,6 +259,7 @@ func Execute(g *Graph, limits Limits, opts Options) (*Schedule, error) {
 	for _, n := range g.nodes {
 		n.state = statePending
 		n.err = nil
+		n.readySet = false
 	}
 
 	running := 0
@@ -342,6 +392,10 @@ func Execute(g *Graph, limits Limits, opts Options) (*Schedule, error) {
 			if n.state != statePending || !depsDone(n) || depErr(n) != nil || stopped {
 				continue
 			}
+			if !n.readySet {
+				n.readyAt = clock.Now()
+				n.readySet = true
+			}
 			if !fits(n) {
 				if limits.Serial && len(batch) > 0 {
 					break
@@ -351,6 +405,7 @@ func Execute(g *Graph, limits Limits, opts Options) (*Schedule, error) {
 			claim(n)
 			n.state = stateRunning
 			n.start = clock.Now()
+			observeAdmission(opts.Metrics, n, n.start-n.readyAt)
 			if n.Prepare != nil {
 				n.Prepare(n.start)
 			}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hypertp/internal/hterr"
+	"hypertp/internal/obs"
 	"hypertp/internal/par"
 )
 
@@ -304,5 +305,76 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if fmt.Sprint(l1) != fmt.Sprint(l8) {
 		t.Fatalf("commit log differs across workers:\n 1: %v\n 8: %v", l1, l8)
+	}
+}
+
+func TestQueueDelayMetrics(t *testing.T) {
+	// Four kexecs under MaxKexecs=2: the first wave admits with zero
+	// delay, the second waits a full 8s wave. The queue-delay histogram
+	// sees all four admissions; starvation sees only the delayed two.
+	build := func() *Graph {
+		g := NewGraph()
+		for i := 0; i < 4; i++ {
+			g.Add(&Node{Name: fmt.Sprintf("kexec-%d", i), Hosts: []string{fmt.Sprintf("h%d", i)}, Kexecs: 1, Cost: 8 * time.Second})
+		}
+		return g
+	}
+	reg := obs.NewRegistry()
+	if _, err := Execute(build(), Limits{MaxKexecs: 2}, Options{Metrics: reg}); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	qd := reg.Histogram("sched.queue_delay.kexec", "ns", nil)
+	if qd.Count() != 4 {
+		t.Fatalf("queue_delay.kexec count = %d, want 4", qd.Count())
+	}
+	if want := float64((16 * time.Second).Nanoseconds()); qd.Sum() != want {
+		t.Fatalf("queue_delay.kexec sum = %g ns, want %g (two 8s waits)", qd.Sum(), want)
+	}
+	sv := reg.Histogram("sched.starvation.kexec", "ns", nil)
+	if sv.Count() != 2 {
+		t.Fatalf("starvation.kexec count = %d, want 2", sv.Count())
+	}
+	if reg.Histogram("sched.queue_delay.host", "ns", nil).Count() != 0 {
+		t.Fatal("kexec nodes must not be attributed to the host resource")
+	}
+
+	// A node with no counted demands lands in the host histogram.
+	g := NewGraph()
+	g.Add(&Node{Name: "m1", Hosts: []string{"src", "dst"}, Cost: time.Second})
+	g.Add(&Node{Name: "m2", Hosts: []string{"dst", "other"}, Cost: time.Second})
+	reg2 := obs.NewRegistry()
+	if _, err := Execute(g, Limits{}, Options{Metrics: reg2}); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	hd := reg2.Histogram("sched.queue_delay.host", "ns", nil)
+	if hd.Count() != 2 {
+		t.Fatalf("queue_delay.host count = %d, want 2", hd.Count())
+	}
+	if reg2.Histogram("sched.starvation.host", "ns", nil).Count() != 1 {
+		t.Fatal("host-blocked second migration should register one starvation sample")
+	}
+
+	// The metrics JSON of the scheduling histograms is identical across
+	// worker-pool widths (the determinism contract extends to metrics).
+	render := func(workers int) string {
+		old := par.Workers()
+		par.SetWorkers(workers)
+		defer par.SetWorkers(old)
+		reg := obs.NewRegistry()
+		g := build()
+		for _, n := range g.nodes {
+			n.Run = func(start time.Duration) (time.Duration, error) { return 8 * time.Second, nil }
+		}
+		if _, err := Execute(g, Limits{MaxKexecs: 2}, Options{Metrics: reg}); err != nil {
+			t.Fatalf("Execute(workers=%d): %v", workers, err)
+		}
+		var b strings.Builder
+		if err := reg.WriteMetricsJSON(&b, false); err != nil {
+			t.Fatalf("WriteMetricsJSON: %v", err)
+		}
+		return b.String()
+	}
+	if a, b := render(1), render(8); a != b {
+		t.Fatalf("scheduling metrics differ across workers:\n%s\n---\n%s", a, b)
 	}
 }

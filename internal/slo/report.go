@@ -1,0 +1,41 @@
+package slo
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteReport renders the tracker as the `slo report` human summary:
+// one block per CVE in first-seen order with the fleet vulnerability
+// window (p50/p95/max remediation latency vs disclosure), the SLO
+// verdict where a target was declared, and the VM downtime digest. All
+// values are virtual-time-derived, so the report is byte-identical
+// across runs and -workers counts.
+func (t *Tracker) WriteReport(w io.Writer, now time.Duration) error {
+	var b []byte
+	b = append(b, fmt.Sprintf("slo report (virtual now %v)\n", now)...)
+	reports := t.Report(now)
+	if len(reports) == 0 {
+		b = append(b, "  no tracked CVEs\n"...)
+	}
+	for _, r := range reports {
+		b = append(b, fmt.Sprintf("%s: disclosed %v  exposed=%d remediated=%d open=%d\n",
+			r.CVE, r.Disclosed, r.Exposed, r.Remediated, r.Open)...)
+		if r.Remediated > 0 {
+			b = append(b, fmt.Sprintf("  remediation latency p50=%v p95=%v max=%v (window closed by %s)\n",
+				r.P50, r.P95, r.Max, r.WorstHost)...)
+		}
+		if r.HasTarget {
+			b = append(b, "  "...)
+			b = append(b, r.Verdict.String()...)
+			b = append(b, '\n')
+		}
+	}
+	if d := t.Downtime(); d.VMs > 0 {
+		b = append(b, fmt.Sprintf("vm downtime: vms=%d total=%v p50=%v p95=%v max=%v (worst %s)\n",
+			d.VMs, d.Total, d.P50, d.P95, d.Max, d.WorstVM)...)
+	}
+	_, err := w.Write(b)
+	return err
+}

@@ -1,0 +1,377 @@
+// Package slo turns the raw observability stream into the paper's
+// headline quantity: the vulnerability window. A Tracker maintains, in
+// virtual time, the per-CVE × per-host exposure interval — opened at
+// vulndb disclosure, closed when that host's kexec handoff commits — a
+// fleet remediation timeline over those intervals, and per-VM downtime
+// accounting, and evaluates burn rate against declared SLO targets of
+// the form "quantile Q of hosts remediated within window W of
+// disclosure".
+//
+// Everything is driven by explicit virtual timestamps and rendered
+// deterministically (hosts and CVEs in first-seen order, which the
+// callers keep deterministic), so SLO reports are byte-identical across
+// -workers counts like every other exporter in the repo.
+//
+// A nil *Tracker is valid everywhere and free, mirroring the obs
+// conventions: instrumented code needs no "is SLO tracking on"
+// branches.
+package slo
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"hypertp/internal/metrics"
+	"hypertp/internal/obs"
+)
+
+// DefaultQuantile is the fleet-response quantile used when targets are
+// declared from vulndb records: "99% of hosts remediated within the
+// record's remediation window of disclosure".
+const DefaultQuantile = 0.99
+
+// Target declares one SLO: at least Quantile of exposed hosts must be
+// remediated within Window of disclosure.
+type Target struct {
+	Quantile float64       // e.g. 0.99 for "99% of hosts"
+	Window   time.Duration // virtual time budget from disclosure
+}
+
+func (t Target) String() string {
+	return fmt.Sprintf("p%g within %v", t.Quantile*100, t.Window)
+}
+
+// exposure is one host's window against one CVE.
+type exposure struct {
+	opened time.Duration // virtual time the host was found affected
+	closed time.Duration
+	done   bool
+}
+
+// cveState is the per-CVE timeline.
+type cveState struct {
+	disclosed time.Duration
+	target    Target
+	hasTarget bool
+	hosts     map[string]*exposure
+	hostOrder []string
+}
+
+// Tracker accumulates exposure intervals and VM downtime. Safe for
+// concurrent use; all methods are no-ops on a nil Tracker.
+type Tracker struct {
+	mu       sync.Mutex
+	cves     map[string]*cveState
+	cveOrder []string
+	vms      map[string]time.Duration
+	vmOrder  []string
+
+	reg *obs.Registry
+}
+
+// NewTracker creates an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		cves: make(map[string]*cveState),
+		vms:  make(map[string]time.Duration),
+	}
+}
+
+// SetRegistry mirrors tracker updates into obs metrics: exposure and
+// remediation counters, an open-windows gauge, and remediation-latency
+// and VM-downtime histograms — the feed ROADMAP item 1 asks for.
+func (t *Tracker) SetRegistry(reg *obs.Registry) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.reg = reg
+	t.mu.Unlock()
+}
+
+// latencyBuckets spans 1ms..~17min of virtual remediation latency.
+var latencyBuckets = obs.ExpBuckets(1e6, 4, 10)
+
+// cveLocked returns (creating if needed) the state for cve.
+func (t *Tracker) cveLocked(cve string, at time.Duration) *cveState {
+	cs, ok := t.cves[cve]
+	if !ok {
+		cs = &cveState{disclosed: at, hosts: make(map[string]*exposure)}
+		t.cves[cve] = cs
+		t.cveOrder = append(t.cveOrder, cve)
+	}
+	return cs
+}
+
+// Disclose marks cve disclosed at virtual time at — the instant every
+// affected host's vulnerability window starts counting. Calling it
+// again is a no-op (first disclosure wins).
+func (t *Tracker) Disclose(cve string, at time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.cveLocked(cve, at)
+	t.mu.Unlock()
+}
+
+// SetTarget declares the SLO target for cve (implicitly disclosing it
+// at `at` if Disclose was not called first).
+func (t *Tracker) SetTarget(cve string, at time.Duration, target Target) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	cs := t.cveLocked(cve, at)
+	cs.target = target
+	cs.hasTarget = true
+	t.mu.Unlock()
+}
+
+// Expose records that host was found running a hypervisor affected by
+// cve at virtual time at, opening its exposure interval. An undisclosed
+// CVE is implicitly disclosed at `at`. Re-exposing an open or closed
+// interval is a no-op.
+func (t *Tracker) Expose(cve, host string, at time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	cs := t.cveLocked(cve, at)
+	if _, ok := cs.hosts[host]; !ok {
+		cs.hosts[host] = &exposure{opened: at}
+		cs.hostOrder = append(cs.hostOrder, host)
+		t.reg.Counter("slo.exposed", "hosts").Add(1)
+		t.reg.Gauge("slo.open_windows", "hosts").Add(1)
+	}
+	t.mu.Unlock()
+}
+
+// Remediate closes host's exposure interval against cve at virtual time
+// at — the kexec-commit instant in a transplant, or the migration
+// completion when the host was drained instead. A host never exposed is
+// recorded as exposed-and-remediated at `at` (zero-length interval);
+// re-remediating is a no-op.
+func (t *Tracker) Remediate(cve, host string, at time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	cs := t.cveLocked(cve, at)
+	e, ok := cs.hosts[host]
+	if !ok {
+		e = &exposure{opened: at}
+		cs.hosts[host] = e
+		cs.hostOrder = append(cs.hostOrder, host)
+		t.reg.Counter("slo.exposed", "hosts").Add(1)
+		t.reg.Gauge("slo.open_windows", "hosts").Add(1)
+	}
+	if !e.done {
+		e.closed = at
+		e.done = true
+		t.reg.Counter("slo.remediated", "hosts").Add(1)
+		t.reg.Gauge("slo.open_windows", "hosts").Add(-1)
+		t.reg.Histogram("slo.remediation_latency", "ns", latencyBuckets).
+			Observe(float64((at - cs.disclosed).Nanoseconds()))
+	}
+	t.mu.Unlock()
+}
+
+// AddVMDowntime accumulates observed downtime for one VM (blackout
+// during kexec handoff or a migration stop-and-copy round).
+func (t *Tracker) AddVMDowntime(vm string, d time.Duration) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.mu.Lock()
+	if _, ok := t.vms[vm]; !ok {
+		t.vmOrder = append(t.vmOrder, vm)
+	}
+	t.vms[vm] += d
+	t.reg.Histogram("slo.vm_downtime", "ns", latencyBuckets).
+		Observe(float64(d.Nanoseconds()))
+	t.mu.Unlock()
+}
+
+// CVEs returns the tracked CVE ids in first-seen order.
+func (t *Tracker) CVEs() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.cveOrder...)
+}
+
+// Verdict is the burn-rate evaluation of one CVE's timeline against a
+// target.
+type Verdict struct {
+	CVE    string
+	Target Target
+	// Hosts is the number of exposure intervals (open or closed).
+	Hosts int
+	// Violations counts hosts out of budget: closed later than Window
+	// after disclosure, or still open with the budget already spent.
+	Violations int
+	// BurnRate is the violating fraction divided by the allowed
+	// fraction (1 − Quantile): 1.0 means the error budget is exactly
+	// spent, above 1.0 the SLO is burned through.
+	BurnRate float64
+	Pass     bool
+}
+
+func (v Verdict) String() string {
+	state := "PASS"
+	if !v.Pass {
+		state = "FAIL"
+	}
+	return fmt.Sprintf("target %v: violations=%d/%d burn=%.3f %s",
+		v.Target, v.Violations, v.Hosts, v.BurnRate, state)
+}
+
+// WindowReport is the fleet remediation timeline of one CVE.
+type WindowReport struct {
+	CVE        string
+	Disclosed  time.Duration
+	Exposed    int
+	Remediated int
+	Open       int
+	// P50/P95/Max summarize remediation latency vs disclosure over
+	// closed intervals.
+	P50, P95, Max time.Duration
+	// Verdict is evaluated against the declared target, or the zero
+	// Verdict (Pass, 0 hosts) when no target was declared.
+	Verdict   Verdict
+	HasTarget bool
+	// WorstHost is the last-remediated host (the one that closed the
+	// fleet's vulnerability window).
+	WorstHost string
+}
+
+// DowntimeSummary aggregates the per-VM downtime accounting.
+type DowntimeSummary struct {
+	VMs           int
+	Total         time.Duration
+	P50, P95, Max time.Duration
+	// WorstVM is the VM with the largest accumulated downtime.
+	WorstVM string
+}
+
+// Downtime returns the fleet VM-downtime summary.
+func (t *Tracker) Downtime() DowntimeSummary {
+	if t == nil {
+		return DowntimeSummary{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := DowntimeSummary{VMs: len(t.vms)}
+	var vs []float64
+	for _, vm := range t.vmOrder {
+		dt := t.vms[vm]
+		d.Total += dt
+		vs = append(vs, float64(dt))
+		if dt > d.Max {
+			d.Max, d.WorstVM = dt, vm
+		}
+	}
+	d.P50 = time.Duration(metrics.Percentile(vs, 50))
+	d.P95 = time.Duration(metrics.Percentile(vs, 95))
+	return d
+}
+
+// evaluateLocked computes the verdict for cs at virtual time now.
+func evaluateLocked(cve string, cs *cveState, target Target, now time.Duration) Verdict {
+	v := Verdict{CVE: cve, Target: target, Hosts: len(cs.hosts)}
+	deadline := cs.disclosed + target.Window
+	for _, e := range cs.hosts {
+		if e.done {
+			if e.closed > deadline {
+				v.Violations++
+			}
+		} else if now > deadline {
+			v.Violations++
+		}
+	}
+	allowed := 1 - target.Quantile
+	frac := 0.0
+	if v.Hosts > 0 {
+		frac = float64(v.Violations) / float64(v.Hosts)
+	}
+	switch {
+	case allowed > 0:
+		v.BurnRate = frac / allowed
+	case v.Violations == 0:
+		v.BurnRate = 0
+	default:
+		v.BurnRate = math.Inf(1)
+	}
+	v.Pass = v.BurnRate <= 1
+	return v
+}
+
+// Report returns one WindowReport per tracked CVE (first-seen order),
+// evaluated at virtual time now.
+func (t *Tracker) Report(now time.Duration) []WindowReport {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []WindowReport
+	for _, cve := range t.cveOrder {
+		cs := t.cves[cve]
+		r := WindowReport{CVE: cve, Disclosed: cs.disclosed, Exposed: len(cs.hosts)}
+		var lats []float64
+		var worst time.Duration
+		for _, host := range cs.hostOrder {
+			e := cs.hosts[host]
+			if !e.done {
+				r.Open++
+				continue
+			}
+			r.Remediated++
+			lat := e.closed - cs.disclosed
+			lats = append(lats, float64(lat))
+			if lat >= worst {
+				worst, r.WorstHost = lat, host
+			}
+		}
+		r.P50 = time.Duration(metrics.Percentile(lats, 50))
+		r.P95 = time.Duration(metrics.Percentile(lats, 95))
+		r.Max = time.Duration(metrics.Percentile(lats, 100))
+		if cs.hasTarget {
+			r.HasTarget = true
+			r.Verdict = evaluateLocked(cve, cs, cs.target, now)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Evaluate returns cve's verdict against target at virtual time now,
+// ignoring any declared target.
+func (t *Tracker) Evaluate(cve string, target Target, now time.Duration) Verdict {
+	if t == nil {
+		return Verdict{CVE: cve, Target: target, Pass: true}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cs, ok := t.cves[cve]
+	if !ok {
+		return Verdict{CVE: cve, Target: target, Pass: true}
+	}
+	return evaluateLocked(cve, cs, target, now)
+}
+
+// Pass reports whether every CVE with a declared target passes at
+// virtual time now. A tracker with no targets passes vacuously.
+func (t *Tracker) Pass(now time.Duration) bool {
+	for _, r := range t.Report(now) {
+		if r.HasTarget && !r.Verdict.Pass {
+			return false
+		}
+	}
+	return true
+}

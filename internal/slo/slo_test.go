@@ -1,0 +1,192 @@
+package slo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"hypertp/internal/obs"
+)
+
+func TestTrackerWindowReport(t *testing.T) {
+	tr := NewTracker()
+	tr.Disclose("CVE-A", 0)
+	tr.SetTarget("CVE-A", 0, Target{Quantile: 0.99, Window: 10 * time.Second})
+	tr.Expose("CVE-A", "host-00", 0)
+	tr.Expose("CVE-A", "host-01", 0)
+	tr.Expose("CVE-A", "host-02", 0)
+	tr.Remediate("CVE-A", "host-00", 2*time.Second)
+	tr.Remediate("CVE-A", "host-01", 4*time.Second)
+	tr.Remediate("CVE-A", "host-02", 8*time.Second)
+
+	reports := tr.Report(8 * time.Second)
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+	r := reports[0]
+	if r.Exposed != 3 || r.Remediated != 3 || r.Open != 0 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if r.P50 != 4*time.Second || r.Max != 8*time.Second {
+		t.Fatalf("latency digest: p50=%v max=%v", r.P50, r.Max)
+	}
+	if r.WorstHost != "host-02" {
+		t.Fatalf("worst host = %q", r.WorstHost)
+	}
+	if !r.HasTarget || !r.Verdict.Pass || r.Verdict.Violations != 0 {
+		t.Fatalf("verdict: %+v", r.Verdict)
+	}
+	if !tr.Pass(8 * time.Second) {
+		t.Fatal("tracker should pass")
+	}
+}
+
+func TestTrackerOpenWindowViolation(t *testing.T) {
+	tr := NewTracker()
+	tr.SetTarget("CVE-B", 0, Target{Quantile: 1.0, Window: 5 * time.Second})
+	tr.Expose("CVE-B", "host-00", 0)
+	// Within budget and still open: not yet a violation.
+	if v := tr.Evaluate("CVE-B", Target{Quantile: 1.0, Window: 5 * time.Second}, 3*time.Second); !v.Pass {
+		t.Fatalf("open window inside budget failed: %+v", v)
+	}
+	// Budget spent, still open: violation; quantile 1.0 burns infinitely.
+	v := tr.Evaluate("CVE-B", Target{Quantile: 1.0, Window: 5 * time.Second}, 6*time.Second)
+	if v.Pass || v.Violations != 1 {
+		t.Fatalf("overdue open window passed: %+v", v)
+	}
+	if tr.Pass(6 * time.Second) {
+		t.Fatal("tracker should fail with overdue open window")
+	}
+	// Late remediation stays a violation forever.
+	tr.Remediate("CVE-B", "host-00", 7*time.Second)
+	if v := tr.Evaluate("CVE-B", Target{Quantile: 1.0, Window: 5 * time.Second}, 100*time.Second); v.Pass {
+		t.Fatalf("late close forgot the violation: %+v", v)
+	}
+}
+
+func TestBurnRate(t *testing.T) {
+	tr := NewTracker()
+	tr.Disclose("CVE-C", 0)
+	for i, at := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second, 20 * time.Second} {
+		host := string(rune('a' + i))
+		tr.Expose("CVE-C", host, 0)
+		tr.Remediate("CVE-C", host, at)
+	}
+	// 1 of 4 hosts beyond 10s. Allowed fraction at q=0.75 is 0.25:
+	// burn rate exactly 1.0, which still passes.
+	v := tr.Evaluate("CVE-C", Target{Quantile: 0.75, Window: 10 * time.Second}, 20*time.Second)
+	if v.Violations != 1 || v.BurnRate != 1.0 || !v.Pass {
+		t.Fatalf("burn at budget edge: %+v", v)
+	}
+	// q=0.9 allows 0.1: burn 2.5, fail.
+	v = tr.Evaluate("CVE-C", Target{Quantile: 0.9, Window: 10 * time.Second}, 20*time.Second)
+	if v.Pass || v.BurnRate < 2.49 || v.BurnRate > 2.51 {
+		t.Fatalf("burn over budget: %+v", v)
+	}
+}
+
+func TestNilTracker(t *testing.T) {
+	var tr *Tracker
+	tr.Disclose("x", 0)
+	tr.Expose("x", "h", 0)
+	tr.Remediate("x", "h", 0)
+	tr.AddVMDowntime("vm", time.Second)
+	tr.SetRegistry(nil)
+	if !tr.Pass(0) || tr.Report(0) != nil || len(tr.CVEs()) != 0 {
+		t.Fatal("nil tracker must be inert and passing")
+	}
+	if d := tr.Downtime(); d.VMs != 0 {
+		t.Fatalf("nil downtime = %+v", d)
+	}
+}
+
+func TestDowntimeAccounting(t *testing.T) {
+	tr := NewTracker()
+	tr.AddVMDowntime("vm-1", 30*time.Millisecond)
+	tr.AddVMDowntime("vm-2", 50*time.Millisecond)
+	tr.AddVMDowntime("vm-1", 20*time.Millisecond) // accumulates
+	tr.AddVMDowntime("vm-3", 0)                   // ignored
+	d := tr.Downtime()
+	if d.VMs != 2 || d.Total != 100*time.Millisecond {
+		t.Fatalf("downtime = %+v", d)
+	}
+	if d.Max != 50*time.Millisecond || d.WorstVM != "vm-1" && d.WorstVM != "vm-2" {
+		t.Fatalf("max = %v worst = %q", d.Max, d.WorstVM)
+	}
+	if d.WorstVM != "vm-1" {
+		t.Fatalf("worst VM = %q, want vm-1 (50ms accumulated)", d.WorstVM)
+	}
+}
+
+func TestRegistryMirror(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := NewTracker()
+	tr.SetRegistry(reg)
+	tr.Disclose("CVE-D", 0)
+	tr.Expose("CVE-D", "h1", 0)
+	tr.Expose("CVE-D", "h2", 0)
+	tr.Remediate("CVE-D", "h1", time.Second)
+	tr.AddVMDowntime("vm", 5*time.Millisecond)
+
+	if got := reg.Counter("slo.exposed", "hosts").Value(); got != 2 {
+		t.Fatalf("exposed counter = %d", got)
+	}
+	if got := reg.Counter("slo.remediated", "hosts").Value(); got != 1 {
+		t.Fatalf("remediated counter = %d", got)
+	}
+	if got := reg.Gauge("slo.open_windows", "hosts").Value(); got != 1 {
+		t.Fatalf("open windows gauge = %d", got)
+	}
+	if got := reg.Histogram("slo.remediation_latency", "ns", nil).Count(); got != 1 {
+		t.Fatalf("latency histogram count = %d", got)
+	}
+	if got := reg.Histogram("slo.vm_downtime", "ns", nil).Count(); got != 1 {
+		t.Fatalf("downtime histogram count = %d", got)
+	}
+}
+
+func TestWriteReportDeterministic(t *testing.T) {
+	build := func() *Tracker {
+		tr := NewTracker()
+		tr.SetTarget("CVE-E", 0, Target{Quantile: 0.99, Window: 30 * time.Minute})
+		for _, h := range []string{"host-00", "host-01"} {
+			tr.Expose("CVE-E", h, 0)
+		}
+		tr.Remediate("CVE-E", "host-00", 90*time.Second)
+		tr.Remediate("CVE-E", "host-01", 2*time.Minute)
+		tr.AddVMDowntime("vm-0", 12*time.Millisecond)
+		return tr
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteReport(&b1, 5*time.Minute); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	if err := build().WriteReport(&b2, 5*time.Minute); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("reports differ:\n%s\n---\n%s", b1.String(), b2.String())
+	}
+	out := b1.String()
+	for _, want := range []string{
+		"CVE-E: disclosed 0s  exposed=2 remediated=2 open=0",
+		"remediation latency p50=",
+		"window closed by host-01",
+		"target p99 within 30m0s",
+		"PASS",
+		"vm downtime: vms=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Empty tracker renders a stable placeholder.
+	var empty bytes.Buffer
+	if err := NewTracker().WriteReport(&empty, 0); err != nil {
+		t.Fatalf("WriteReport empty: %v", err)
+	}
+	if !strings.Contains(empty.String(), "no tracked CVEs") {
+		t.Fatalf("empty report = %q", empty.String())
+	}
+}

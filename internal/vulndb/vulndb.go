@@ -17,6 +17,7 @@ package vulndb
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Severity is the CVSS v2 band used by the paper.
@@ -96,6 +97,19 @@ func (r *Record) Affected(hv string) bool {
 
 // Severity returns the record's CVSS band.
 func (r *Record) Severity() Severity { return SeverityOf(r.CVSS) }
+
+// RemediationWindow returns the virtual-time SLO budget for closing
+// this record's per-host vulnerability windows: how long after
+// disclosure a host may keep running an affected hypervisor. Critical
+// flaws get the tight fleet-response budget (the paper's point is that
+// transplant makes minutes-scale response feasible); medium flaws get a
+// maintenance-window budget.
+func (r *Record) RemediationWindow() time.Duration {
+	if r.Severity() == SeverityCritical {
+		return 30 * time.Minute
+	}
+	return 4 * time.Hour
+}
 
 // Database is the loaded vulnerability set.
 type Database struct {
