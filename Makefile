@@ -16,10 +16,18 @@ vet:
 	$(GO) vet ./...
 
 # fmt-check fails (listing the offenders) if any file is not gofmt-clean,
-# and runs vet so style and static checks gate together.
+# and runs vet so style and static checks gate together. It also keeps
+# the repo deprecation-clean: the hypertp.Options / DefaultOptions /
+# ExecutionModel aliases exist only for external callers, so any use
+# outside their definitions (hypertp.go, options.go) fails the check.
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@out="$$(grep -rn -E 'hypertp\.(Options\b|DefaultOptions|ExecutionModel\b|DefaultExecutionModel)' \
+		--include='*.go' cmd examples *.go internal 2>/dev/null || true)"; \
+		if [ -n "$$out" ]; then \
+		echo "deprecated hypertp.Options/ExecutionModel aliases used (migrate to Default()/NewConfig + TransplantWith):"; \
+		echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
 test:

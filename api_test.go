@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"hypertp"
+	"hypertp/internal/cluster"
+	"hypertp/internal/core"
 )
 
 // A forced pre-kexec fault rolls the transplant back: the host keeps
@@ -134,14 +136,15 @@ func TestMigrateVMWithAbortsToSourceWhenExhausted(t *testing.T) {
 	}
 }
 
-// The config surface: defaults match the deprecated aliases, overrides
-// compose, and the site list round-trips through the parser.
+// The config surface: defaults match the internal engine and cluster
+// defaults the deprecated aliases mirror, overrides compose, and the
+// site list round-trips through the parser.
 func TestConfigSurface(t *testing.T) {
 	cfg := hypertp.Default()
-	if cfg.ClusterModel() != hypertp.DefaultExecutionModel() {
-		t.Fatal("Default() disagrees with DefaultExecutionModel()")
+	if cfg.ClusterModel() != cluster.DefaultExecutionModel() {
+		t.Fatal("Default() disagrees with cluster.DefaultExecutionModel()")
 	}
-	legacy := hypertp.DefaultOptions()
+	legacy := core.DefaultOptions()
 	if cfg.Parallel != legacy.Parallel || cfg.HugePages != legacy.HugePages ||
 		cfg.PrepareBeforePause != legacy.PrepareBeforePause ||
 		cfg.EarlyRestoration != legacy.EarlyRestoration {
@@ -150,6 +153,16 @@ func TestConfigSurface(t *testing.T) {
 	deopt := hypertp.NewConfig(hypertp.WithoutOptimizations())
 	if deopt.Parallel || deopt.HugePages || deopt.PrepareBeforePause || deopt.EarlyRestoration {
 		t.Fatal("WithoutOptimizations left a toggle on")
+	}
+	if !cfg.TranslationCache || cfg.PageDedup || cfg.WarmPool != 0 {
+		t.Fatalf("cache defaults wrong: %+v", cfg)
+	}
+	cached := hypertp.NewConfig(
+		hypertp.WithTranslationCache(false),
+		hypertp.WithWarmPool(8),
+		hypertp.WithPageDedup(true))
+	if cached.TranslationCache || cached.WarmPool != 8 || !cached.PageDedup {
+		t.Fatalf("cache options did not apply: %+v", cached)
 	}
 	faulty := hypertp.NewConfig(hypertp.WithFaults(42, 0.25, hypertp.SiteHVBoot))
 	if faulty.FaultSeed != 42 || faulty.FaultRate != 0.25 || len(faulty.FaultSites) != 1 {
@@ -167,5 +180,72 @@ func TestConfigSurface(t *testing.T) {
 	}
 	if hypertp.DefaultRetryPolicy().Attempts() < 2 {
 		t.Fatal("default retry policy does not retry")
+	}
+}
+
+// The simulation-wide transplant cache: repeat transplants through the
+// default Config converge to cache hits, the per-report Summary carries
+// the counts, and Simulation.CacheStats sees the same traffic.
+// Disabling the cache keeps the stats untouched.
+func TestSimulationCacheStats(t *testing.T) {
+	sim := hypertp.NewSimulation()
+	host, err := sim.NewHost(hypertp.M1(), hypertp.KindXen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := host.CreateVM(hypertp.VMConfig{
+		Name: "web", VCPUs: 1, MemBytes: 1 << 30, HugePages: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.Guest.WriteWorkingSet(0, 64)
+
+	var hitSummaries int
+	target := hypertp.KindKVM
+	for hop := 0; hop < 10; hop++ {
+		rep, err := host.TransplantWith(target, hypertp.Default())
+		if err != nil {
+			t.Fatalf("hop %d: %v", hop, err)
+		}
+		if s := rep.Summary(); s.CacheHits > 0 {
+			hitSummaries++
+		}
+		if target == hypertp.KindKVM {
+			target = hypertp.KindXen
+		} else {
+			target = hypertp.KindKVM
+		}
+	}
+	st := sim.CacheStats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("cache never converged over 10 hops: %+v", st)
+	}
+	if hitSummaries == 0 {
+		t.Fatal("no report summary carried cache hits")
+	}
+	for _, vm := range host.VMs() {
+		if err := vm.Guest.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A cache-disabled simulation reports zeros.
+	cold := hypertp.NewSimulation()
+	ch, err := cold.NewHost(hypertp.M1(), hypertp.KindXen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.CreateVM(hypertp.VMConfig{
+		Name: "db", VCPUs: 1, MemBytes: 1 << 30, HugePages: true, Seed: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.TransplantWith(hypertp.KindKVM,
+		hypertp.NewConfig(hypertp.WithTranslationCache(false))); err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.CacheStats(); st != (hypertp.CacheStats{}) {
+		t.Fatalf("cache-disabled simulation recorded stats: %+v", st)
 	}
 }

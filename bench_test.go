@@ -8,6 +8,7 @@
 package hypertp_test
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -96,6 +97,10 @@ func BenchmarkFigure9MigrationTime(b *testing.B) {
 	}
 }
 
+// warmGrid is BenchmarkFigure10Warm's primed testbed grid, built once
+// and shared across the harness's b.N ramp-up trials.
+var warmGrid *experiments.Figure10WarmGrid
+
 func BenchmarkFigure10KVMToXen(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -105,6 +110,40 @@ func BenchmarkFigure10KVMToXen(b *testing.B) {
 		}
 		if len(sweeps) != 6 {
 			b.Fatal("sweep count")
+		}
+	}
+}
+
+// BenchmarkFigure10Warm is the repeat-transplant twin of
+// BenchmarkFigure10KVMToXen: the same 36-point KVM<->Xen grid, but the
+// testbeds persist and every transplant cache is primed before the timer
+// starts, so each iteration times one fully warm grid pass (translation
+// lookups all hit, PRAM replayed incrementally). The ratio against the
+// cold benchmark is the repeat-transplant speedup the warm pool buys;
+// the nightly benchdiff job fails if it drops below 5x.
+//
+// The primed grid is cached across b.N trials: rebuilding its 36
+// testbeds per trial would leave gigabytes of dead heap behind and tax
+// the timed loop with the GC debt of setup instead of the cost of the
+// warm hops.
+func BenchmarkFigure10Warm(b *testing.B) {
+	if warmGrid == nil {
+		var err error
+		if warmGrid, err = experiments.NewFigure10WarmGrid(); err != nil {
+			b.Fatal(err)
+		}
+		runtime.GC()
+	}
+	grid := warmGrid
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits, err := grid.Hop()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hits == 0 {
+			b.Fatal("warm grid pass reported no cache hits")
 		}
 	}
 }
@@ -228,7 +267,7 @@ func BenchmarkInPlaceTransplant(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := host.Transplant(hypertp.KindKVM, hypertp.DefaultOptions()); err != nil {
+		if _, err := host.TransplantWith(hypertp.KindKVM, hypertp.Default()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -277,10 +316,10 @@ func BenchmarkVENOMEscape(b *testing.B) {
 			b.Fatal(err)
 		}
 		vm.Guest.WriteWorkingSet(0, 64)
-		if _, err := host.Transplant(hypertp.KindNOVA, hypertp.DefaultOptions()); err != nil {
+		if _, err := host.TransplantWith(hypertp.KindNOVA, hypertp.Default()); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := host.Transplant(hypertp.KindXen, hypertp.DefaultOptions()); err != nil {
+		if _, err := host.TransplantWith(hypertp.KindXen, hypertp.Default()); err != nil {
 			b.Fatal(err)
 		}
 		for _, vm := range host.VMs() {

@@ -112,6 +112,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	lines, failed := compare(base.Benchmarks, current, *tolerance)
+	ratioLines, ratioFailed := checkSpeedups(current)
+	lines = append(lines, ratioLines...)
+	failed = failed || ratioFailed
 	for _, l := range lines {
 		fmt.Fprintln(stdout, l)
 	}
@@ -203,6 +206,50 @@ func parseBench(r io.Reader) (map[string]entry, error) {
 		out[name] = e
 	}
 	return out, sc.Err()
+}
+
+// speedupGate pins a warm/cold benchmark pair: the warm benchmark must
+// stay at least MinRatio times faster than the cold one. Unlike the
+// ±tolerance drift gate, this is a relationship between two benchmarks
+// from the same run, so it is immune to machine speed — it fails only
+// when the cached path itself loses its advantage.
+type speedupGate struct {
+	Warm     string
+	Cold     string
+	MinRatio float64
+}
+
+// speedupGates are the pinned warm-path guarantees. The Figure 10 pair
+// is the repeat-transplant fast path: the acceptance bar is 10×, gated
+// here at 5× so scheduler noise on shared runners does not flake the
+// nightly while a real cache regression (a fingerprint chain that stops
+// converging, a snapshot replay that stops firing) still fails loudly.
+var speedupGates = []speedupGate{
+	{Warm: "BenchmarkFigure10Warm", Cold: "BenchmarkFigure10KVMToXen", MinRatio: 5},
+}
+
+// checkSpeedups evaluates every speedup gate whose two benchmarks are
+// both present in the run. A pair absent from the run (a narrowed
+// -bench pattern) is skipped, not failed — the MISSING check against
+// the baseline already catches deleted benchmarks.
+func checkSpeedups(current map[string]entry) (lines []string, failed bool) {
+	for _, g := range speedupGates {
+		warm, okW := current[g.Warm]
+		cold, okC := current[g.Cold]
+		if !okW || !okC || warm.NsOp == 0 {
+			continue
+		}
+		ratio := cold.NsOp / warm.NsOp
+		if ratio < g.MinRatio {
+			lines = append(lines, fmt.Sprintf("REGRESS  %s: only %.1f× faster than %s (gate ≥%.0f×)",
+				g.Warm, ratio, g.Cold, g.MinRatio))
+			failed = true
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("ok       %s: %.1f× faster than %s (gate ≥%.0f×)",
+			g.Warm, ratio, g.Cold, g.MinRatio))
+	}
+	return lines, failed
 }
 
 // compare gates current against base: ns/op within ±tol, allocs/op

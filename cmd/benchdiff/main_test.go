@@ -161,3 +161,61 @@ func TestUpdateRoundTrip(t *testing.T) {
 		t.Fatalf("freshly updated baseline does not pass: %s\n%s", out.String(), errOut.String())
 	}
 }
+
+// The speedup gate is a relationship inside one run: the warm benchmark
+// must stay MinRatio× faster than its cold twin, independent of the
+// baseline.
+func TestSpeedupGate(t *testing.T) {
+	const warmFast = benchOutput +
+		"BenchmarkFigure10KVMToXen-8  3  300000000 ns/op  1000 B/op  100 allocs/op\n" +
+		"BenchmarkFigure10Warm-8      3   30000000 ns/op  1000 B/op  100 allocs/op\n"
+	const warmSlow = benchOutput +
+		"BenchmarkFigure10KVMToXen-8  3  300000000 ns/op  1000 B/op  100 allocs/op\n" +
+		"BenchmarkFigure10Warm-8      3  100000000 ns/op  1000 B/op  100 allocs/op\n"
+	base := `{"benchmarks":{
+		"BenchmarkInPlaceTransplant":{"ns_op":100000000,"allocs_op":40000},
+		"BenchmarkMigrationTP":{"ns_op":200000000,"allocs_op":80000},
+		"BenchmarkFigure10KVMToXen":{"ns_op":300000000,"allocs_op":100},
+		"BenchmarkFigure10Warm":{"ns_op":30000000,"allocs_op":100}}}`
+
+	input := writeFile(t, "fast.txt", warmFast)
+	basePath := writeFile(t, "base.json", base)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-input", input, "-baseline", basePath}, &out, &errOut); code != 0 {
+		t.Fatalf("10x warm path failed the gate; stdout:\n%s\nstderr:\n%s", out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "faster than BenchmarkFigure10KVMToXen") {
+		t.Fatalf("no speedup gate line:\n%s", out.String())
+	}
+
+	// 3x warm is inside the ±15% drift window relative to its own
+	// baseline entry... make the baseline match so only the ratio trips.
+	slowBase := strings.Replace(base, `"BenchmarkFigure10Warm":{"ns_op":30000000`,
+		`"BenchmarkFigure10Warm":{"ns_op":100000000`, 1)
+	input = writeFile(t, "slow.txt", warmSlow)
+	basePath = writeFile(t, "slowbase.json", slowBase)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-input", input, "-baseline", basePath}, &out, &errOut); code == 0 {
+		t.Fatalf("3x warm path passed the 5x gate; stdout:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "only 3.0× faster") {
+		t.Fatalf("no ratio REGRESS line:\n%s", out.String())
+	}
+}
+
+// A run that does not include the gate's pair (narrowed -bench pattern
+// with no baseline entries for it) skips the ratio check.
+func TestSpeedupGateSkipsAbsentPair(t *testing.T) {
+	input := writeFile(t, "bench.txt", benchOutput)
+	basePath := writeFile(t, "base.json", `{"benchmarks":{
+		"BenchmarkInPlaceTransplant":{"ns_op":100000000,"allocs_op":40000},
+		"BenchmarkMigrationTP":{"ns_op":200000000,"allocs_op":80000}}}`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-input", input, "-baseline", basePath}, &out, &errOut); code != 0 {
+		t.Fatalf("run without the warm pair failed; stdout:\n%s\nstderr:\n%s", out.String(), errOut.String())
+	}
+	if strings.Contains(out.String(), "Figure10Warm") {
+		t.Fatalf("ratio line emitted for absent pair:\n%s", out.String())
+	}
+}

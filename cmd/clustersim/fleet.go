@@ -16,6 +16,7 @@ import (
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
 	"hypertp/internal/slo"
+	"hypertp/internal/tpcache"
 	"hypertp/internal/vulndb"
 )
 
@@ -65,9 +66,18 @@ type fleetRun struct {
 	now       time.Duration
 }
 
+// cacheConfig is the -fleet transplant-cache shape: -warm-pool /
+// -no-cache.
+type cacheConfig struct {
+	WarmPool int
+	NoCache  bool
+}
+
 // respondOnce builds a fresh fleet and runs the CVE response under the
-// given limits, with vulnerability-window SLO tracking attached.
-func respondOnce(hosts, vms int, limits sched.Limits) (*fleetRun, error) {
+// given limits, with vulnerability-window SLO tracking attached. With
+// caching on, the warm pool is refilled before the response starts —
+// pre-staging happens outside the vulnerability window.
+func respondOnce(hosts, vms int, limits sched.Limits, cc cacheConfig) (*fleetRun, error) {
 	nova, err := buildFleet(hosts, vms)
 	if err != nil {
 		return nil, err
@@ -78,8 +88,21 @@ func respondOnce(hosts, vms int, limits sched.Limits) (*fleetRun, error) {
 	tracker := slo.NewTracker()
 	tracker.SetRegistry(rec.Metrics())
 	nova.SetSLO(tracker)
+	opts := core.DefaultOptions()
+	if !cc.NoCache {
+		cache := tpcache.New()
+		opts.Cache = cache
+		if cc.WarmPool > 0 {
+			nova.SetWarmPool(cache, cc.WarmPool)
+			if _, err := nova.WarmPoolRefill(); err != nil {
+				return nil, err
+			}
+		}
+	} else if cc.WarmPool > 0 {
+		return nil, fmt.Errorf("clustersim: -warm-pool needs the transplant cache; drop -no-cache")
+	}
 	nova.SetFleetLimits(&limits)
-	resp, err := nova.RespondToCVE(vulndb.Load(), fleetCVE, []string{"xen", "kvm"}, core.DefaultOptions())
+	resp, err := nova.RespondToCVE(vulndb.Load(), fleetCVE, []string{"xen", "kvm"}, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -98,18 +121,18 @@ func respondOnce(hosts, vms int, limits sched.Limits) (*fleetRun, error) {
 // between the two runs (same planner, different timeline); a divergence
 // is an invariant violation and exits non-zero. The whole report is
 // byte-identical for any -workers count.
-func runFleet(w io.Writer, hosts, vms int, sc schedConfig, ec exportConfig) error {
+func runFleet(w io.Writer, hosts, vms int, sc schedConfig, ec exportConfig, cc cacheConfig) error {
 	defer sc.apply()()
 	limits := sc.limits()
 	if !sc.enabled() {
 		limits = sched.Limits{MaxKexecs: 4, LinkStreams: 4}
 	}
 
-	serial, err := respondOnce(hosts, vms, sched.Serial())
+	serial, err := respondOnce(hosts, vms, sched.Serial(), cc)
 	if err != nil {
 		return err
 	}
-	conc, err := respondOnce(hosts, vms, limits)
+	conc, err := respondOnce(hosts, vms, limits, cc)
 	if err != nil {
 		return err
 	}
@@ -132,7 +155,17 @@ func runFleet(w io.Writer, hosts, vms int, sc schedConfig, ec exportConfig) erro
 	row("serial", serial.resp)
 	row("concurrent", conc.resp)
 	fmt.Fprintln(w, tab.Render())
-	fmt.Fprintf(w, "placement: identical across schedules (%d VMs)\n\n", vms)
+	fmt.Fprintf(w, "placement: identical across schedules (%d VMs)\n", vms)
+	if !cc.NoCache {
+		s := conc.resp.Summary()
+		ratio := 0.0
+		if s.CacheHits+s.CacheMisses > 0 {
+			ratio = float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+		}
+		fmt.Fprintf(w, "cache: %d hits / %d misses (ratio %.2f), %d warm starts\n",
+			s.CacheHits, s.CacheMisses, ratio, s.CacheWarmStarts)
+	}
+	fmt.Fprintln(w)
 	// The concurrent run is the production shape: its vulnerability
 	// window is the one the fleet would actually see.
 	if err := conc.slo.WriteReport(w, conc.now); err != nil {

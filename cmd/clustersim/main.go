@@ -62,6 +62,8 @@ func main() {
 		kexecs      = flag.Int("kexecs", 0, "simultaneous-kexec cap for the concurrent schedule columns (0 = unlimited)")
 		fleet       = flag.Bool("fleet", false, "run the fleet CVE-response scenario on the concurrent scheduler instead of the Fig. 13 sweep")
 		fleetVMs    = flag.Int("fleet-vms", 32, "VM population for -fleet")
+		warmPool    = flag.Int("warm-pool", 0, "pre-stage up to n warm translation entries before the -fleet response")
+		noCache     = flag.Bool("no-cache", false, "disable the transplant cache for -fleet (force every transplant cold)")
 	)
 	flag.Parse()
 	fc := faultConfig{Seed: *faultSeed, Rate: *faultRate, Sites: *faultSites}
@@ -72,7 +74,7 @@ func main() {
 	}
 	var err error
 	if *fleet {
-		err = runFleet(os.Stdout, *hosts, *fleetVMs, sc, ec)
+		err = runFleet(os.Stdout, *hosts, *fleetVMs, sc, ec, cacheConfig{WarmPool: *warmPool, NoCache: *noCache})
 	} else {
 		err = run(*hosts, *vmsPerHost, *group, *traceFrac, fc, sc, ec)
 	}

@@ -90,7 +90,7 @@ func TestRunScheduledColumns(t *testing.T) {
 func TestRunFleetDeterministicAcrossWorkers(t *testing.T) {
 	out := func(workers int) string {
 		var buf bytes.Buffer
-		if err := runFleet(&buf, 10, 32, schedConfig{Workers: workers, Streams: 4, Kexecs: 4}, exportConfig{}); err != nil {
+		if err := runFleet(&buf, 10, 32, schedConfig{Workers: workers, Streams: 4, Kexecs: 4}, exportConfig{}, cacheConfig{}); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()
@@ -102,6 +102,9 @@ func TestRunFleetDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if !strings.Contains(w1, "identical across schedules") {
 		t.Fatalf("missing placement check line:\n%s", w1)
+	}
+	if !strings.Contains(w1, "cache: ") {
+		t.Fatalf("missing cache hit-ratio line:\n%s", w1)
 	}
 	// The fleet report must carry the vulnerability-window SLO verdict.
 	if !strings.Contains(w1, "slo report") || !strings.Contains(w1, "remediation latency p50=") {
@@ -124,6 +127,32 @@ func TestRunFleetDeterministicAcrossWorkers(t *testing.T) {
 	var x float64
 	if _, err := fmt.Sscanf(speedup, "%fx", &x); err != nil || x < 2 {
 		t.Fatalf("concurrent speedup %q below 2x target", speedup)
+	}
+}
+
+// The -warm-pool path: pre-staged entries surface as warm starts in the
+// fleet report's cache line; -no-cache drops the line entirely and
+// rejects -warm-pool.
+func TestRunFleetWarmPoolAndNoCache(t *testing.T) {
+	var warm bytes.Buffer
+	if err := runFleet(&warm, 6, 16, schedConfig{Streams: 4, Kexecs: 4}, exportConfig{}, cacheConfig{WarmPool: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "cache: ") {
+		t.Fatalf("fleet report missing cache line:\n%s", warm.String())
+	}
+	if strings.Contains(warm.String(), " 0 warm starts") {
+		t.Fatalf("warm pool staged nothing:\n%s", warm.String())
+	}
+	var cold bytes.Buffer
+	if err := runFleet(&cold, 6, 16, schedConfig{Streams: 4, Kexecs: 4}, exportConfig{}, cacheConfig{NoCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(cold.String(), "cache: ") {
+		t.Fatalf("-no-cache report still has a cache line:\n%s", cold.String())
+	}
+	if err := runFleet(&cold, 6, 16, schedConfig{}, exportConfig{}, cacheConfig{WarmPool: 4, NoCache: true}); err == nil {
+		t.Fatal("-warm-pool with -no-cache accepted")
 	}
 }
 

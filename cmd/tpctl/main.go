@@ -7,6 +7,8 @@
 //	tpctl -mode inplace  -from xen -to kvm -machine M1 -vms 1 -vcpus 1 -mem-gib 1
 //	tpctl -mode migration -from xen -to kvm -vms 2 -mem-gib 1
 //	tpctl -mode inplace -from xen -to kvm -cve CVE-2016-6258   # policy check first
+//	tpctl -mode inplace -warm-pool 2        # pre-stage warm translation entries
+//	tpctl -mode inplace -no-cache           # force the cold path
 //	tpctl -mode inplace -trace-out trace.json -metrics-out metrics.json
 //	tpctl -mode inplace -fault-seed 42 -fault-rate 1 -fault-sites kexec.handover -fault-plan
 //
@@ -41,6 +43,7 @@ import (
 	"hypertp/internal/par"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
+	"hypertp/internal/tpcache"
 	"hypertp/internal/trace"
 	"hypertp/internal/vulndb"
 )
@@ -69,6 +72,8 @@ func main() {
 		faultRate  = flag.Float64("fault-rate", 0, "per-site fault probability in [0,1]")
 		faultSites = flag.String("fault-sites", "", "comma-separated injection sites (empty = all registered sites)")
 		faultPlan  = flag.Bool("fault-plan", false, "print the fault shots that fired during the run")
+		noCache    = flag.Bool("no-cache", false, "disable the transplant cache (force the cold path)")
+		warmPool   = flag.Int("warm-pool", 0, "pre-stage up to n VM translations as warm entries before the transplant")
 		verbose    = flag.Bool("v", false, "print the Fig. 3 workflow trace")
 	)
 	flag.Parse()
@@ -91,6 +96,8 @@ func main() {
 		FaultRate:  *faultRate,
 		FaultSites: *faultSites,
 		FaultPlan:  *faultPlan,
+		NoCache:    *noCache,
+		WarmPool:   *warmPool,
 		Verbose:    *verbose,
 	}); err != nil {
 		os.Exit(exitWithLabel("tpctl", err))
@@ -146,6 +153,8 @@ type runConfig struct {
 	FaultRate               float64
 	FaultSites              string
 	FaultPlan               bool
+	NoCache                 bool
+	WarmPool                int
 	Verbose                 bool
 }
 
@@ -225,6 +234,21 @@ func run(cfg runConfig) error {
 	fmt.Printf("host: %s running %s with %d VM(s) of %d vCPU / %d GiB\n\n",
 		profile.Name, src.Name(), cfg.VMs, cfg.VCPUs, cfg.MemGiB)
 
+	var cache *tpcache.Cache
+	if !cfg.NoCache {
+		cache = tpcache.New()
+		cfg.Opts.Cache = cache
+		if cfg.WarmPool > 0 {
+			staged, err := core.PreStageTranslations(src, srcMachine, cache, cfg.WarmPool)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("warm pool: pre-staged %d translation(s)\n\n", staged)
+		}
+	} else if cfg.WarmPool > 0 {
+		return fmt.Errorf("-warm-pool needs the transplant cache; drop -no-cache")
+	}
+
 	switch cfg.Mode {
 	case "inplace":
 		_, rep, err := engine.InPlace(src, toKind, cfg.Opts)
@@ -248,6 +272,9 @@ func run(cfg runConfig) error {
 			rep.PRAMMetadataBytes, rep.UISRBytes, rep.WipedFrames)
 		fmt.Printf("outcome: %s (attempts %d, faults absorbed %d)\n",
 			rep.Outcome, rep.Summary().Attempts, rep.Faults)
+		if cache != nil {
+			fmt.Printf("cache: %s\n", cache.Stats())
+		}
 		if cfg.Verbose {
 			fmt.Printf("\nworkflow trace:\n")
 			if _, err := engine.Trace.WriteTo(os.Stdout); err != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hypertp/internal/core"
@@ -163,5 +164,41 @@ func TestRunTraceAndMetricsOut(t *testing.T) {
 		if len(mets) == 0 {
 			t.Fatalf("%s: empty metrics", mode)
 		}
+	}
+}
+
+// The -warm-pool/-no-cache flags: pre-staging warms the run, the
+// prom dump carries the hypertp_tpcache_* series, and -warm-pool
+// without the cache is rejected.
+func TestRunWarmPoolAndNoCache(t *testing.T) {
+	dir := t.TempDir()
+	c := cfg("inplace")
+	c.VMs = 2
+	c.WarmPool = 2
+	c.PromOut = filepath.Join(dir, "warm.prom")
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(c.PromOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{"hypertp_tpcache_hits_total", "hypertp_tpcache_warm_starts_total"} {
+		if !strings.Contains(string(data), series) {
+			t.Fatalf("prom dump missing %s:\n%s", series, data)
+		}
+	}
+
+	c = cfg("inplace")
+	c.NoCache = true
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+
+	c = cfg("inplace")
+	c.NoCache = true
+	c.WarmPool = 2
+	if err := run(c); err == nil {
+		t.Fatal("-warm-pool with -no-cache accepted")
 	}
 }

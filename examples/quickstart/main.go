@@ -45,7 +45,7 @@ func main() {
 	fmt.Printf("CVE-2016-6258 is critical on Xen; policy says transplant to %v\n", target)
 
 	// Transplant the whole host in place (InPlaceTP, Fig. 3).
-	report, err := host.Transplant(target, hypertp.DefaultOptions())
+	report, err := host.TransplantWith(target, hypertp.Default())
 	if err != nil {
 		log.Fatal(err)
 	}

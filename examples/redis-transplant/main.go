@@ -29,7 +29,7 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	rep, err := host.Transplant(hypertp.KindKVM, hypertp.DefaultOptions())
+	rep, err := host.TransplantWith(hypertp.KindKVM, hypertp.Default())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -52,7 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := host.Transplant(kind, hypertp.DefaultOptions())
+	rep, err := host.TransplantWith(kind, hypertp.Default())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func main() {
 	fmt.Printf("        all guests verified on %s\n", host.HypervisorName())
 
 	// Weeks later: QEMU is patched everywhere; come home.
-	rep, err = host.Transplant(hypertp.KindXen, hypertp.DefaultOptions())
+	rep, err = host.TransplantWith(hypertp.KindXen, hypertp.Default())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,7 +9,7 @@
 //	host, _ := sim.NewHost(hypertp.M1(), hypertp.KindXen)
 //	vm, _ := host.CreateVM(hypertp.VMConfig{Name: "web", VCPUs: 1,
 //	        MemBytes: 1 << 30, HugePages: true})
-//	report, _ := host.Transplant(hypertp.KindKVM, hypertp.DefaultOptions())
+//	report, _ := host.TransplantWith(hypertp.KindKVM, hypertp.Default())
 //	fmt.Println(report.Downtime) // ~1.7s on M1
 //
 // Everything runs on a deterministic virtual clock: a full transplant
@@ -29,6 +29,7 @@ import (
 	"hypertp/internal/migration"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
+	"hypertp/internal/tpcache"
 	"hypertp/internal/vulndb"
 )
 
@@ -88,19 +89,30 @@ func LoadVulnDB() *VulnDatabase { return vulndb.Load() }
 // NewCluster builds a §5.4 cluster model.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
 
-// Simulation owns the virtual clock all hosts and links share.
+// Simulation owns the virtual clock all hosts and links share, plus the
+// simulation-wide transplant cache.
 type Simulation struct {
 	clock *simtime.Clock
 	seed  uint64
+	cache *tpcache.Cache
 }
 
 // NewSimulation creates an empty simulation at t=0.
 func NewSimulation() *Simulation {
-	return &Simulation{clock: simtime.NewClock(), seed: 1}
+	return &Simulation{clock: simtime.NewClock(), seed: 1, cache: tpcache.New()}
 }
 
 // Now returns the current virtual time.
 func (s *Simulation) Now() time.Duration { return s.clock.Now() }
+
+// CacheStats is a census of the transplant cache: translation hits and
+// misses, warm starts, poisoned entries, and PRAM snapshot replays.
+type CacheStats = tpcache.Stats
+
+// CacheStats reports the simulation-wide transplant cache counters.
+// Transplants run with Config.TranslationCache (the default) feed them;
+// a simulation that never caches reports zeros.
+func (s *Simulation) CacheStats() CacheStats { return s.cache.Stats() }
 
 // Link models a network connection between hosts.
 type Link struct {
@@ -148,6 +160,10 @@ func (h *Host) VMs() []*VM { return h.hyp.VMs() }
 
 // Transplant performs InPlaceTP: every VM on the host is moved to a
 // freshly micro-rebooted hypervisor of the target kind, in place.
+//
+// Deprecated: use TransplantWith, which takes the unified Config and
+// adds fault injection, recovery, and transplant caching. Kept so
+// existing callers keep compiling.
 func (h *Host) Transplant(target Kind, opts Options) (*InPlaceReport, error) {
 	newHyp, report, err := h.engine.InPlace(h.hyp, target, opts)
 	if err != nil {
@@ -167,7 +183,12 @@ func (h *Host) TransplantWith(target Kind, cfg Config) (*InPlaceReport, error) {
 	h.engine.Fault = cfg.faultPlan(h.sim.clock)
 	h.engine.Retry = cfg.Retry
 	defer func() { h.engine.Fault = nil }()
-	newHyp, report, err := h.engine.InPlace(h.hyp, target, cfg.engineOptions())
+	opts := cfg.engineOptions()
+	if cfg.TranslationCache {
+		opts.Cache = h.sim.cache
+	}
+	h.engine.Machine.Mem.SetPageDedup(cfg.PageDedup)
+	newHyp, report, err := h.engine.InPlace(h.hyp, target, opts)
 	if newHyp != nil {
 		h.hyp = newHyp
 	}

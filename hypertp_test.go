@@ -25,7 +25,7 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 	if err := vm.Guest.WriteWorkingSet(0, 64); err != nil {
 		t.Fatal(err)
 	}
-	report, err := host.Transplant(hypertp.KindKVM, hypertp.DefaultOptions())
+	report, err := host.TransplantWith(hypertp.KindKVM, hypertp.Default())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,6 +39,7 @@ import (
 	"hypertp/internal/orchestrator"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
+	"hypertp/internal/tpcache"
 	"hypertp/internal/vulndb"
 )
 
@@ -65,6 +66,13 @@ type Config struct {
 	// tagged to a dead VM after each transplant, "corrupt-memory"
 	// flips a guest byte behind the write journal after each workload.
 	Break string `json:"break,omitempty"`
+	// Cache enables the transplant cache for the whole soak: every
+	// transplant op runs with a shared tpcache.Cache, a warm pool is
+	// attached to Nova, and OpWarmPoolRefill ops pre-stage translations.
+	// Caching must be invisible to every invariant the auditor holds —
+	// identical traces, checksums, and virtual time — which is exactly
+	// what a cached soak proves.
+	Cache bool `json:"cache,omitempty"`
 	// Stream switches the run onto the bounded streaming observability
 	// pipeline: ended span trees are flattened into a flight recorder of
 	// FlightCap records instead of being retained, so soak memory stays
@@ -144,6 +152,10 @@ type Result struct {
 	SurvivingVMs   []string
 	// Trace is one deterministic line per executed op.
 	Trace []string
+	// CacheStats is the shared transplant cache's final census on cached
+	// runs (zero value otherwise). Informational: the counters are not
+	// part of the determinism contract, the trace and audits are.
+	CacheStats tpcache.Stats `json:"cache_stats,omitempty"`
 	// Failure is the first violation, nil when every audit passed.
 	Failure *Failure
 
@@ -224,6 +236,9 @@ func RunOps(cfg Config, ops []Op) (*Result, error) {
 		}
 	}
 	res.SurvivingVMs = append([]string(nil), h.vms...)
+	if h.cache != nil {
+		res.CacheStats = h.cache.Stats()
+	}
 	return res, nil
 }
 
@@ -236,6 +251,9 @@ type harness struct {
 	flight *obs.FlightRecorder // non-nil on streaming runs
 	nova   *orchestrator.Nova
 	db     *vulndb.Database
+	// cache is the shared transplant cache on cached soaks (nil
+	// otherwise); opts() threads it into every transplant op.
+	cache *tpcache.Cache
 
 	hosts []string        // all node names, sorted
 	dead  map[string]bool // hosts that lost VMs — machine state is toast
@@ -277,6 +295,12 @@ func newHarness(cfg Config) (*harness, error) {
 		db:       vulndb.Load(),
 		dead:     make(map[string]bool),
 		baseline: make(map[string]uint64),
+	}
+	if cfg.Cache {
+		h.cache = tpcache.New()
+		// Pool sized for the whole tenant population; refills are
+		// throttled by OpRespondFleet's SpareSlots when limits are live.
+		nova.SetWarmPool(h.cache, cfg.VMs)
 	}
 	for i := 0; i < cfg.Hosts; i++ {
 		kind := hv.KindXen

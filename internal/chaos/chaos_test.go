@@ -10,7 +10,7 @@ import (
 // soakConfig is the shared short-soak shape: enough ops to hit every op
 // kind and plenty of injected faults, small enough for tier-1.
 func soakConfig() Config {
-	return Config{Seed: 20210426, Ops: 80, Hosts: 4, VMs: 6, FaultRate: 0.15}
+	return Config{Seed: 20210426, Ops: 110, Hosts: 4, VMs: 6, FaultRate: 0.15}
 }
 
 // TestChaosSoakShort is the tier-1 soak: a randomized scenario under
@@ -36,11 +36,49 @@ func TestChaosSoakShort(t *testing.T) {
 	for _, op := range res.Ops {
 		kinds[op.Kind] = true
 	}
-	for _, k := range []string{OpWorkload, OpMigrate, OpUpgrade, OpRespond, OpRespondFleet, OpQuarantine, OpReturn, OpLinkDown, OpLinkUp, OpSweep} {
+	for _, k := range []string{OpWorkload, OpMigrate, OpUpgrade, OpRespond, OpRespondFleet, OpQuarantine, OpReturn, OpLinkDown, OpLinkUp, OpSweep, OpWarmPoolRefill} {
 		if !kinds[k] {
 			t.Errorf("generated stream never produced op kind %q", k)
 		}
 	}
+}
+
+// TestChaosSoakCached: the same soak with the transplant cache and warm
+// pool enabled must hold every invariant — caching shares page-level
+// state between transplants, so this is the auditor's check that shared
+// cache entries never leak frames or corrupt guest memory — and stay
+// deterministic across worker counts.
+func TestChaosSoakCached(t *testing.T) {
+	defer par.SetWorkers(0)
+	cfg := soakConfig()
+	cfg.Cache = true
+	var traces [][]string
+	var stats []string
+	for _, w := range []int{1, 8} {
+		par.SetWorkers(w)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failure != nil {
+			t.Fatalf("invariant violated with caching enabled:\n%s", res.Summary())
+		}
+		if res.Executed != cfg.Ops {
+			t.Fatalf("executed %d of %d ops", res.Executed, cfg.Ops)
+		}
+		if res.CacheStats.Hits+res.CacheStats.Misses == 0 {
+			t.Fatal("cached soak never consulted the cache")
+		}
+		traces = append(traces, res.Trace)
+		stats = append(stats, res.CacheStats.String())
+	}
+	for j := range traces[0] {
+		if traces[1][j] != traces[0][j] {
+			t.Fatalf("cached trace line %d differs across worker counts:\n%s\nvs\n%s",
+				j, traces[0][j], traces[1][j])
+		}
+	}
+	t.Logf("cache stats: %s / %s", stats[0], stats[1])
 }
 
 // TestGenerateDeterministic: the op stream is a pure function of the

@@ -17,6 +17,14 @@ import (
 // its planted frame with.
 const deadVMID = 1 << 20
 
+// opts is the transplant configuration every op runs with: the paper's
+// defaults, plus the shared cache on cached soaks.
+func (h *harness) opts() core.Options {
+	o := core.DefaultOptions()
+	o.Cache = h.cache
+	return o
+}
+
 // step runs one op to quiescence: arm the op's fault plan, apply, drain
 // the event queue, detach the plan, reconcile losses, and apply the
 // deliberate breaker (if armed). Returns the deterministic trace line.
@@ -111,7 +119,7 @@ func (h *harness) apply(op *Op) (string, error) {
 		if node.Driver.HypervisorKind() == hv.KindKVM {
 			target = hv.KindXen
 		}
-		up, err := h.nova.HostLiveUpgrade(op.Host, target, core.DefaultOptions())
+		up, err := h.nova.HostLiveUpgrade(op.Host, target, h.opts())
 		if err != nil {
 			return "", err
 		}
@@ -145,7 +153,7 @@ func (h *harness) apply(op *Op) (string, error) {
 		return "fabric restored", nil
 
 	case OpRespond:
-		resp, err := h.nova.RespondToCVE(h.db, op.Target, []string{"xen", "kvm"}, core.DefaultOptions())
+		resp, err := h.nova.RespondToCVE(h.db, op.Target, []string{"xen", "kvm"}, h.opts())
 		if err != nil {
 			return "", err
 		}
@@ -159,7 +167,7 @@ func (h *harness) apply(op *Op) (string, error) {
 		// later OpRespond ops keep exercising the serial path.
 		limits := sched.Limits{MaxKexecs: 2, LinkStreams: 2}
 		h.nova.SetFleetLimits(&limits)
-		resp, err := h.nova.RespondToCVE(h.db, op.Target, []string{"xen", "kvm"}, core.DefaultOptions())
+		resp, err := h.nova.RespondToCVE(h.db, op.Target, []string{"xen", "kvm"}, h.opts())
 		h.nova.SetFleetLimits(nil)
 		if err != nil {
 			return "", err
@@ -167,6 +175,16 @@ func (h *harness) apply(op *Op) (string, error) {
 		h.lastRespond = op.Target
 		return fmt.Sprintf("fleet %s: upgraded %d, skipped %d, quarantined %d",
 			op.Target, len(resp.UpgradedNodes), len(resp.SkippedNodes), len(resp.QuarantinedNodes)), nil
+
+	case OpWarmPoolRefill:
+		if h.cache == nil {
+			return "skip: caching disabled", nil
+		}
+		staged, err := h.nova.WarmPoolRefill()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("warm pool +%d (%d staged)", staged, h.cache.WarmSlots()), nil
 
 	case OpSweep:
 		return h.sweep(op)

@@ -34,6 +34,10 @@ const (
 	// OpSweep runs the clock-less rolling-upgrade planner (the cluster
 	// package) as a self-contained consistency exercise.
 	OpSweep = "cluster-sweep"
+	// OpWarmPoolRefill tops up the transplant warm pool: pre-staged UISR
+	// translations later transplants consume as warm starts. A recorded
+	// skip when the run has caching disabled.
+	OpWarmPoolRefill = "warm-pool-refill"
 )
 
 // Op is one generated operation. The zero fields are omitted from
@@ -82,6 +86,8 @@ func Generate(cfg Config) []Op {
 			op = Op{Kind: OpRespond, Target: respondCVEs[rng.Intn(len(respondCVEs))]}
 		case w < 96:
 			op = Op{Kind: OpRespondFleet, Target: respondCVEs[rng.Intn(len(respondCVEs))]}
+		case w < 98:
+			op = Op{Kind: OpWarmPoolRefill}
 		default:
 			op = Op{Kind: OpSweep}
 		}

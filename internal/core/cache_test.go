@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hypertp/internal/fault"
+	"hypertp/internal/hv"
+	"hypertp/internal/hw"
+	"hypertp/internal/obs"
+	"hypertp/internal/par"
+	rpt "hypertp/internal/report"
+	"hypertp/internal/tpcache"
+)
+
+// pingPong runs n InPlace transplants alternating KVM↔Xen on one bench,
+// verifying guest checksums survive every hop, and returns the final
+// hypervisor plus the per-hop report strings.
+func pingPong(t *testing.T, b *bench, src hv.Hypervisor, n int, opts Options) (hv.Hypervisor, []string) {
+	t.Helper()
+	pre := checksumVMs(t, src.VMs())
+	reports := make([]string, 0, n)
+	cur := src
+	for hop := 0; hop < n; hop++ {
+		target := hv.KindKVM
+		if cur.Kind() == hv.KindKVM {
+			target = hv.KindXen
+		}
+		dst, rep, err := b.engine.InPlace(cur, target, opts)
+		if err != nil {
+			t.Fatalf("hop %d: %v", hop, err)
+		}
+		if got := checksumVMs(t, dst.VMs()); !reflect.DeepEqual(got, pre) {
+			t.Fatalf("hop %d: guest checksums diverged", hop)
+		}
+		// The cache counters are the one part of a report allowed to
+		// differ between cold and cached runs — zero them so the identity
+		// comparison covers everything else.
+		flat := *rep
+		flat.CacheHits, flat.CacheMisses, flat.CacheWarmStarts = 0, 0, 0
+		reports = append(reports, fmt.Sprintf("%+v", flat))
+		cur = dst
+	}
+	return cur, reports
+}
+
+// TestCacheConvergesToHits: the fingerprint chain must reach its fixed
+// point under steady-state ping-pong — after a few cycles every
+// translation lookup hits, so the warm benchmark's 10x claim rests on
+// real cache behavior, not on first-run misses forever.
+func TestCacheConvergesToHits(t *testing.T) {
+	b := newBench(t, hw.M1())
+	src := bootSmallVMs(t, b, hv.KindXen, 2)
+	opts := DefaultOptions()
+	opts.Cache = tpcache.New()
+
+	pingPong(t, b, src, 10, opts)
+
+	st := opts.Cache.Stats()
+	t.Logf("cache stats after 10 hops: %+v (hit ratio %.2f)", st, st.HitRatio())
+	if st.Hits == 0 {
+		t.Fatalf("no translation-cache hits after 10 ping-pong hops: %+v", st)
+	}
+	if st.Misses == 0 {
+		t.Fatalf("cold path never ran: %+v", st)
+	}
+	if st.Stale != 0 || st.WarmStarts != 0 {
+		t.Fatalf("unexpected stale/warm counters without faults or a warm pool: %+v", st)
+	}
+}
+
+// TestCachedTransplantByteIdentity is the determinism gate for the whole
+// cache subsystem: a cached run must be indistinguishable from a cold
+// run in everything the simulation can observe — reports, guest
+// checksums, span trees — at any worker count. Only wall-clock time and
+// the cache counters may differ.
+func TestCachedTransplantByteIdentity(t *testing.T) {
+	defer par.SetWorkers(0)
+	type run struct {
+		reports []string
+		sums    map[string]uint64
+		spans   map[string]int
+	}
+	grab := func(workers int, cached bool) run {
+		par.SetWorkers(workers)
+		b := newBench(t, hw.M1())
+		rec := obs.NewRecorder(b.clock)
+		b.engine.Obs = rec
+		src := bootSmallVMs(t, b, hv.KindXen, 2)
+		opts := DefaultOptions()
+		if cached {
+			opts.Cache = tpcache.New()
+		}
+		final, reports := pingPong(t, b, src, 8, opts)
+		if cached && opts.Cache.Stats().Hits == 0 {
+			t.Fatal("cached run never hit: identity check would be vacuous")
+		}
+		return run{reports, checksumVMs(t, final.VMs()), spanNames(rec)}
+	}
+	cold := grab(1, false)
+	for _, workers := range []int{1, 8} {
+		warm := grab(workers, true)
+		if !reflect.DeepEqual(cold.reports, warm.reports) {
+			t.Fatalf("-workers %d: cached reports differ from cold:\n%v\nvs\n%v",
+				workers, cold.reports, warm.reports)
+		}
+		if !reflect.DeepEqual(cold.sums, warm.sums) {
+			t.Fatalf("-workers %d: cached guest checksums differ from cold", workers)
+		}
+		if !reflect.DeepEqual(cold.spans, warm.spans) {
+			t.Fatalf("-workers %d: cached span tree differs from cold:\n%v\nvs\n%v",
+				workers, cold.spans, warm.spans)
+		}
+	}
+}
+
+// TestCacheStalePoisonFallback: fault injection at cache.stale poisons a
+// hit, and the engine must fall back to the cold path — absorbing the
+// fault, preserving every guest byte, and leaving the cache to self-heal
+// on the next cold store. A stale cache can cost time, never
+// correctness.
+func TestCacheStalePoisonFallback(t *testing.T) {
+	b := newBench(t, hw.M1())
+	src := bootSmallVMs(t, b, hv.KindXen, 2)
+	opts := DefaultOptions()
+	opts.Cache = tpcache.New()
+
+	// Prime until lookups hit, so the next hop is guaranteed to arm the
+	// cache.stale site.
+	cur := src
+	primed := false
+	for hop := 0; hop < 12; hop++ {
+		cur, _ = pingPong(t, b, cur, 1, opts)
+		if opts.Cache.Stats().Hits > 0 {
+			primed = true
+			break
+		}
+	}
+	if !primed {
+		t.Fatalf("cache never converged to a hit: %+v", opts.Cache.Stats())
+	}
+	pre := checksumVMs(t, cur.VMs())
+
+	target := hv.KindKVM
+	if cur.Kind() == hv.KindKVM {
+		target = hv.KindXen
+	}
+	plan := fault.NewPlan(1, 0).ForceAt(fault.SiteCacheStale, 1).SetClock(b.clock)
+	b.engine.Fault = plan
+	dst, rep, err := b.engine.InPlace(cur, target, opts)
+	if err != nil {
+		t.Fatalf("poisoned transplant failed outright: %v", err)
+	}
+	if rep.Outcome != rpt.OutcomeRecovered || rep.Faults < 1 {
+		t.Fatalf("outcome = %s faults = %d, want recovered with >=1 absorbed fault", rep.Outcome, rep.Faults)
+	}
+	if len(plan.Shots()) != 1 {
+		t.Fatalf("shots = %v, want exactly one cache.stale shot", plan.Shots())
+	}
+	if got := checksumVMs(t, dst.VMs()); !reflect.DeepEqual(got, pre) {
+		t.Fatal("guest checksums diverged across poisoned-cache fallback")
+	}
+	st := opts.Cache.Stats()
+	if st.Stale != 1 {
+		t.Fatalf("stale count = %d, want 1: %+v", st.Stale, st)
+	}
+
+	// Self-heal: with the fault disarmed, the cold store from the
+	// poisoned hop re-populated the entry, so hits resume.
+	b.engine.Fault = fault.NewPlan(1, 0).SetClock(b.clock)
+	preHits := st.Hits
+	if _, _ = pingPong(t, b, dst, 2, opts); opts.Cache.Stats().Hits <= preHits {
+		t.Fatalf("cache did not self-heal after poison: %+v", opts.Cache.Stats())
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"hypertp/internal/pram"
 	rpt "hypertp/internal/report"
 	"hypertp/internal/simtime"
+	"hypertp/internal/tpcache"
 	"hypertp/internal/trace"
 	"hypertp/internal/uisr"
 )
@@ -47,6 +48,13 @@ type Options struct {
 	// EarlyRestoration starts VM restoration as soon as KVM/Xen
 	// services are up rather than after full service settle.
 	EarlyRestoration bool
+	// Cache, when non-nil, memoizes repeat-transplant work: encoded
+	// UISR translation blobs (keyed by VM state fingerprint) and built
+	// PRAM metadata images. Caching only skips wall-clock compute — the
+	// virtual-time costs, reports, and every preserved byte are
+	// identical with or without it. The cache may be shared across
+	// engines (the fleet warm pool does).
+	Cache *tpcache.Cache
 }
 
 // DefaultOptions is the paper's optimized configuration.
@@ -109,6 +117,11 @@ type InPlaceReport struct {
 	Attempts int
 	// Faults is the number of injected faults absorbed.
 	Faults int
+	// CacheHits, CacheMisses, and CacheWarmStarts count the transplant
+	// cache lookups this operation made (all zero when caching is
+	// disabled). They describe the cache, not the transplant: every
+	// other field is byte-identical with caching on or off.
+	CacheHits, CacheMisses, CacheWarmStarts uint64
 }
 
 // Summary implements report.Report.
@@ -122,12 +135,15 @@ func (r *InPlaceReport) Summary() rpt.Summary {
 		attempts = 1
 	}
 	return rpt.Summary{
-		Kind:           "inplace",
-		Outcome:        out,
-		Attempts:       attempts,
-		Downtime:       r.Downtime,
-		VirtualElapsed: r.Total,
-		Faults:         r.Faults,
+		Kind:            "inplace",
+		Outcome:         out,
+		Attempts:        attempts,
+		Downtime:        r.Downtime,
+		VirtualElapsed:  r.Total,
+		Faults:          r.Faults,
+		CacheHits:       r.CacheHits,
+		CacheMisses:     r.CacheMisses,
+		CacheWarmStarts: r.CacheWarmStarts,
 	}
 }
 
@@ -339,7 +355,7 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 			}
 			costs = append(costs, c)
 		}
-		ps, err := pram.Build(e.Machine.Mem, files, pram.BuildOptions{SplitHugePages: !opts.HugePages})
+		ps, err := pram.Build(e.Machine.Mem, files, e.pramBuildOptions(opts))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -403,12 +419,47 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	// latency record.
 	encodeWall := mets.Histogram("uisr.encode_wall_ns", "ns", obs.ExpBuckets(1e3, 4, 12)).Volatile()
 	translateVirtual := mets.Histogram("tp.translate_virtual_s", "s", obs.ExpBuckets(1e-3, 2, 16))
+	// The cache (when configured) short-circuits SaveUISR+Encode for VMs
+	// whose state fingerprint maps to a cached blob. Virtual costs are
+	// charged identically either way; only the wall-clock compute is
+	// skipped, so the preserved bytes match the cold path exactly.
+	gen := e.Machine.Generation()
 	states := make([]*uisr.VMState, 0, len(vms))
+	missIdx := make([]int, 0, len(vms))
+	allBlobs := make([][]byte, len(vms))
+	blobHashes := make([]uint64, len(vms))
 	costs := make([]time.Duration, 0, len(vms))
-	for _, vm := range vms {
+	for i, vm := range vms {
 		if ferr := e.Fault.Fire(fault.SiteUISRTranslate); ferr != nil {
 			report.Faults++
 			return rollback(ferr)
+		}
+		gib := float64(vm.Config.MemBytes) / float64(hw.GiB)
+		c := cost.TranslatePerVM +
+			time.Duration(vm.Config.VCPUs)*cost.TranslatePerVCPU +
+			time.Duration(gib*float64(cost.TranslatePerGB))
+		costs = append(costs, c)
+		translateVirtual.Observe(c.Seconds())
+		if opts.Cache != nil {
+			if b, h, warm, ok := opts.Cache.LookupTranslation(src.Kind(), e.Machine, gen, vm.ID); ok {
+				if ferr := e.Fault.Fire(fault.SiteCacheStale); ferr != nil {
+					// Poisoned entry: discard it and fall back to the
+					// cold translate path. The fault is absorbed — a
+					// stale cache can cost time, never correctness.
+					opts.Cache.Invalidate(src.Kind(), e.Machine, gen, vm.ID)
+					report.Faults++
+					mets.Counter("tpcache.stale", "entries").Add(1)
+				} else {
+					allBlobs[i] = b
+					blobHashes[i] = h
+					report.CacheHits++
+					if warm {
+						report.CacheWarmStarts++
+						mets.Counter("tpcache.warm_starts", "vms").Add(1)
+					}
+					continue
+				}
+			}
 		}
 		st, err := src.SaveUISR(vm.ID)
 		if err != nil {
@@ -418,14 +469,9 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		// blob — Fig. 14 accounts the two overheads separately.
 		st.MemMap = nil
 		states = append(states, st)
-		gib := float64(vm.Config.MemBytes) / float64(hw.GiB)
-		c := cost.TranslatePerVM +
-			time.Duration(vm.Config.VCPUs)*cost.TranslatePerVCPU +
-			time.Duration(gib*float64(cost.TranslatePerGB))
-		costs = append(costs, c)
-		translateVirtual.Observe(c.Seconds())
+		missIdx = append(missIdx, i)
 	}
-	blobs, err := par.Map(states, func(_ int, st *uisr.VMState) ([]byte, error) {
+	encoded, err := par.Map(states, func(_ int, st *uisr.VMState) ([]byte, error) {
 		t0 := time.Now()
 		blob, err := uisr.Encode(st)
 		encodeWall.Observe(float64(time.Since(t0).Nanoseconds()))
@@ -434,13 +480,39 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	if err != nil {
 		return rollback(err)
 	}
+	for k, i := range missIdx {
+		allBlobs[i] = encoded[k]
+		if opts.Cache != nil {
+			blobHashes[i] = opts.Cache.StoreTranslation(src.Kind(), e.Machine, gen, vms[i].ID, encoded[k], false)
+		}
+	}
+	if opts.Cache != nil {
+		report.CacheMisses += uint64(len(missIdx))
+		mets.Counter("tpcache.hits", "lookups").Add(int64(len(vms) - len(missIdx)))
+		mets.Counter("tpcache.misses", "lookups").Add(int64(len(missIdx)))
+	}
 	saved := make([]savedVM, 0, len(vms))
 	blobFiles := make([]pram.File, 0, len(vms))
 	for i, vm := range vms {
-		blob := blobs[i]
-		frames, err := writeBlob(e.Machine.Mem, blob)
-		if err != nil {
-			return rollback(err)
+		blob := allBlobs[i]
+		// Re-land a cached blob at the frames it occupied last time, so
+		// the PRAM fileset — which embeds the blob extents — is
+		// byte-stable across repeat transplants and the snapshot replay
+		// can fire. Falls back to cursor allocation when the old frames
+		// are taken.
+		var frames []hw.MFN
+		if opts.Cache != nil {
+			frames = writeBlobAt(e.Machine.Mem, blob, opts.Cache.BlobFrames(e.Machine, blobHashes[i]))
+		}
+		if frames == nil {
+			var err error
+			frames, err = writeBlob(e.Machine.Mem, blob)
+			if err != nil {
+				return rollback(err)
+			}
+			if opts.Cache != nil {
+				opts.Cache.SetBlobFrames(e.Machine, blobHashes[i], frames)
+			}
 		}
 		blobFrames = append(blobFrames, frames)
 		saved = append(saved, savedVM{
@@ -465,7 +537,7 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	if relErr != nil {
 		return rollback(relErr)
 	}
-	ps, err = pram.Build(e.Machine.Mem, allFiles, pram.BuildOptions{SplitHugePages: !opts.HugePages})
+	ps, err = pram.Build(e.Machine.Mem, allFiles, e.pramBuildOptions(opts))
 	if err != nil {
 		return rollback(err)
 	}
@@ -659,6 +731,11 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 			break
 		}
 		s.res.NewID = newVM.ID
+		if opts.Cache != nil {
+			// Chain the fingerprint: the restored VM's platform state IS
+			// this blob, so its next save is predictable from it.
+			opts.Cache.RecordRestore(target, e.Machine, e.Machine.Generation(), newVM.ID, blobHashes[i])
+		}
 		e.Trace.Emit(trace.StepRestore, "%s restored as id %d", s.res.Name, newVM.ID)
 		if g := guests[s.res.Name]; g != nil {
 			if err := dst.AttachGuest(newVM.ID, g); err != nil {
@@ -720,6 +797,16 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	return dst, report, nil
 }
 
+// pramBuildOptions lowers engine options to PRAM build options, wiring
+// the machine's snapshot in when a transplant cache is configured.
+func (e *Engine) pramBuildOptions(opts Options) pram.BuildOptions {
+	bopts := pram.BuildOptions{SplitHugePages: !opts.HugePages}
+	if opts.Cache != nil {
+		bopts.Snapshot = opts.Cache.PRAMSnapshot(e.Machine)
+	}
+	return bopts
+}
+
 // elapsed aggregates per-VM phase costs according to the parallelization
 // option.
 func (e *Engine) elapsed(costs []time.Duration, parallel bool) time.Duration {
@@ -767,6 +854,51 @@ func blobFileName(fileName string) (string, bool) {
 }
 
 // writeBlob stores a length-prefixed blob into freshly allocated frames.
+// writeBlobAt re-materializes a blob at the exact frames it occupied on
+// a previous transplant, claiming them if they are all still free.
+// Returns nil when the placement is unknown, the wrong size, or any
+// frame is taken — the caller falls back to cursor allocation.
+func writeBlobAt(mem *hw.PhysMem, blob []byte, frames []hw.MFN) []hw.MFN {
+	total := 8 + len(blob)
+	if len(frames) != (total+hw.PageSize4K-1)/hw.PageSize4K {
+		return nil
+	}
+	var runs []hw.FrameRange
+	for _, f := range frames {
+		if n := len(runs); n > 0 && runs[n-1].Start+hw.MFN(runs[n-1].Count) == f {
+			runs[n-1].Count++
+			continue
+		}
+		runs = append(runs, hw.FrameRange{Start: f, Count: 1})
+	}
+	for i, r := range runs {
+		if err := mem.ClaimRange(r.Start, r.Count, hw.OwnerPRAM, -1); err != nil {
+			for _, u := range runs[:i] {
+				_ = mem.FreeRange(u.Start, u.Count)
+			}
+			return nil
+		}
+	}
+	buf := make([]byte, total)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(len(blob)) >> (8 * i))
+	}
+	copy(buf[8:], blob)
+	for i := 0; i < len(buf); i += hw.PageSize4K {
+		end := i + hw.PageSize4K
+		if end > len(buf) {
+			end = len(buf)
+		}
+		if err := mem.Write(frames[i/hw.PageSize4K], 0, buf[i:end]); err != nil {
+			for _, u := range runs {
+				_ = mem.FreeRange(u.Start, u.Count)
+			}
+			return nil
+		}
+	}
+	return frames
+}
+
 func writeBlob(mem *hw.PhysMem, blob []byte) ([]hw.MFN, error) {
 	total := 8 + len(blob)
 	n := (total + hw.PageSize4K - 1) / hw.PageSize4K

@@ -94,6 +94,10 @@ func TestRecoveryMatrix(t *testing.T) {
 		fault.SiteLinkAbort:   rpt.OutcomeCompleted,
 		fault.SiteLinkLoss:    rpt.OutcomeCompleted,
 		fault.SiteClusterHost: rpt.OutcomeCompleted,
+		// Armed only on a cache hit; without a primed cache the plan
+		// stays quiet. TestCacheStalePoisonFallback covers the armed
+		// case.
+		fault.SiteCacheStale: rpt.OutcomeCompleted,
 	}
 	for _, site := range fault.Sites() {
 		site := site

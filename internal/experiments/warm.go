@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hypertp/internal/core"
+	"hypertp/internal/hv"
+	"hypertp/internal/hw"
+	"hypertp/internal/par"
+	"hypertp/internal/tpcache"
+)
+
+// warmPoint is one primed grid point of the warm repeat-transplant
+// benchmark: a Figure 10 testbed whose transplant cache has reached its
+// fixed point, plus the hypervisor currently running on it.
+type warmPoint struct {
+	tb   *testbed
+	cur  hv.Hypervisor
+	opts core.Options
+}
+
+// hop transplants the point to the opposite hypervisor and returns the
+// report.
+func (p *warmPoint) hop() (*core.InPlaceReport, error) {
+	target := hv.KindKVM
+	if p.cur.Kind() == hv.KindKVM {
+		target = hv.KindXen
+	}
+	dst, rep, err := p.tb.engine.InPlace(p.cur, target, p.opts)
+	if err != nil {
+		return nil, err
+	}
+	p.cur = dst
+	return rep, nil
+}
+
+// Figure10WarmGrid is the warm twin of Figure10: the same 2-machine x
+// 3-dimension KVM<->Xen grid, but the testbeds persist across transplants
+// and each carries a transplant cache primed until every lookup hits. One
+// Hop is then the grid-wide repeat-transplant pass — the steady-state
+// cost a fleet pays once its caches are warm, with machine construction
+// and the cold first runs excluded.
+type Figure10WarmGrid struct {
+	points []*warmPoint
+}
+
+// primeHops bounds the ping-pong priming loop. The fingerprint chain
+// converges within a few KVM<->Xen cycles (see core's
+// TestCacheConvergesToHits); a point still missing after this many hops
+// means the cache is broken, and the constructor fails loudly rather
+// than hand the benchmark a half-cold grid.
+const primeHops = 16
+
+// NewFigure10WarmGrid builds and primes the grid. Each point ping-pongs
+// on its own testbed until one full KVM->Xen->KVM cycle completes with
+// zero cache misses, so every transplant a subsequent Hop runs is warm.
+func NewFigure10WarmGrid() (*Figure10WarmGrid, error) {
+	profiles := []*hw.Profile{hw.M1(), hw.M2()}
+	dims := []SweepDim{SweepVCPUs, SweepMemory, SweepVMs}
+	type job struct {
+		profile *hw.Profile
+		dim     SweepDim
+		x       int
+	}
+	var jobs []job
+	for _, p := range profiles {
+		for _, dim := range dims {
+			for _, x := range sweepValues[dim] {
+				jobs = append(jobs, job{p, dim, x})
+			}
+		}
+	}
+	points, err := par.Map(jobs, func(_ int, j job) (*warmPoint, error) {
+		n, vcpus, mem := 1, 1, GiBytes(1)
+		switch j.dim {
+		case SweepVCPUs:
+			vcpus = j.x
+		case SweepMemory:
+			mem = GiBytes(j.x)
+		case SweepVMs:
+			n = j.x
+		}
+		tb, err := newTestbed(j.profile, hv.KindKVM, n, vcpus, mem)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s x=%d: %w", j.profile.Name, j.dim, j.x, err)
+		}
+		opts := core.DefaultOptions()
+		opts.Cache = tpcache.New()
+		pt := &warmPoint{tb: tb, cur: tb.hyp, opts: opts}
+		for hop := 0; hop < primeHops; hop += 2 {
+			there, err := pt.hop()
+			if err != nil {
+				return nil, err
+			}
+			back, err := pt.hop()
+			if err != nil {
+				return nil, err
+			}
+			if there.CacheMisses == 0 && back.CacheMisses == 0 {
+				return pt, nil
+			}
+		}
+		return nil, fmt.Errorf("experiments: %s/%s x=%d never converged to cache hits after %d hops: %+v",
+			j.profile.Name, j.dim, j.x, primeHops, opts.Cache.Stats())
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure10WarmGrid{points: points}, nil
+}
+
+// Hop runs one warm transplant on every grid point (the direction
+// alternates on each call, KVM->Xen first) and returns the total cache
+// hits of the pass. Any miss is an error: the measured path must be
+// fully warm, or the benchmark would silently re-time the cold path.
+func (g *Figure10WarmGrid) Hop() (uint64, error) {
+	reps, err := par.Map(g.points, func(_ int, p *warmPoint) (*core.InPlaceReport, error) {
+		return p.hop()
+	})
+	if err != nil {
+		return 0, err
+	}
+	var hits uint64
+	for _, rep := range reps {
+		if rep.CacheMisses != 0 {
+			return 0, fmt.Errorf("experiments: warm grid hop missed the cache (%d misses)", rep.CacheMisses)
+		}
+		hits += rep.CacheHits
+	}
+	return hits, nil
+}

@@ -57,13 +57,17 @@ const (
 	// SiteClusterHost fails one host's in-place upgrade during a rolling
 	// cluster upgrade.
 	SiteClusterHost Site = "cluster.host"
+	// SiteCacheStale poisons a transplant-cache entry at lookup: the hit
+	// is discarded and the engine must fall back to the cold
+	// translate-and-encode path.
+	SiteCacheStale Site = "cache.stale"
 )
 
 // registry is the ordered universe of sites ParseSites accepts.
 var registry = []Site{
 	SiteKexecLoad, SitePRAMBuild, SiteUISRTranslate, SiteKexecHandover,
 	SiteHVBoot, SitePRAMParse, SiteUISRRestore, SiteLinkAbort,
-	SiteLinkLoss, SiteClusterHost,
+	SiteLinkLoss, SiteClusterHost, SiteCacheStale,
 }
 
 // Sites returns every registered injection site in registry order.

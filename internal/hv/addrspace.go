@@ -250,10 +250,8 @@ func (as *AddressSpace) CopyContentsTo(dst *AddressSpace) error {
 // Release frees every frame of the address space back to the machine.
 func (as *AddressSpace) Release() error {
 	for _, e := range as.extents {
-		for p := uint64(0); p < e.Pages(); p++ {
-			if err := as.mem.Free(hw.MFN(e.MFN + p)); err != nil {
-				return err
-			}
+		if err := as.mem.FreeRange(hw.MFN(e.MFN), e.Pages()); err != nil {
+			return err
 		}
 	}
 	as.extents = nil

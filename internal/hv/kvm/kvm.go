@@ -52,7 +52,7 @@ type KVM struct {
 	machine  *hw.Machine
 	procs    map[hv.VMID]*vmProc
 	nextID   hv.VMID
-	hvFrames []hw.MFN
+	hvRanges []hw.FrameRange
 	// runnable is the host scheduler's view of vCPU tasks: VM
 	// Management State, rebuilt after transplant.
 	runnable []hv.VMID
@@ -62,7 +62,7 @@ var _ hv.Hypervisor = (*KVM)(nil)
 
 // Boot instantiates the host Linux + KVM stack on the machine.
 func Boot(m *hw.Machine) (*KVM, error) {
-	frames, err := m.Mem.Alloc(HVResidentBytes/hw.PageSize4K, hw.OwnerHV, -1)
+	ranges, err := m.Mem.AllocRanges(HVResidentBytes/hw.PageSize4K, hw.OwnerHV, -1)
 	if err != nil {
 		return nil, fmt.Errorf("kvm: boot reservation: %w", err)
 	}
@@ -70,7 +70,7 @@ func Boot(m *hw.Machine) (*KVM, error) {
 		machine:  m,
 		procs:    make(map[hv.VMID]*vmProc),
 		nextID:   1,
-		hvFrames: frames,
+		hvRanges: ranges,
 	}, nil
 }
 

@@ -122,7 +122,7 @@ type NOVA struct {
 	machine  *hw.Machine
 	pds      map[hv.VMID]*protectionDomain
 	nextID   hv.VMID
-	hvFrames []hw.MFN
+	hvRanges []hw.FrameRange
 	order    []hv.VMID
 }
 
@@ -130,7 +130,7 @@ var _ hv.Hypervisor = (*NOVA)(nil)
 
 // Boot instantiates the microhypervisor on the machine.
 func Boot(m *hw.Machine) (*NOVA, error) {
-	frames, err := m.Mem.Alloc(HVResidentBytes/hw.PageSize4K, hw.OwnerHV, -1)
+	ranges, err := m.Mem.AllocRanges(HVResidentBytes/hw.PageSize4K, hw.OwnerHV, -1)
 	if err != nil {
 		return nil, fmt.Errorf("nova: boot reservation: %w", err)
 	}
@@ -138,7 +138,7 @@ func Boot(m *hw.Machine) (*NOVA, error) {
 		machine:  m,
 		pds:      make(map[hv.VMID]*protectionDomain),
 		nextID:   1,
-		hvFrames: frames,
+		hvRanges: ranges,
 	}, nil
 }
 

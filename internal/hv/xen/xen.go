@@ -47,7 +47,7 @@ type Xen struct {
 	machine  *hw.Machine
 	domains  map[hv.VMID]*domain
 	nextID   hv.VMID
-	hvFrames []hw.MFN
+	hvRanges []hw.FrameRange
 	// runq is the credit scheduler's run queue: VM Management State,
 	// rebuilt from VM_i State after transplant, never translated.
 	runq []hv.VMID
@@ -63,7 +63,7 @@ var _ hv.Hypervisor = (*Xen)(nil)
 // set. It must be called on a machine whose previous hypervisor state was
 // wiped (fresh boot or post-kexec).
 func Boot(m *hw.Machine) (*Xen, error) {
-	frames, err := m.Mem.Alloc(HVResidentBytes/hw.PageSize4K, hw.OwnerHV, -1)
+	ranges, err := m.Mem.AllocRanges(HVResidentBytes/hw.PageSize4K, hw.OwnerHV, -1)
 	if err != nil {
 		return nil, fmt.Errorf("xen: boot reservation: %w", err)
 	}
@@ -71,7 +71,7 @@ func Boot(m *hw.Machine) (*Xen, error) {
 		machine:  m,
 		domains:  make(map[hv.VMID]*domain),
 		nextID:   1, // dom0 is the host; guests start at domid 1
-		hvFrames: frames,
+		hvRanges: ranges,
 		gen:      m.Generation(),
 	}, nil
 }

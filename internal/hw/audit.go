@@ -1,6 +1,9 @@
 package hw
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Violation is one frame-ownership inconsistency found by AuditOwners.
 type Violation struct {
@@ -53,22 +56,11 @@ func (pm *PhysMem) AuditOwners(liveVMs map[int]bool) []Violation {
 		}
 	}
 
-	var allocated uint64
-	var byOwner [numOwners]uint64
-	for m := MFN(0); m < MFN(pm.totalFrames); m++ {
-		o := pm.owner[m]
-		byOwner[o]++
-		if o == OwnerFree {
-			if _, touched := pm.data[m]; touched {
-				add(Violation{Kind: "residue", MFN: m, Owner: o, VM: -1,
-					Detail: "free frame retains page contents"})
-			}
-			continue
-		}
-		allocated++
+	// Per-VM liveness check for one frame's effective tag.
+	checkVM := func(m MFN, o Owner, v int32) {
 		switch o {
 		case OwnerGuest, OwnerVMState, OwnerVMMgmt:
-			vm := int(pm.vm[m])
+			vm := int(v)
 			if vm < 0 {
 				add(Violation{Kind: "untagged-vm", MFN: m, Owner: o, VM: vm,
 					Detail: "per-VM owner without a VM id"})
@@ -77,6 +69,57 @@ func (pm *PhysMem) AuditOwners(liveVMs map[int]bool) []Violation {
 					Detail: "owned by a VM that is not live"})
 			}
 		}
+	}
+
+	var allocated uint64
+	var byOwner [numOwners]uint64
+	for c := range pm.uniform {
+		base, size := pm.chunkSpan(c)
+		if pm.uniform[c] {
+			// Uniform chunk: one summary check covers every frame; only a
+			// violating chunk pays the per-frame reporting loop.
+			o, v := pm.cOwner[c], pm.cVM[c]
+			byOwner[o] += size
+			if o == OwnerFree {
+				continue
+			}
+			allocated += size
+			bad := false
+			switch o {
+			case OwnerGuest, OwnerVMState, OwnerVMMgmt:
+				bad = v < 0 || !liveVMs[int(v)]
+			}
+			if bad {
+				for i := uint64(0); i < size; i++ {
+					checkVM(base+MFN(i), o, v)
+				}
+			}
+			continue
+		}
+		for i := uint64(0); i < size; i++ {
+			m := base + MFN(i)
+			o := pm.owner[m]
+			byOwner[o]++
+			if o == OwnerFree {
+				continue
+			}
+			allocated++
+			checkVM(m, o, pm.vm[m])
+		}
+	}
+	// Residue: page contents surviving under a free frame. Walked from
+	// the data map itself (not the chunk counters, which could be the
+	// very thing that drifted), sorted for deterministic output.
+	var residue []MFN
+	for m := range pm.data {
+		if o, _ := pm.frameState(m); o == OwnerFree {
+			residue = append(residue, m)
+		}
+	}
+	sort.Slice(residue, func(i, j int) bool { return residue[i] < residue[j] })
+	for _, m := range residue {
+		add(Violation{Kind: "residue", MFN: m, Owner: OwnerFree, VM: -1,
+			Detail: "free frame retains page contents"})
 	}
 	if allocated != pm.allocated {
 		add(Violation{Kind: "accounting", MFN: 0, Owner: OwnerFree, VM: -1,

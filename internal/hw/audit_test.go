@@ -63,7 +63,7 @@ func TestAuditResidue(t *testing.T) {
 	pm, live := auditMem(t)
 	// Plant contents under a free frame directly: the public API cannot
 	// produce this state — which is exactly what the audit is for.
-	pm.data[MFN(pm.totalFrames-1)] = make([]byte, PageSize4K)
+	pm.data[MFN(pm.totalFrames-1)] = &page{buf: make([]byte, PageSize4K), refs: 1}
 	vs := pm.AuditOwners(live)
 	if len(vs) != 1 || vs[0].Kind != "residue" {
 		t.Fatalf("violations = %v", vs)

@@ -474,3 +474,59 @@ func TestParallelElapsedVariedMatchesReference(t *testing.T) {
 		}
 	}
 }
+
+func TestClaimRange(t *testing.T) {
+	pm := NewPhysMem(4 * PageSize2M) // 4 chunks
+	// Claim spanning a partial first chunk, a whole middle chunk, and a
+	// partial third — exercises summary-granularity and exploded paths.
+	start, count := MFN(100), uint64(2*FramesPer2M)
+	if err := pm.ClaimRange(start, count, OwnerPRAM, -1); err != nil {
+		t.Fatal(err)
+	}
+	if pm.AllocatedFrames() != count {
+		t.Fatalf("AllocatedFrames = %d, want %d", pm.AllocatedFrames(), count)
+	}
+	for _, m := range []MFN{start, start + MFN(count) - 1, MFN(FramesPer2M)} {
+		if owner, _ := pm.OwnerOf(m); owner != OwnerPRAM {
+			t.Fatalf("frame %#x owner = %v, want pram", m, owner)
+		}
+	}
+	if owner, _ := pm.OwnerOf(start - 1); owner != OwnerFree {
+		t.Fatalf("frame before claim not free")
+	}
+	if owner, _ := pm.OwnerOf(start + MFN(count)); owner != OwnerFree {
+		t.Fatalf("frame after claim not free")
+	}
+	// Overlapping claim must fail atomically: nothing newly allocated.
+	if err := pm.ClaimRange(start+MFN(count)-1, 10, OwnerHV, -1); err == nil {
+		t.Fatal("overlapping claim succeeded")
+	}
+	if pm.AllocatedFrames() != count {
+		t.Fatalf("failed claim leaked frames: %d allocated", pm.AllocatedFrames())
+	}
+	// Out of bounds.
+	if err := pm.ClaimRange(MFN(4*FramesPer2M-1), 2, OwnerHV, -1); err == nil {
+		t.Fatal("out-of-bounds claim succeeded")
+	}
+	if errs := pm.AuditOwners(map[int]bool{}); len(errs) != 0 {
+		t.Fatalf("audit after claim: %v", errs)
+	}
+	// The claim must not move the cursor: a fresh allocation starts at
+	// frame 0, skipping to the first free frame.
+	got, err := pm.Alloc(1, OwnerHV, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatalf("cursor moved by claim: alloc landed at %#x, want 0", got[0])
+	}
+	if err := pm.FreeRange(start, count); err != nil {
+		t.Fatal(err)
+	}
+	if pm.AllocatedFrames() != 1 {
+		t.Fatalf("AllocatedFrames after free = %d, want 1", pm.AllocatedFrames())
+	}
+	if errs := pm.AuditOwners(map[int]bool{}); len(errs) != 0 {
+		t.Fatalf("audit after free: %v", errs)
+	}
+}

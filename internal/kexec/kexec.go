@@ -30,10 +30,12 @@ const (
 	NOVAImageBytes = 8 << 20  // microhypervisor + root task
 )
 
-// Image is a target-hypervisor kernel image preloaded into RAM.
+// Image is a target-hypervisor kernel image preloaded into RAM. Its
+// frames are tracked as coalesced ranges — the image is only ever held
+// whole and released whole, so per-frame bookkeeping would be waste.
 type Image struct {
 	Target hv.Kind
-	Frames []hw.MFN
+	Ranges []hw.FrameRange
 	Bytes  uint64
 	loaded bool
 }
@@ -52,17 +54,17 @@ func Load(m *hw.Machine, target hv.Kind) (*Image, error) {
 	default:
 		return nil, fmt.Errorf("kexec: unknown target kind %v", target)
 	}
-	frames, err := m.Mem.Alloc(int(size/hw.PageSize4K), hw.OwnerKexecImage, -1)
+	ranges, err := m.Mem.AllocRanges(int(size/hw.PageSize4K), hw.OwnerKexecImage, -1)
 	if err != nil {
 		return nil, fmt.Errorf("kexec: image load: %w", err)
 	}
 	// Stamp the first page so a post-reboot check can verify the image
 	// survived intact.
 	stamp := []byte("KEXEC-IMAGE:" + target.String())
-	if err := m.Mem.Write(frames[0], 0, stamp); err != nil {
+	if err := m.Mem.Write(ranges[0].Start, 0, stamp); err != nil {
 		return nil, err
 	}
-	return &Image{Target: target, Frames: frames, Bytes: size, loaded: true}, nil
+	return &Image{Target: target, Ranges: ranges, Bytes: size, loaded: true}, nil
 }
 
 // Unload releases a staged image without rebooting (an aborted
@@ -71,8 +73,8 @@ func (img *Image) Unload(m *hw.Machine) error {
 	if !img.loaded {
 		return fmt.Errorf("kexec: image not loaded")
 	}
-	for _, f := range img.Frames {
-		if err := m.Mem.Free(f); err != nil {
+	for _, r := range img.Ranges {
+		if err := m.Mem.FreeRange(r.Start, r.Count); err != nil {
 			return err
 		}
 	}
@@ -124,11 +126,9 @@ func Exec(m *hw.Machine, img *Image, pramPtr hw.MFN, preserve []hw.FrameRange) (
 		return nil, fmt.Errorf("kexec: target image not loaded")
 	}
 	// The image frames themselves survive: they are the new kernel.
-	keep := make([]hw.FrameRange, 0, len(preserve)+len(img.Frames))
+	keep := make([]hw.FrameRange, 0, len(preserve)+len(img.Ranges))
 	keep = append(keep, preserve...)
-	for _, f := range img.Frames {
-		keep = append(keep, hw.FrameRange{Start: f, Count: 1})
-	}
+	keep = append(keep, img.Ranges...)
 	keep = mergeRanges(keep)
 	var preserved uint64
 	for _, r := range keep {
@@ -138,8 +138,8 @@ func Exec(m *hw.Machine, img *Image, pramPtr hw.MFN, preserve []hw.FrameRange) (
 	wiped := m.MicroReboot(FormatCmdline(pramPtr), keep)
 	// The image frames become part of the running kernel: retag them as
 	// HV State so the next transplant's wipe reclaims them.
-	for _, f := range img.Frames {
-		if err := m.Mem.SetOwner(f, hw.OwnerHV, -1); err != nil {
+	for _, r := range img.Ranges {
+		if err := m.Mem.SetOwnerRange(r.Start, r.Count, hw.OwnerHV, -1); err != nil {
 			return nil, err
 		}
 	}

@@ -27,7 +27,7 @@ func TestLoadImage(t *testing.T) {
 	if counts[hw.OwnerKexecImage] != KVMImageBytes/hw.PageSize4K {
 		t.Fatalf("image frames = %d", counts[hw.OwnerKexecImage])
 	}
-	got, err := m.Mem.Read(img.Frames[0], 0, 15)
+	got, err := m.Mem.Read(img.Ranges[0].Start, 0, 15)
 	if err != nil || string(got) != "KEXEC-IMAGE:kvm" {
 		t.Fatalf("stamp = %q, %v", got, err)
 	}
@@ -161,7 +161,7 @@ func TestExecPreservationContract(t *testing.T) {
 		t.Fatal("PRAM content wrong after reboot")
 	}
 	// Image frames were retagged as HV state for the new kernel.
-	if owner, _ := m.Mem.OwnerOf(img.Frames[0]); owner != hw.OwnerHV {
+	if owner, _ := m.Mem.OwnerOf(img.Ranges[0].Start); owner != hw.OwnerHV {
 		t.Fatalf("image frame owner = %v after boot", owner)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
 	"hypertp/internal/slo"
+	"hypertp/internal/tpcache"
 )
 
 // ComputeDriver is the generic per-host driver interface (libvirt in the
@@ -161,6 +162,10 @@ type Nova struct {
 	// disclosure, per-host exposure, per-host remediation at kexec
 	// commit, and per-VM downtime (see SetSLO).
 	slo *slo.Tracker
+	// warmCache and warmSlots configure the transplant warm pool (see
+	// SetWarmPool and WarmPoolRefill).
+	warmCache *tpcache.Cache
+	warmSlots int
 }
 
 // ComputeNode is one managed host.

@@ -43,15 +43,25 @@ type FleetResponse struct {
 	Elapsed time.Duration
 }
 
-// Summary implements report.Report.
+// Summary implements report.Report. The cache counters aggregate over
+// the per-node upgrade reports.
 func (r *FleetResponse) Summary() report.Summary {
-	return report.Summary{
+	s := report.Summary{
 		Kind:           "fleet",
 		Outcome:        r.Outcome,
 		Attempts:       1,
 		VirtualElapsed: r.Elapsed,
 		Faults:         r.Faults,
 	}
+	for _, rec := range r.Records {
+		if rec.Report == nil {
+			continue
+		}
+		s.CacheHits += rec.Report.CacheHits
+		s.CacheMisses += rec.Report.CacheMisses
+		s.CacheWarmStarts += rec.Report.CacheWarmStarts
+	}
+	return s
 }
 
 // RespondToCVE is the paper's end-to-end scenario as a single operation:

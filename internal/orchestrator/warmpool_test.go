@@ -1,0 +1,152 @@
+package orchestrator
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hypertp/internal/core"
+	"hypertp/internal/hv"
+	"hypertp/internal/sched"
+	"hypertp/internal/tpcache"
+	"hypertp/internal/vulndb"
+)
+
+// TestWarmPoolRefillAndRespond: pre-staging fills the pool with warm
+// translation entries at zero virtual cost, the next fleet response
+// consumes them as warm starts, and the response is byte-identical to
+// the one an un-warmed fleet produces.
+func TestWarmPoolRefillAndRespond(t *testing.T) {
+	respond := func(warm bool) (*FleetResponse, tpcache.Stats) {
+		c := newCloud(t, 2, hv.KindXen)
+		for i := 0; i < 4; i++ {
+			if _, err := c.nova.BootVM(vmCfg("t"+string(rune('0'+i)), true)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cache := tpcache.New()
+		opts := core.DefaultOptions()
+		opts.Cache = cache
+		if warm {
+			c.nova.SetWarmPool(cache, 8)
+			before := c.clock.Now()
+			staged, err := c.nova.WarmPoolRefill()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if staged != 4 {
+				t.Fatalf("staged %d entries, want 4", staged)
+			}
+			if c.clock.Now() != before {
+				t.Fatal("warm pool refill charged virtual time")
+			}
+			if cache.WarmSlots() != 4 {
+				t.Fatalf("WarmSlots = %d, want 4", cache.WarmSlots())
+			}
+			// Refilling a full pool stages nothing.
+			if again, err := c.nova.WarmPoolRefill(); err != nil || again != 0 {
+				t.Fatalf("refill of full pool: staged %d, err %v", again, err)
+			}
+			for _, vm := range allVMs(c.nova) {
+				if vm.Paused() {
+					t.Fatalf("VM %q left paused by pre-staging", vm.Config.Name)
+				}
+			}
+		}
+		resp, err := c.nova.RespondToCVE(vulndb.Load(), "CVE-2016-6258", []string{"xen", "kvm"}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, cache.Stats()
+	}
+
+	warmResp, warmStats := respond(true)
+	coldResp, _ := respond(false)
+
+	if warmStats.WarmStarts != 4 {
+		t.Fatalf("warm starts = %d, want 4: %+v", warmStats.WarmStarts, warmStats)
+	}
+	if warmStats.WarmSlots != 0 {
+		t.Fatalf("pool not drained: %+v", warmStats)
+	}
+	// The response itself must not betray the cache: same outcome, same
+	// virtual timings, same per-node reports. Records hold pointers, so
+	// flatten them before comparing.
+	flat := func(r *FleetResponse) string {
+		cp := *r
+		cp.Records = nil
+		out := fmt.Sprintf("%+v", cp)
+		for _, rec := range r.Records {
+			rcp := *rec
+			rcp.Report = nil
+			out += fmt.Sprintf("\n%+v", rcp)
+			if rec.Report != nil {
+				// The cache counters are the one report difference warm
+				// starts are allowed to make.
+				rr := *rec.Report
+				rr.CacheHits, rr.CacheMisses, rr.CacheWarmStarts = 0, 0, 0
+				out += fmt.Sprintf(" %+v", rr)
+			}
+		}
+		return out
+	}
+	if a, b := flat(warmResp), flat(coldResp); a != b {
+		t.Fatalf("warm and cold fleet responses differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestWarmPoolSpareSlotThrottle: with fleet limits attached, one refill
+// pass stages at most SpareSlots entries — the pool shares the spare
+// capacity knob with evacuations — and repeated passes finish the job.
+func TestWarmPoolSpareSlotThrottle(t *testing.T) {
+	c := newCloud(t, 2, hv.KindXen)
+	for i := 0; i < 4; i++ {
+		if _, err := c.nova.BootVM(vmCfg("t"+string(rune('0'+i)), true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache := tpcache.New()
+	c.nova.SetWarmPool(cache, 4)
+	c.nova.SetFleetLimits(&sched.Limits{MaxKexecs: 1, SpareSlots: 1})
+	for pass := 1; pass <= 4; pass++ {
+		staged, err := c.nova.WarmPoolRefill()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if staged != 1 {
+			t.Fatalf("pass %d staged %d, want 1 (SpareSlots throttle)", pass, staged)
+		}
+		if got := cache.WarmSlots(); got != pass {
+			t.Fatalf("pass %d: WarmSlots = %d, want %d", pass, got, pass)
+		}
+	}
+	if staged, err := c.nova.WarmPoolRefill(); err != nil || staged != 0 {
+		t.Fatalf("full pool: staged %d, err %v", staged, err)
+	}
+}
+
+// TestWarmPoolErrors: refill without a pool is an error; a pool with no
+// eligible VMs stages zero.
+func TestWarmPoolErrors(t *testing.T) {
+	c := newCloud(t, 1, hv.KindXen)
+	if _, err := c.nova.WarmPoolRefill(); err == nil {
+		t.Fatal("refill without a configured pool succeeded")
+	}
+	cache := tpcache.New()
+	c.nova.SetWarmPool(cache, 4)
+	staged, err := c.nova.WarmPoolRefill()
+	if err != nil || staged != 0 {
+		t.Fatalf("empty fleet: staged %d, err %v", staged, err)
+	}
+	// Incompatible VMs are not staged.
+	if _, err := c.nova.BootVM(vmCfg("legacy", false)); err != nil {
+		t.Fatal(err)
+	}
+	staged, err = c.nova.WarmPoolRefill()
+	if err != nil || staged != 0 {
+		t.Fatalf("incompatible VM staged: %d, err %v", staged, err)
+	}
+	if !reflect.DeepEqual(cache.Stats(), tpcache.Stats{}) {
+		t.Fatalf("stats touched: %+v", cache.Stats())
+	}
+}

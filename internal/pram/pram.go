@@ -128,6 +128,8 @@ type Structure struct {
 	MetaFrames []hw.MFN
 	// Files are the recorded VM images.
 	Files []File
+	// ranges memoizes FrameRanges; populated by snapshot replay/capture.
+	ranges []hw.FrameRange
 }
 
 // MetadataBytes returns the PRAM structure's own memory footprint — the
@@ -139,6 +141,9 @@ func (s *Structure) MetadataBytes() uint64 {
 // FrameRanges returns the frame runs that must survive the micro-reboot:
 // the metadata pages and every guest frame the entries reference.
 func (s *Structure) FrameRanges() []hw.FrameRange {
+	if s.ranges != nil {
+		return s.ranges
+	}
 	var out []hw.FrameRange
 	for _, m := range s.MetaFrames {
 		out = append(out, hw.FrameRange{Start: m, Count: 1})
@@ -158,6 +163,11 @@ type BuildOptions struct {
 	// are recorded as 512 individual 4 KiB entries. Used by the
 	// ablation experiments; costs ~512x metadata and parse time.
 	SplitHugePages bool
+	// Snapshot, when non-nil, memoizes the built structure per fileset:
+	// a repeat build of an identical fileset that lands on the same
+	// frames replays the cached metadata pages instead of re-serializing
+	// them. The result is byte-identical to a cold build.
+	Snapshot *Snapshot
 }
 
 // Build serializes the memory maps of the given files into a PRAM
@@ -171,6 +181,13 @@ type BuildOptions struct {
 func Build(mem *hw.PhysMem, files []File, opts BuildOptions) (*Structure, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("pram: no files to record")
+	}
+	var snapKey uint64
+	if opts.Snapshot != nil {
+		snapKey = filesKey(files, opts.SplitHugePages)
+		if st, ok := opts.Snapshot.tryReplay(mem, files, snapKey); ok {
+			return st, nil
+		}
 	}
 	s := &Structure{}
 	alloc := func() (hw.MFN, error) {
@@ -263,6 +280,9 @@ func Build(mem *hw.PhysMem, files []File, opts BuildOptions) (*Structure, error)
 	}
 	s.Pointer = roots[0]
 	s.Files = files
+	if opts.Snapshot != nil {
+		opts.Snapshot.capture(mem, s, snapKey)
+	}
 	return s, nil
 }
 
@@ -367,8 +387,8 @@ func Parse(mem *hw.PhysMem, pointer hw.MFN) (*Structure, error) {
 // Release frees all metadata frames: step ❼ of Fig. 3, returning the
 // ephemeral memory after resume.
 func (s *Structure) Release(mem *hw.PhysMem) error {
-	for _, m := range s.MetaFrames {
-		if err := mem.Free(m); err != nil {
+	for _, r := range frameRuns(s.MetaFrames) {
+		if err := mem.FreeRange(r.Start, r.Count); err != nil {
 			return err
 		}
 	}

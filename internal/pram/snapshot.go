@@ -1,0 +1,171 @@
+package pram
+
+import (
+	"sync"
+
+	"hypertp/internal/hw"
+	"hypertp/internal/par"
+)
+
+// Snapshot memoizes built PRAM structures for repeat transplants of the
+// same host. A structure's metadata pages are a pure function of the
+// fileset (names, VM ids, extents) and the frames the builder was
+// handed, so when the same fileset comes back — the steady state of a
+// fleet ping-ponging between two hypervisor kinds — and the allocator
+// hands back the same frames, the cached page images can be written
+// directly, skipping layout and serialization. If the frames differ the
+// replay is abandoned and the cold builder runs; the result is
+// byte-identical either way.
+//
+// Snapshots only skip wall-clock work. Virtual-time PRAM costs are
+// charged by the engine from the cost model and are identical with or
+// without a snapshot.
+type Snapshot struct {
+	mu      sync.Mutex
+	entries map[uint64]*snapEntry
+	order   []uint64 // insertion order, for bounded eviction
+	hits    uint64
+	misses  uint64
+}
+
+type snapEntry struct {
+	metaFrames []hw.MFN
+	pointer    hw.MFN
+	images     [][]byte
+	ranges     []hw.FrameRange
+}
+
+// maxSnapshotEntries bounds one machine's cached structures: a host in
+// steady state cycles between two filesets (memory maps only, then
+// memory maps + UISR blobs, per direction).
+const maxSnapshotEntries = 8
+
+// NewSnapshot creates an empty PRAM build snapshot.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{entries: make(map[uint64]*snapEntry)}
+}
+
+// Stats reports how many Build calls replayed a cached structure vs
+// built cold.
+func (s *Snapshot) Stats() (hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// filesKey fingerprints a fileset (plus the layout-changing option) for
+// snapshot lookup. A 64-bit mix over every field that reaches the
+// serialized pages.
+func filesKey(files []File, split bool) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	mix := func(v uint64) {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 12) + (h >> 4)
+		h *= 0xff51afd7ed558ccd
+	}
+	if split {
+		mix(1)
+	}
+	mix(uint64(len(files)))
+	for i := range files {
+		f := &files[i]
+		mix(uint64(len(f.Name)))
+		for j := 0; j < len(f.Name); j++ {
+			mix(uint64(f.Name[j]))
+		}
+		mix(uint64(f.VMID))
+		mix(uint64(len(f.Extents)))
+		for _, e := range f.Extents {
+			mix(e.GFN)
+			mix(e.MFN)
+			mix(uint64(e.Order))
+		}
+	}
+	return h
+}
+
+// tryReplay attempts to satisfy a Build from the snapshot by claiming
+// the exact frames the cached build occupied — the structure pages were
+// released after the last handover, so in steady state they are free
+// again even though the bump cursor has long moved past them. It returns
+// (structure, true) on success; (nil, false) falls back to the cold
+// builder. If any cached frame is occupied the claim is undone and the
+// replay reported as a miss — the cached images embed these frames'
+// addresses, so they cannot be relocated.
+func (s *Snapshot) tryReplay(mem *hw.PhysMem, files []File, key uint64) (*Structure, bool) {
+	s.mu.Lock()
+	e := s.entries[key]
+	if e == nil {
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Unlock()
+	runs := frameRuns(e.metaFrames)
+	for i, r := range runs {
+		if err := mem.ClaimRange(r.Start, r.Count, hw.OwnerPRAM, -1); err != nil {
+			for _, u := range runs[:i] {
+				_ = mem.FreeRange(u.Start, u.Count)
+			}
+			s.mu.Lock()
+			s.misses++
+			s.mu.Unlock()
+			return nil, false
+		}
+	}
+	if err := par.ForEach(len(e.metaFrames), func(i int) error {
+		return mem.Write(e.metaFrames[i], 0, e.images[i])
+	}); err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	return &Structure{
+		Pointer:    e.pointer,
+		MetaFrames: append([]hw.MFN(nil), e.metaFrames...),
+		Files:      files,
+		ranges:     e.ranges,
+	}, true
+}
+
+// capture records a cold build's result: the metadata page images are
+// read back from memory (they were just written, so this is the exact
+// byte content a replay will reproduce) along with the preserve ranges.
+func (s *Snapshot) capture(mem *hw.PhysMem, st *Structure, key uint64) {
+	e := &snapEntry{
+		metaFrames: append([]hw.MFN(nil), st.MetaFrames...),
+		pointer:    st.Pointer,
+		images:     make([][]byte, len(st.MetaFrames)),
+		ranges:     st.FrameRanges(),
+	}
+	for i, m := range st.MetaFrames {
+		buf := make([]byte, hw.PageSize4K)
+		if err := mem.ReadInto(m, 0, buf); err != nil {
+			return
+		}
+		e.images[i] = buf
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.entries[key]; !exists {
+		s.order = append(s.order, key)
+		if len(s.order) > maxSnapshotEntries {
+			delete(s.entries, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.entries[key] = e
+}
+
+// frameRuns coalesces an ordered frame list into contiguous runs.
+func frameRuns(frames []hw.MFN) []hw.FrameRange {
+	var out []hw.FrameRange
+	for _, f := range frames {
+		if n := len(out); n > 0 && out[n-1].Start+hw.MFN(out[n-1].Count) == f {
+			out[n-1].Count++
+			continue
+		}
+		out = append(out, hw.FrameRange{Start: f, Count: 1})
+	}
+	return out
+}

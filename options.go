@@ -63,6 +63,22 @@ type Config struct {
 	HugePages          bool
 	EarlyRestoration   bool
 
+	// TranslationCache enables the simulation-wide transplant cache:
+	// repeat transplants reuse encoded UISR translations and replay
+	// PRAM builds instead of recomputing them. Caching is deterministic
+	// — reports, guest checksums, and span trees are byte-identical to
+	// the cold path; only wall-clock time and the cache counters (see
+	// Summary and Simulation.CacheStats) change. On by default.
+	TranslationCache bool
+	// WarmPool is the number of pre-staged translation entries the
+	// fleet layer keeps ready (see tpctl -warm-pool and clustersim
+	// -fleet -warm-pool); 0 disables pre-staging.
+	WarmPool int
+	// PageDedup enables content-hash page dedup in physical memory:
+	// writes producing a page byte-identical to an already-interned one
+	// share the backing store. Off by default.
+	PageDedup bool
+
 	// Fleet execution model (§5.4). See cluster.ExecutionModel.
 	LinkByteRate         int64
 	PerMigrationOverhead time.Duration
@@ -99,6 +115,7 @@ func Default() Config {
 		Parallel:             o.Parallel,
 		HugePages:            o.HugePages,
 		EarlyRestoration:     o.EarlyRestoration,
+		TranslationCache:     true,
 		LinkByteRate:         m.LinkByteRate,
 		PerMigrationOverhead: m.PerMigrationOverhead,
 		InPlaceHostTime:      m.InPlaceHostTime,
@@ -150,6 +167,24 @@ func WithForcedFault(site FaultSite, occurrence int) Option {
 // WithRetry overrides the recovery policy.
 func WithRetry(policy RetryPolicy) Option {
 	return func(c *Config) { c.Retry = policy }
+}
+
+// WithTranslationCache enables or disables the transplant cache. Pass
+// false to force every transplant down the cold path (the benchmark
+// baseline configuration).
+func WithTranslationCache(on bool) Option {
+	return func(c *Config) { c.TranslationCache = on }
+}
+
+// WithWarmPool sets the number of pre-staged warm translation entries
+// the fleet layer keeps ready.
+func WithWarmPool(n int) Option {
+	return func(c *Config) { c.WarmPool = n }
+}
+
+// WithPageDedup enables or disables content-hash page dedup.
+func WithPageDedup(on bool) Option {
+	return func(c *Config) { c.PageDedup = on }
 }
 
 // engineOptions lowers the config to the internal InPlaceTP toggles.
