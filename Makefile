@@ -5,7 +5,8 @@ FUZZ_PKGS = ./internal/uisr/ ./internal/hv/xen/ ./internal/hv/kvm/ \
 	./internal/migration/ ./internal/checkpoint/ ./internal/pram/
 
 .PHONY: all build vet fmt-check test race check bench benchdiff benchfig \
-	trace-demo slo-demo fault-matrix soak soak-short race-check fuzz-seeds
+	trace-demo slo-demo fault-matrix crash-matrix soak crash-storm \
+	soak-short race-check fuzz-seeds
 
 all: check
 
@@ -64,6 +65,16 @@ fault-matrix:
 		-run 'TestRecoveryMatrix|TestFaultDeterminismAcrossWorkers' \
 		./internal/core/
 
+# crash-matrix is fault-matrix's reactive-recovery counterpart: the
+# emergency-transplant paths (spontaneous fail-stop, hang fencing, the
+# mid-transplant double fault and its driver self-heal), the
+# crash-storm scheduled recovery, and their determinism across
+# worker-pool sizes — all under the race detector.
+crash-matrix:
+	$(GO) test -race -count=1 \
+		-run 'TestEmergency|TestDetect|TestDetector|TestCrashAndRecoverHost|TestHangIsFencedAndRecovered|TestRecoverEmptyDownedHost|TestHostLiveUpgradeSelfHealsDoubleFault|TestRecoverHostFrozenIsRetryable|TestCrashStorm' \
+		./internal/core/ ./internal/orchestrator/ ./internal/reactive/
+
 # soak runs a long randomized chaos scenario: 500 fleet operations under
 # fault injection with every global invariant audited after each step,
 # on the bounded-memory streaming observability pipeline (-stream). On a
@@ -72,6 +83,13 @@ fault-matrix:
 # chaos-flight.jsonl).
 soak:
 	$(GO) run ./cmd/chaoscheck -seed 1 -ops 500 -fault-rate 0.15 -stream
+
+# crash-storm is the soak with the reactive-recovery op vocabulary
+# enabled: hypervisor fail-stops, hangs, fleet-wide crash storms and
+# mid-transplant double faults, every recovery audited for frame
+# ownership, guest checksums and Nova bookkeeping.
+crash-storm:
+	$(GO) run ./cmd/chaoscheck -seed 1 -ops 500 -fault-rate 0.15 -stream -crash
 
 # race-check fails fast, with a readable message, when the toolchain
 # cannot run `go test -race` (no CGO, or an unsupported platform) —

@@ -12,6 +12,14 @@
 //	chaoscheck -replay fail.json
 //	chaoscheck -seed 1 -ops 200 -break leak-frame     # auditor self-test
 //	chaoscheck -seed 1 -ops 500 -stream -flight-cap 256
+//	chaoscheck -seed 1 -ops 500 -crash                # crash-storm soak
+//
+// -crash grows the op vocabulary with the reactive-recovery kinds:
+// single-host fail-stops and hangs (recovered by an emergency
+// transplant to the other hypervisor), fleet-wide crash storms swept by
+// the scheduled recovery, and mid-transplant double faults that must
+// ride the driver's self-heal. The auditor proves frame ownership,
+// guest memory checksums and Nova bookkeeping survive every recovery.
 //
 // -stream runs the soak on the bounded-memory streaming pipeline: span
 // trees are released as they end and the last -flight-cap of them are
@@ -46,6 +54,7 @@ func main() {
 		hosts     = flag.Int("hosts", 4, "fleet size (hosts alternate xen/kvm)")
 		vms       = flag.Int("vms", 6, "tenant VMs booted before the first op")
 		faultRate = flag.Float64("fault-rate", 0.15, "per-site fault probability for ops carrying a plan")
+		crash     = flag.Bool("crash", false, "grow the op vocabulary with hypervisor crashes, hangs, crash storms and mid-transplant double faults (reactive recovery)")
 		opBudget  = flag.Duration("op-budget", chaos.DefaultOpBudget, "virtual-time watchdog budget per operation")
 		breaker   = flag.String("break", "", "arm a deliberate invariant breaker: leak-frame or corrupt-memory")
 		noShrink  = flag.Bool("no-shrink", false, "skip shrinking on violation (report the raw failure)")
@@ -63,7 +72,7 @@ func main() {
 		Config: chaos.Config{
 			Seed: *seed, Ops: *ops, Hosts: *hosts, VMs: *vms,
 			FaultRate: *faultRate, OpBudget: *opBudget, Break: *breaker,
-			Stream: *stream, FlightCap: *flightCap,
+			Stream: *stream, FlightCap: *flightCap, Crash: *crash,
 		},
 		Shrink: !*noShrink, BundleOut: *bundleOut, Replay: *replay,
 		ArtifactDir: *artDir, Verbose: *verbose,

@@ -12,6 +12,7 @@ import (
 	"hypertp/internal/metrics"
 	"hypertp/internal/obs"
 	"hypertp/internal/orchestrator"
+	"hypertp/internal/reactive"
 	"hypertp/internal/sched"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
@@ -60,10 +61,46 @@ func buildFleet(hosts, vms int) (*orchestrator.Nova, error) {
 // final VM placement, and the SLO tracker fed by the orchestrator.
 type fleetRun struct {
 	resp      *orchestrator.FleetResponse
+	storm     *orchestrator.StormResponse
 	placement []string
 	slo       *slo.Tracker
 	rec       *obs.Recorder
 	now       time.Duration
+}
+
+// crashFleet fail-stops every step-th host (crashRate of the fleet,
+// staggered 37ms apart so the detector sees distinct crash times) and
+// recovers the lot through the scheduled emergency path under the same
+// capacity limits the response will run with. A host left frozen or
+// lost afterwards is an unrecovered crash: surfaced as the crash error
+// class, which exits with status 2.
+func crashFleet(nova *orchestrator.Nova, hosts int, crashRate float64) (*orchestrator.StormResponse, error) {
+	count := int(crashRate*float64(hosts) + 0.5)
+	if count < 1 {
+		count = 1
+	}
+	if count > hosts {
+		count = hosts
+	}
+	nova.SetDetector(reactive.NewDetector(reactive.ProbeConfig{Seed: 42}))
+	clock := nova.Clock()
+	for i := 0; i < count; i++ {
+		clock.Advance(37 * time.Millisecond)
+		name := fmt.Sprintf("host-%03d", i*hosts/count)
+		if _, err := nova.CrashHost(name, "injected fail-stop"); err != nil {
+			return nil, err
+		}
+	}
+	storm, err := nova.RecoverFleet(core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	if n := len(storm.FrozenNodes) + len(storm.LostNodes); n > 0 {
+		return storm, hterr.HypervisorCrashed(fmt.Errorf(
+			"clustersim: %d of %d crashed hosts not recovered (frozen %v, lost %v)",
+			n, len(storm.DownHosts), storm.FrozenNodes, storm.LostNodes))
+	}
+	return storm, nil
 }
 
 // cacheConfig is the -fleet transplant-cache shape: -warm-pool /
@@ -77,7 +114,7 @@ type cacheConfig struct {
 // given limits, with vulnerability-window SLO tracking attached. With
 // caching on, the warm pool is refilled before the response starts —
 // pre-staging happens outside the vulnerability window.
-func respondOnce(hosts, vms int, limits sched.Limits, cc cacheConfig) (*fleetRun, error) {
+func respondOnce(hosts, vms int, limits sched.Limits, cc cacheConfig, crashRate float64) (*fleetRun, error) {
 	nova, err := buildFleet(hosts, vms)
 	if err != nil {
 		return nil, err
@@ -88,6 +125,16 @@ func respondOnce(hosts, vms int, limits sched.Limits, cc cacheConfig) (*fleetRun
 	tracker := slo.NewTracker()
 	tracker.SetRegistry(rec.Metrics())
 	nova.SetSLO(tracker)
+	var storm *orchestrator.StormResponse
+	if crashRate > 0 {
+		// The crash storm lands before the disclosure: the response then
+		// finds the recovered hosts already on the safe hypervisor.
+		nova.SetFleetLimits(&limits)
+		storm, err = crashFleet(nova, hosts, crashRate)
+		if err != nil {
+			return nil, err
+		}
+	}
 	opts := core.DefaultOptions()
 	if !cc.NoCache {
 		cache := tpcache.New()
@@ -106,7 +153,7 @@ func respondOnce(hosts, vms int, limits sched.Limits, cc cacheConfig) (*fleetRun
 	if err != nil {
 		return nil, err
 	}
-	run := &fleetRun{resp: resp, slo: tracker, rec: rec, now: clock.Now()}
+	run := &fleetRun{resp: resp, storm: storm, slo: tracker, rec: rec, now: clock.Now()}
 	for _, rec := range nova.Records() {
 		run.placement = append(run.placement, fmt.Sprintf("%s@%s:%v", rec.Name, rec.Node, rec.Kind))
 	}
@@ -121,18 +168,18 @@ func respondOnce(hosts, vms int, limits sched.Limits, cc cacheConfig) (*fleetRun
 // between the two runs (same planner, different timeline); a divergence
 // is an invariant violation and exits non-zero. The whole report is
 // byte-identical for any -workers count.
-func runFleet(w io.Writer, hosts, vms int, sc schedConfig, ec exportConfig, cc cacheConfig) error {
+func runFleet(w io.Writer, hosts, vms int, sc schedConfig, ec exportConfig, cc cacheConfig, crashRate float64) error {
 	defer sc.apply()()
 	limits := sc.limits()
 	if !sc.enabled() {
 		limits = sched.Limits{MaxKexecs: 4, LinkStreams: 4}
 	}
 
-	serial, err := respondOnce(hosts, vms, sched.Serial(), cc)
+	serial, err := respondOnce(hosts, vms, sched.Serial(), cc, crashRate)
 	if err != nil {
 		return err
 	}
-	conc, err := respondOnce(hosts, vms, limits, cc)
+	conc, err := respondOnce(hosts, vms, limits, cc, crashRate)
 	if err != nil {
 		return err
 	}
@@ -156,6 +203,12 @@ func runFleet(w io.Writer, hosts, vms int, sc schedConfig, ec exportConfig, cc c
 	row("concurrent", conc.resp)
 	fmt.Fprintln(w, tab.Render())
 	fmt.Fprintf(w, "placement: identical across schedules (%d VMs)\n", vms)
+	if conc.storm != nil {
+		s := conc.storm
+		fmt.Fprintf(w, "reactive recovery: %d hosts crashed, %d recovered, %d frozen, %d lost (makespan %v)\n",
+			len(s.DownHosts), len(s.RecoveredNodes), len(s.FrozenNodes), len(s.LostNodes),
+			s.Elapsed.Round(time.Millisecond))
+	}
 	if !cc.NoCache {
 		s := conc.resp.Summary()
 		ratio := 0.0

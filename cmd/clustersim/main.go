@@ -62,6 +62,7 @@ func main() {
 		kexecs      = flag.Int("kexecs", 0, "simultaneous-kexec cap for the concurrent schedule columns (0 = unlimited)")
 		fleet       = flag.Bool("fleet", false, "run the fleet CVE-response scenario on the concurrent scheduler instead of the Fig. 13 sweep")
 		fleetVMs    = flag.Int("fleet-vms", 32, "VM population for -fleet")
+		crashRate   = flag.Float64("crash-rate", 0, "fraction of -fleet hosts fail-stopped before the response; the reactive path recovers them and the report gains an availability section")
 		warmPool    = flag.Int("warm-pool", 0, "pre-stage up to n warm translation entries before the -fleet response")
 		noCache     = flag.Bool("no-cache", false, "disable the transplant cache for -fleet (force every transplant cold)")
 	)
@@ -74,9 +75,13 @@ func main() {
 	}
 	var err error
 	if *fleet {
-		err = runFleet(os.Stdout, *hosts, *fleetVMs, sc, ec, cacheConfig{WarmPool: *warmPool, NoCache: *noCache})
+		err = runFleet(os.Stdout, *hosts, *fleetVMs, sc, ec, cacheConfig{WarmPool: *warmPool, NoCache: *noCache}, *crashRate)
 	} else {
-		err = run(*hosts, *vmsPerHost, *group, *traceFrac, fc, sc, ec)
+		if *crashRate > 0 {
+			err = fmt.Errorf("clustersim: -crash-rate applies to the -fleet scenario")
+		} else {
+			err = run(*hosts, *vmsPerHost, *group, *traceFrac, fc, sc, ec)
+		}
 	}
 	if err != nil {
 		os.Exit(exitWithLabel("clustersim", err))
@@ -108,12 +113,14 @@ func (sc schedConfig) apply() func() {
 }
 
 // exitWithLabel prints the error with its hterr class label and picks
-// the exit status: 2 for broken invariants and blown watchdogs (the
-// outcomes a CI soak must not swallow), 1 for everything else.
+// the exit status: 2 for broken invariants, blown watchdogs and
+// unrecovered crashes (the outcomes a CI soak must not swallow), 1 for
+// everything else.
 func exitWithLabel(tool string, err error) int {
 	if class := hterr.Class(err); class != nil {
 		fmt.Fprintf(os.Stderr, "%s: %s: %v\n", tool, hterr.Label(class), err)
-		if class == hterr.ErrInvariantViolated || class == hterr.ErrWatchdogExpired {
+		if class == hterr.ErrInvariantViolated || class == hterr.ErrWatchdogExpired ||
+			class == hterr.ErrHypervisorCrashed {
 			return 2
 		}
 		return 1

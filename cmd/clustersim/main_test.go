@@ -90,7 +90,7 @@ func TestRunScheduledColumns(t *testing.T) {
 func TestRunFleetDeterministicAcrossWorkers(t *testing.T) {
 	out := func(workers int) string {
 		var buf bytes.Buffer
-		if err := runFleet(&buf, 10, 32, schedConfig{Workers: workers, Streams: 4, Kexecs: 4}, exportConfig{}, cacheConfig{}); err != nil {
+		if err := runFleet(&buf, 10, 32, schedConfig{Workers: workers, Streams: 4, Kexecs: 4}, exportConfig{}, cacheConfig{}, 0); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()
@@ -130,12 +130,44 @@ func TestRunFleetDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// The -crash-rate path: a quarter of the fleet is fail-stopped before
+// the response, the reactive path recovers every host, the report gains
+// the recovery line and the slo availability section, and the whole
+// output stays byte-identical across worker counts.
+func TestRunFleetCrashRate(t *testing.T) {
+	out := func(workers int) string {
+		var buf bytes.Buffer
+		if err := runFleet(&buf, 8, 24, schedConfig{Workers: workers, Streams: 4, Kexecs: 4}, exportConfig{}, cacheConfig{}, 0.25); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	w1, w8 := out(1), out(8)
+	if w1 != w8 {
+		t.Fatalf("-crash-rate output differs across workers:\n-workers 1:\n%s\n-workers 8:\n%s", w1, w8)
+	}
+	if !strings.Contains(w1, "reactive recovery: 2 hosts crashed, 2 recovered, 0 frozen, 0 lost") {
+		t.Fatalf("missing reactive recovery line:\n%s", w1)
+	}
+	if !strings.Contains(w1, "availability: hosts=2 outages=2 open=0") {
+		t.Fatalf("missing availability section:\n%s", w1)
+	}
+	if !strings.Contains(w1, "mttr mean=") {
+		t.Fatalf("missing MTTR line:\n%s", w1)
+	}
+	// The recovered hosts land on the safe hypervisor, so the response
+	// skips them instead of re-upgrading.
+	if !strings.Contains(w1, "identical across schedules") {
+		t.Fatalf("missing placement check line:\n%s", w1)
+	}
+}
+
 // The -warm-pool path: pre-staged entries surface as warm starts in the
 // fleet report's cache line; -no-cache drops the line entirely and
 // rejects -warm-pool.
 func TestRunFleetWarmPoolAndNoCache(t *testing.T) {
 	var warm bytes.Buffer
-	if err := runFleet(&warm, 6, 16, schedConfig{Streams: 4, Kexecs: 4}, exportConfig{}, cacheConfig{WarmPool: 16}); err != nil {
+	if err := runFleet(&warm, 6, 16, schedConfig{Streams: 4, Kexecs: 4}, exportConfig{}, cacheConfig{WarmPool: 16}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(warm.String(), "cache: ") {
@@ -145,13 +177,13 @@ func TestRunFleetWarmPoolAndNoCache(t *testing.T) {
 		t.Fatalf("warm pool staged nothing:\n%s", warm.String())
 	}
 	var cold bytes.Buffer
-	if err := runFleet(&cold, 6, 16, schedConfig{Streams: 4, Kexecs: 4}, exportConfig{}, cacheConfig{NoCache: true}); err != nil {
+	if err := runFleet(&cold, 6, 16, schedConfig{Streams: 4, Kexecs: 4}, exportConfig{}, cacheConfig{NoCache: true}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(cold.String(), "cache: ") {
 		t.Fatalf("-no-cache report still has a cache line:\n%s", cold.String())
 	}
-	if err := runFleet(&cold, 6, 16, schedConfig{}, exportConfig{}, cacheConfig{WarmPool: 4, NoCache: true}); err == nil {
+	if err := runFleet(&cold, 6, 16, schedConfig{}, exportConfig{}, cacheConfig{WarmPool: 4, NoCache: true}, 0); err == nil {
 		t.Fatal("-warm-pool with -no-cache accepted")
 	}
 }

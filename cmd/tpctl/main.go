@@ -11,6 +11,8 @@
 //	tpctl -mode inplace -no-cache           # force the cold path
 //	tpctl -mode inplace -trace-out trace.json -metrics-out metrics.json
 //	tpctl -mode inplace -fault-seed 42 -fault-rate 1 -fault-sites kexec.handover -fault-plan
+//	tpctl -mode inplace -crash-at idle        # fail-stop, then emergency recovery
+//	tpctl -mode inplace -crash-at transplant  # double fault at the worst point
 //
 // -trace-out writes a Chrome trace_event file (open in Perfetto or
 // chrome://tracing); -metrics-out writes the metrics registry as JSON;
@@ -23,6 +25,12 @@
 // (rollback-to-source before the kexec point, crash recovery after it,
 // bounded migration retry) ride the faults out. -fault-plan prints the
 // shots that actually fired.
+//
+// -crash-at fail-stops the source hypervisor (idle: between operations;
+// hang: wedged, then fenced; transplant: mid-transplant with guests
+// paused — the double fault) and salvages the guests with an emergency
+// transplant to -to. Exit status 2 when a crash goes unrecovered, the
+// same convention as invariant violations.
 package main
 
 import (
@@ -74,6 +82,7 @@ func main() {
 		faultPlan  = flag.Bool("fault-plan", false, "print the fault shots that fired during the run")
 		noCache    = flag.Bool("no-cache", false, "disable the transplant cache (force the cold path)")
 		warmPool   = flag.Int("warm-pool", 0, "pre-stage up to n VM translations as warm entries before the transplant")
+		crashAt    = flag.String("crash-at", "", "fail-stop the source hypervisor and run the emergency recovery: idle, hang, or transplant (crash mid-transplant, at the double-fault window)")
 		verbose    = flag.Bool("v", false, "print the Fig. 3 workflow trace")
 	)
 	flag.Parse()
@@ -98,6 +107,7 @@ func main() {
 		FaultPlan:  *faultPlan,
 		NoCache:    *noCache,
 		WarmPool:   *warmPool,
+		CrashAt:    *crashAt,
 		Verbose:    *verbose,
 	}); err != nil {
 		os.Exit(exitWithLabel("tpctl", err))
@@ -105,12 +115,14 @@ func main() {
 }
 
 // exitWithLabel prints the error with its hterr class label and picks
-// the exit status: 2 for broken invariants and blown watchdogs (the
-// outcomes a CI soak must not swallow), 1 for everything else.
+// the exit status: 2 for broken invariants, blown watchdogs and
+// unrecovered crashes (the outcomes a CI soak must not swallow), 1 for
+// everything else.
 func exitWithLabel(tool string, err error) int {
 	if class := hterr.Class(err); class != nil {
 		fmt.Fprintf(os.Stderr, "%s: %s: %v\n", tool, hterr.Label(class), err)
-		if class == hterr.ErrInvariantViolated || class == hterr.ErrWatchdogExpired {
+		if class == hterr.ErrInvariantViolated || class == hterr.ErrWatchdogExpired ||
+			class == hterr.ErrHypervisorCrashed {
 			return 2
 		}
 		return 1
@@ -155,6 +167,7 @@ type runConfig struct {
 	FaultPlan               bool
 	NoCache                 bool
 	WarmPool                int
+	CrashAt                 string
 	Verbose                 bool
 }
 
@@ -251,12 +264,59 @@ func run(cfg runConfig) error {
 
 	switch cfg.Mode {
 	case "inplace":
-		_, rep, err := engine.InPlace(src, toKind, cfg.Opts)
-		if err != nil {
-			return err
+		var rep *core.InPlaceReport
+		switch cfg.CrashAt {
+		case "":
+			_, rep, err = engine.InPlace(src, toKind, cfg.Opts)
+			if err != nil {
+				return err
+			}
+		case "idle", "hang":
+			// Fail-stop (or wedge) the hypervisor between operations and
+			// run the salvage path directly — the detector-triggered shape.
+			c, ok := src.(hv.Crashable)
+			if !ok {
+				return fmt.Errorf("hypervisor %s does not model crashes", src.Name())
+			}
+			if cfg.CrashAt == "hang" {
+				c.Hang("operator-injected hang")
+				fmt.Printf("hang injected: %s wedged; fencing and salvaging\n\n", src.Name())
+			} else {
+				c.Crash("operator-injected crash")
+				fmt.Printf("crash injected: %s fail-stopped while idle\n\n", src.Name())
+			}
+			_, rep, err = engine.Emergency(src, toKind, cfg.Opts)
+			if err != nil {
+				return err
+			}
+		case "transplant":
+			// Force the double fault: the source dies at the worst point,
+			// guests paused and state untranslated; the emergency path
+			// must finish the job.
+			if plan == nil {
+				plan = fault.NewPlan(1, 0).SetClock(clock).SetRecorder(rec)
+				engine.Fault = plan
+			}
+			plan.ForceAt(fault.SiteHVCrashDuringTP, 1)
+			if _, _, err := engine.InPlace(src, toKind, cfg.Opts); err == nil {
+				return fmt.Errorf("forced mid-transplant crash did not fire")
+			} else if hterr.Class(err) != hterr.ErrHypervisorCrashed {
+				return err
+			}
+			fmt.Printf("crash injected: %s fail-stopped mid-transplant; transplant abandoned, salvaging\n\n", src.Name())
+			_, rep, err = engine.Emergency(src, toKind, cfg.Opts)
+			if err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown -crash-at %q (want idle, hang, or transplant)", cfg.CrashAt)
+		}
+		title := fmt.Sprintf("InPlaceTP %s → %s on %s", cfg.From, cfg.To, profile.Name)
+		if rep.Emergency {
+			title = fmt.Sprintf("Emergency transplant %s → %s on %s", cfg.From, cfg.To, profile.Name)
 		}
 		tab := &metrics.Table{
-			Title:   fmt.Sprintf("InPlaceTP %s → %s on %s", cfg.From, cfg.To, profile.Name),
+			Title:   title,
 			Headers: []string{"Phase", "Duration"},
 		}
 		tab.AddRow("PRAM construction (pre-pause)", rep.PRAM.String())
@@ -282,6 +342,9 @@ func run(cfg runConfig) error {
 			}
 		}
 	case "migration":
+		if cfg.CrashAt != "" {
+			return fmt.Errorf("-crash-at exercises the in-place emergency path; use -mode inplace")
+		}
 		dstMachine := hw.NewMachine(clock, profile)
 		dstEngine := core.NewEngine(clock, dstMachine)
 		dst, err := dstEngine.BootHypervisor(toKind)

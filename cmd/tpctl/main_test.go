@@ -129,6 +129,36 @@ func TestRunWithFaultInjection(t *testing.T) {
 	}
 }
 
+// The -crash-at path: every injection point ends in a completed
+// emergency transplant; migration mode and unknown points are rejected,
+// and an unrecovered crash maps to the exit-2 convention.
+func TestRunCrashAt(t *testing.T) {
+	for _, at := range []string{"idle", "hang", "transplant"} {
+		c := cfg("inplace")
+		c.VMs = 2
+		c.CrashAt = at
+		if err := run(c); err != nil {
+			t.Fatalf("-crash-at %s: %v", at, err)
+		}
+	}
+	c := cfg("inplace")
+	c.CrashAt = "restore"
+	if err := run(c); err == nil {
+		t.Fatal("unknown -crash-at accepted")
+	}
+	c = cfg("migration")
+	c.CrashAt = "idle"
+	if err := run(c); err == nil {
+		t.Fatal("-crash-at with -mode migration accepted")
+	}
+	if got := exitWithLabel("tpctl", hterr.HypervisorCrashed(errors.New("frozen"))); got != 2 {
+		t.Fatalf("unrecovered crash exits %d, want 2", got)
+	}
+	if got := exitWithLabel("tpctl", errors.New("plain")); got != 1 {
+		t.Fatalf("plain error exits %d, want 1", got)
+	}
+}
+
 // TestRunTraceAndMetricsOut exercises the -trace-out/-metrics-out paths
 // for both modes and checks the files are valid, non-empty JSON.
 func TestRunTraceAndMetricsOut(t *testing.T) {

@@ -93,7 +93,10 @@ func (h *harness) audit(i int, op Op) *Failure {
 		h.lastRespond = ""
 		if rec, ok := h.db.Lookup(cve); ok {
 			for _, name := range h.hosts {
-				if h.dead[name] || h.nova.Quarantined(name) {
+				// Downed hosts are frozen mid-recovery: their hypervisor
+				// is fenced off the fleet, so like quarantined ones they
+				// are degraded, not vulnerable exposure.
+				if h.dead[name] || h.nova.Quarantined(name) || h.nova.HostDowned(name) {
 					continue
 				}
 				node, _ := h.nova.Node(name)

@@ -37,6 +37,7 @@ import (
 	"hypertp/internal/hw"
 	"hypertp/internal/obs"
 	"hypertp/internal/orchestrator"
+	"hypertp/internal/reactive"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
 	"hypertp/internal/tpcache"
@@ -61,6 +62,14 @@ type Config struct {
 	// that charges more is flagged as a livelock. Zero takes a generous
 	// default calibrated against the slowest fleet operation.
 	OpBudget time.Duration `json:"op_budget,omitempty"`
+	// Crash grows the op vocabulary with the reactive-recovery kinds:
+	// single-host fail-stops and hangs (OpCrashHV), fleet-wide crash
+	// storms swept through the scheduled emergency recovery
+	// (OpCrashStorm), and fail-stops forced mid-transplant
+	// (OpCrashDuringTransplant). Off by default so existing pinned
+	// streams stay byte-identical; a failure detector is attached to
+	// Nova only on crash-enabled runs.
+	Crash bool `json:"crash,omitempty"`
 	// Break arms a deliberate invariant breaker, used to prove the
 	// auditor catches what it claims to: "leak-frame" allocates a frame
 	// tagged to a dead VM after each transplant, "corrupt-memory"
@@ -301,6 +310,11 @@ func newHarness(cfg Config) (*harness, error) {
 		// Pool sized for the whole tenant population; refills are
 		// throttled by OpRespondFleet's SpareSlots when limits are live.
 		nova.SetWarmPool(h.cache, cfg.VMs)
+	}
+	if cfg.Crash {
+		// The heartbeat monitor shares the soak's seed, so every crash's
+		// detection latency is a pure function of (seed, host name).
+		nova.SetDetector(reactive.NewDetector(reactive.ProbeConfig{Seed: cfg.Seed}))
 	}
 	for i := 0; i < cfg.Hosts; i++ {
 		kind := hv.KindXen

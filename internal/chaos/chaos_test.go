@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"hypertp/internal/par"
@@ -79,6 +80,103 @@ func TestChaosSoakCached(t *testing.T) {
 		}
 	}
 	t.Logf("cache stats: %s / %s", stats[0], stats[1])
+}
+
+// TestChaosCrashSoak is the reactive-recovery acceptance soak: 500 ops
+// with the crash vocabulary enabled — fail-stops, hangs, fleet-wide
+// crash storms and mid-transplant double faults — must end with every
+// invariant intact (frame ownership, guest checksums, Nova bookkeeping
+// survive every emergency recovery) and the whole run byte-identical
+// at any worker count.
+func TestChaosCrashSoak(t *testing.T) {
+	defer par.SetWorkers(0)
+	cfg := Config{Seed: 20210426, Ops: 500, Hosts: 6, VMs: 8, FaultRate: 0.15, Crash: true}
+	workers := []int{1, 4, 8}
+	if testing.Short() {
+		workers = []int{8}
+	}
+	var summaries []string
+	var traces [][]string
+	for _, w := range workers {
+		par.SetWorkers(w)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failure != nil {
+			t.Fatalf("invariant violated on crash soak:\n%s", res.Summary())
+		}
+		if res.Executed != cfg.Ops {
+			t.Fatalf("executed %d of %d ops", res.Executed, cfg.Ops)
+		}
+		kinds := map[string]int{}
+		for _, op := range res.Ops {
+			kinds[op.Kind]++
+		}
+		for _, k := range []string{OpCrashHV, OpCrashStorm, OpCrashDuringTransplant} {
+			if kinds[k] == 0 {
+				t.Errorf("crash soak never produced op kind %q", k)
+			}
+		}
+		recovered := 0
+		for _, line := range res.Trace {
+			if strings.Contains(line, "recovered") {
+				recovered++
+			}
+		}
+		if recovered == 0 {
+			t.Fatal("no crash completed an emergency recovery")
+		}
+		summaries = append(summaries, res.Summary())
+		traces = append(traces, res.Trace)
+	}
+	for i := 1; i < len(summaries); i++ {
+		if summaries[i] != summaries[0] {
+			t.Fatalf("crash-soak summary differs between workers=%d and workers=%d:\n%s\nvs\n%s",
+				workers[0], workers[i], summaries[0], summaries[i])
+		}
+		for j := range traces[0] {
+			if traces[i][j] != traces[0][j] {
+				t.Fatalf("crash-soak trace line %d differs across worker counts:\n%s\nvs\n%s",
+					j, traces[0][j], traces[i][j])
+			}
+		}
+	}
+}
+
+// TestGenerateCrashGatedStream: with Crash unset the generator must emit
+// the exact same stream it always has — the crash vocabulary is carved
+// out without disturbing pinned seeds — and with Crash set the stream
+// includes all three crash kinds.
+func TestGenerateCrashGatedStream(t *testing.T) {
+	base := soakConfig()
+	withCrash := base
+	withCrash.Crash = true
+	plain, crash := Generate(base), Generate(withCrash)
+	crashKinds := map[string]bool{OpCrashHV: true, OpCrashStorm: true, OpCrashDuringTransplant: true}
+	for i := range plain {
+		if crashKinds[plain[i].Kind] {
+			t.Fatalf("op %d: crash kind %q generated with Config.Crash off", i, plain[i].Kind)
+		}
+		// Up to the first substituted crash op the two streams draw the
+		// same randomness, so they must agree op for op. (Past it the
+		// draws diverge by design.)
+		if crashKinds[crash[i].Kind] {
+			break
+		}
+		if crash[i] != plain[i] {
+			t.Fatalf("op %d drifted before any crash op was generated: %+v vs %+v", i, plain[i], crash[i])
+		}
+	}
+	seen := map[string]bool{}
+	for _, op := range crash {
+		seen[op.Kind] = true
+	}
+	for k := range crashKinds {
+		if !seen[k] {
+			t.Errorf("crash-enabled stream never produced %q", k)
+		}
+	}
 }
 
 // TestGenerateDeterministic: the op stream is a pure function of the

@@ -188,6 +188,141 @@ func (h *harness) apply(op *Op) (string, error) {
 
 	case OpSweep:
 		return h.sweep(op)
+
+	case OpCrashHV:
+		if h.dead[op.Host] {
+			return "skip: host dead", nil
+		}
+		if h.nova.Quarantined(op.Host) {
+			return "skip: host quarantined", nil
+		}
+		if h.nova.HostDowned(op.Host) {
+			// A previous recovery froze mid-salvage and left the host
+			// downed; this op is the retry, not a second crash.
+			rec, err := h.nova.RecoverHost(op.Host, h.opts())
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%s re-recovered → %v", op.Host, rec.Target), nil
+		}
+		node, ok := h.nova.Node(op.Host)
+		if !ok {
+			return "", fmt.Errorf("chaos: unknown host %q", op.Host)
+		}
+		c, ok := node.Driver.Hypervisor().(hv.Crashable)
+		if !ok {
+			return "skip: not crashable", nil
+		}
+		if c.Crashed() || c.Hung() {
+			// Crashed outside the ledger (a double-fault whose self-heal
+			// froze); the next upgrade or response self-heals it.
+			return "skip: already failed", nil
+		}
+		mode, failHost := "crashed", h.nova.CrashHost
+		if op.Target == "hang" {
+			mode, failHost = "hung", h.nova.HangHost
+		}
+		ev, err := failHost(op.Host, "chaos")
+		if err != nil {
+			return "", err
+		}
+		rec, err := h.nova.RecoverHost(op.Host, h.opts())
+		if err != nil {
+			// Frozen recovery: the host stays downed (retryable by a later
+			// OpCrashHV); a lost host is reconciled by step's handler.
+			return "", err
+		}
+		return fmt.Sprintf("%s %s, detected +%v, recovered → %v", op.Host, mode, ev.Latency(), rec.Target), nil
+
+	case OpCrashStorm:
+		count := op.Count
+		if count <= 0 {
+			count = 2
+		}
+		crashed := 0
+		for _, name := range h.hosts {
+			if crashed >= count {
+				break
+			}
+			if h.dead[name] || h.nova.Quarantined(name) || h.nova.HostDowned(name) {
+				continue
+			}
+			node, ok := h.nova.Node(name)
+			if !ok {
+				continue
+			}
+			c, ok := node.Driver.Hypervisor().(hv.Crashable)
+			if !ok || c.Crashed() || c.Hung() {
+				continue
+			}
+			if _, err := h.nova.CrashHost(name, "storm"); err != nil {
+				return "", err
+			}
+			crashed++
+		}
+		// The scheduled fleet recovery sweeps everything downed — the
+		// fresh crashes plus any leftover from earlier frozen recoveries.
+		limits := sched.Limits{MaxKexecs: 2}
+		h.nova.SetFleetLimits(&limits)
+		resp, err := h.nova.RecoverFleet(h.opts())
+		h.nova.SetFleetLimits(nil)
+		if err != nil {
+			return "", err
+		}
+		if len(resp.DownHosts) == 0 {
+			return "skip: no healthy hosts to storm", nil
+		}
+		// RecoverFleet reconciles lost hosts itself (no VMLost error
+		// escapes for step's handler to see), so the wrecks are declared
+		// dead here for the audits to skip.
+		for _, name := range resp.LostNodes {
+			if !h.dead[name] {
+				h.dead[name] = true
+				h.rec.Metrics().Counter("chaos.hosts_lost", "hosts").Add(1)
+			}
+		}
+		return fmt.Sprintf("storm downed %d: recovered %d, frozen %d, lost %d (%s)",
+			len(resp.DownHosts), len(resp.RecoveredNodes), len(resp.FrozenNodes), len(resp.LostNodes), resp.Outcome), nil
+
+	case OpCrashDuringTransplant:
+		if h.dead[op.Host] {
+			return "skip: host dead", nil
+		}
+		if h.nova.Quarantined(op.Host) {
+			return "skip: host quarantined", nil
+		}
+		if h.nova.HostDowned(op.Host) {
+			return "skip: host downed", nil
+		}
+		node, ok := h.nova.Node(op.Host)
+		if !ok {
+			return "", fmt.Errorf("chaos: unknown host %q", op.Host)
+		}
+		c, ok := node.Driver.Hypervisor().(hv.Crashable)
+		if !ok {
+			return "skip: not crashable", nil
+		}
+		if c.Crashed() || c.Hung() {
+			return "skip: already failed", nil
+		}
+		target := hv.KindKVM
+		if node.Driver.HypervisorKind() == hv.KindKVM {
+			target = hv.KindXen
+		}
+		// Force the fail-stop at the worst point — guests paused, state
+		// not yet translated — so the upgrade must ride the driver's
+		// double-fault self-heal instead of completing normally.
+		rate := 0.0
+		if op.Fault != 0 && h.cfg.FaultRate > 0 {
+			rate = h.cfg.FaultRate
+		}
+		h.nova.SetFaults(fault.NewPlan(op.Fault|1, rate).ForceAt(fault.SiteHVCrashDuringTP, 1))
+		up, err := h.nova.HostLiveUpgrade(op.Host, target, h.opts())
+		if err != nil {
+			return "", err
+		}
+		emergency := up.Report != nil && up.Report.Emergency
+		return fmt.Sprintf("%s crash mid-transplant → %v (emergency=%v)", op.Host, target, emergency), nil
 	}
 	return "", fmt.Errorf("chaos: unknown op kind %q", op.Kind)
 }

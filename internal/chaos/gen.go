@@ -38,6 +38,19 @@ const (
 	// translations later transplants consume as warm starts. A recorded
 	// skip when the run has caching disabled.
 	OpWarmPoolRefill = "warm-pool-refill"
+	// OpCrashHV fail-stops one host's hypervisor (or hangs it when
+	// Target is "hang") and runs the emergency recovery; a host whose
+	// salvage freezes stays downed and a later OpCrashHV retries it.
+	// Generated only on crash-enabled runs (Config.Crash).
+	OpCrashHV = "crash-hv"
+	// OpCrashStorm crashes Count healthy hosts at once and sweeps the
+	// whole downed set through the scheduled emergency recovery under
+	// kexec limits.
+	OpCrashStorm = "crash-storm"
+	// OpCrashDuringTransplant upgrades a host with a fail-stop forced at
+	// the worst point — after the pause phase, before translation — so
+	// the driver's self-healing double-fault path runs.
+	OpCrashDuringTransplant = "crash-during-tp"
 )
 
 // Op is one generated operation. The zero fields are omitted from
@@ -48,6 +61,8 @@ type Op struct {
 	VM     string `json:"vm,omitempty"`
 	Target string `json:"target,omitempty"`
 	Pages  int    `json:"pages,omitempty"`
+	// Count sizes multi-host ops (how many hosts an OpCrashStorm downs).
+	Count int `json:"count,omitempty"`
 	// Fault seeds this op's fault plan (0 = no injection for this op).
 	Fault uint64 `json:"fault,omitempty"`
 }
@@ -68,6 +83,19 @@ func Generate(cfg Config) []Op {
 	for i := 0; i < cfg.Ops; i++ {
 		var op Op
 		switch w := rng.Intn(100); {
+		// The crash vocabulary is carved out of the low end of the weight
+		// space only when Config.Crash is set; on crash-free runs these
+		// guards never match and no extra rng draws occur, so every
+		// pinned pre-crash op stream stays byte-identical.
+		case cfg.Crash && w < 8:
+			op = Op{Kind: OpCrashHV, Host: host()}
+			if rng.Intn(4) == 0 {
+				op.Target = "hang"
+			}
+		case cfg.Crash && w < 12:
+			op = Op{Kind: OpCrashStorm, Count: 2 + rng.Intn(3)}
+		case cfg.Crash && w < 15:
+			op = Op{Kind: OpCrashDuringTransplant, Host: host()}
 		case w < 30:
 			op = Op{Kind: OpWorkload, VM: vm(), Pages: 1 + rng.Intn(64)}
 		case w < 50:

@@ -122,6 +122,13 @@ type InPlaceReport struct {
 	// disabled). They describe the cache, not the transplant: every
 	// other field is byte-identical with caching on or off.
 	CacheHits, CacheMisses, CacheWarmStarts uint64
+
+	// Emergency marks a report produced by the reactive recovery path
+	// (Engine.Emergency) rather than a planned transplant. Emergency
+	// reports measure from salvage start: detection latency is the
+	// detector's to account, and the pause phase does not exist — the
+	// crash already stopped every vCPU.
+	Emergency bool
 }
 
 // Summary implements report.Report.
@@ -134,8 +141,12 @@ func (r *InPlaceReport) Summary() rpt.Summary {
 	if attempts < 1 {
 		attempts = 1
 	}
+	kind := "inplace"
+	if r.Emergency {
+		kind = "emergency"
+	}
 	return rpt.Summary{
-		Kind:            "inplace",
+		Kind:            kind,
 		Outcome:         out,
 		Attempts:        attempts,
 		Downtime:        r.Downtime,
@@ -285,6 +296,39 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		root.SetAttr("outcome", string(rpt.OutcomeRolledBack))
 		return nil, report, hterr.Abort(cause)
 	}
+	// crashAbandon models a double fault: the source hypervisor itself
+	// fail-stops while the transplant is in flight. Rollback is
+	// impossible — resuming a VM takes a live hypervisor — and the VMs
+	// are not lost either: the crash froze their vCPUs with guest memory
+	// and VM_i State intact in place. Staging allocations are freed (the
+	// emergency path rebuilds its own) and the host is handed back
+	// crashed, for the reactive recovery path to salvage.
+	crashAbandon := func(cause error) (hv.Hypervisor, *InPlaceReport, error) {
+		ca := e.Obs.Start("crash-abandon", obs.A("cause", cause.Error()))
+		for _, frames := range blobFrames {
+			for _, f := range frames {
+				_ = e.Machine.Mem.Free(f)
+			}
+		}
+		if ps != nil {
+			_ = ps.Release(e.Machine.Mem)
+			ps = nil
+		}
+		if img != nil {
+			_ = img.Unload(e.Machine)
+			img = nil
+		}
+		if c, ok := src.(hv.Crashable); ok {
+			c.Crash("double fault during transplant")
+		}
+		ca.End()
+		e.Trace.Emit(trace.StepCleanup, "source crashed mid-transplant; %d VMs frozen awaiting emergency recovery", len(vms))
+		mets.Counter("tp.crash_abandons", "transplants").Add(1)
+		report.Outcome = rpt.OutcomeCrashed
+		report.Total = e.Clock.Now() - start
+		root.SetAttr("outcome", string(rpt.OutcomeCrashed))
+		return nil, report, hterr.HypervisorCrashed(cause)
+	}
 	// lost marks a failure past the point of no return that forward
 	// recovery could not absorb. The recovery matrix forbids any
 	// registered injection site from ever reaching it.
@@ -396,6 +440,15 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		if ps, guests, err = buildPRAM(); err != nil {
 			return rollback(err)
 		}
+	}
+
+	// Double-fault window: the source hypervisor can fail-stop right
+	// here, with every VM paused and the device protocol already run —
+	// the worst point, because neither rollback (no hypervisor to resume
+	// on) nor normal completion is reachable.
+	if ferr := e.Fault.Fire(fault.SiteHVCrashDuringTP); ferr != nil {
+		report.Faults++
+		return crashAbandon(ferr)
 	}
 
 	// ❸ Translate VM_i State to UISR and stash the blobs in preserved

@@ -98,6 +98,15 @@ func TestRecoveryMatrix(t *testing.T) {
 		// stays quiet. TestCacheStalePoisonFallback covers the armed
 		// case.
 		fault.SiteCacheStale: rpt.OutcomeCompleted,
+		// A double fault — the source hypervisor dying mid-transplant —
+		// can neither roll back nor complete: the transplant is
+		// abandoned with the VMs frozen in place and the emergency path
+		// finishes the job (verified below).
+		fault.SiteHVCrashDuringTP: rpt.OutcomeCrashed,
+		// Spontaneous crash/hang sites are armed by the reactive layer
+		// (detector/chaos), never by a planned InPlaceTP.
+		fault.SiteHVCrash: rpt.OutcomeCompleted,
+		fault.SiteHVHang:  rpt.OutcomeCompleted,
 	}
 	for _, site := range fault.Sites() {
 		site := site
@@ -116,6 +125,55 @@ func TestRecoveryMatrix(t *testing.T) {
 
 			dst, rep, err := b.engine.InPlace(src, hv.KindKVM, DefaultOptions())
 			switch want {
+			case rpt.OutcomeCrashed:
+				if !errors.Is(err, hterr.ErrHypervisorCrashed) || !errors.Is(err, hterr.ErrInjected) {
+					t.Fatalf("err = %v, want crash+injected", err)
+				}
+				if dst != nil {
+					t.Fatal("crash abandon produced a target hypervisor")
+				}
+				if rep == nil || rep.Outcome != rpt.OutcomeCrashed {
+					t.Fatalf("report = %+v", rep)
+				}
+				c, ok := src.(hv.Crashable)
+				if !ok || !c.Crashed() {
+					t.Fatal("source not marked crashed after double fault")
+				}
+				if len(src.VMs()) != 2 {
+					t.Fatalf("%d VMs on source after crash, want 2 frozen", len(src.VMs()))
+				}
+				for _, vm := range src.VMs() {
+					if !vm.Paused() {
+						t.Fatalf("VM %q running on a crashed hypervisor", vm.Config.Name)
+					}
+				}
+				if got := checksumVMs(t, src.VMs()); !reflect.DeepEqual(got, pre) {
+					t.Fatal("guest memory changed across the crash")
+				}
+				if spanNames(rec)["crash-abandon"] == 0 {
+					t.Fatal("no crash-abandon span recorded")
+				}
+				// The emergency path must finish what the double fault
+				// interrupted: salvage the frozen state and land every VM
+				// on the other hypervisor, checksums intact.
+				edst, erep, err := b.engine.Emergency(src, hv.KindKVM, DefaultOptions())
+				if err != nil {
+					t.Fatalf("emergency after double fault: %v", err)
+				}
+				if erep.Outcome != rpt.OutcomeRecovered || !erep.Emergency {
+					t.Fatalf("emergency report = %+v", erep)
+				}
+				if len(edst.VMs()) != 2 {
+					t.Fatalf("%d VMs after emergency, want 2", len(edst.VMs()))
+				}
+				for _, vm := range edst.VMs() {
+					if vm.Paused() {
+						t.Fatalf("VM %q left paused after emergency", vm.Config.Name)
+					}
+				}
+				if got := checksumVMs(t, edst.VMs()); !reflect.DeepEqual(got, pre) {
+					t.Fatal("checksums do not survive the emergency transplant")
+				}
 			case rpt.OutcomeRolledBack:
 				if !errors.Is(err, hterr.ErrAborted) || !errors.Is(err, hterr.ErrInjected) {
 					t.Fatalf("err = %v, want aborted+injected", err)

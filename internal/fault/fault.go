@@ -61,6 +61,19 @@ const (
 	// is discarded and the engine must fall back to the cold
 	// translate-and-encode path.
 	SiteCacheStale Site = "cache.stale"
+	// SiteHVCrash fail-stops a running hypervisor between operations:
+	// vCPUs freeze, guest memory and VM_i State survive in place, and
+	// only the reactive emergency path can bring the host back.
+	SiteHVCrash Site = "hv.crash"
+	// SiteHVCrashDuringTP fail-stops the source hypervisor in the middle
+	// of a planned transplant — a double fault: the planned path is
+	// abandoned with VMs paused and the emergency path must salvage them.
+	SiteHVCrashDuringTP Site = "hv.crash.during_transplant"
+	// SiteHVHang wedges a hypervisor without fail-stopping it: vCPUs
+	// keep the frozen state but the control plane stops answering, so the
+	// detector only sees missed heartbeats and recovery must fence the
+	// host (force the fail-stop) before salvaging.
+	SiteHVHang Site = "hv.hang"
 )
 
 // registry is the ordered universe of sites ParseSites accepts.
@@ -68,6 +81,7 @@ var registry = []Site{
 	SiteKexecLoad, SitePRAMBuild, SiteUISRTranslate, SiteKexecHandover,
 	SiteHVBoot, SitePRAMParse, SiteUISRRestore, SiteLinkAbort,
 	SiteLinkLoss, SiteClusterHost, SiteCacheStale,
+	SiteHVCrash, SiteHVCrashDuringTP, SiteHVHang,
 }
 
 // Sites returns every registered injection site in registry order.

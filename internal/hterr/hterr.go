@@ -22,6 +22,9 @@
 //	ErrWatchdogExpired    an operation failed to complete or roll back
 //	                      within its virtual-time budget — a livelock
 //	                      turned into a failure instead of a silent hang
+//	ErrHypervisorCrashed  the hypervisor fail-stopped underneath its
+//	                      guests; their state survives in place and the
+//	                      reactive recovery path can salvage it
 //
 // Classification wraps rather than replaces: Abort(Retry(err)) satisfies
 // errors.Is for ErrAborted, ErrRetryable, and everything err itself
@@ -57,6 +60,14 @@ var (
 	// or attempt budget: a retry loop or transplant that would otherwise
 	// spin forever.
 	ErrWatchdogExpired = errors.New("watchdog expired")
+	// ErrHypervisorCrashed marks a fail-stopped hypervisor: the VMM is
+	// gone but its guests' memory and VM_i State survive in place, so the
+	// reactive path can still salvage them via an emergency transplant.
+	// An operation returning this class either observed the crash (and
+	// the detector will trigger recovery) or exhausted recovery attempts
+	// with the host still frozen — frozen, not lost: the guests are in
+	// stasis, distinct from ErrVMLost.
+	ErrHypervisorCrashed = errors.New("hypervisor crashed")
 )
 
 // classified attaches one sentinel class to an underlying cause. Both
@@ -103,13 +114,18 @@ func InvariantViolated(err error) error { return Classify(ErrInvariantViolated, 
 // WatchdogExpired marks err as a blown virtual-time or attempt budget.
 func WatchdogExpired(err error) error { return Classify(ErrWatchdogExpired, err) }
 
+// HypervisorCrashed marks err as caused by a fail-stopped hypervisor.
+func HypervisorCrashed(err error) error { return Classify(ErrHypervisorCrashed, err) }
+
 // Class reports the highest-priority sentinel err carries, or nil. The
 // priority order puts the terminal outcome first: a lost VM dominates
 // everything, a broken invariant or blown watchdog dominates the
-// recoverable classes, and a clean abort dominates retryability.
+// recoverable classes, a crashed hypervisor dominates the planned-path
+// outcomes (its guests are frozen, not merely inconvenienced), and a
+// clean abort dominates retryability.
 func Class(err error) error {
 	for _, class := range []error{ErrVMLost, ErrInvariantViolated, ErrWatchdogExpired,
-		ErrAborted, ErrRetryable, ErrIncompatibleTarget, ErrInjected} {
+		ErrHypervisorCrashed, ErrAborted, ErrRetryable, ErrIncompatibleTarget, ErrInjected} {
 		if errors.Is(err, class) {
 			return class
 		}
@@ -128,6 +144,8 @@ func Label(class error) string {
 		return "invariant-violated"
 	case ErrWatchdogExpired:
 		return "watchdog-expired"
+	case ErrHypervisorCrashed:
+		return "crash"
 	case ErrAborted:
 		return "aborted"
 	case ErrRetryable:

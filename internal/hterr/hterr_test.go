@@ -43,6 +43,28 @@ func TestClassPriority(t *testing.T) {
 	}
 }
 
+func TestHypervisorCrashedTaxonomy(t *testing.T) {
+	err := HypervisorCrashed(Retryable(errors.New("heartbeat lost")))
+	if !errors.Is(err, ErrHypervisorCrashed) || !errors.Is(err, ErrRetryable) {
+		t.Fatal("crash classification dropped a class")
+	}
+	if got := Class(err); got != ErrHypervisorCrashed {
+		t.Fatalf("Class = %v, want ErrHypervisorCrashed (crash outranks retryable)", got)
+	}
+	if got := Class(VMLost(HypervisorCrashed(errors.New("x")))); got != ErrVMLost {
+		t.Fatalf("Class = %v, want ErrVMLost (loss outranks crash)", got)
+	}
+	if got := Class(InvariantViolated(HypervisorCrashed(errors.New("x")))); got != ErrInvariantViolated {
+		t.Fatalf("Class = %v, want ErrInvariantViolated (invariant outranks crash)", got)
+	}
+	if got := Class(HypervisorCrashed(Abort(errors.New("x")))); got != ErrHypervisorCrashed {
+		t.Fatalf("Class = %v, want ErrHypervisorCrashed (crash outranks abort)", got)
+	}
+	if Label(ErrHypervisorCrashed) != "crash" {
+		t.Fatalf("Label = %q, want crash", Label(ErrHypervisorCrashed))
+	}
+}
+
 func TestIsRetryable(t *testing.T) {
 	if !IsRetryable(Retryable(errors.New("x"))) {
 		t.Fatal("retryable error not retryable")

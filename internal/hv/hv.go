@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"hypertp/internal/guest"
+	"hypertp/internal/hterr"
 	"hypertp/internal/hw"
 	"hypertp/internal/uisr"
 )
@@ -181,4 +182,86 @@ type Hypervisor interface {
 	// AttachGuest binds a guest software stack to a restored VM and
 	// rebinds the guest's memory accessor (Fig. 3 ❻).
 	AttachGuest(id VMID, g *guest.Guest) error
+}
+
+// Crashable is implemented by hypervisors that model fail-stop crashes
+// and control-plane hangs (the ReHype failure model the reactive
+// recovery path is built on). Crash and Hang freeze every vCPU; the
+// guests' memory and the hypervisor's VM_i State structures stay intact
+// in place, which is exactly what the emergency transplant salvages.
+type Crashable interface {
+	// Crash fail-stops the hypervisor. Reports whether this call was the
+	// failing one (false when already down: first crash wins).
+	Crash(reason string) bool
+	// Hang wedges the control plane without fail-stopping: vCPUs freeze
+	// but the failure is only observable as missed heartbeats. Recovery
+	// must Fence before salvaging.
+	Hang(reason string) bool
+	// Fence forces a hung hypervisor into the fail-stopped state so its
+	// structures can be salvaged. A no-op when already crashed.
+	Fence(reason string)
+	// Crashed reports whether the hypervisor has fail-stopped.
+	Crashed() bool
+	// Hung reports whether the hypervisor is wedged but not fenced.
+	Hung() bool
+	// CrashReason returns the recorded failure cause, "" while healthy.
+	CrashReason() string
+}
+
+// CrashState is the embeddable Crashable bookkeeping shared by the
+// hypervisor models. The embedding implementation provides Crash/Hang
+// (it owns the vCPU freeze) on top of MarkCrashed/MarkHung.
+type CrashState struct {
+	crashed bool
+	hung    bool
+	reason  string
+}
+
+// MarkCrashed records the fail-stop. Reports whether this call is the
+// first failure (a fence of a hung hypervisor reports false).
+func (c *CrashState) MarkCrashed(reason string) bool {
+	if c.crashed {
+		return false
+	}
+	first := !c.hung
+	c.crashed = true
+	c.hung = false
+	if first {
+		c.reason = reason
+	}
+	return first
+}
+
+// MarkHung records the wedge. Reports whether this call is the first
+// failure.
+func (c *CrashState) MarkHung(reason string) bool {
+	if c.crashed || c.hung {
+		return false
+	}
+	c.hung = true
+	c.reason = reason
+	return true
+}
+
+// Crashed reports whether the hypervisor has fail-stopped.
+func (c *CrashState) Crashed() bool { return c.crashed }
+
+// Hung reports whether the hypervisor is wedged but not yet fenced.
+func (c *CrashState) Hung() bool { return c.hung }
+
+// CrashReason returns the recorded failure cause, "" while healthy.
+func (c *CrashState) CrashReason() string { return c.reason }
+
+// Barrier guards a control-plane operation: it fails with an
+// ErrHypervisorCrashed-classified error while the hypervisor is down.
+// Salvage operations (SaveUISR, MemExtents, VM lookup) do not call it —
+// reading the frozen structures is exactly what emergency recovery does.
+func (c *CrashState) Barrier(name, op string) error {
+	if c.crashed {
+		return hterr.HypervisorCrashed(fmt.Errorf("%s: %s: hypervisor crashed: %s", name, op, c.reason))
+	}
+	if c.hung {
+		return hterr.HypervisorCrashed(fmt.Errorf("%s: %s: hypervisor hung: %s", name, op, c.reason))
+	}
+	return nil
 }

@@ -49,6 +49,7 @@ type vmProc struct {
 
 // KVM is the type-II hypervisor model.
 type KVM struct {
+	hv.CrashState
 	machine  *hw.Machine
 	procs    map[hv.VMID]*vmProc
 	nextID   hv.VMID
@@ -58,7 +59,40 @@ type KVM struct {
 	runnable []hv.VMID
 }
 
-var _ hv.Hypervisor = (*KVM)(nil)
+var (
+	_ hv.Hypervisor = (*KVM)(nil)
+	_ hv.Crashable  = (*KVM)(nil)
+)
+
+// freezeVCPUs stops every VM's vCPUs in place for the fail-stop and
+// hang models: guest memory and VM_i State stay intact for salvage.
+func (k *KVM) freezeVCPUs() {
+	for _, proc := range k.procs {
+		proc.vm.SetPaused(true)
+	}
+}
+
+// Crash implements hv.Crashable: a host-kernel panic fail-stops every
+// kvmtool process with its guests frozen in place.
+func (k *KVM) Crash(reason string) bool {
+	first := k.MarkCrashed(reason)
+	k.freezeVCPUs()
+	return first
+}
+
+// Hang implements hv.Crashable: the host wedges (scheduler stall);
+// only missed heartbeats reveal it.
+func (k *KVM) Hang(reason string) bool {
+	first := k.MarkHung(reason)
+	k.freezeVCPUs()
+	return first
+}
+
+// Fence implements hv.Crashable.
+func (k *KVM) Fence(reason string) {
+	k.MarkCrashed(reason)
+	k.freezeVCPUs()
+}
 
 // Boot instantiates the host Linux + KVM stack on the machine.
 func Boot(m *hw.Machine) (*KVM, error) {
@@ -85,6 +119,9 @@ func (k *KVM) Machine() *hw.Machine { return k.machine }
 
 // CreateVM implements hv.Hypervisor.
 func (k *KVM) CreateVM(cfg hv.Config) (*hv.VM, error) {
+	if err := k.Barrier(Version, "create"); err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -101,6 +138,9 @@ func (k *KVM) CreateVM(cfg hv.Config) (*hv.VM, error) {
 
 // RestoreUISR implements hv.Hypervisor.
 func (k *KVM) RestoreUISR(st *uisr.VMState, opts hv.RestoreOptions) (*hv.VM, error) {
+	if err := k.Barrier(Version, "restore"); err != nil {
+		return nil, err
+	}
 	if err := st.Validate(); err != nil {
 		return nil, err
 	}
@@ -253,6 +293,9 @@ func (k *KVM) rebuildRunnable() {
 
 // DestroyVM implements hv.Hypervisor.
 func (k *KVM) DestroyVM(id hv.VMID) error {
+	if err := k.Barrier(Version, "destroy"); err != nil {
+		return err
+	}
 	proc, ok := k.procs[id]
 	if !ok {
 		return fmt.Errorf("kvm: no VM %d", id)
@@ -313,6 +356,9 @@ func (k *KVM) Pause(id hv.VMID) error { return k.setPaused(id, true) }
 func (k *KVM) Resume(id hv.VMID) error { return k.setPaused(id, false) }
 
 func (k *KVM) setPaused(id hv.VMID, paused bool) error {
+	if err := k.Barrier(Version, "pause-control"); err != nil {
+		return err
+	}
 	proc, ok := k.procs[id]
 	if !ok {
 		return fmt.Errorf("kvm: no VM %d", id)
@@ -392,6 +438,9 @@ func (k *KVM) Footprint(id hv.VMID) (hv.Footprint, error) {
 
 // EnableDirtyLog implements hv.Hypervisor (KVM_MEM_LOG_DIRTY_PAGES).
 func (k *KVM) EnableDirtyLog(id hv.VMID) error {
+	if err := k.Barrier(Version, "dirty-log"); err != nil {
+		return err
+	}
 	proc, ok := k.procs[id]
 	if !ok {
 		return fmt.Errorf("kvm: no VM %d", id)
@@ -459,6 +508,9 @@ func (k *KVM) IOAPICPinsDropped(id hv.VMID) (int, error) {
 
 // AttachGuest binds a guest stack to a restored VM and rebinds its memory.
 func (k *KVM) AttachGuest(id hv.VMID, g *guest.Guest) error {
+	if err := k.Barrier(Version, "attach-guest"); err != nil {
+		return err
+	}
 	proc, ok := k.procs[id]
 	if !ok {
 		return fmt.Errorf("kvm: no VM %d", id)

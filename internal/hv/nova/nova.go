@@ -119,6 +119,7 @@ type protectionDomain struct {
 
 // NOVA is the microhypervisor model.
 type NOVA struct {
+	hv.CrashState
 	machine  *hw.Machine
 	pds      map[hv.VMID]*protectionDomain
 	nextID   hv.VMID
@@ -126,7 +127,38 @@ type NOVA struct {
 	order    []hv.VMID
 }
 
-var _ hv.Hypervisor = (*NOVA)(nil)
+var (
+	_ hv.Hypervisor = (*NOVA)(nil)
+	_ hv.Crashable  = (*NOVA)(nil)
+)
+
+// freezeVCPUs stops every protection domain's vCPUs in place for the
+// fail-stop and hang models.
+func (n *NOVA) freezeVCPUs() {
+	for _, pd := range n.pds {
+		pd.vm.SetPaused(true)
+	}
+}
+
+// Crash implements hv.Crashable.
+func (n *NOVA) Crash(reason string) bool {
+	first := n.MarkCrashed(reason)
+	n.freezeVCPUs()
+	return first
+}
+
+// Hang implements hv.Crashable.
+func (n *NOVA) Hang(reason string) bool {
+	first := n.MarkHung(reason)
+	n.freezeVCPUs()
+	return first
+}
+
+// Fence implements hv.Crashable.
+func (n *NOVA) Fence(reason string) {
+	n.MarkCrashed(reason)
+	n.freezeVCPUs()
+}
 
 // Boot instantiates the microhypervisor on the machine.
 func Boot(m *hw.Machine) (*NOVA, error) {
@@ -153,6 +185,9 @@ func (n *NOVA) Machine() *hw.Machine { return n.machine }
 
 // CreateVM implements hv.Hypervisor.
 func (n *NOVA) CreateVM(cfg hv.Config) (*hv.VM, error) {
+	if err := n.Barrier(Version, "create"); err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -171,6 +206,9 @@ func (n *NOVA) CreateVM(cfg hv.Config) (*hv.VM, error) {
 
 // RestoreUISR implements hv.Hypervisor.
 func (n *NOVA) RestoreUISR(st *uisr.VMState, opts hv.RestoreOptions) (*hv.VM, error) {
+	if err := n.Barrier(Version, "restore"); err != nil {
+		return nil, err
+	}
 	if err := st.Validate(); err != nil {
 		return nil, err
 	}
@@ -284,6 +322,9 @@ func (n *NOVA) rebuildOrder() {
 
 // DestroyVM implements hv.Hypervisor.
 func (n *NOVA) DestroyVM(id hv.VMID) error {
+	if err := n.Barrier(Version, "destroy"); err != nil {
+		return err
+	}
 	pd, ok := n.pds[id]
 	if !ok {
 		return fmt.Errorf("nova: no protection domain %d", id)
@@ -343,6 +384,9 @@ func (n *NOVA) Pause(id hv.VMID) error { return n.setPaused(id, true) }
 func (n *NOVA) Resume(id hv.VMID) error { return n.setPaused(id, false) }
 
 func (n *NOVA) setPaused(id hv.VMID, paused bool) error {
+	if err := n.Barrier(Version, "pause-control"); err != nil {
+		return err
+	}
 	pd, ok := n.pds[id]
 	if !ok {
 		return fmt.Errorf("nova: no protection domain %d", id)
@@ -414,6 +458,9 @@ func (n *NOVA) Footprint(id hv.VMID) (hv.Footprint, error) {
 
 // EnableDirtyLog implements hv.Hypervisor.
 func (n *NOVA) EnableDirtyLog(id hv.VMID) error {
+	if err := n.Barrier(Version, "dirty-log"); err != nil {
+		return err
+	}
 	pd, ok := n.pds[id]
 	if !ok {
 		return fmt.Errorf("nova: no protection domain %d", id)
@@ -452,6 +499,9 @@ func (n *NOVA) MgmtStateBytes() uint64 {
 
 // AttachGuest implements hv.Hypervisor.
 func (n *NOVA) AttachGuest(id hv.VMID, g *guest.Guest) error {
+	if err := n.Barrier(Version, "attach-guest"); err != nil {
+		return err
+	}
 	pd, ok := n.pds[id]
 	if !ok {
 		return fmt.Errorf("nova: no protection domain %d", id)

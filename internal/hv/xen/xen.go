@@ -44,6 +44,7 @@ type evtchn struct {
 
 // Xen is the type-I hypervisor model.
 type Xen struct {
+	hv.CrashState
 	machine  *hw.Machine
 	domains  map[hv.VMID]*domain
 	nextID   hv.VMID
@@ -57,7 +58,10 @@ type Xen struct {
 // Version is the modeled Xen release (the paper's testbed).
 const Version = "xen-4.12.1"
 
-var _ hv.Hypervisor = (*Xen)(nil)
+var (
+	_ hv.Hypervisor = (*Xen)(nil)
+	_ hv.Crashable  = (*Xen)(nil)
+)
 
 // Boot instantiates Xen on the machine, reserving its HV State resident
 // set. It must be called on a machine whose previous hypervisor state was
@@ -85,10 +89,44 @@ func (x *Xen) Name() string { return Version }
 // Machine implements hv.Hypervisor.
 func (x *Xen) Machine() *hw.Machine { return x.machine }
 
+// freezeVCPUs stops every domain's vCPUs in place — the fail-stop and
+// hang models both leave the guests exactly where the scheduler dropped
+// them, which is what makes pause-less salvage capture possible.
+func (x *Xen) freezeVCPUs() {
+	for _, dom := range x.domains {
+		dom.vm.SetPaused(true)
+	}
+}
+
+// Crash implements hv.Crashable: Xen fail-stops and every domain's
+// vCPUs freeze with guest memory and VM_i State intact.
+func (x *Xen) Crash(reason string) bool {
+	first := x.MarkCrashed(reason)
+	x.freezeVCPUs()
+	return first
+}
+
+// Hang implements hv.Crashable: the toolstack wedges; vCPUs freeze but
+// only missed heartbeats reveal it.
+func (x *Xen) Hang(reason string) bool {
+	first := x.MarkHung(reason)
+	x.freezeVCPUs()
+	return first
+}
+
+// Fence implements hv.Crashable.
+func (x *Xen) Fence(reason string) {
+	x.MarkCrashed(reason)
+	x.freezeVCPUs()
+}
+
 // CreateVM implements hv.Hypervisor: it builds a new HVM domain with
 // synthetic-but-deterministic platform state (standing in for a booted
 // guest), allocates its guest memory, and installs its VM_i State.
 func (x *Xen) CreateVM(cfg hv.Config) (*hv.VM, error) {
+	if err := x.Barrier(Version, "create"); err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -110,6 +148,9 @@ func (x *Xen) CreateVM(cfg hv.Config) (*hv.VM, error) {
 // RestoreUISR implements hv.Hypervisor (the InPlaceTP / MigrationTP
 // restore side).
 func (x *Xen) RestoreUISR(st *uisr.VMState, opts hv.RestoreOptions) (*hv.VM, error) {
+	if err := x.Barrier(Version, "restore"); err != nil {
+		return nil, err
+	}
 	if err := st.Validate(); err != nil {
 		return nil, err
 	}
@@ -271,6 +312,9 @@ func (x *Xen) rebuildRunq() {
 
 // DestroyVM implements hv.Hypervisor.
 func (x *Xen) DestroyVM(id hv.VMID) error {
+	if err := x.Barrier(Version, "destroy"); err != nil {
+		return err
+	}
 	dom, ok := x.domains[id]
 	if !ok {
 		return fmt.Errorf("xen: no domain %d", id)
@@ -332,6 +376,9 @@ func (x *Xen) Pause(id hv.VMID) error { return x.setPaused(id, true) }
 func (x *Xen) Resume(id hv.VMID) error { return x.setPaused(id, false) }
 
 func (x *Xen) setPaused(id hv.VMID, paused bool) error {
+	if err := x.Barrier(Version, "pause-control"); err != nil {
+		return err
+	}
 	dom, ok := x.domains[id]
 	if !ok {
 		return fmt.Errorf("xen: no domain %d", id)
@@ -395,6 +442,9 @@ func (x *Xen) Footprint(id hv.VMID) (hv.Footprint, error) {
 
 // EnableDirtyLog implements hv.Hypervisor (logdirty mode).
 func (x *Xen) EnableDirtyLog(id hv.VMID) error {
+	if err := x.Barrier(Version, "dirty-log"); err != nil {
+		return err
+	}
 	dom, ok := x.domains[id]
 	if !ok {
 		return fmt.Errorf("xen: no domain %d", id)
@@ -470,6 +520,9 @@ func (x *Xen) RunQueue() []hv.VMID { return append([]hv.VMID(nil), x.runq...) }
 
 // AttachGuest binds a guest stack to a restored VM and rebinds its memory.
 func (x *Xen) AttachGuest(id hv.VMID, g *guest.Guest) error {
+	if err := x.Barrier(Version, "attach-guest"); err != nil {
+		return err
+	}
 	dom, ok := x.domains[id]
 	if !ok {
 		return fmt.Errorf("xen: no domain %d", id)

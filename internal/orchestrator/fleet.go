@@ -109,7 +109,7 @@ func (n *Nova) respondScheduled(db *vulndb.Database, vrec *vulndb.Record, cveID 
 	plans := make(map[string]*fleetHostPlan)
 	var order []string
 	for _, name := range n.order {
-		if n.quarantined[name] {
+		if n.quarantined[name] || n.HostDowned(name) {
 			continue
 		}
 		node := n.nodes[name]
@@ -149,7 +149,7 @@ func (n *Nova) respondScheduled(db *vulndb.Database, vrec *vulndb.Record, cveID 
 	}
 	avail := make(map[string]*capacity)
 	for _, name := range n.order {
-		if n.quarantined[name] {
+		if n.quarantined[name] || n.HostDowned(name) {
 			continue
 		}
 		v, m := n.nodes[name].Driver.Capacity()
@@ -163,7 +163,7 @@ func (n *Nova) respondScheduled(db *vulndb.Database, vrec *vulndb.Record, cveID 
 		best := ""
 		bestCPU := -1
 		for _, name := range n.order {
-			if name == src || n.quarantined[name] {
+			if name == src || n.quarantined[name] || n.HostDowned(name) {
 				continue
 			}
 			if hp := plans[name]; hp != nil && len(hp.incompat) > 0 {

@@ -19,6 +19,7 @@ import (
 	"hypertp/internal/hw"
 	"hypertp/internal/migration"
 	"hypertp/internal/obs"
+	"hypertp/internal/reactive"
 	"hypertp/internal/sched"
 	"hypertp/internal/simnet"
 	"hypertp/internal/simtime"
@@ -124,10 +125,26 @@ func (d *LibvirtDriver) SetFaults(p *fault.Plan, retry fault.RetryPolicy) {
 }
 
 // HostLiveUpgrade implements ComputeDriver: the one-click in-place
-// transplant.
+// transplant. A hypervisor fail-stop mid-transplant (the double fault)
+// leaves every VM frozen in place with the device protocol already run;
+// that is exactly the state the emergency path salvages, so the driver
+// self-heals by running it to the same target instead of surfacing the
+// crash. The returned report is the emergency's, with the aborted
+// attempt's fault and attempt counts folded in.
 func (d *LibvirtDriver) HostLiveUpgrade(target hv.Kind, opts core.Options) (*core.InPlaceReport, error) {
 	newHyp, report, err := d.engine.InPlace(d.hyp, target, opts)
 	if err != nil {
+		if hterr.Class(err) == hterr.ErrHypervisorCrashed {
+			rep, rerr := d.EmergencyRecover(target, opts)
+			if rerr != nil {
+				return nil, rerr
+			}
+			if report != nil {
+				rep.Faults += report.Faults
+				rep.Attempts += report.Attempts
+			}
+			return rep, nil
+		}
 		return nil, err
 	}
 	d.hyp = newHyp
@@ -166,6 +183,11 @@ type Nova struct {
 	// SetWarmPool and WarmPoolRefill).
 	warmCache *tpcache.Cache
 	warmSlots int
+	// detector and downed are the reactive-recovery state: the attached
+	// failure detector and the ledger of crashed-but-unrecovered hosts
+	// (see SetDetector, CrashHost, RecoverHost, RecoverFleet).
+	detector *reactive.Detector
+	downed   map[string]reactive.Event
 }
 
 // ComputeNode is one managed host.
@@ -183,6 +205,7 @@ func NewNova(clock *simtime.Clock, fabric *simnet.Link) *Nova {
 		db:          make(map[string]*VMRecord),
 		seed:        1,
 		quarantined: make(map[string]bool),
+		downed:      make(map[string]reactive.Event),
 	}
 }
 
@@ -388,7 +411,7 @@ func (n *Nova) BootVM(cfg hv.Config) (string, error) {
 	var best *ComputeNode
 	bestScore := -1 << 30
 	for _, name := range n.order {
-		if n.quarantined[name] {
+		if n.quarantined[name] || n.HostDowned(name) {
 			continue
 		}
 		node := n.nodes[name]
@@ -626,7 +649,7 @@ func (n *Nova) pickEvacuationTarget(exclude string, vm *hv.VM) string {
 	best := ""
 	bestCPU := -1
 	for _, name := range n.order {
-		if name == exclude || n.quarantined[name] {
+		if name == exclude || n.quarantined[name] || n.HostDowned(name) {
 			continue
 		}
 		vcpus, mem := n.nodes[name].Driver.Capacity()

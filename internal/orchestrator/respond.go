@@ -98,7 +98,10 @@ func (n *Nova) RespondToCVE(db *vulndb.Database, cveID string, pool []string, op
 	sort.Strings(names)
 
 	for _, name := range names {
-		if n.quarantined[name] {
+		// Downed hosts are the reactive path's to recover (RecoverHost /
+		// RecoverFleet); the CVE response treats them like quarantined
+		// ones rather than racing an upgrade against a frozen hypervisor.
+		if n.quarantined[name] || n.HostDowned(name) {
 			continue
 		}
 		node := n.nodes[name]

@@ -26,6 +26,12 @@ const (
 	// failed hosts were quarantined and their work re-planned, and the
 	// report says which.
 	OutcomeDegraded Outcome = "degraded"
+	// OutcomeCrashed: the source hypervisor fail-stopped mid-operation.
+	// The operation was abandoned with every VM frozen in place — not
+	// rolled back (there is no hypervisor left to resume them), not
+	// lost (guest memory and VM_i State survive) — and the emergency
+	// recovery path owns the host from here.
+	OutcomeCrashed Outcome = "crashed"
 )
 
 // Summary is the operation-independent view of a report.

@@ -36,6 +36,22 @@ func (t *Tracker) WriteReport(w io.Writer, now time.Duration) error {
 		b = append(b, fmt.Sprintf("vm downtime: vms=%d total=%v p50=%v p95=%v max=%v (worst %s)\n",
 			d.VMs, d.Total, d.P50, d.P95, d.Max, d.WorstVM)...)
 	}
+	// The availability section only appears once an unplanned outage was
+	// tracked, so crash-free runs render byte-identically to before the
+	// reactive path existed.
+	if a := t.Availability(now); a.Outages > 0 {
+		b = append(b, fmt.Sprintf("availability: hosts=%d outages=%d open=%d downtime=%v (worst %s)\n",
+			a.Hosts, a.Outages, a.Open, a.Total, a.WorstHost)...)
+		if a.Outages > a.Open {
+			b = append(b, fmt.Sprintf("  mttr mean=%v p50=%v p95=%v max=%v\n",
+				a.MTTRMean, a.MTTRP50, a.MTTRP95, a.MTTRMax)...)
+		}
+		if v, ok := t.MTTRVerdict(now); ok {
+			b = append(b, "  "...)
+			b = append(b, v.String()...)
+			b = append(b, '\n')
+		}
+	}
 	_, err := w.Write(b)
 	return err
 }

@@ -50,6 +50,16 @@ type exposure struct {
 	done   bool
 }
 
+// outage is one host's unplanned-outage interval: opened when the
+// hypervisor crashes (or is declared dead), closed when emergency
+// recovery resumes the last VM.
+type outage struct {
+	from   time.Duration
+	to     time.Duration
+	reason string
+	done   bool
+}
+
 // cveState is the per-CVE timeline.
 type cveState struct {
 	disclosed time.Duration
@@ -68,14 +78,20 @@ type Tracker struct {
 	vms      map[string]time.Duration
 	vmOrder  []string
 
+	outages     map[string][]*outage
+	outageOrder []string
+	mttrTarget  Target
+	hasMTTR     bool
+
 	reg *obs.Registry
 }
 
 // NewTracker creates an empty tracker.
 func NewTracker() *Tracker {
 	return &Tracker{
-		cves: make(map[string]*cveState),
-		vms:  make(map[string]time.Duration),
+		cves:    make(map[string]*cveState),
+		vms:     make(map[string]time.Duration),
+		outages: make(map[string][]*outage),
 	}
 }
 
@@ -193,6 +209,171 @@ func (t *Tracker) AddVMDowntime(vm string, d time.Duration) {
 	t.reg.Histogram("slo.vm_downtime", "ns", latencyBuckets).
 		Observe(float64(d.Nanoseconds()))
 	t.mu.Unlock()
+}
+
+// HostDown opens host's unplanned-outage interval at virtual time at —
+// the instant the hypervisor actually failed, not when the detector
+// noticed: the undetected window is outage time too. A host already down
+// stays down (first failure wins).
+func (t *Tracker) HostDown(host string, at time.Duration, reason string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	os := t.outages[host]
+	if n := len(os); n > 0 && !os[n-1].done {
+		t.mu.Unlock()
+		return
+	}
+	if len(os) == 0 {
+		t.outageOrder = append(t.outageOrder, host)
+	}
+	t.outages[host] = append(os, &outage{from: at, reason: reason})
+	t.reg.Counter("slo.outages", "outages").Add(1)
+	t.reg.Gauge("slo.hosts_down", "hosts").Add(1)
+	t.mu.Unlock()
+}
+
+// HostUp closes host's open outage interval at virtual time at — the
+// instant emergency recovery resumed the last VM. A host that was never
+// down is a no-op.
+func (t *Tracker) HostUp(host string, at time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	os := t.outages[host]
+	if n := len(os); n > 0 && !os[n-1].done {
+		o := os[n-1]
+		o.to = at
+		o.done = true
+		t.reg.Gauge("slo.hosts_down", "hosts").Add(-1)
+		t.reg.Histogram("slo.mttr", "ns", latencyBuckets).
+			Observe(float64((at - o.from).Nanoseconds()))
+	}
+	t.mu.Unlock()
+}
+
+// SetMTTRBudget declares the recovery SLO: at least Quantile of outages
+// must recover within Window of the failure instant. Pass then evaluates
+// it alongside the per-CVE targets.
+func (t *Tracker) SetMTTRBudget(target Target) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.mttrTarget = target
+	t.hasMTTR = true
+	t.mu.Unlock()
+}
+
+// AvailabilitySummary aggregates the unplanned-outage timeline: the
+// MTTR-and-availability counterpart of the CVE exposure windows.
+type AvailabilitySummary struct {
+	// Hosts is how many distinct hosts experienced at least one outage.
+	Hosts int
+	// Outages and Open count intervals (Open = hosts still down).
+	Outages, Open int
+	// Total is the summed outage time; still-open intervals are charged
+	// up to the evaluation instant.
+	Total time.Duration
+	// MTTR percentiles over closed (recovered) outages.
+	MTTRMean, MTTRP50, MTTRP95, MTTRMax time.Duration
+	// WorstHost suffered the longest single outage (open or closed).
+	WorstHost string
+}
+
+// Ratio converts the summary into fleet availability over a horizon:
+// 1 − total outage time / (fleetHosts × horizon). Degenerate inputs
+// report 1 (no evidence of unavailability).
+func (s AvailabilitySummary) Ratio(fleetHosts int, horizon time.Duration) float64 {
+	if fleetHosts <= 0 || horizon <= 0 {
+		return 1
+	}
+	r := 1 - float64(s.Total)/(float64(fleetHosts)*float64(horizon))
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Availability evaluates the outage timeline at virtual time now.
+func (t *Tracker) Availability(now time.Duration) AvailabilitySummary {
+	if t == nil {
+		return AvailabilitySummary{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := AvailabilitySummary{Hosts: len(t.outages)}
+	var mttrs []float64
+	var worst time.Duration
+	for _, host := range t.outageOrder {
+		for _, o := range t.outages[host] {
+			s.Outages++
+			d := o.to - o.from
+			if !o.done {
+				s.Open++
+				d = now - o.from
+			} else {
+				mttrs = append(mttrs, float64(d))
+			}
+			s.Total += d
+			if d >= worst && d > 0 {
+				worst, s.WorstHost = d, host
+			}
+		}
+	}
+	if len(mttrs) > 0 {
+		s.MTTRMean = time.Duration(metrics.Mean(mttrs))
+		s.MTTRP50 = time.Duration(metrics.Percentile(mttrs, 50))
+		s.MTTRP95 = time.Duration(metrics.Percentile(mttrs, 95))
+		s.MTTRMax = time.Duration(metrics.Percentile(mttrs, 100))
+	}
+	return s
+}
+
+// MTTRVerdict evaluates the declared recovery budget at virtual time
+// now: an outage violates when it recovered later than Window after the
+// failure, or is still open with the budget spent. Without a declared
+// budget the verdict passes vacuously with zero hosts.
+func (t *Tracker) MTTRVerdict(now time.Duration) (Verdict, bool) {
+	if t == nil {
+		return Verdict{CVE: "mttr", Pass: true}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.hasMTTR {
+		return Verdict{CVE: "mttr", Pass: true}, false
+	}
+	v := Verdict{CVE: "mttr", Target: t.mttrTarget}
+	for _, host := range t.outageOrder {
+		for _, o := range t.outages[host] {
+			v.Hosts++
+			deadline := o.from + t.mttrTarget.Window
+			if o.done {
+				if o.to > deadline {
+					v.Violations++
+				}
+			} else if now > deadline {
+				v.Violations++
+			}
+		}
+	}
+	allowed := 1 - t.mttrTarget.Quantile
+	frac := 0.0
+	if v.Hosts > 0 {
+		frac = float64(v.Violations) / float64(v.Hosts)
+	}
+	switch {
+	case allowed > 0:
+		v.BurnRate = frac / allowed
+	case v.Violations == 0:
+		v.BurnRate = 0
+	default:
+		v.BurnRate = math.Inf(1)
+	}
+	v.Pass = v.BurnRate <= 1
+	return v, true
 }
 
 // CVEs returns the tracked CVE ids in first-seen order.
@@ -365,13 +546,17 @@ func (t *Tracker) Evaluate(cve string, target Target, now time.Duration) Verdict
 	return evaluateLocked(cve, cs, target, now)
 }
 
-// Pass reports whether every CVE with a declared target passes at
-// virtual time now. A tracker with no targets passes vacuously.
+// Pass reports whether every CVE with a declared target — and the MTTR
+// budget, when declared — passes at virtual time now. A tracker with no
+// targets passes vacuously.
 func (t *Tracker) Pass(now time.Duration) bool {
 	for _, r := range t.Report(now) {
 		if r.HasTarget && !r.Verdict.Pass {
 			return false
 		}
+	}
+	if v, ok := t.MTTRVerdict(now); ok && !v.Pass {
+		return false
 	}
 	return true
 }

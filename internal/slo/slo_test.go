@@ -190,3 +190,80 @@ func TestWriteReportDeterministic(t *testing.T) {
 		t.Fatalf("empty report = %q", empty.String())
 	}
 }
+
+func TestOutageTimelineAndMTTR(t *testing.T) {
+	tr := NewTracker()
+	// host-a: crash at 10s, recovered at 14s (MTTR 4s).
+	tr.HostDown("host-a", 10*time.Second, "panic")
+	tr.HostDown("host-a", 11*time.Second, "ignored: already down")
+	tr.HostUp("host-a", 14*time.Second)
+	// host-b: crash at 20s, still down at evaluation.
+	tr.HostDown("host-b", 20*time.Second, "hang")
+	// host-a crashes again: second interval, 30s → 31s.
+	tr.HostDown("host-a", 30*time.Second, "panic")
+	tr.HostUp("host-a", 31*time.Second)
+	// Up without down is a no-op.
+	tr.HostUp("host-c", 40*time.Second)
+
+	now := 50 * time.Second
+	a := tr.Availability(now)
+	if a.Hosts != 2 || a.Outages != 3 || a.Open != 1 {
+		t.Fatalf("summary = %+v", a)
+	}
+	// 4s + 1s closed, plus host-b open 20s→50s = 30s.
+	if a.Total != 35*time.Second {
+		t.Fatalf("total outage = %v", a.Total)
+	}
+	if a.MTTRMax != 4*time.Second || a.WorstHost != "host-b" {
+		t.Fatalf("mttr max = %v worst = %s", a.MTTRMax, a.WorstHost)
+	}
+	// 4 hosts × 50s horizon, 35s down → 82.5% available.
+	if r := a.Ratio(4, now); r < 0.82 || r > 0.83 {
+		t.Fatalf("availability ratio = %v", r)
+	}
+
+	// MTTR budget: all outages within 10s passes even with host-b still
+	// open at 30s... which violates. Allow 50%.
+	tr.SetMTTRBudget(Target{Quantile: 0.5, Window: 10 * time.Second})
+	v, ok := tr.MTTRVerdict(now)
+	if !ok || v.Hosts != 3 || v.Violations != 1 || !v.Pass {
+		t.Fatalf("verdict = %+v ok=%v", v, ok)
+	}
+	if !tr.Pass(now) {
+		t.Fatal("tracker should pass with budget met")
+	}
+	tr.SetMTTRBudget(Target{Quantile: 1, Window: 10 * time.Second})
+	if tr.Pass(now) {
+		t.Fatal("tracker should fail a 100% budget with an open outage")
+	}
+
+	// The report gains an availability section, deterministically.
+	var b1, b2 bytes.Buffer
+	if err := tr.WriteReport(&b1, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteReport(&b2, now); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("availability report not deterministic")
+	}
+	for _, want := range []string{
+		"availability: hosts=2 outages=3 open=1 downtime=35s (worst host-b)",
+		"mttr mean=2.5s p50=2.5s p95=3.85s max=4s",
+		"FAIL",
+	} {
+		if !strings.Contains(b1.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, b1.String())
+		}
+	}
+
+	// Nil tracker: every outage call is a free no-op.
+	var nilT *Tracker
+	nilT.HostDown("x", 0, "r")
+	nilT.HostUp("x", 0)
+	nilT.SetMTTRBudget(Target{})
+	if s := nilT.Availability(0); s.Outages != 0 {
+		t.Fatal("nil tracker tracked an outage")
+	}
+}
