@@ -2,11 +2,12 @@ GO ?= go
 
 # Packages with fuzz targets and checked-in seed corpora.
 FUZZ_PKGS = ./internal/uisr/ ./internal/hv/xen/ ./internal/hv/kvm/ \
-	./internal/migration/ ./internal/checkpoint/ ./internal/pram/
+	./internal/migration/ ./internal/checkpoint/ ./internal/pram/ \
+	./internal/difffuzz/
 
 .PHONY: all build vet fmt-check test race check bench benchdiff benchfig \
 	trace-demo slo-demo fault-matrix crash-matrix soak crash-storm \
-	soak-short race-check fuzz-seeds
+	soak-short race-check fuzz-seeds calib-check
 
 all: check
 
@@ -106,6 +107,13 @@ race-check:
 # Commit the result; TestFuzzSeedCorpus fails when they drift.
 fuzz-seeds:
 	HYPERTP_WRITE_FUZZ_SEEDS=1 $(GO) test -count=1 -run TestFuzzSeedCorpus $(FUZZ_PKGS)
+
+# calib-check evaluates the timing-calibration catalogue: every
+# CostModel formula and measured engine run must land on the paper's
+# published figure shapes within declared tolerances (internal/calib),
+# and a perturbed cost constant must trip the gate (the negative half).
+calib-check:
+	$(GO) test -count=1 -run TestCalib ./internal/calib/
 
 # soak-short is the tier-1 slice of the chaos harness: the short soak
 # under the race detector plus ten seconds of real fuzzing on each

@@ -13,6 +13,12 @@
 //	chaoscheck -seed 1 -ops 200 -break leak-frame     # auditor self-test
 //	chaoscheck -seed 1 -ops 500 -stream -flight-cap 256
 //	chaoscheck -seed 1 -ops 500 -crash                # crash-storm soak
+//	chaoscheck -seed 3 -ops 50 -record-out trace.json # record a corpus trace
+//
+// -record-out writes the run's operation trace — violation or not — as
+// a replayable trace bundle: the corpus format of the differential
+// fuzzers (internal/difffuzz). A recorded bundle replays with -replay
+// and, prefixed with an 8-byte mutation seed, seeds FuzzTransplantTrace.
 //
 // -crash grows the op vocabulary with the reactive-recovery kinds:
 // single-host fail-stops and hangs (recovered by an emergency
@@ -63,6 +69,7 @@ func main() {
 		flightCap = flag.Int("flight-cap", 0, "flight-recorder capacity for -stream (0 = default)")
 		artDir    = flag.String("artifact-dir", ".", "directory for violation artifacts (chaos-metrics.json, chaos-flight.jsonl)")
 		replay    = flag.String("replay", "", "replay a previously written bundle instead of generating")
+		recordOut = flag.String("record-out", "", "record the generated operation trace as a replayable corpus bundle (difffuzz seed material), violation or not")
 		workers   = flag.Int("workers", 0, "host worker pool size (0 = GOMAXPROCS); results are identical for any value")
 		verbose   = flag.Bool("v", false, "print the per-op trace")
 	)
@@ -75,7 +82,7 @@ func main() {
 			Stream: *stream, FlightCap: *flightCap, Crash: *crash,
 		},
 		Shrink: !*noShrink, BundleOut: *bundleOut, Replay: *replay,
-		ArtifactDir: *artDir, Verbose: *verbose,
+		RecordOut: *recordOut, ArtifactDir: *artDir, Verbose: *verbose,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaoscheck:", err)
@@ -88,6 +95,7 @@ type runConfig struct {
 	Shrink      bool
 	BundleOut   string
 	Replay      string
+	RecordOut   string
 	ArtifactDir string
 	Verbose     bool
 }
@@ -134,6 +142,7 @@ func run(cfg runConfig) (int, error) {
 	start := time.Now()
 	var res *chaos.Result
 	var err error
+	expectViolation := false
 	if cfg.Replay != "" {
 		data, rerr := os.ReadFile(cfg.Replay)
 		if rerr != nil {
@@ -143,7 +152,12 @@ func run(cfg runConfig) (int, error) {
 		if perr != nil {
 			return 1, perr
 		}
-		fmt.Printf("replaying %s: %d op(s), expected violation: %s\n", cfg.Replay, len(b.Ops), b.Invariant)
+		expectViolation = b.IsFailure()
+		if expectViolation {
+			fmt.Printf("replaying %s: %d op(s), expected violation: %s\n", cfg.Replay, len(b.Ops), b.Invariant)
+		} else {
+			fmt.Printf("replaying %s: %d op(s), recorded trace (no expected violation)\n", cfg.Replay, len(b.Ops))
+		}
 		res, err = b.Replay()
 	} else {
 		res, err = chaos.Run(cfg.Config)
@@ -160,8 +174,20 @@ func run(cfg runConfig) (int, error) {
 	fmt.Print(res.Summary())
 	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Millisecond))
 
+	if cfg.RecordOut != "" {
+		data, merr := chaos.NewTraceBundle(res.Config, res.Ops).Marshal()
+		if merr != nil {
+			return 1, merr
+		}
+		if werr := os.WriteFile(cfg.RecordOut, data, 0o644); werr != nil {
+			return 1, werr
+		}
+		fmt.Printf("record: wrote %s (%d op(s); replay with -replay, or feed to the difffuzz corpus)\n",
+			cfg.RecordOut, len(res.Ops))
+	}
+
 	if res.Failure == nil {
-		if cfg.Replay != "" {
+		if expectViolation {
 			// A replay that no longer violates means the bug is fixed (or
 			// the bundle is stale) — worth a loud note, but a clean exit.
 			fmt.Println("replay: violation did not reproduce")

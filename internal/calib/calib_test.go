@@ -1,0 +1,113 @@
+package calib
+
+import (
+	"strings"
+	"testing"
+
+	"hypertp/internal/hw"
+)
+
+// TestCalibAnchors is the calibration gate: every catalogue assertion
+// must hold on the stock profiles. `make calib-check` runs this.
+func TestCalibAnchors(t *testing.T) {
+	as, err := Assertions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) < 14 {
+		t.Fatalf("catalogue shrank to %d assertions", len(as))
+	}
+	seen := map[string]bool{}
+	for _, a := range as {
+		if a.Name == "" || a.Source == "" {
+			t.Fatalf("assertion missing name or source: %+v", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate assertion name %s", a.Name)
+		}
+		seen[a.Name] = true
+		if err := a.Err(); err != nil {
+			t.Error(err)
+		}
+	}
+	if errs := Check(); len(errs) != 0 {
+		t.Fatalf("Check disagrees with the per-assertion pass: %v", errs)
+	}
+}
+
+// TestCalibDetectsPerturbation is the negative half of the gate: a cost
+// constant perturbed beyond tolerance must trip at least one named
+// assertion. Without this, a broken catalogue that vacuously passes
+// would go unnoticed.
+func TestCalibDetectsPerturbation(t *testing.T) {
+	cases := []struct {
+		name    string
+		perturb func(m1, m2 *hw.Profile)
+		expect  string // assertion name fragment that must appear in a failure
+	}{
+		{"translate-per-vm +50% (M1)", func(m1, _ *hw.Profile) {
+			m1.Cost.TranslatePerVM = m1.Cost.TranslatePerVM * 3 / 2
+		}, "fig6/m1/translate"},
+		{"boot-xen-dom0 2x (M1)", func(m1, _ *hw.Profile) {
+			m1.Cost.BootXenDom0 *= 2
+		}, "fig10/m1/kvm-to-xen"},
+		{"restore-per-vm halved (M2)", func(_, m2 *hw.Profile) {
+			m2.Cost.RestorePerVM /= 2
+		}, "fig6/m2/restore"},
+		{"nic-reinit 2x (M1)", func(m1, _ *hw.Profile) {
+			m1.Cost.NICReinit *= 2
+		}, "fig12/m1/nic-reinit"},
+		{"mig-finalize-xen 3x", func(m1, _ *hw.Profile) {
+			m1.Cost.MigFinalizeXen *= 3
+		}, "table4/finalize-ratio"},
+		{"boot-linux-kvm 2x (M1)", func(m1, _ *hw.Profile) {
+			m1.Cost.BootLinuxKVM *= 2
+		}, "fig6/m1/downtime"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m1, m2 := hw.M1(), hw.M2()
+			tc.perturb(m1, m2)
+			as, err := For(m1, m2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var failed []string
+			for _, a := range as {
+				if a.Err() != nil {
+					failed = append(failed, a.Name)
+				}
+			}
+			if len(failed) == 0 {
+				t.Fatal("perturbed cost constant slipped through the calibration gate")
+			}
+			if !strings.Contains(strings.Join(failed, " "), tc.expect) {
+				t.Fatalf("expected %s among failures, got %v", tc.expect, failed)
+			}
+		})
+	}
+}
+
+// TestCalibTolerances pins the tolerance tiers themselves: widening
+// them quietly would defeat the gate.
+func TestCalibTolerances(t *testing.T) {
+	if formulaTol > 0.02 {
+		t.Fatalf("formula tolerance widened to %v", formulaTol)
+	}
+	if measuredTol > 0.12 {
+		t.Fatalf("measured tolerance widened to %v", measuredTol)
+	}
+	if ratioTol > 0.15 {
+		t.Fatalf("ratio tolerance widened to %v", ratioTol)
+	}
+	a := Assertion{Name: "probe", Source: "test", Got: 120, Want: 100, Unit: "ms", Tol: 0.1}
+	if err := a.Err(); err == nil {
+		t.Fatal("20% deviation passed a 10% tolerance")
+	} else if !strings.Contains(err.Error(), "probe") || !strings.Contains(err.Error(), "test") {
+		t.Fatalf("diagnostic missing name or source: %v", err)
+	}
+	a.Got = 105
+	if err := a.Err(); err != nil {
+		t.Fatalf("5%% deviation failed a 10%% tolerance: %v", err)
+	}
+}

@@ -9,30 +9,51 @@ import (
 // build replays only on builds that understand its layout.
 const bundleVersion = 1
 
-// Bundle is a self-contained, replayable record of a failing run: the
-// exact config, the (shrunk) op list, and what broke. Serialized as
-// indented JSON with struct-ordered fields, so identical failures
-// produce byte-identical bundles.
+// Bundle is a self-contained, replayable record of a run: the exact
+// config and op list, plus — for failure bundles — what broke.
+// Serialized as indented JSON with struct-ordered fields, so identical
+// runs produce byte-identical bundles.
+//
+// Two flavors share the format. A failure bundle (NewBundle) carries
+// the violated invariant and its detail so a replay can confirm
+// reproduction. A trace bundle (NewTraceBundle) records any run —
+// passing or failing — as corpus material for record/replay fuzzing:
+// the differential fuzzer mutates recorded op lists and replays them
+// under the full invariant auditor. Both replay identically; only the
+// failure fields distinguish them.
 type Bundle struct {
 	Version   int      `json:"version"`
 	Config    Config   `json:"config"`
 	Ops       []Op     `json:"ops"`
-	Invariant string   `json:"invariant"`
-	Detail    string   `json:"detail"`
+	Invariant string   `json:"invariant,omitempty"`
+	Detail    string   `json:"detail,omitempty"`
 	Trace     []string `json:"trace,omitempty"`
 }
 
 // NewBundle packages a failing run (typically after Shrink) for replay.
 func NewBundle(cfg Config, ops []Op, fail *Failure, trace []string) *Bundle {
+	b := NewTraceBundle(cfg, ops)
+	b.Invariant = fail.Invariant
+	b.Detail = fail.Detail
+	b.Trace = append([]string(nil), trace...)
+	return b
+}
+
+// NewTraceBundle packages a recorded op stream — no failure attached —
+// as replayable corpus material. The config is normalized through
+// withDefaults so the bundle replays on exactly the fleet that
+// recorded it.
+func NewTraceBundle(cfg Config, ops []Op) *Bundle {
 	return &Bundle{
-		Version:   bundleVersion,
-		Config:    cfg.withDefaults(),
-		Ops:       append([]Op(nil), ops...),
-		Invariant: fail.Invariant,
-		Detail:    fail.Detail,
-		Trace:     append([]string(nil), trace...),
+		Version: bundleVersion,
+		Config:  cfg.withDefaults(),
+		Ops:     append([]Op(nil), ops...),
 	}
 }
+
+// IsFailure reports whether the bundle records an invariant violation
+// (as opposed to a plain recorded trace).
+func (b *Bundle) IsFailure() bool { return b.Invariant != "" }
 
 // Marshal renders the bundle deterministically.
 func (b *Bundle) Marshal() ([]byte, error) {

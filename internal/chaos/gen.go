@@ -72,6 +72,13 @@ type Op struct {
 // Xen-only and two KVM-only (the upgrade paths in each direction).
 var respondCVEs = []string{"CVE-2015-3456", "CVE-2016-6258", "CVE-2017-12188", "CVE-2013-0311"}
 
+// KnownCVEs returns the generator's CVE vocabulary, so external trace
+// producers (the differential fuzzer's derived traces) draw respond ops
+// from the same set the vulndb knows.
+func KnownCVEs() []string {
+	return append([]string(nil), respondCVEs...)
+}
+
 // Generate derives cfg.Ops operations from cfg.Seed via SplitMix64 — the
 // same stream every time, on every platform, at any worker count.
 func Generate(cfg Config) []Op {

@@ -218,12 +218,7 @@ func (e *Engine) Emergency(src hv.Hypervisor, target hv.Kind, opts Options) (hv.
 			Name: vm.Config.Name, VMID: uint32(vm.ID),
 			Extents: extents,
 		})
-		gib := float64(vm.Config.MemBytes) / float64(hw.GiB)
-		c := cost.PRAMPerVM + time.Duration(gib*float64(cost.PRAMPerGB))
-		if !opts.HugePages {
-			c *= splitPRAMCostFactor
-		}
-		pramCosts = append(pramCosts, c)
+		pramCosts = append(pramCosts, cost.PRAMBuild(vm.Config.MemBytes, opts.HugePages))
 	}
 	pramCharge := e.elapsed(pramCosts, opts.Parallel)
 	for attempt := 1; ; attempt++ {
@@ -264,10 +259,7 @@ func (e *Engine) Emergency(src hv.Hypervisor, target hv.Kind, opts Options) (hv.
 	states := make([]*uisr.VMState, 0, len(vms))
 	costs := make([]time.Duration, 0, len(vms))
 	for _, vm := range vms {
-		gib := float64(vm.Config.MemBytes) / float64(hw.GiB)
-		c := cost.TranslatePerVM +
-			time.Duration(vm.Config.VCPUs)*cost.TranslatePerVCPU +
-			time.Duration(gib*float64(cost.TranslatePerGB))
+		c := cost.Translate(vm.Config.VCPUs, vm.Config.MemBytes)
 		costs = append(costs, c)
 		for attempt := 1; ; attempt++ {
 			if ferr := e.Fault.Fire(fault.SiteUISRTranslate); ferr != nil {
@@ -344,13 +336,9 @@ func (e *Engine) Emergency(src hv.Hypervisor, target hv.Kind, opts Options) (hv.
 		return lost(err)
 	}
 	report.WipedFrames = res.WipedFrames
-	var totalGiB float64
+	var totalMem uint64
 	for _, vm := range vms {
-		totalGiB += float64(vm.Config.MemBytes) / float64(hw.GiB)
-	}
-	parseCost := time.Duration(totalGiB * float64(cost.PRAMParsePerGB))
-	if !opts.HugePages {
-		parseCost *= splitPRAMCostFactor
+		totalMem += vm.Config.MemBytes
 	}
 	bootBase := cost.BootLinuxKVM
 	switch target {
@@ -361,7 +349,7 @@ func (e *Engine) Emergency(src hv.Hypervisor, target hv.Kind, opts Options) (hv.
 	}
 	e.Trace.Emit(trace.StepKexec, "wiped %d frames (crashed hypervisor reclaimed), preserved %d", res.WipedFrames, res.PreservedFrames)
 	mets.Counter("tp.wiped_frames", "frames").Add(int64(res.WipedFrames))
-	report.Reboot = bootBase + parseCost + time.Duration(len(vms))*cost.PRAMParsePerVM
+	report.Reboot = bootBase + cost.PRAMParse(totalMem, len(vms), opts.HugePages)
 	e.Clock.Advance(report.Reboot)
 	if ferr := e.Fault.Fire(fault.SiteKexecHandover); ferr != nil {
 		recovered(fault.SiteKexecHandover, bootBase)
@@ -398,7 +386,7 @@ func (e *Engine) Emergency(src hv.Hypervisor, target hv.Kind, opts Options) (hv.
 	if err != nil {
 		return lost(err)
 	}
-	reparseCost := parseCost + time.Duration(len(vms))*cost.PRAMParsePerVM
+	reparseCost := cost.PRAMParse(totalMem, len(vms), opts.HugePages)
 	var parsed *pram.Structure
 	parseStart := e.Clock.Now()
 	for attempt := 1; ; attempt++ {
@@ -493,7 +481,7 @@ func (e *Engine) Emergency(src hv.Hypervisor, target hv.Kind, opts Options) (hv.
 			}
 			e.Trace.Emit(trace.StepAttachGuest, "%s guest rebound", s.res.Name)
 		}
-		costs = append(costs, cost.RestorePerVM+time.Duration(s.res.VCPUs)*cost.RestorePerVCPU)
+		costs = append(costs, cost.Restore(s.res.VCPUs))
 	}
 	restore := e.elapsed(costs, opts.Parallel)
 	report.Restoration += restore

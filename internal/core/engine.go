@@ -62,10 +62,6 @@ func DefaultOptions() Options {
 	return Options{PrepareBeforePause: true, Parallel: true, HugePages: true, EarlyRestoration: true}
 }
 
-// splitPRAMCostFactor scales PRAM build and parse costs when huge pages
-// are disabled: 512x the entries, amortized by bulk writes.
-const splitPRAMCostFactor = 8
-
 // VMResult records one VM's journey through a transplant.
 type VMResult struct {
 	Name  string
@@ -392,12 +388,7 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 				Extents: extents,
 			})
 			guests[vm.Config.Name] = vm.Guest
-			gib := float64(vm.Config.MemBytes) / float64(hw.GiB)
-			c := cost.PRAMPerVM + time.Duration(gib*float64(cost.PRAMPerGB))
-			if !opts.HugePages {
-				c *= splitPRAMCostFactor
-			}
-			costs = append(costs, c)
+			costs = append(costs, cost.PRAMBuild(vm.Config.MemBytes, opts.HugePages))
 		}
 		ps, err := pram.Build(e.Machine.Mem, files, e.pramBuildOptions(opts))
 		if err != nil {
@@ -487,10 +478,7 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 			report.Faults++
 			return rollback(ferr)
 		}
-		gib := float64(vm.Config.MemBytes) / float64(hw.GiB)
-		c := cost.TranslatePerVM +
-			time.Duration(vm.Config.VCPUs)*cost.TranslatePerVCPU +
-			time.Duration(gib*float64(cost.TranslatePerGB))
+		c := cost.Translate(vm.Config.VCPUs, vm.Config.MemBytes)
 		costs = append(costs, c)
 		translateVirtual.Observe(c.Seconds())
 		if opts.Cache != nil {
@@ -622,13 +610,9 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 		return lost(err)
 	}
 	report.WipedFrames = res.WipedFrames
-	var totalGiB float64
+	var totalMem uint64
 	for _, vm := range vms {
-		totalGiB += float64(vm.Config.MemBytes) / float64(hw.GiB)
-	}
-	parseCost := time.Duration(totalGiB * float64(cost.PRAMParsePerGB))
-	if !opts.HugePages {
-		parseCost *= splitPRAMCostFactor
+		totalMem += vm.Config.MemBytes
 	}
 	bootBase := cost.BootLinuxKVM
 	switch target {
@@ -639,7 +623,7 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	}
 	e.Trace.Emit(trace.StepKexec, "wiped %d frames, preserved %d", res.WipedFrames, res.PreservedFrames)
 	mets.Counter("tp.wiped_frames", "frames").Add(int64(res.WipedFrames))
-	report.Reboot = bootBase + parseCost + time.Duration(len(vms))*cost.PRAMParsePerVM
+	report.Reboot = bootBase + cost.PRAMParse(totalMem, len(vms), opts.HugePages)
 	e.Clock.Advance(report.Reboot)
 	if ferr := e.Fault.Fire(fault.SiteKexecHandover); ferr != nil {
 		// The micro-reboot crashed during the handover, after the wipe:
@@ -683,7 +667,7 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 	if err != nil {
 		return lost(err)
 	}
-	reparseCost := parseCost + time.Duration(len(vms))*cost.PRAMParsePerVM
+	reparseCost := cost.PRAMParse(totalMem, len(vms), opts.HugePages)
 	var parsed *pram.Structure
 	parseStart := e.Clock.Now()
 	for attempt := 1; ; attempt++ {
@@ -796,7 +780,7 @@ func (e *Engine) InPlace(src hv.Hypervisor, target hv.Kind, opts Options) (hv.Hy
 			}
 			e.Trace.Emit(trace.StepAttachGuest, "%s guest rebound", s.res.Name)
 		}
-		costs = append(costs, cost.RestorePerVM+time.Duration(s.res.VCPUs)*cost.RestorePerVCPU)
+		costs = append(costs, cost.Restore(s.res.VCPUs))
 	}
 	restoreVirtual := mets.Histogram("tp.restore_virtual_s", "s", obs.ExpBuckets(1e-3, 2, 16))
 	for _, c := range costs {

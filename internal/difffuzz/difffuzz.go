@@ -1,0 +1,195 @@
+// Package difffuzz is the record/replay differential fuzzing layer: it
+// feeds recorded transplant traces — chaos trace bundles, optionally
+// passed through deterministic mutators — back through the full
+// invariant auditor (FuzzTransplantTrace), and drives arbitrary VM
+// state through Xen→KVM→Xen UISR round-trips checking byte-for-byte
+// equivalence of guest memory, device state, and re-encoded blobs,
+// cached path included (FuzzRoundTrip).
+//
+// The corpus format is the chaos replay bundle itself (see
+// chaos.NewTraceBundle and `chaoscheck -record-out`): a fuzz input is
+// an 8-byte little-endian mutation seed followed by bundle JSON. Inputs
+// whose tail is not a parseable bundle still replay — a trace is
+// derived totally from the raw bytes — so coverage-guided mutation of
+// the bytes themselves stays productive.
+package difffuzz
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hypertp/internal/chaos"
+)
+
+// chaosHost and chaosVM render the harness's fixed entity names.
+func chaosHost(i int) string { return fmt.Sprintf("host-%02d", i) }
+func chaosVM(i int) string   { return fmt.Sprintf("vm-%02d", i) }
+
+// Replay-cost clamps on decoded traces. A hostile or degenerate bundle
+// must not turn one fuzz iteration into a minutes-long soak.
+const (
+	maxOps   = 64
+	maxHosts = 8
+	maxVMs   = 8
+)
+
+// mutSeedSize is the mutation-seed header length of a fuzz input.
+const mutSeedSize = 8
+
+// DecodeInput splits a fuzz input into its mutation seed and the
+// recorded trace. Total: any byte string decodes to a replayable
+// (config, ops) pair. A mutation seed of zero means "replay verbatim".
+func DecodeInput(data []byte) (mutSeed uint64, cfg chaos.Config, ops []chaos.Op) {
+	if len(data) >= mutSeedSize {
+		mutSeed = binary.LittleEndian.Uint64(data)
+		data = data[mutSeedSize:]
+	}
+	if b, err := chaos.ParseBundle(data); err == nil {
+		cfg, ops = b.Config, b.Ops
+	} else {
+		cfg, ops = deriveTrace(data)
+	}
+	cfg, ops = clampTrace(cfg, ops)
+	return mutSeed, cfg, ops
+}
+
+// EncodeInput renders a recorded trace plus mutation seed in the fuzz
+// input format — the inverse of DecodeInput for well-formed bundles.
+// Seed corpora and divergence repros are built with it.
+func EncodeInput(mutSeed uint64, cfg chaos.Config, ops []chaos.Op) ([]byte, error) {
+	body, err := chaos.NewTraceBundle(cfg, ops).Marshal()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, mutSeedSize, mutSeedSize+len(body))
+	binary.LittleEndian.PutUint64(out, mutSeed)
+	return append(out, body...), nil
+}
+
+// clampTrace bounds a decoded trace to the per-iteration replay budget.
+func clampTrace(cfg chaos.Config, ops []chaos.Op) (chaos.Config, []chaos.Op) {
+	if cfg.Hosts > maxHosts {
+		cfg.Hosts = maxHosts
+	}
+	if cfg.VMs > maxVMs {
+		cfg.VMs = maxVMs
+	}
+	if cfg.FaultRate < 0 {
+		cfg.FaultRate = 0
+	}
+	if cfg.FaultRate > 0.5 {
+		cfg.FaultRate = 0.5
+	}
+	if cfg.OpBudget < 0 {
+		cfg.OpBudget = 0
+	}
+	if cfg.FlightCap < 0 {
+		cfg.FlightCap = 0
+	}
+	// A replayed trace must stand on its own ops, not re-generate.
+	cfg.Ops = len(ops)
+	// Breakers exist to prove the auditor catches planted violations;
+	// under the fuzzer they would only produce expected failures.
+	cfg.Break = ""
+	if len(ops) > maxOps {
+		ops = ops[:maxOps]
+	}
+	return cfg, ops
+}
+
+// deriveTrace maps arbitrary bytes to a valid trace: a fixed-layout
+// header draws the fleet shape, then 6-byte records draw ops from the
+// generator's vocabulary. Every byte value is meaningful, none can
+// reject — the property that keeps mutated non-JSON inputs exploring
+// op-sequence space instead of dying in a parser.
+func deriveTrace(data []byte) (chaos.Config, []chaos.Op) {
+	at := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	var seed uint64
+	for i := 0; i < 8; i++ {
+		seed = seed<<8 | uint64(at(i))
+	}
+	flags := at(8)
+	cfg := chaos.Config{
+		Seed:  seed | 1,
+		Hosts: 2 + int(at(9))%3,
+		VMs:   1 + int(at(10))%4,
+		Crash: flags&1 != 0,
+		Cache: flags&2 != 0,
+	}
+	if flags&4 != 0 {
+		cfg.FaultRate = float64(at(11)) / 255 * 0.3
+	}
+	nOps := 1 + int(at(12))%24
+	ops := make([]chaos.Op, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		rec := [6]byte{}
+		for j := range rec {
+			rec[j] = at(13 + 6*i + j)
+		}
+		ops = append(ops, deriveOp(cfg, rec))
+	}
+	return cfg, ops
+}
+
+// derivedKinds is the op vocabulary the byte decoder draws from; the
+// crash kinds sit at the tail so they are reachable only on
+// crash-enabled traces.
+var derivedKinds = []string{
+	chaos.OpWorkload, chaos.OpMigrate, chaos.OpUpgrade,
+	chaos.OpRespond, chaos.OpRespondFleet,
+	chaos.OpQuarantine, chaos.OpReturn,
+	chaos.OpLinkDown, chaos.OpLinkUp, chaos.OpSweep, chaos.OpWarmPoolRefill,
+	chaos.OpCrashHV, chaos.OpCrashStorm, chaos.OpCrashDuringTransplant,
+}
+
+const numSafeKinds = 11 // derivedKinds prefix without the crash kinds
+
+func hostName(cfg chaos.Config, b byte) string {
+	return chaosHost(int(b) % cfg.Hosts)
+}
+
+func vmName(cfg chaos.Config, b byte) string {
+	return chaosVM(int(b) % cfg.VMs)
+}
+
+// deriveOp maps one 6-byte record (kind, host, vm, aux, pages, fault)
+// to a concrete op against cfg's fleet.
+func deriveOp(cfg chaos.Config, rec [6]byte) chaos.Op {
+	kinds := derivedKinds[:numSafeKinds]
+	if cfg.Crash {
+		kinds = derivedKinds
+	}
+	op := chaos.Op{Kind: kinds[int(rec[0])%len(kinds)]}
+	switch op.Kind {
+	case chaos.OpWorkload:
+		op.VM = vmName(cfg, rec[2])
+		op.Pages = 1 + int(rec[4])%64
+	case chaos.OpMigrate:
+		op.VM = vmName(cfg, rec[2])
+		op.Target = hostName(cfg, rec[3])
+	case chaos.OpUpgrade, chaos.OpQuarantine, chaos.OpReturn, chaos.OpCrashDuringTransplant:
+		op.Host = hostName(cfg, rec[1])
+	case chaos.OpRespond, chaos.OpRespondFleet:
+		cves := chaos.KnownCVEs()
+		op.Target = cves[int(rec[3])%len(cves)]
+	case chaos.OpCrashHV:
+		op.Host = hostName(cfg, rec[1])
+		if rec[3]%4 == 0 {
+			op.Target = "hang"
+		}
+	case chaos.OpCrashStorm:
+		op.Count = 2 + int(rec[3])%3
+	}
+	// A zero fault byte (the padding value) means no injection; any
+	// other value expands to a full odd fault-plan seed, deterministic
+	// in (trace seed, record).
+	if rec[5] != 0 && cfg.FaultRate > 0 {
+		op.Fault = (cfg.Seed*0x9e3779b97f4a7c15 + uint64(rec[5])*0x2545f4914f6cdd1d) | 1
+	}
+	return op
+}

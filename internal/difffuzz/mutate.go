@@ -1,0 +1,229 @@
+package difffuzz
+
+import (
+	"hypertp/internal/chaos"
+	"hypertp/internal/simtime"
+)
+
+// Trace mutators. Each is a pure function of (cfg, ops, seed): same
+// inputs, same mutated trace, on any platform — the determinism that
+// makes a fuzz crasher replay byte-for-byte from its input alone. All
+// return fresh slices; the input ops are never aliased or modified.
+//
+// The catalogue mirrors the record/replay fuzzing substrate of IRIS
+// (PAPERS.md): reorder within dependency constraints, fault-site
+// swaps, seed perturbation, and op splicing from donor traces.
+
+// MutationKind selects one mutator.
+type MutationKind int
+
+const (
+	// MutReorder swaps adjacent independent ops (disjoint hosts and
+	// VMs, neither fleet-wide), exploring interleavings that the
+	// generator's single sequential stream never emits.
+	MutReorder MutationKind = iota
+	// MutFaultSwap permutes the per-op fault-plan seeds among the ops
+	// that carry one and re-derives a fraction, moving fault sites
+	// between operations without changing the op sequence.
+	MutFaultSwap
+	// MutSeedPerturb perturbs the trace's base seed and the bounded
+	// scalar op fields (workload pages, crash-storm counts).
+	MutSeedPerturb
+	// MutSplice inserts a short contiguous run of ops generated from a
+	// donor trace (chaos.Generate under a derived seed) at a random
+	// position.
+	MutSplice
+	numMutationKinds
+)
+
+func (k MutationKind) String() string {
+	switch k {
+	case MutReorder:
+		return "reorder"
+	case MutFaultSwap:
+		return "fault-swap"
+	case MutSeedPerturb:
+		return "seed-perturb"
+	case MutSplice:
+		return "splice"
+	}
+	return "unknown"
+}
+
+// Mutate applies the mutator chain selected by seed: zero is the
+// identity, anything else applies 1–3 mutators drawn from the
+// catalogue, each under its own derived sub-seed.
+func Mutate(cfg chaos.Config, ops []chaos.Op, seed uint64) (chaos.Config, []chaos.Op) {
+	if seed == 0 || len(ops) == 0 {
+		return cfg, append([]chaos.Op(nil), ops...)
+	}
+	rng := simtime.NewRand(seed)
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		kind := MutationKind(rng.Intn(int(numMutationKinds)))
+		cfg, ops = Apply(kind, cfg, ops, rng.Uint64())
+	}
+	// Splice can push past the replay budget; re-clamp.
+	return clampTrace(cfg, ops)
+}
+
+// Apply runs a single mutator.
+func Apply(kind MutationKind, cfg chaos.Config, ops []chaos.Op, seed uint64) (chaos.Config, []chaos.Op) {
+	switch kind {
+	case MutReorder:
+		return cfg, Reorder(ops, seed)
+	case MutFaultSwap:
+		return cfg, FaultSwap(ops, seed)
+	case MutSeedPerturb:
+		return SeedPerturb(cfg, ops, seed)
+	case MutSplice:
+		return cfg, Splice(cfg, ops, seed)
+	}
+	return cfg, append([]chaos.Op(nil), ops...)
+}
+
+// fleetWide reports whether an op's effect spans the whole fleet, which
+// makes it order-dependent with everything.
+func fleetWide(op chaos.Op) bool {
+	switch op.Kind {
+	case chaos.OpLinkDown, chaos.OpLinkUp, chaos.OpRespond, chaos.OpRespondFleet,
+		chaos.OpSweep, chaos.OpWarmPoolRefill, chaos.OpCrashStorm:
+		return true
+	}
+	return false
+}
+
+// entities returns the named hosts and VMs an op touches.
+func entities(op chaos.Op) (hosts, vms []string) {
+	if op.Host != "" {
+		hosts = append(hosts, op.Host)
+	}
+	if op.Kind == chaos.OpMigrate && op.Target != "" {
+		hosts = append(hosts, op.Target)
+	}
+	if op.VM != "" {
+		vms = append(vms, op.VM)
+	}
+	return hosts, vms
+}
+
+// independent reports whether two adjacent ops may swap: neither is
+// fleet-wide and their named hosts and VMs are disjoint.
+func independent(a, b chaos.Op) bool {
+	if fleetWide(a) || fleetWide(b) {
+		return false
+	}
+	ha, va := entities(a)
+	hb, vb := entities(b)
+	for _, x := range ha {
+		for _, y := range hb {
+			if x == y {
+				return false
+			}
+		}
+	}
+	for _, x := range va {
+		for _, y := range vb {
+			if x == y {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Reorder performs len(ops) random adjacent swaps, each allowed only
+// when the pair is independent. The op multiset is always preserved.
+func Reorder(ops []chaos.Op, seed uint64) []chaos.Op {
+	out := append([]chaos.Op(nil), ops...)
+	if len(out) < 2 {
+		return out
+	}
+	rng := simtime.NewRand(seed)
+	// A seed-dependent attempt count, so short traces don't always see
+	// an even number of swaps undoing each other.
+	attempts := 1 + rng.Intn(2*len(out))
+	for k := 0; k < attempts; k++ {
+		i := rng.Intn(len(out) - 1)
+		if independent(out[i], out[i+1]) {
+			out[i], out[i+1] = out[i+1], out[i]
+		}
+	}
+	return out
+}
+
+// FaultSwap rotates the fault-plan seeds among the fault-carrying ops
+// and re-derives roughly a quarter of them, so injected fault sites
+// move between operations.
+func FaultSwap(ops []chaos.Op, seed uint64) []chaos.Op {
+	out := append([]chaos.Op(nil), ops...)
+	rng := simtime.NewRand(seed)
+	var idx []int
+	for i, op := range out {
+		if op.Fault != 0 {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return out
+	}
+	// Deterministic Fisher–Yates over the carriers, then a rotation so
+	// even a 2-carrier trace actually moves its seeds.
+	seeds := make([]uint64, len(idx))
+	for k, i := range idx {
+		seeds[k] = out[i].Fault
+	}
+	for k := len(seeds) - 1; k > 0; k-- {
+		j := rng.Intn(k + 1)
+		seeds[k], seeds[j] = seeds[j], seeds[k]
+	}
+	rot := rng.Intn(len(seeds))
+	for k, i := range idx {
+		s := seeds[(k+rot)%len(seeds)]
+		if rng.Intn(4) == 0 {
+			s = rng.Uint64() | 1
+		}
+		out[i].Fault = s
+	}
+	return out
+}
+
+// SeedPerturb perturbs the trace seed (which drives harness-internal
+// randomness such as migration receive jitter) and the bounded scalar
+// op fields, staying inside the generator's own ranges.
+func SeedPerturb(cfg chaos.Config, ops []chaos.Op, seed uint64) (chaos.Config, []chaos.Op) {
+	rng := simtime.NewRand(seed)
+	cfg.Seed = (cfg.Seed ^ rng.Uint64()) | 1
+	out := append([]chaos.Op(nil), ops...)
+	for i := range out {
+		switch out[i].Kind {
+		case chaos.OpWorkload:
+			if rng.Intn(2) == 0 {
+				out[i].Pages = 1 + rng.Intn(64)
+			}
+		case chaos.OpCrashStorm:
+			if rng.Intn(2) == 0 {
+				out[i].Count = 2 + rng.Intn(3)
+			}
+		}
+	}
+	return cfg, out
+}
+
+// Splice inserts a 1–4 op run generated from a donor trace (same fleet
+// shape, derived seed) at a random position.
+func Splice(cfg chaos.Config, ops []chaos.Op, seed uint64) []chaos.Op {
+	rng := simtime.NewRand(seed)
+	donorCfg := cfg
+	donorCfg.Seed = rng.Uint64() | 1
+	donorCfg.Ops = 8
+	donor := chaos.Generate(donorCfg)
+	n := 1 + rng.Intn(4)
+	start := rng.Intn(len(donor) - n + 1)
+	pos := rng.Intn(len(ops) + 1)
+	out := make([]chaos.Op, 0, len(ops)+n)
+	out = append(out, ops[:pos]...)
+	out = append(out, donor[start:start+n]...)
+	out = append(out, ops[pos:]...)
+	return out
+}

@@ -1,0 +1,198 @@
+package difffuzz
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"hypertp/internal/chaos"
+)
+
+func genTrace(tb testing.TB, cfg chaos.Config) (chaos.Config, []chaos.Op) {
+	tb.Helper()
+	ops := chaos.Generate(cfg)
+	if len(ops) == 0 {
+		tb.Fatal("empty generated trace")
+	}
+	return cfg, ops
+}
+
+func opMultiset(ops []chaos.Op) []string {
+	out := make([]string, len(ops))
+	for i, op := range ops {
+		out[i] = fmt.Sprintf("%+v", op)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Every mutator must be a pure function of (cfg, ops, seed) and must
+// not alias or modify its input.
+func TestMutatorsDeterministicAndPure(t *testing.T) {
+	cfg, ops := genTrace(t, chaos.Config{Seed: 20210426, Ops: 30, Hosts: 4, VMs: 6, FaultRate: 0.2})
+	orig := append([]chaos.Op(nil), ops...)
+	for kind := MutationKind(0); kind < numMutationKinds; kind++ {
+		c1, o1 := Apply(kind, cfg, ops, 0xfeed)
+		c2, o2 := Apply(kind, cfg, ops, 0xfeed)
+		if !reflect.DeepEqual(o1, o2) || !reflect.DeepEqual(c1, c2) {
+			t.Fatalf("%v: same seed produced different mutations", kind)
+		}
+		if !reflect.DeepEqual(ops, orig) {
+			t.Fatalf("%v: mutator modified its input", kind)
+		}
+		if len(o1) > 0 && &o1[0] == &ops[0] {
+			t.Fatalf("%v: mutator aliased its input", kind)
+		}
+	}
+	// The full chain too, including the identity at seed zero.
+	_, same := Mutate(cfg, ops, 0)
+	if !reflect.DeepEqual(same, orig) {
+		t.Fatal("Mutate(seed=0) is not the identity")
+	}
+	c1, m1 := Mutate(cfg, ops, 77)
+	c2, m2 := Mutate(cfg, ops, 77)
+	if !reflect.DeepEqual(m1, m2) || !reflect.DeepEqual(c1, c2) {
+		t.Fatal("Mutate: same seed produced different traces")
+	}
+	if reflect.DeepEqual(m1, orig) {
+		t.Fatal("Mutate(seed=77) left the trace untouched")
+	}
+}
+
+// Reorder may only permute — never add, drop, or edit ops — and every
+// swap it performs must respect the independence constraint.
+func TestReorderPreservesMultisetAndConstraints(t *testing.T) {
+	_, ops := genTrace(t, chaos.Config{Seed: 7, Ops: 40, Hosts: 4, VMs: 6, FaultRate: 0.3})
+	for seed := uint64(1); seed <= 20; seed++ {
+		out := Reorder(ops, seed)
+		if !reflect.DeepEqual(opMultiset(out), opMultiset(ops)) {
+			t.Fatalf("seed %d: reorder changed the op multiset", seed)
+		}
+	}
+
+	// Fleet-wide ops are dependency barriers: the sub-sequence of
+	// fleet-wide ops must be untouched by any reorder.
+	fleetSeq := func(ops []chaos.Op) []string {
+		var out []string
+		for _, op := range ops {
+			if fleetWide(op) {
+				out = append(out, fmt.Sprintf("%+v", op))
+			}
+		}
+		return out
+	}
+	for seed := uint64(1); seed <= 20; seed++ {
+		if !reflect.DeepEqual(fleetSeq(Reorder(ops, seed)), fleetSeq(ops)) {
+			t.Fatalf("seed %d: reorder moved a fleet-wide op", seed)
+		}
+	}
+
+	// Two ops naming the same host must keep their relative order.
+	deps := []chaos.Op{
+		{Kind: chaos.OpQuarantine, Host: "host-00"},
+		{Kind: chaos.OpReturn, Host: "host-00"},
+	}
+	for seed := uint64(1); seed <= 50; seed++ {
+		if got := Reorder(deps, seed); got[0].Kind != chaos.OpQuarantine {
+			t.Fatalf("seed %d: dependent pair swapped", seed)
+		}
+	}
+
+	// And a genuinely independent pair must swap for some seed.
+	indep := []chaos.Op{
+		{Kind: chaos.OpUpgrade, Host: "host-00"},
+		{Kind: chaos.OpUpgrade, Host: "host-01"},
+	}
+	swapped := false
+	for seed := uint64(1); seed <= 50 && !swapped; seed++ {
+		swapped = Reorder(indep, seed)[0].Host == "host-01"
+	}
+	if !swapped {
+		t.Fatal("independent pair never swapped in 50 seeds")
+	}
+}
+
+// FaultSwap moves fault-plan seeds between ops without changing the op
+// sequence or the set of fault-carrying positions.
+func TestFaultSwapMovesSeedsOnly(t *testing.T) {
+	_, ops := genTrace(t, chaos.Config{Seed: 3, Ops: 40, Hosts: 4, VMs: 6, FaultRate: 0.5})
+	carriers := 0
+	for _, op := range ops {
+		if op.Fault != 0 {
+			carriers++
+		}
+	}
+	if carriers < 2 {
+		t.Fatalf("trace has %d fault carriers, need >=2", carriers)
+	}
+	moved := false
+	for seed := uint64(1); seed <= 10; seed++ {
+		out := FaultSwap(ops, seed)
+		if len(out) != len(ops) {
+			t.Fatal("fault swap changed trace length")
+		}
+		for i := range out {
+			bare, bareOut := out[i], ops[i]
+			bare.Fault, bareOut.Fault = 0, 0
+			if !reflect.DeepEqual(bare, bareOut) {
+				t.Fatalf("seed %d: op %d changed beyond its fault seed", seed, i)
+			}
+			if (out[i].Fault == 0) != (ops[i].Fault == 0) {
+				t.Fatalf("seed %d: op %d gained or lost its fault plan", seed, i)
+			}
+			if out[i].Fault != ops[i].Fault {
+				moved = true
+			}
+			if out[i].Fault != 0 && out[i].Fault%2 == 0 {
+				t.Fatalf("seed %d: op %d has even fault seed", seed, i)
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("fault seeds never moved in 10 seeds")
+	}
+}
+
+// SeedPerturb keeps scalar fields inside the generator's own ranges.
+func TestSeedPerturbStaysInRange(t *testing.T) {
+	cfg, ops := genTrace(t, chaos.Config{Seed: 5, Ops: 40, Hosts: 4, VMs: 6, FaultRate: 0.2, Crash: true})
+	for seed := uint64(1); seed <= 10; seed++ {
+		newCfg, out := SeedPerturb(cfg, ops, seed)
+		if newCfg.Seed == cfg.Seed {
+			t.Fatalf("seed %d: config seed unchanged", seed)
+		}
+		for i, op := range out {
+			if op.Kind == chaos.OpWorkload && (op.Pages < 1 || op.Pages > 64) {
+				t.Fatalf("seed %d: op %d pages %d out of range", seed, i, op.Pages)
+			}
+			if op.Kind == chaos.OpCrashStorm && (op.Count < 2 || op.Count > 4) {
+				t.Fatalf("seed %d: op %d count %d out of range", seed, i, op.Count)
+			}
+		}
+	}
+}
+
+// Splice grows the trace by 1-4 ops drawn from a donor trace over the
+// same fleet shape, preserving the original ops as a subsequence split
+// at one point.
+func TestSpliceInsertsDonorRun(t *testing.T) {
+	cfg, ops := genTrace(t, chaos.Config{Seed: 11, Ops: 20, Hosts: 3, VMs: 4})
+	for seed := uint64(1); seed <= 10; seed++ {
+		out := Splice(cfg, ops, seed)
+		grown := len(out) - len(ops)
+		if grown < 1 || grown > 4 {
+			t.Fatalf("seed %d: splice grew trace by %d ops", seed, grown)
+		}
+		// The original trace must survive as prefix + suffix around the
+		// inserted run.
+		found := false
+		for pos := 0; pos+grown <= len(out) && !found; pos++ {
+			found = reflect.DeepEqual(out[:pos], ops[:pos]) &&
+				reflect.DeepEqual(out[pos+grown:], ops[pos:])
+		}
+		if !found {
+			t.Fatalf("seed %d: spliced trace does not contain the original as a split subsequence", seed)
+		}
+	}
+}

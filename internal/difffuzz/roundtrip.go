@@ -1,0 +1,283 @@
+package difffuzz
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"hypertp/internal/chaos"
+	"hypertp/internal/core"
+	"hypertp/internal/hv"
+	"hypertp/internal/hw"
+	"hypertp/internal/simtime"
+	"hypertp/internal/tpcache"
+	"hypertp/internal/uisr"
+)
+
+// roundTripCycles is how many full Xen→KVM→Xen cycles each differential
+// run drives. Three cycles guarantee the translation cache reaches its
+// zero-miss fixed point, so the cached run genuinely exercises the warm
+// path before the equivalence checks.
+const roundTripCycles = 3
+
+// RoundTripParams describes one differential round-trip scenario:
+// arbitrary VM state driven Xen→KVM→Xen through UISR translate/restore,
+// once cold and once through the transplant cache.
+type RoundTripParams struct {
+	Seed      uint64 // guest state + working-set content seed
+	VMs       int    // 1..3
+	VCPUs     int    // 1..4
+	MemBytes  uint64
+	Pages     int // workload pages written per VM before the first hop
+	HugePages bool
+	M2        bool // cost profile selection (never affects bytes)
+}
+
+// DecodeRoundTrip maps arbitrary fuzz bytes to valid params — total,
+// never rejecting, every byte meaningful.
+func DecodeRoundTrip(data []byte) RoundTripParams {
+	at := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	var seed uint64
+	for i := 0; i < 8; i++ {
+		seed = seed<<8 | uint64(at(i))
+	}
+	return RoundTripParams{
+		Seed:      seed | 1,
+		VMs:       1 + int(at(8))%3,
+		VCPUs:     1 + int(at(9))%4,
+		MemBytes:  (16 << (at(10) % 3)) << 20, // 16, 32, or 64 MiB
+		Pages:     1 + int(at(11))%128,
+		HugePages: at(12)&1 != 0,
+		M2:        at(12)&2 != 0,
+	}
+}
+
+// EncodeRoundTrip is DecodeRoundTrip's inverse for in-range params,
+// used to build the checked-in seed corpus.
+func (p RoundTripParams) EncodeRoundTrip() []byte {
+	out := make([]byte, 13)
+	for i := 0; i < 8; i++ {
+		out[i] = byte(p.Seed >> (8 * (7 - i)))
+	}
+	out[8] = byte(p.VMs - 1)
+	out[9] = byte(p.VCPUs - 1)
+	switch p.MemBytes >> 20 {
+	case 32:
+		out[10] = 1
+	case 64:
+		out[10] = 2
+	}
+	out[11] = byte(p.Pages - 1)
+	if p.HugePages {
+		out[12] |= 1
+	}
+	if p.M2 {
+		out[12] |= 2
+	}
+	return out
+}
+
+// hopCapture is everything observable about the fleet after one hop:
+// per-VM guest memory checksums and the re-encoded UISR blob of every
+// VM (saved at rest on the hop's destination hypervisor, MemMap
+// stripped exactly as the engine does — memory travels via PRAM and is
+// covered by the checksums).
+type hopCapture struct {
+	kind   hv.Kind
+	sums   map[string]uint64
+	blobs  map[string][]byte
+	report string
+}
+
+// runRoundTrip drives the scenario for roundTripCycles full cycles and
+// captures the observable state after every hop. cache may be nil (the
+// cold run).
+func runRoundTrip(p RoundTripParams, cache *tpcache.Cache) ([]hopCapture, error) {
+	prof := hw.M1()
+	if p.M2 {
+		prof = hw.M2()
+	}
+	// Slimmed physical memory, as in the chaos harness: enough for the
+	// small tenant set, cheap to audit.
+	prof.RAMBytes = 2 * hw.GiB
+	clock := simtime.NewClock()
+	engine := core.NewEngine(clock, hw.NewMachine(clock, prof))
+
+	cur, err := engine.BootHypervisor(hv.KindXen)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < p.VMs; i++ {
+		vm, err := cur.CreateVM(hv.Config{
+			Name: fmt.Sprintf("rt-%02d", i), VCPUs: p.VCPUs, MemBytes: p.MemBytes,
+			HugePages: p.HugePages, Seed: p.Seed + uint64(i), InPlaceCompatible: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := vm.Guest.WriteWorkingSet(hw.GFN(uint64(i)*8), p.Pages); err != nil {
+			return nil, err
+		}
+	}
+
+	opts := core.DefaultOptions()
+	opts.HugePages = p.HugePages
+	opts.Cache = cache
+
+	caps := make([]hopCapture, 0, 2*roundTripCycles)
+	for hop := 0; hop < 2*roundTripCycles; hop++ {
+		target := hv.KindKVM
+		if cur.Kind() == hv.KindKVM {
+			target = hv.KindXen
+		}
+		dst, rep, err := engine.InPlace(cur, target, opts)
+		if err != nil {
+			return nil, fmt.Errorf("hop %d (%v→%v): %w", hop, cur.Kind(), target, err)
+		}
+		cap, err := capture(dst)
+		if err != nil {
+			return nil, fmt.Errorf("hop %d capture: %w", hop, err)
+		}
+		// Cache counters are the one legitimate cold/cached report
+		// difference; zero them so the identity check covers the rest.
+		flat := *rep
+		flat.CacheHits, flat.CacheMisses, flat.CacheWarmStarts = 0, 0, 0
+		cap.report = fmt.Sprintf("%+v", flat)
+		caps = append(caps, cap)
+		cur = dst
+	}
+	return caps, nil
+}
+
+// capture snapshots checksums and at-rest re-encoded UISR blobs of
+// every VM on h.
+func capture(h hv.Hypervisor) (hopCapture, error) {
+	cap := hopCapture{kind: h.Kind(), sums: map[string]uint64{}, blobs: map[string][]byte{}}
+	vms := h.VMs()
+	sort.Slice(vms, func(i, j int) bool { return vms[i].Config.Name < vms[j].Config.Name })
+	for _, vm := range vms {
+		sum, err := vm.Space.ChecksumAll()
+		if err != nil {
+			return cap, err
+		}
+		cap.sums[vm.Config.Name] = sum
+		if err := h.Pause(vm.ID); err != nil {
+			return cap, err
+		}
+		st, err := h.SaveUISR(vm.ID)
+		if err != nil {
+			return cap, err
+		}
+		if err := h.Resume(vm.ID); err != nil {
+			return cap, err
+		}
+		st.MemMap = nil
+		blob, err := uisr.Encode(st)
+		if err != nil {
+			return cap, err
+		}
+		cap.blobs[vm.Config.Name] = blob
+	}
+	return cap, nil
+}
+
+// CheckRoundTrip runs the scenario cold and cached and verifies every
+// differential equivalence claim. A non-nil error is a real divergence:
+// the message carries section-level blob diagnostics, and ReproBundle
+// renders a replayable approximation for the chaos harness.
+func CheckRoundTrip(p RoundTripParams) error {
+	cold, err := runRoundTrip(p, nil)
+	if err != nil {
+		return fmt.Errorf("cold run: %w", err)
+	}
+	cache := tpcache.New()
+	warm, err := runRoundTrip(p, cache)
+	if err != nil {
+		return fmt.Errorf("cached run: %w", err)
+	}
+
+	// The cached run must actually exercise the warm path, or the
+	// cold/cached equivalence below proves nothing.
+	if st := cache.Stats(); st.Hits == 0 || st.Misses == 0 {
+		return fmt.Errorf("cache never reached steady state over %d hops: %v", len(warm), st)
+	}
+
+	for _, caps := range [][]hopCapture{cold, warm} {
+		// Guest memory must survive every hop bit-exact.
+		for hop, cap := range caps {
+			if !reflect.DeepEqual(cap.sums, caps[0].sums) {
+				return fmt.Errorf("guest checksums diverged at hop %d: %v vs %v", hop, cap.sums, caps[0].sums)
+			}
+		}
+		// Fixed point: once a VM has completed a full cycle, every later
+		// visit to the same hypervisor kind must re-encode to the same
+		// bytes. (Hop 0's blobs may legitimately differ from hop 2's:
+		// the first Xen→KVM translation applies the documented one-way
+		// §4.2.1 transforms to the pristine boot state.)
+		for hop := 3; hop < len(caps); hop++ {
+			prev := caps[hop-2]
+			if err := diffBlobs(prev.blobs, caps[hop].blobs); err != nil {
+				return fmt.Errorf("re-encoded UISR not at fixed point (%v hop %d vs %d): %w",
+					caps[hop].kind, hop-2, hop, err)
+			}
+		}
+	}
+
+	// Cold vs cached: byte-identical state and reports at every hop.
+	for hop := range cold {
+		if !reflect.DeepEqual(cold[hop].sums, warm[hop].sums) {
+			return fmt.Errorf("cached guest checksums differ from cold at hop %d", hop)
+		}
+		if err := diffBlobs(cold[hop].blobs, warm[hop].blobs); err != nil {
+			return fmt.Errorf("cached UISR blobs differ from cold at hop %d: %w", hop, err)
+		}
+		if cold[hop].report != warm[hop].report {
+			return fmt.Errorf("cached report differs from cold at hop %d:\n%s\nvs\n%s",
+				hop, cold[hop].report, warm[hop].report)
+		}
+	}
+	return nil
+}
+
+// diffBlobs compares two per-VM blob maps, attributing the first
+// divergence to a VM and a UISR section.
+func diffBlobs(a, b map[string][]byte) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("vm count differs: %d vs %d", len(a), len(b))
+	}
+	names := make([]string, 0, len(a))
+	for name := range a {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, ok := b[name]; !ok {
+			return fmt.Errorf("vm %s missing", name)
+		}
+		if d := uisr.DiffBlobs(a[name], b[name]); d != "" {
+			return fmt.Errorf("vm %s: %s", name, d)
+		}
+	}
+	return nil
+}
+
+// ReproBundle renders a divergence's scenario as a replayable chaos
+// trace bundle: the same tenant shape exercised through workload writes
+// and repeated cached in-place upgrades. `chaoscheck -replay` runs it
+// under the full invariant auditor.
+func ReproBundle(p RoundTripParams) ([]byte, error) {
+	cfg := chaos.Config{Seed: p.Seed, Hosts: 2, VMs: p.VMs, Cache: true}
+	ops := make([]chaos.Op, 0, p.VMs+2*roundTripCycles)
+	for i := 0; i < p.VMs; i++ {
+		ops = append(ops, chaos.Op{Kind: chaos.OpWorkload, VM: chaosVM(i), Pages: 1 + p.Pages%64})
+	}
+	for i := 0; i < 2*roundTripCycles; i++ {
+		ops = append(ops, chaos.Op{Kind: chaos.OpUpgrade, Host: chaosHost(0)})
+	}
+	return chaos.NewTraceBundle(cfg, ops).Marshal()
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -43,8 +44,11 @@ func Check(tb testing.TB, target string, seeds ...[]byte) {
 			tb.Fatal(err)
 		}
 	}
+	expected := make(map[string]bool, len(seeds))
 	for i, seed := range seeds {
-		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		name := fmt.Sprintf("seed-%02d", i)
+		expected[name] = true
+		path := filepath.Join(dir, name)
 		want := File(seed)
 		if write {
 			if err := os.WriteFile(path, want, 0o644); err != nil {
@@ -62,5 +66,21 @@ func Check(tb testing.TB, target string, seeds ...[]byte) {
 	}
 	if write {
 		tb.Logf("wrote %d seeds to %s", len(seeds), dir)
+		return
+	}
+	// Verify mode also rejects leftover seed-NN files from a longer past
+	// seed list — a shrunk f.Add list must shrink the corpus with it.
+	// Only the seed-NN namespace is policed: crashers minimized by
+	// `go test -fuzz` land in the same directory under hash names and
+	// are deliberately left alone.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return // missing dir already failed above when seeds exist
+	}
+	for _, e := range entries {
+		if name := e.Name(); strings.HasPrefix(name, "seed-") && !expected[name] {
+			tb.Fatalf("fuzz seed corpus has stale extra file %s (run `make fuzz-seeds` and commit)",
+				filepath.Join(dir, name))
+		}
 	}
 }

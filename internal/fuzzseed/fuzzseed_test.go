@@ -1,0 +1,92 @@
+package fuzzseed
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fatalRecorder captures Fatal/Fatalf instead of aborting, so the
+// Check failure paths are testable.
+type fatalRecorder struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (r *fatalRecorder) Helper() {}
+func (r *fatalRecorder) Fatal(args ...any) {
+	r.failed = true
+}
+func (r *fatalRecorder) Fatalf(format string, args ...any) {
+	r.failed = true
+	r.msg = format
+}
+func (r *fatalRecorder) Logf(format string, args ...any) {}
+
+// withCorpusDir runs fn chdir'd into a temp dir so Check's relative
+// testdata/fuzz paths land there.
+func withCorpusDir(t *testing.T, fn func()) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	fn()
+}
+
+func TestCheckWriteThenVerify(t *testing.T) {
+	seeds := [][]byte{[]byte("one"), []byte("two")}
+	withCorpusDir(t, func() {
+		t.Setenv(WriteEnv, "1")
+		rec := &fatalRecorder{TB: t}
+		Check(rec, "FuzzX", seeds...)
+		if rec.failed {
+			t.Fatal("write mode failed")
+		}
+
+		t.Setenv(WriteEnv, "")
+		rec = &fatalRecorder{TB: t}
+		Check(rec, "FuzzX", seeds...)
+		if rec.failed {
+			t.Fatalf("fresh corpus failed verification: %s", rec.msg)
+		}
+	})
+}
+
+func TestCheckRejectsStaleExtraSeed(t *testing.T) {
+	seeds := [][]byte{[]byte("one"), []byte("two")}
+	withCorpusDir(t, func() {
+		t.Setenv(WriteEnv, "1")
+		Check(&fatalRecorder{TB: t}, "FuzzX", seeds...)
+		t.Setenv(WriteEnv, "")
+
+		// The f.Add list shrank: seed-01 is now a stale leftover.
+		rec := &fatalRecorder{TB: t}
+		Check(rec, "FuzzX", seeds[:1]...)
+		if !rec.failed || !strings.Contains(rec.msg, "stale extra file") {
+			t.Fatalf("stale seed-01 not rejected (failed=%v msg=%q)", rec.failed, rec.msg)
+		}
+
+		// Crashers minimized by `go test -fuzz` use hash names in the
+		// same directory and must be tolerated.
+		crasher := filepath.Join("testdata", "fuzz", "FuzzX", "582528ddfad69eb5")
+		if err := os.WriteFile(crasher, File([]byte("boom")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec = &fatalRecorder{TB: t}
+		Check(rec, "FuzzX", seeds...)
+		if rec.failed {
+			t.Fatalf("crasher file wrongly rejected: %s", rec.msg)
+		}
+	})
+}

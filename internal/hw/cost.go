@@ -1,0 +1,64 @@
+package hw
+
+import "time"
+
+// This file holds the phase-cost formulas as methods on CostModel, so
+// the engine (internal/core), the migration receiver
+// (internal/migration) and the calibration gate (internal/calib) all
+// charge — and assert on — exactly the same arithmetic. A formula
+// change here moves every consumer together, and the calib catalogue
+// pins the result against the paper's published shapes.
+
+// SplitPRAMCostFactor scales PRAM build and boot-time parse costs when
+// huge pages are disabled: 512x the entries, amortized by bulk writes.
+const SplitPRAMCostFactor = 8
+
+// gib converts a byte count to binary gigabytes for per-GiB charges.
+func gib(memBytes uint64) float64 { return float64(memBytes) / float64(GiB) }
+
+// PRAMBuild is one VM's PRAM structure-construction charge (performed
+// before pausing, parallel across workers).
+func (c *CostModel) PRAMBuild(memBytes uint64, hugePages bool) time.Duration {
+	d := c.PRAMPerVM + time.Duration(gib(memBytes)*float64(c.PRAMPerGB))
+	if !hugePages {
+		d *= SplitPRAMCostFactor
+	}
+	return d
+}
+
+// Translate is one VM's UISR translation charge (inside the downtime
+// window; includes PRAM finalization, hence the memory term).
+func (c *CostModel) Translate(vcpus int, memBytes uint64) time.Duration {
+	return c.TranslatePerVM +
+		time.Duration(vcpus)*c.TranslatePerVCPU +
+		time.Duration(gib(memBytes)*float64(c.TranslatePerGB))
+}
+
+// Restore is one VM's UISR restoration charge on the target hypervisor
+// (parallel across VMs).
+func (c *CostModel) Restore(vcpus int) time.Duration {
+	return c.RestorePerVM + time.Duration(vcpus)*c.RestorePerVCPU
+}
+
+// PRAMParse is the sequential boot-time PRAM parsing charge for the
+// whole preserved set (single CPU, early boot — §5.2), added to the
+// micro-reboot on top of the target kernel's boot base.
+func (c *CostModel) PRAMParse(totalMemBytes uint64, vms int, hugePages bool) time.Duration {
+	d := time.Duration(gib(totalMemBytes) * float64(c.PRAMParsePerGB))
+	if !hugePages {
+		d *= SplitPRAMCostFactor
+	}
+	return d + time.Duration(vms)*c.PRAMParsePerVM
+}
+
+// MigFinalize is one VM's live-migration stop-and-copy finalize charge
+// on the receive side (Table 4): Xen's heavyweight restore path or the
+// 27x lighter kvmtool one, before the sequential-receive jitter the
+// migration receiver layers on top.
+func (c *CostModel) MigFinalize(xenReceiver bool, vcpus int) time.Duration {
+	base := c.MigFinalizeKVMTool
+	if xenReceiver {
+		base = c.MigFinalizeXen
+	}
+	return base + time.Duration(vcpus-1)*c.MigFinalizePerVCPU
+}

@@ -48,33 +48,27 @@ const (
 type Receiver struct {
 	HV    hv.Hypervisor
 	clock *simtime.Clock
-	// sequential serializes finalize operations (Xen restore).
+	// sequential serializes finalize operations (Xen restore); it also
+	// selects the heavyweight branch of CostModel.MigFinalize.
 	sequential bool
-	// finalizeBase is the per-VM finalize cost.
-	finalizeBase    time.Duration
-	finalizePerVCPU time.Duration
-	busyUntil       time.Duration
-	rng             *simtime.Rand
-	seqVar          float64
+	cost       hw.CostModel
+	busyUntil  time.Duration
+	rng        *simtime.Rand
+	seqVar     float64
 }
 
 // NewReceiver builds a receiver for the destination hypervisor, deriving
 // finalize behaviour from the destination kind and machine profile.
 func NewReceiver(clock *simtime.Clock, dest hv.Hypervisor, seed uint64) *Receiver {
-	cost := dest.Machine().Profile.Cost
 	r := &Receiver{
-		HV:              dest,
-		clock:           clock,
-		finalizePerVCPU: cost.MigFinalizePerVCPU,
-		rng:             simtime.NewRand(seed),
+		HV:    dest,
+		clock: clock,
+		cost:  dest.Machine().Profile.Cost,
+		rng:   simtime.NewRand(seed),
 	}
-	switch dest.Kind() {
-	case hv.KindXen:
+	if dest.Kind() == hv.KindXen {
 		r.sequential = true
-		r.finalizeBase = cost.MigFinalizeXen
-		r.seqVar = cost.MigXenReceiveSeqVar
-	default:
-		r.finalizeBase = cost.MigFinalizeKVMTool
+		r.seqVar = r.cost.MigXenReceiveSeqVar
 	}
 	return r
 }
@@ -85,7 +79,7 @@ func NewReceiver(clock *simtime.Clock, dest hv.Hypervisor, seed uint64) *Receive
 // what spreads the downtime of concurrently migrated VMs (Fig. 8's box
 // plots).
 func (r *Receiver) finalizeWindow(vcpus int) (start time.Duration, dur time.Duration) {
-	dur = r.finalizeBase + time.Duration(vcpus-1)*r.finalizePerVCPU
+	dur = r.cost.MigFinalize(r.sequential, vcpus)
 	now := r.clock.Now()
 	if !r.sequential {
 		return now, dur

@@ -53,6 +53,21 @@ func (s Stats) String() string {
 		s.PRAMHits, s.PRAMHits+s.PRAMMisses, s.WarmSlots)
 }
 
+// Sub returns the counter deltas since prev — the activity of one
+// window (e.g. one transplant cycle) on a long-lived cache. WarmSlots
+// is a gauge, not a counter, so the current value is kept as-is.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Hits:       s.Hits - prev.Hits,
+		Misses:     s.Misses - prev.Misses,
+		WarmStarts: s.WarmStarts - prev.WarmStarts,
+		Stale:      s.Stale - prev.Stale,
+		PRAMHits:   s.PRAMHits - prev.PRAMHits,
+		PRAMMisses: s.PRAMMisses - prev.PRAMMisses,
+		WarmSlots:  s.WarmSlots,
+	}
+}
+
 // HitRatio returns hits over lookups (0 when there were none).
 func (s Stats) HitRatio() float64 {
 	if s.Hits+s.Misses == 0 {

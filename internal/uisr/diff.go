@@ -1,0 +1,108 @@
+package uisr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// sectionNames maps section type tags to the Table 2 names for
+// diagnostics. Unknown tags render as hex.
+var sectionNames = map[uint16]string{
+	SecHeader:    "header",
+	SecCPU:       "cpu",
+	SecSRegs:     "sregs",
+	SecMSRs:      "msrs",
+	SecFPU:       "fpu",
+	SecXSave:     "xsave",
+	SecLAPIC:     "lapic",
+	SecLAPICRegs: "lapic-regs",
+	SecMTRR:      "mtrr",
+	SecIOAPIC:    "ioapic",
+	SecPIT:       "pit",
+	SecMemMap:    "memmap",
+	SecDevice:    "device",
+	SecRTC:       "rtc",
+	SecHPET:      "hpet",
+	SecPMTimer:   "pmtimer",
+	SecEnd:       "end",
+}
+
+// SectionName returns the human-readable name of a section type tag.
+func SectionName(typ uint16) string {
+	if n, ok := sectionNames[typ]; ok {
+		return n
+	}
+	return fmt.Sprintf("%#04x", typ)
+}
+
+// nextSection reads one TLV section at off, returning its header, its
+// payload, and the offset past it. It validates only the framing — the
+// payload is returned raw so DiffBlobs can compare malformed-but-framed
+// blobs byte-for-byte.
+func nextSection(data []byte, off int) (sectionHeader, []byte, int, error) {
+	le := binary.LittleEndian
+	if off+sectionHeaderSize > len(data) {
+		return sectionHeader{}, nil, 0, fmt.Errorf("truncated section header at offset %d", off)
+	}
+	hdr := sectionHeader{
+		Type:     le.Uint16(data[off:]),
+		Instance: le.Uint16(data[off+2:]),
+		Length:   le.Uint32(data[off+4:]),
+	}
+	off += sectionHeaderSize
+	if off+int(hdr.Length) > len(data) {
+		return sectionHeader{}, nil, 0, fmt.Errorf("truncated %s payload at offset %d", SectionName(hdr.Type), off)
+	}
+	return hdr, data[off : off+int(hdr.Length)], off + int(hdr.Length), nil
+}
+
+// DiffBlobs compares two encoded UISR blobs section by section and
+// returns a human-readable description of the first divergence, or ""
+// when the blobs are byte-identical. Where a raw byte compare only says
+// "offset 1234 differs", DiffBlobs says which vCPU's MSR block (or
+// which device section) diverged — the diagnostic the differential
+// fuzzer attaches to a round-trip failure repro.
+func DiffBlobs(a, b []byte) string {
+	if bytes.Equal(a, b) {
+		return ""
+	}
+	if len(a) < topHeaderSize || len(b) < topHeaderSize {
+		return fmt.Sprintf("blob shorter than top header: %d vs %d bytes", len(a), len(b))
+	}
+	if !bytes.Equal(a[:topHeaderSize], b[:topHeaderSize]) {
+		return fmt.Sprintf("top header differs: %x vs %x", a[:topHeaderSize], b[:topHeaderSize])
+	}
+	offA, offB := topHeaderSize, topHeaderSize
+	for i := 0; ; i++ {
+		doneA, doneB := offA >= len(a), offB >= len(b)
+		if doneA || doneB {
+			if doneA && doneB {
+				// Same framing, same payloads, yet not bytes.Equal —
+				// unreachable for well-formed input, but never report
+				// "no difference" for unequal blobs.
+				return "blobs differ but sections compare equal"
+			}
+			return fmt.Sprintf("section count differs: one blob ends after %d sections", i)
+		}
+		ha, pa, na, errA := nextSection(a, offA)
+		hb, pb, nb, errB := nextSection(b, offB)
+		if errA != nil || errB != nil {
+			return fmt.Sprintf("framing differs at section %d: %v vs %v", i, errA, errB)
+		}
+		if ha != hb {
+			return fmt.Sprintf("section %d header differs: %s[%d] len %d vs %s[%d] len %d",
+				i, SectionName(ha.Type), ha.Instance, ha.Length,
+				SectionName(hb.Type), hb.Instance, hb.Length)
+		}
+		if !bytes.Equal(pa, pb) {
+			j := 0
+			for j < len(pa) && pa[j] == pb[j] {
+				j++
+			}
+			return fmt.Sprintf("%s[%d] payload differs at byte %d of %d (%#02x vs %#02x)",
+				SectionName(ha.Type), ha.Instance, j, len(pa), pa[j], pb[j])
+		}
+		offA, offB = na, nb
+	}
+}

@@ -1,0 +1,52 @@
+package uisr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffBlobs(t *testing.T) {
+	st := SyntheticVM("diff-vm", 7, 2, 64<<20, 1234)
+	a, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d := DiffBlobs(a, a); d != "" {
+		t.Fatalf("identical blobs reported divergent: %s", d)
+	}
+
+	// A changed MSR value must be attributed to the owning vCPU's MSR
+	// section, not just a byte offset.
+	st2 := SyntheticVM("diff-vm", 7, 2, 64<<20, 1234)
+	st2.VCPUs[1].MSRs[0].Value ^= 0xdead
+	b, err := Encode(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DiffBlobs(a, b)
+	if !strings.Contains(d, "msrs[1]") {
+		t.Fatalf("MSR divergence not attributed to msrs[1]: %s", d)
+	}
+
+	// A structural change (extra device) is a section-header difference.
+	st3 := SyntheticVM("diff-vm", 7, 2, 64<<20, 1234)
+	st3.Devices = append(st3.Devices, EmulatedDevice{Kind: "extra", Model: "x", State: []byte{1}})
+	c, err := Encode(st3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = DiffBlobs(a, c)
+	if d == "" {
+		t.Fatal("extra device not detected")
+	}
+
+	// Truncation is reported as framing, not a panic.
+	if d := DiffBlobs(a, a[:len(a)-3]); d == "" {
+		t.Fatal("truncated blob reported equal")
+	}
+
+	if got := SectionName(SecHPET); got != "hpet" {
+		t.Fatalf("SectionName(SecHPET) = %q", got)
+	}
+}
